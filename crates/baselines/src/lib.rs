@@ -1,0 +1,30 @@
+//! # fgqos-baselines — comparison arbitration schemes
+//!
+//! The regulation baselines the paper measures the tightly-coupled IP
+//! against, implemented on the same [`PortGate`](fgqos_sim::PortGate)
+//! seam so all schemes are directly comparable inside one SoC model:
+//!
+//! * [`memguard`] — software per-actor bandwidth regulation: PMC-style
+//!   byte accounting, OS-tick-granular replenishment, interrupt-latency
+//!   enforcement delay. The state of the art the paper improves on.
+//! * [`qos400`] — ARM QoS-400-style outstanding-transaction (and
+//!   transaction-rate) regulation: the COTS interconnect alternative,
+//!   blind to burst sizes.
+//! * [`tdma`] — PREM-style mutually exclusive memory phases on a static
+//!   TDMA schedule: hard guarantees, heavy bandwidth waste.
+//! * The unregulated baseline is [`fgqos_sim::OpenGate`].
+
+pub mod memguard;
+pub mod qos400;
+pub mod tdma;
+
+pub use memguard::{MemGuardConfig, MemGuardGate};
+pub use qos400::{OtRegulatorConfig, OtRegulatorGate};
+pub use tdma::{TdmaGate, TdmaSchedule};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::memguard::{MemGuardConfig, MemGuardGate};
+    pub use crate::qos400::{OtRegulatorConfig, OtRegulatorGate};
+    pub use crate::tdma::{TdmaGate, TdmaSchedule};
+}

@@ -1,0 +1,100 @@
+//! Criterion ablation benches: execution cost of the regulator's design
+//! variants under a *realistic* duty cycle (mostly-idle windows with
+//! bursts), and the cost of scaling the number of regulated ports in one
+//! SoC. The outcome-level ablations (overshoot, latency, utilization per
+//! variant) live in the `exp_ablations` binary; these benches check the
+//! variants do not differ in *mechanism cost*, which is the argument for
+//! implementing the conservative policy in hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgqos_core::regulator::{ChargePolicy, OvershootPolicy, RegulatorConfig, TcRegulator};
+use fgqos_sim::axi::Dir;
+use fgqos_sim::dram::DramConfig;
+use fgqos_sim::master::MasterKind;
+use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
+use fgqos_workloads::spec::{SpecSource, TrafficSpec};
+
+const CYCLES: u64 = 100_000;
+
+fn regulated_soc(ports: usize, charge: ChargePolicy, overshoot: OvershootPolicy) -> Soc {
+    let cfg = SocConfig {
+        dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+        ..SocConfig::default()
+    };
+    let mut b = SocBuilder::new(cfg);
+    for i in 0..ports {
+        let (reg, _d) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 1_000,
+            budget_bytes: 2_048,
+            enabled: true,
+            charge,
+            overshoot,
+            ..RegulatorConfig::default()
+        });
+        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Write);
+        b = b.gated_master(
+            format!("m{i}"),
+            SpecSource::new(spec, i as u64),
+            MasterKind::Accelerator,
+            reg,
+        );
+    }
+    b.build()
+}
+
+fn bench_charge_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_charge_policy");
+    g.throughput(Throughput::Elements(CYCLES));
+    for (name, charge) in
+        [("acceptance", ChargePolicy::Acceptance), ("completion", ChargePolicy::Completion)]
+    {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || regulated_soc(4, charge, OvershootPolicy::Conservative),
+                |mut soc| soc.run(CYCLES),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_overshoot_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_overshoot_policy");
+    g.throughput(Throughput::Elements(CYCLES));
+    for (name, overshoot) in [
+        ("conservative", OvershootPolicy::Conservative),
+        ("final_burst", OvershootPolicy::FinalBurst),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || regulated_soc(4, ChargePolicy::Acceptance, overshoot),
+                |mut soc| soc.run(CYCLES),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_port_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_regulated_ports");
+    g.throughput(Throughput::Elements(CYCLES));
+    for ports in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, &p| {
+            b.iter_batched(
+                || regulated_soc(p, ChargePolicy::Acceptance, OvershootPolicy::Conservative),
+                |mut soc| soc.run(CYCLES),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_charge_policy, bench_overshoot_policy, bench_port_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the regulation hot paths: what one
+//! admission decision costs for each gate implementation, plus the
+//! register-file and driver access paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
+use fgqos_baselines::tdma::{TdmaGate, TdmaSchedule};
+use fgqos_baselines::qos400::{OtRegulatorConfig, OtRegulatorGate};
+use fgqos_core::bucket::{BucketConfig, LeakyBucketRegulator};
+use fgqos_core::regulator::{OvershootPolicy, RegulatorConfig, TcRegulator};
+use fgqos_core::shared::SharedRegulator;
+use fgqos_sim::axi::{Dir, MasterId, Request};
+use fgqos_sim::gate::{OpenGate, PortGate};
+use fgqos_sim::time::Cycle;
+use std::hint::black_box;
+
+fn request(serial: u64) -> Request {
+    Request::new(MasterId::new(0), serial, serial * 4096, 16, Dir::Read, Cycle::new(serial))
+}
+
+/// One cycle of gate work: clock tick plus one admission attempt.
+fn drive(gate: &mut dyn PortGate, serial: &mut u64) {
+    let now = Cycle::new(*serial);
+    gate.on_cycle(now);
+    let req = request(*serial);
+    black_box(gate.try_accept(&req, now));
+    *serial += 1;
+}
+
+fn bench_gates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gate_admission");
+
+    g.bench_function("open", |b| {
+        let mut gate = OpenGate;
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("tc_conservative", |b| {
+        let (mut gate, _d) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 1_000,
+            budget_bytes: 100_000,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("tc_final_burst", |b| {
+        let (mut gate, _d) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 1_000,
+            budget_bytes: 100_000,
+            enabled: true,
+            overshoot: OvershootPolicy::FinalBurst,
+            ..RegulatorConfig::default()
+        });
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("memguard", |b| {
+        let mut gate = MemGuardGate::new(MemGuardConfig {
+            tick_cycles: 1_000_000,
+            budget_bytes: u64::MAX / 2,
+            irq_latency_cycles: 2_000,
+        });
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("leaky_bucket", |b| {
+        let mut gate = LeakyBucketRegulator::new(BucketConfig {
+            budget_bytes: 100_000,
+            period_cycles: 1_000,
+            depth_bytes: 100_000,
+            ..BucketConfig::default()
+        });
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("shared_budget", |b| {
+        let group = SharedRegulator::new(1_000, 1_000_000);
+        let mut gate = group.port_gate();
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("qos400_ot", |b| {
+        let mut gate = OtRegulatorGate::new(OtRegulatorConfig {
+            max_outstanding: usize::MAX / 2,
+            txns_per_period: u32::MAX,
+            period_cycles: 1_000,
+        });
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.bench_function("tdma", |b| {
+        let mut gate = TdmaGate::new(TdmaSchedule::new(1_000, 4), vec![0, 2], 0);
+        let mut serial = 0u64;
+        b.iter(|| drive(&mut gate, &mut serial));
+    });
+
+    g.finish();
+}
+
+fn bench_driver(c: &mut Criterion) {
+    let (_gate, driver) = TcRegulator::create(RegulatorConfig::default());
+    c.bench_function("driver_telemetry_read", |b| {
+        b.iter(|| black_box(driver.telemetry()));
+    });
+    c.bench_function("driver_budget_write", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = v.wrapping_add(64) | 1;
+            driver.set_budget_bytes(v);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gates, bench_driver
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the simulation substrate: cycle
+//! throughput as the SoC grows, plus statistics hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgqos_sim::axi::Dir;
+use fgqos_sim::dram::DramConfig;
+use fgqos_sim::master::MasterKind;
+use fgqos_sim::stats::LatencyStats;
+use fgqos_sim::system::{SocBuilder, SocConfig};
+use fgqos_workloads::spec::{SpecSource, TrafficSpec};
+
+const CYCLES: u64 = 100_000;
+
+fn build_soc(masters: usize) -> fgqos_sim::system::Soc {
+    let cfg = SocConfig {
+        dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+        ..SocConfig::default()
+    };
+    let mut b = SocBuilder::new(cfg);
+    for i in 0..masters {
+        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
+        b = b.master(format!("m{i}"), SpecSource::new(spec, i as u64), MasterKind::Accelerator);
+    }
+    b.build()
+}
+
+fn bench_soc_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soc_cycles");
+    g.throughput(Throughput::Elements(CYCLES));
+    for masters in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(masters), &masters, |b, &m| {
+            b.iter_batched(
+                || build_soc(m),
+                |mut soc| soc.run(CYCLES),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_latency_stats(c: &mut Criterion) {
+    c.bench_function("latency_stats_record", |b| {
+        let mut s = LatencyStats::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.record(v >> 40);
+        });
+    });
+    c.bench_function("latency_stats_percentile", |b| {
+        let mut s = LatencyStats::new();
+        for v in 0..10_000u64 {
+            s.record(v * 7 % 100_000);
+        }
+        b.iter(|| s.percentile(0.99));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_soc_throughput, bench_latency_stats
+}
+criterion_main!(benches);

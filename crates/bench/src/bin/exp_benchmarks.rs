@@ -1,0 +1,78 @@
+//! EXP-T2 — Benchmark kernel table.
+//!
+//! Each of the six modelled benchmark kernels runs as the critical actor
+//! against six greedy interferers under three schemes: unregulated,
+//! MemGuard (1 ms tick) and the tightly-coupled regulator (1 µs window),
+//! both regulators programmed to the same average best-effort bandwidth.
+//! The table reports the kernel slowdown vs. isolation under each scheme
+//! and the aggregate best-effort throughput the scheme leaves to the
+//! accelerators — the tightly-coupled scheme dominates: lower kernel
+//! slowdown at equal best-effort bandwidth.
+//!
+//! Printed columns: kernel, isolation kilocycles, slowdown under each
+//! scheme, best-effort GiB/s under each regulated scheme.
+
+use fgqos_bench::scenario::{Built, Scenario, Scheme};
+use fgqos_bench::table;
+use fgqos_workloads::kernels::Kernel;
+
+const ITERATIONS: u64 = 3;
+const MAX_CYCLES: u64 = u64::MAX / 2;
+
+fn be_gibs(built: &Built, cycles: u64, n: usize) -> f64 {
+    let mut bytes = 0u64;
+    for i in 0..n {
+        let id = built.soc.master_id(&format!("dma{i}")).expect("interferer");
+        bytes += built.soc.master_stats(id).bytes_completed;
+    }
+    bytes as f64 / cycles as f64 * 1e9 / (1024.0 * 1024.0 * 1024.0)
+}
+
+fn main() {
+    table::banner("EXP-T2", "kernel slowdown under interference, per scheme");
+    let scenario = Scenario {
+        interferer_txn_bytes: 512,
+        critical_outstanding: 2,
+        ..Scenario::default()
+    };
+    let n = scenario.interferers;
+    table::context("interferers", format!("{n} greedy 512 B write streams"));
+    table::context("memguard", "1 ms tick, 2 us irq, 1 MiB/tick per port");
+    table::context("tc-regulator", "1 us window, 1 KiB/window per port");
+    table::header(&[
+        "kernel", "iso_kcyc", "sd_unreg", "sd_memguard", "sd_tc", "be_mg_gibs", "be_tc_gibs",
+    ]);
+
+    for kernel in Kernel::all() {
+        let source = || kernel.source(0, ITERATIONS, 7);
+        let iso = scenario.isolation_cycles_with(source());
+
+        let run = |scheme: Scheme| -> (f64, f64) {
+            let mut built = scenario.build_with_critical(source(), scheme);
+            let cycles = built
+                .soc
+                .run_until_done(built.critical, MAX_CYCLES)
+                .expect("kernel finishes")
+                .get();
+            (cycles as f64 / iso as f64, be_gibs(&built, cycles, n))
+        };
+
+        let (sd_unreg, _) = run(Scheme::Unregulated);
+        let (sd_mg, be_mg) = run(Scheme::MemGuard {
+            tick: 1_000_000,
+            budget: 1_048_576,
+            irq: 2_000,
+        });
+        let (sd_tc, be_tc) = run(Scheme::Tc { period: 1_000, budget: 1_024 });
+
+        table::row(&[
+            kernel.name().into(),
+            table::int(iso / 1_000),
+            table::f2(sd_unreg),
+            table::f2(sd_mg),
+            table::f2(sd_tc),
+            table::f2(be_mg),
+            table::f2(be_tc),
+        ]);
+    }
+}

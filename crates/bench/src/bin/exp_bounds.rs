@@ -1,0 +1,96 @@
+//! EXP-B — Analytical worst-case bound vs. observed worst case.
+//!
+//! For a sweep of regulated co-run configurations, compares the
+//! conservative analytical delay bound of
+//! [`fgqos_core::analysis::SystemModel`] with the worst latency the
+//! simulator actually observes. The bound must dominate every
+//! observation (validated continuously by `tests/bounds.rs`); the
+//! tightness ratio reported here shows the price of analysability.
+//!
+//! Printed columns: ports, period, budget per window, analytic
+//! utilization, observed max latency, bound, tightness (bound/observed).
+
+use fgqos_bench::table;
+use fgqos_core::analysis::{PortModel, SystemModel};
+use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
+use fgqos_sim::axi::{Dir, BEAT_BYTES};
+use fgqos_sim::dram::DramConfig;
+use fgqos_sim::interconnect::XbarConfig;
+use fgqos_sim::master::MasterKind;
+use fgqos_sim::system::{SocBuilder, SocConfig};
+use fgqos_workloads::spec::{SpecSource, TrafficSpec};
+
+fn observe(ports: usize, period: u32, budget: u32, txn_bytes: u64, seed: u64) -> u64 {
+    let critical = TrafficSpec::latency_sensitive(0, 4 << 20, 256, 100).with_total(3_000);
+    let (crit_monitor, _d) = TcRegulator::monitor_only(1_000);
+    let mut builder = SocBuilder::new(SocConfig::default()).master_full(
+        "critical",
+        SpecSource::new(critical, seed),
+        MasterKind::Cpu,
+        crit_monitor,
+        1,
+    );
+    for i in 0..ports {
+        let (reg, _driver) = TcRegulator::create(RegulatorConfig {
+            period_cycles: period,
+            budget_bytes: budget,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        let spec = TrafficSpec::stream((1 + i as u64) << 28, 16 << 20, txn_bytes, Dir::Write);
+        builder = builder.gated_master(
+            format!("dma{i}"),
+            SpecSource::new(spec, seed + 10 + i as u64),
+            MasterKind::Accelerator,
+            reg,
+        );
+    }
+    let mut soc = builder.build();
+    let id = soc.master_id("critical").expect("critical");
+    soc.run_until_done(id, u64::MAX / 2).expect("finishes");
+    soc.master_stats(id).latency.max()
+}
+
+fn main() {
+    table::banner("EXP-B", "analytical worst-case delay bound vs. observed worst case");
+    table::context("critical", "256 B random closed-loop reads");
+    table::header(&[
+        "ports", "period", "budget_B", "util", "observed", "bound", "tightness",
+    ]);
+    let txn_bytes = 512u64;
+    for (ports, period, budget) in [
+        (1usize, 1_000u32, 512u32),
+        (2, 1_000, 512),
+        (4, 1_000, 512),
+        (6, 1_000, 512),
+        (4, 1_000, 1_024),
+        (4, 2_000, 1_024),
+        (4, 5_000, 2_560),
+    ] {
+        let model = SystemModel {
+            dram: DramConfig::default(),
+            fifo_depth: XbarConfig::default().port_fifo_depth as u64,
+            ports: vec![
+                PortModel {
+                    period_cycles: period as u64,
+                    budget_bytes: budget as u64,
+                    max_outstanding: 8,
+                    txn_bytes,
+                };
+                ports
+            ],
+            critical_beats: 256 / BEAT_BYTES,
+        };
+        let bound = model.critical_delay_bound().expect("bound converges");
+        let observed = observe(ports, period, budget, txn_bytes, 7);
+        table::row(&[
+            table::int(ports as u64),
+            table::int(period as u64),
+            table::int(budget as u64),
+            table::f2(model.regulated_utilization()),
+            table::int(observed),
+            table::int(bound),
+            table::f2(bound as f64 / observed as f64),
+        ]);
+    }
+}

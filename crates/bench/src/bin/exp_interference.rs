@@ -1,0 +1,49 @@
+//! EXP-F1 — Motivation: memory interference on an FPGA HeSoC.
+//!
+//! Reproduces the paper's motivation figure (companion shape: up to ~16×
+//! CPU-task slowdown on Xilinx FPGA SoCs, DATE 2022): slowdown of a
+//! latency-sensitive critical actor as the number of unregulated
+//! interfering PL masters grows, for read- and write-dominated
+//! interference.
+//!
+//! Printed columns: interferer count, interference direction, critical
+//! completion cycles, slowdown vs. isolation, critical p50/p99 latency
+//! (cycles), aggregate DRAM bandwidth (GiB/s).
+
+use fgqos_bench::scenario::{Scenario, Scheme};
+use fgqos_bench::table;
+use fgqos_sim::axi::Dir;
+
+fn main() {
+    table::banner("EXP-F1", "critical slowdown vs. number of unregulated interferers");
+    let base = Scenario::default();
+    table::context("critical", "256 B random closed-loop reads, think 100 cycles");
+    table::context("interferer", "greedy 1 KiB sequential streams");
+    table::header(&["interferers", "dir", "cycles", "slowdown", "p50_lat", "p99_lat", "dram_gibs"]);
+
+    for dir in [Dir::Read, Dir::Write] {
+        let mut iso = 0;
+        for n in 0..=7usize {
+            let s = Scenario { interferers: n, interferer_dir: dir, ..base.clone() };
+            let (cycles, built) = if n == 0 {
+                let c = s.isolation_cycles();
+                iso = c;
+                // Re-run through the normal path for consistent stats.
+                Scenario { interferers: 0, ..s.clone() }.run(Scheme::Unregulated, u64::MAX / 2)
+            } else {
+                s.run(Scheme::Unregulated, u64::MAX / 2)
+            };
+            let st = built.soc.master_stats(built.critical);
+            let dram_bw = built.soc.total_bandwidth();
+            table::row(&[
+                table::int(n as u64),
+                dir.to_string(),
+                table::int(cycles),
+                table::f2(cycles as f64 / iso as f64),
+                table::int(st.latency.percentile(0.50)),
+                table::int(st.latency.percentile(0.99)),
+                table::f2(dram_bw.gib_per_s()),
+            ]);
+        }
+    }
+}

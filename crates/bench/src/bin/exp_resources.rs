@@ -1,0 +1,60 @@
+//! EXP-T1 — FPGA resource usage of the regulator IP.
+//!
+//! Analytic post-synthesis-style estimate of the monitoring/regulation
+//! IP on the Xilinx ZU9EG (ZCU102), for 1–8 regulated ports and three
+//! telemetry counter widths. The headline matches the paper's resource
+//! table: a fraction of a percent of the device per port, scaling
+//! linearly, with no BRAM unless the optional telemetry history buffer
+//! is enabled.
+//!
+//! Printed columns: ports, counter width, LUTs, FFs, BRAM36, and device
+//! utilization percentages.
+
+use fgqos_bench::table;
+use fgqos_core::cost::{ResourceModel, Zu9egBudget};
+
+fn main() {
+    table::banner("EXP-T1", "regulator IP resource usage on the ZU9EG");
+    table::context(
+        "device",
+        format!(
+            "{} LUT / {} FF / {} BRAM36",
+            Zu9egBudget::LUTS,
+            Zu9egBudget::FFS,
+            Zu9egBudget::BRAM36
+        ),
+    );
+    table::header(&["ports", "cnt_width", "luts", "ffs", "bram36", "lut_pct", "ff_pct"]);
+    for width in [32u32, 48, 64] {
+        let model = ResourceModel { counter_width: width, ..ResourceModel::default() };
+        for ports in [1usize, 2, 4, 8] {
+            let est = model.for_ports(ports);
+            let (lut_pct, ff_pct, _) = Zu9egBudget::utilization(est);
+            table::row(&[
+                table::int(ports as u64),
+                table::int(width as u64),
+                table::int(est.luts),
+                table::int(est.ffs),
+                table::int(est.bram36),
+                table::f3(lut_pct),
+                table::f3(ff_pct),
+            ]);
+        }
+    }
+
+    println!();
+    table::banner("EXP-T1b", "optional 4096-entry telemetry history buffer");
+    let hist = ResourceModel { history_depth: 4096, ..ResourceModel::default() };
+    let est = hist.for_ports(4);
+    let (lut_pct, ff_pct, bram_pct) = Zu9egBudget::utilization(est);
+    table::header(&["ports", "luts", "ffs", "bram36", "lut_pct", "ff_pct", "bram_pct"]);
+    table::row(&[
+        table::int(4),
+        table::int(est.luts),
+        table::int(est.ffs),
+        table::int(est.bram36),
+        table::f3(lut_pct),
+        table::f3(ff_pct),
+        table::f3(bram_pct),
+    ]);
+}

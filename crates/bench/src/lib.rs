@@ -1,0 +1,21 @@
+//! # fgqos-bench — experiment harnesses and micro-benchmarks
+//!
+//! One binary per paper table/figure (see `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for paper-vs-measured records):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_interference` | EXP-F1: slowdown vs. # interfering masters |
+//! | `exp_accuracy` | EXP-F2: configured vs. measured bandwidth |
+//! | `exp_granularity` | EXP-F3: overshoot & p99 latency vs. period |
+//! | `exp_utilization` | EXP-F4: utilization under a 10 % QoS bound |
+//! | `exp_adaptive` | EXP-F5: feedback re-budgeting timeline |
+//! | `exp_enforcement` | EXP-F6: enforcement-latency distribution |
+//! | `exp_resources` | EXP-T1: FPGA resource usage of the IP |
+//! | `exp_benchmarks` | EXP-T2: per-kernel slowdown table |
+//!
+//! This library crate hosts the shared harness utilities ([`scenario`],
+//! [`table`]) used by those binaries and by the Criterion benches.
+
+pub mod scenario;
+pub mod table;

@@ -1,0 +1,345 @@
+//! Shared experiment scenarios.
+//!
+//! Every experiment in the paper's evaluation is a variation of one
+//! template: a latency-sensitive *critical* actor co-runs with N
+//! bandwidth-hungry *interferers*, under one of four arbitration schemes.
+//! This module builds those systems so the `exp_*` binaries stay small
+//! and consistent with each other.
+
+use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
+use fgqos_baselines::tdma::{TdmaGate, TdmaSchedule};
+use fgqos_core::driver::RegulatorDriver;
+use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
+use fgqos_sim::axi::{Dir, MasterId};
+use fgqos_sim::dram::DramConfig;
+use fgqos_sim::master::{MasterKind, TrafficSource};
+use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
+use fgqos_core::policy::{ReclaimConfig, ReclaimPolicy};
+use fgqos_workloads::spec::{BurstShape, SpecSource, TrafficSpec};
+
+/// The arbitration scheme applied to the interferers.
+#[derive(Debug, Clone, Copy)]
+pub enum Scheme {
+    /// No regulation (the motivation case).
+    Unregulated,
+    /// The paper's tightly-coupled regulator, one instance per
+    /// interferer, each with this window period and byte budget.
+    Tc {
+        /// Replenishment window in cycles.
+        period: u32,
+        /// Byte budget per window per interferer.
+        budget: u32,
+    },
+    /// Software MemGuard on every interferer.
+    MemGuard {
+        /// OS tick in cycles.
+        tick: u64,
+        /// Byte budget per tick per interferer.
+        budget: u64,
+        /// Interrupt enforcement latency in cycles.
+        irq: u64,
+    },
+    /// PREM-style TDMA: one slot per master. Slot 0 belongs to the
+    /// critical actor (which is itself left ungated — it owns its slot
+    /// implicitly because all interferers are silenced during it).
+    Tdma {
+        /// Slot length in cycles.
+        slot: u64,
+    },
+    /// PREM-style mutually exclusive phases aligned to the critical
+    /// actor's burst shape: all interferers are silenced during the
+    /// critical actor's active phase (slot 0) and share its idle phase
+    /// (slot 1). `guard` keeps interferer bursts from spilling into the
+    /// next critical phase.
+    PremPhase {
+        /// Phase (slot) length in cycles; must match the critical burst.
+        phase: u64,
+        /// Guard band before the phase boundary, in cycles.
+        guard: u64,
+    },
+}
+
+impl Scheme {
+    /// Short reporting name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Unregulated => "unregulated",
+            Scheme::Tc { .. } => "tc-regulator",
+            Scheme::MemGuard { .. } => "memguard",
+            Scheme::Tdma { .. } => "prem-tdma",
+            Scheme::PremPhase { .. } => "prem-phase",
+        }
+    }
+}
+
+/// Parameters of the co-run template.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of interfering accelerator ports.
+    pub interferers: usize,
+    /// Interferer transaction size in bytes.
+    pub interferer_txn_bytes: u64,
+    /// Interferer traffic direction.
+    pub interferer_dir: Dir,
+    /// Critical actor's transaction count (workload size).
+    pub critical_txns: u64,
+    /// Critical actor's transaction size in bytes.
+    pub critical_txn_bytes: u64,
+    /// Critical actor's closed-loop think time in cycles.
+    pub critical_think: u64,
+    /// Optional on/off phasing of the critical actor (bursty workloads
+    /// with compute-only phases the reclaim policy can exploit).
+    pub critical_burst: Option<BurstShape>,
+    /// Outstanding-transaction limit of the critical actor.
+    pub critical_outstanding: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            interferers: 6,
+            interferer_txn_bytes: 1024,
+            interferer_dir: Dir::Write,
+            critical_txns: 2_000,
+            critical_txn_bytes: 256,
+            critical_think: 100,
+            critical_burst: None,
+            critical_outstanding: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// A built co-run system plus the driver handles the software side holds.
+pub struct Built {
+    /// The SoC, ready to run.
+    pub soc: Soc,
+    /// Port id of the critical actor.
+    pub critical: MasterId,
+    /// Monitor-only driver attached to the critical port.
+    pub critical_driver: RegulatorDriver,
+    /// Drivers of the interferer regulators (empty unless `Scheme::Tc`).
+    pub interferer_drivers: Vec<RegulatorDriver>,
+}
+
+impl Scenario {
+    /// The critical actor's traffic spec.
+    pub fn critical_spec(&self) -> TrafficSpec {
+        let spec =
+            TrafficSpec::latency_sensitive(0, 4 << 20, self.critical_txn_bytes, self.critical_think)
+                .with_total(self.critical_txns);
+        match self.critical_burst {
+            Some(b) => spec.with_burst(b),
+            None => spec,
+        }
+    }
+
+    /// The i-th interferer's traffic spec.
+    pub fn interferer_spec(&self, i: usize) -> TrafficSpec {
+        TrafficSpec::stream(
+            (1 + i as u64) << 28,
+            16 << 20,
+            self.interferer_txn_bytes,
+            self.interferer_dir,
+        )
+    }
+
+    /// SoC configuration shared by all schemes (refresh enabled).
+    pub fn soc_config(&self) -> SocConfig {
+        SocConfig { dram: DramConfig::default(), ..SocConfig::default() }
+    }
+
+    /// Builds the co-run system under `scheme` with the default critical
+    /// traffic (see [`Scenario::critical_spec`]).
+    pub fn build(&self, scheme: Scheme) -> Built {
+        let source = SpecSource::new(self.critical_spec(), self.seed);
+        self.build_with_critical(source, scheme)
+    }
+
+    /// Builds the co-run system under `scheme` with a custom critical
+    /// traffic source (e.g. a benchmark kernel model).
+    pub fn build_with_critical(
+        &self,
+        critical_source: impl TrafficSource + 'static,
+        scheme: Scheme,
+    ) -> Built {
+        let monitor_period = 1_000;
+        let (crit_monitor, critical_driver) = TcRegulator::monitor_only(monitor_period);
+        let mut builder = SocBuilder::new(self.soc_config()).master_full(
+            "critical",
+            critical_source,
+            MasterKind::Cpu,
+            crit_monitor,
+            self.critical_outstanding,
+        );
+        let mut interferer_drivers = Vec::new();
+        for i in 0..self.interferers {
+            let name = format!("dma{i}");
+            let source = SpecSource::new(self.interferer_spec(i), self.seed + 100 + i as u64);
+            builder = match scheme {
+                Scheme::Unregulated => builder.master(name, source, MasterKind::Accelerator),
+                Scheme::Tc { period, budget } => {
+                    let (reg, driver) = TcRegulator::create(RegulatorConfig {
+                        period_cycles: period,
+                        budget_bytes: budget,
+                        enabled: true,
+                        ..RegulatorConfig::default()
+                    });
+                    interferer_drivers.push(driver);
+                    builder.gated_master(name, source, MasterKind::Accelerator, reg)
+                }
+                Scheme::MemGuard { tick, budget, irq } => {
+                    let gate = MemGuardGate::new(MemGuardConfig {
+                        tick_cycles: tick,
+                        budget_bytes: budget,
+                        irq_latency_cycles: irq,
+                    });
+                    builder.gated_master(name, source, MasterKind::Accelerator, gate)
+                }
+                Scheme::Tdma { slot } => {
+                    let schedule = TdmaSchedule::new(slot, self.interferers + 1);
+                    let gate = TdmaGate::new(schedule, vec![i + 1], 0);
+                    builder.gated_master(name, source, MasterKind::Accelerator, gate)
+                }
+                Scheme::PremPhase { phase, guard } => {
+                    let schedule = TdmaSchedule::new(phase, 2);
+                    let gate = TdmaGate::new(schedule, vec![1], guard);
+                    builder.gated_master(name, source, MasterKind::Accelerator, gate)
+                }
+            };
+        }
+        let soc = builder.build();
+        let critical = soc.master_id("critical").expect("critical registered");
+        Built { soc, critical, critical_driver, interferer_drivers }
+    }
+
+    /// Builds the tightly-coupled scheme plus a CMRI-style
+    /// [`ReclaimPolicy`] over the interferers' regulators, configured by
+    /// `reclaim` (its `be_base` is overridden to match `base_budget`).
+    pub fn build_with_reclaim(
+        &self,
+        period: u32,
+        base_budget: u32,
+        reclaim: ReclaimConfig,
+    ) -> Built {
+        let (crit_monitor, critical_driver) = TcRegulator::monitor_only(1_000);
+        let mut regulators = Vec::new();
+        let mut interferer_drivers = Vec::new();
+        for _ in 0..self.interferers {
+            let (reg, driver) = TcRegulator::create(RegulatorConfig {
+                period_cycles: period,
+                budget_bytes: base_budget,
+                enabled: true,
+                ..RegulatorConfig::default()
+            });
+            regulators.push(reg);
+            interferer_drivers.push(driver);
+        }
+        let windows = (reclaim.control_period / period as u64).max(1);
+        let policy = ReclaimPolicy::new(
+            critical_driver.clone(),
+            interferer_drivers.clone(),
+            ReclaimConfig { be_base: base_budget as u64 * windows, ..reclaim },
+        );
+        let mut builder = SocBuilder::new(self.soc_config())
+            .master_full(
+                "critical",
+                SpecSource::new(self.critical_spec(), self.seed),
+                MasterKind::Cpu,
+                crit_monitor,
+                1,
+            )
+            .controller(policy);
+        for (i, reg) in regulators.into_iter().enumerate() {
+            let source = SpecSource::new(self.interferer_spec(i), self.seed + 100 + i as u64);
+            builder =
+                builder.gated_master(format!("dma{i}"), source, MasterKind::Accelerator, reg);
+        }
+        let soc = builder.build();
+        let critical = soc.master_id("critical").expect("critical registered");
+        Built { soc, critical, critical_driver, interferer_drivers }
+    }
+
+    /// Runs the critical actor alone and returns its completion time in
+    /// cycles (the isolation baseline all slowdowns are computed from).
+    pub fn isolation_cycles(&self) -> u64 {
+        self.isolation_cycles_with(SpecSource::new(self.critical_spec(), self.seed))
+    }
+
+    /// Isolation baseline for a custom critical traffic source.
+    pub fn isolation_cycles_with(&self, critical_source: impl TrafficSource + 'static) -> u64 {
+        let (crit_monitor, _driver) = TcRegulator::monitor_only(1_000);
+        let mut soc = SocBuilder::new(self.soc_config())
+            .master_full(
+                "critical",
+                critical_source,
+                MasterKind::Cpu,
+                crit_monitor,
+                self.critical_outstanding,
+            )
+            .build();
+        soc.run_until_done(MasterId::new(0), u64::MAX / 2)
+            .expect("isolation run completes")
+            .get()
+    }
+
+    /// Builds under `scheme`, runs until the critical actor completes and
+    /// returns `(completion_cycles, built)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the critical actor does not finish within `max_cycles`.
+    pub fn run(&self, scheme: Scheme, max_cycles: u64) -> (u64, Built) {
+        let mut built = self.build(scheme);
+        let done = built
+            .soc
+            .run_until_done(built.critical, max_cycles)
+            .unwrap_or_else(|| panic!("critical did not finish under {}", scheme.name()));
+        (done.get(), built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        Scenario { interferers: 2, critical_txns: 200, ..Scenario::default() }
+    }
+
+    #[test]
+    fn isolation_baseline_is_stable() {
+        let s = small();
+        assert_eq!(s.isolation_cycles(), s.isolation_cycles());
+    }
+
+    #[test]
+    fn unregulated_corun_is_slower_than_isolation() {
+        let s = small();
+        let iso = s.isolation_cycles();
+        let (t, _) = s.run(Scheme::Unregulated, 1_000_000_000);
+        assert!(t > iso, "contended {t} should exceed isolation {iso}");
+    }
+
+    #[test]
+    fn tc_regulation_recovers_critical_performance() {
+        let s = small();
+        let (unreg, _) = s.run(Scheme::Unregulated, 1_000_000_000);
+        let (reg, built) =
+            s.run(Scheme::Tc { period: 1_000, budget: 2_000 }, 1_000_000_000);
+        assert!(reg < unreg, "regulated ({reg}) must beat unregulated ({unreg})");
+        // The interferers were indeed throttled.
+        let t = built.interferer_drivers[0].telemetry();
+        assert!(t.stall_cycles > 0);
+    }
+
+    #[test]
+    fn critical_monitor_sees_critical_bytes() {
+        let s = small();
+        let (_, built) = s.run(Scheme::Unregulated, 1_000_000_000);
+        let telemetry = built.critical_driver.telemetry();
+        assert_eq!(telemetry.total_bytes, s.critical_txns * s.critical_txn_bytes);
+    }
+}

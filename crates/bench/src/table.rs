@@ -1,0 +1,58 @@
+//! Plain-text table/series printing for the experiment binaries.
+//!
+//! Every `exp_*` binary prints (a) a header identifying the experiment
+//! and (b) rows in a fixed-width layout that doubles as
+//! whitespace-separated CSV, so output can be both read and piped into a
+//! plotting script.
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("# {id}: {title}");
+}
+
+/// Prints a key-value context line (parameters of the run).
+pub fn context(key: &str, value: impl std::fmt::Display) {
+    println!("#   {key} = {value}");
+}
+
+/// Column widths used by [`header`]/[`row`].
+const COL: usize = 14;
+
+/// Prints a header row.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>COL$}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Prints a data row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>COL$}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats an integer.
+pub fn int(v: u64) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(int(42), "42");
+    }
+}

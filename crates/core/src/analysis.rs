@@ -1,0 +1,355 @@
+//! Worst-case delay analysis for regulated systems.
+//!
+//! The point of window-based regulation is not the average: it is that a
+//! *bound* on the interference becomes computable. This module derives a
+//! conservative worst-case service bound for one critical request in a
+//! SoC whose other masters are regulated by
+//! [`TcRegulator`](crate::regulator::TcRegulator)s in conservative
+//! charge-at-acceptance mode, and the integration tests validate that
+//! simulated latencies never exceed it.
+//!
+//! ## The bound
+//!
+//! A critical request that arrives at its (otherwise empty) port must:
+//!
+//! 1. **Enter the shared DRAM queue.** The queue may be full; one slot
+//!    frees per served transaction and round-robin grants the critical
+//!    port within `N` frees: at most `N · t_txn` cycles.
+//! 2. **Wait out the backlog.** Every interfering port can have at most
+//!    `min(outstanding, fifo + queue)` transactions already admitted
+//!    ahead of the critical request.
+//! 3. **Tolerate FR-FCFS bypassing.** Between two served-oldest
+//!    transactions, at most `row_hit_cap` younger row hits may bypass,
+//!    so at most `cap · (backlog + 1)` extra transactions are served
+//!    before the critical one.
+//! 4. **Absorb refresh.** Every `t_refi` cycles the device blocks for
+//!    `t_rfc`.
+//!
+//! Each transaction is charged its worst-case serial service time
+//! (precharge + activate + CAS + data beats + worst bus turnaround);
+//! bank parallelism, row hits and controller pipelining only make the
+//! real system faster, so the bound is conservative by construction.
+//! Regulation enters through the backlog term: without it, the
+//! outstanding-transaction backlog is the only limit and the bound is
+//! governed by queue capacity; with tighter budgets the *admission*
+//! curve `(⌊Δ/P⌋+1)·Q` further caps how many bypass candidates can even
+//! exist in a window — [`SystemModel::bypass_txns`] takes the smaller of
+//! the two.
+
+use fgqos_sim::axi::BEAT_BYTES;
+use fgqos_sim::dram::DramConfig;
+
+/// Analytical description of one interfering (regulated) port.
+#[derive(Debug, Clone, Copy)]
+pub struct PortModel {
+    /// Regulation window in cycles.
+    pub period_cycles: u64,
+    /// Byte budget per window (conservative mode: a hard per-window cap).
+    pub budget_bytes: u64,
+    /// The port's outstanding-transaction limit.
+    pub max_outstanding: u64,
+    /// The port's transaction size in bytes.
+    pub txn_bytes: u64,
+}
+
+impl PortModel {
+    /// Models an *unregulated* interferer (no budget constraint: only
+    /// its outstanding-transaction limit bounds it). Useful to bound a
+    /// critical request in a mixed system where some co-runners are not
+    /// behind regulators (e.g. a second critical port).
+    pub fn unregulated(max_outstanding: u64, txn_bytes: u64) -> Self {
+        PortModel {
+            period_cycles: 1,
+            budget_bytes: u64::MAX / 4,
+            max_outstanding,
+            txn_bytes,
+        }
+    }
+
+    /// Transactions this port can have admitted-but-unserved at any
+    /// instant (its backlog contribution), given the fabric depths.
+    fn backlog_txns(&self, fifo_depth: u64, queue_capacity: u64) -> u64 {
+        self.max_outstanding.min(fifo_depth + queue_capacity)
+    }
+
+    /// Transactions this port can admit during an interval of `delta`
+    /// cycles under its window budget (the classic `(⌊Δ/P⌋+1)·Q` arrival
+    /// curve of window-replenished regulators).
+    pub fn admissions_during(&self, delta: u64) -> u64 {
+        let windows = delta / self.period_cycles + 1;
+        let txns_per_window = self.budget_bytes / self.txn_bytes.max(1);
+        windows.saturating_mul(txns_per_window)
+    }
+}
+
+/// Analytical description of the whole system.
+///
+/// ```
+/// use fgqos_core::analysis::{PortModel, SystemModel};
+/// use fgqos_sim::dram::DramConfig;
+///
+/// let model = SystemModel {
+///     dram: DramConfig::default(),
+///     fifo_depth: 4,
+///     ports: vec![PortModel {
+///         period_cycles: 1_000,
+///         budget_bytes: 512,
+///         max_outstanding: 8,
+///         txn_bytes: 512,
+///     }; 4],
+///     critical_beats: 16,
+/// };
+/// let bound = model.critical_delay_bound().expect("feasible");
+/// assert!(bound > 0);
+/// assert!(model.regulated_utilization() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    /// DRAM timing/geometry (the same struct the simulator uses).
+    pub dram: DramConfig,
+    /// Per-port ingress FIFO depth of the crossbar.
+    pub fifo_depth: u64,
+    /// The interfering ports.
+    pub ports: Vec<PortModel>,
+    /// Beats of the critical request being bounded.
+    pub critical_beats: u64,
+}
+
+impl SystemModel {
+    /// Worst-case serial service time of one transaction of `beats`
+    /// data beats: closed-row access plus the data burst plus the worst
+    /// bus turnaround.
+    pub fn txn_service_cycles(&self, beats: u64) -> u64 {
+        let d = &self.dram;
+        d.t_rp + d.t_rcd + d.t_cl + beats + d.t_wtr.max(d.t_rtw)
+    }
+
+    fn worst_interferer_beats(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.txn_bytes.div_ceil(BEAT_BYTES))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Total backlog (transactions admitted ahead of the critical
+    /// request at its arrival instant).
+    pub fn backlog_txns(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.backlog_txns(self.fifo_depth, self.dram.queue_capacity as u64))
+            .sum()
+    }
+
+    /// FR-FCFS bypass transactions that can be served before the
+    /// critical request: at most `row_hit_cap` per served-oldest (the
+    /// backlog, the up-to-`N` entry-race transactions, and the critical
+    /// request itself), but never more than the regulators can admit in
+    /// the interval.
+    pub fn bypass_txns(&self, backlog: u64, horizon: u64) -> u64 {
+        let older = backlog + self.ports.len() as u64 + 1;
+        let structural = self.dram.row_hit_cap as u64 * older;
+        let admitted = self
+            .ports
+            .iter()
+            .fold(0u64, |acc, p| acc.saturating_add(p.admissions_during(horizon)));
+        structural.min(admitted)
+    }
+
+    /// Conservative worst-case delay (in cycles) from the critical
+    /// request's handshake to its completion.
+    ///
+    /// Returns `None` if the iteration on the refresh term does not
+    /// converge within the internal iteration limit (pathological
+    /// configurations with `t_rfc` close to `t_refi`).
+    pub fn critical_delay_bound(&self) -> Option<u64> {
+        let t_intf = self.txn_service_cycles(self.worst_interferer_beats());
+        let t_crit = self.txn_service_cycles(self.critical_beats);
+        let n_ports = self.ports.len() as u64;
+        let backlog = self.backlog_txns();
+
+        // Base: queue entry + backlog drain + own service + transport.
+        let enter = n_ports * t_intf;
+        let mut bound = enter
+            + backlog * t_intf
+            + self.bypass_txns(backlog, enter + backlog * t_intf) * t_intf
+            + t_crit
+            + self.dram.transport_latency;
+
+        if self.dram.t_refi == 0 {
+            return Some(bound);
+        }
+        // Fold in refresh blocking: D = base(D) + (⌊D/tREFI⌋+1)·tRFC.
+        for _ in 0..64 {
+            let bypass = self.bypass_txns(backlog, bound) * t_intf;
+            let refresh = (bound / self.dram.t_refi + 1) * self.dram.t_rfc;
+            let next = enter
+                + backlog * t_intf
+                + bypass
+                + t_crit
+                + self.dram.transport_latency
+                + refresh;
+            if next == bound {
+                return Some(bound);
+            }
+            if next < bound {
+                // Monotone decrease cannot happen with these formulas;
+                // treat as converged for safety.
+                return Some(bound);
+            }
+            bound = next;
+        }
+        None
+    }
+
+    /// Lower bound on the long-run throughput of a closed-loop critical
+    /// actor that performs one `txn_bytes`-byte access per
+    /// `think_cycles` of computation: every access completes within the
+    /// delay bound, so the iteration period is at most
+    /// `think + bound` cycles.
+    ///
+    /// Returns `None` when the delay bound does not converge.
+    pub fn critical_throughput_bound(
+        &self,
+        think_cycles: u64,
+        txn_bytes: u64,
+        freq: fgqos_sim::time::Freq,
+    ) -> Option<fgqos_sim::time::Bandwidth> {
+        let bound = self.critical_delay_bound()?;
+        Some(fgqos_sim::time::Bandwidth::from_bytes_over(
+            txn_bytes,
+            think_cycles + bound,
+            freq,
+        ))
+    }
+
+    /// The long-run fraction of DRAM service capacity the regulated
+    /// ports can demand (sanity metric; a value ≥ 1 means the budgets
+    /// oversubscribe the device and backlogs grow without bound).
+    pub fn regulated_utilization(&self) -> f64 {
+        self.ports
+            .iter()
+            .map(|p| {
+                let txns_per_window = p.budget_bytes as f64 / p.txn_bytes.max(1) as f64;
+                let beats = p.txn_bytes.div_ceil(BEAT_BYTES);
+                txns_per_window * self.txn_service_cycles(beats) as f64
+                    / p.period_cycles as f64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> PortModel {
+        PortModel {
+            period_cycles: 1_000,
+            budget_bytes: 1_024,
+            max_outstanding: 8,
+            txn_bytes: 512,
+        }
+    }
+
+    fn model(n: usize) -> SystemModel {
+        SystemModel {
+            dram: DramConfig::default(),
+            fifo_depth: 4,
+            ports: vec![port(); n],
+            critical_beats: 16,
+        }
+    }
+
+    #[test]
+    fn admission_curve_counts_windows() {
+        let p = port();
+        // 2 txns per window; Δ=0 -> 1 window; Δ=999 -> 1; Δ=1000 -> 2.
+        assert_eq!(p.admissions_during(0), 2);
+        assert_eq!(p.admissions_during(999), 2);
+        assert_eq!(p.admissions_during(1_000), 4);
+        assert_eq!(p.admissions_during(5_500), 12);
+    }
+
+    #[test]
+    fn backlog_capped_by_fabric() {
+        let mut p = port();
+        p.max_outstanding = 100;
+        let m = SystemModel { ports: vec![p], ..model(0) };
+        // fifo 4 + queue 24 = 28 < 100.
+        assert_eq!(m.backlog_txns(), 28);
+    }
+
+    #[test]
+    fn bound_exists_and_grows_with_ports() {
+        let b1 = model(1).critical_delay_bound().expect("converges");
+        let b4 = model(4).critical_delay_bound().expect("converges");
+        let b8 = model(8).critical_delay_bound().expect("converges");
+        assert!(b1 < b4 && b4 < b8, "bound must grow with interference: {b1} {b4} {b8}");
+    }
+
+    #[test]
+    fn tighter_budgets_shrink_the_bypass_term() {
+        let mut tight = model(4);
+        for p in &mut tight.ports {
+            p.budget_bytes = 512; // 1 txn per window
+        }
+        let loose = model(4);
+        let bt = tight.critical_delay_bound().unwrap();
+        let bl = loose.critical_delay_bound().unwrap();
+        assert!(bt <= bl, "tighter budgets cannot worsen the bound: {bt} vs {bl}");
+    }
+
+    #[test]
+    fn no_interference_bound_is_just_service() {
+        let m = model(0);
+        let b = m.critical_delay_bound().unwrap();
+        let service = m.txn_service_cycles(16) + m.dram.transport_latency;
+        // Only refresh is added on top of the bare service time.
+        assert!(b >= service);
+        assert!(b <= service + 2 * m.dram.t_rfc + 1);
+    }
+
+    #[test]
+    fn no_refresh_skips_iteration() {
+        let mut m = model(2);
+        m.dram.t_refi = 0;
+        assert!(m.critical_delay_bound().is_some());
+    }
+
+    #[test]
+    fn unregulated_port_is_backlog_bounded() {
+        let mut m = model(2);
+        m.ports.push(PortModel::unregulated(8, 512));
+        let b = m.critical_delay_bound().expect("converges");
+        let regulated_only = model(2).critical_delay_bound().unwrap();
+        assert!(b > regulated_only, "an extra unregulated port must worsen the bound");
+        // The admission curve of an unregulated port is effectively
+        // unbounded: the structural bypass cap must bind instead.
+        let backlog = m.backlog_txns();
+        assert!(m.bypass_txns(backlog, 1_000_000) <= m.dram.row_hit_cap as u64 * (backlog + 4));
+    }
+
+    #[test]
+    fn throughput_bound_is_achievable_floor() {
+        use fgqos_sim::time::Freq;
+        let m = model(4);
+        let bw = m
+            .critical_throughput_bound(1_000, 256, Freq::ghz(1))
+            .expect("bound converges");
+        // One 256 B access per (1000 + D) cycles: positive and far below
+        // the unregulated rate.
+        assert!(bw.bytes_per_s() > 0.0);
+        assert!(bw.bytes_per_s() < 256.0 / 1_000.0 * 1e9);
+    }
+
+    #[test]
+    fn utilization_metric() {
+        let m = model(4);
+        let u = m.regulated_utilization();
+        // 2 txns/window, ~77 cycles each, 1000-cycle window, 4 ports.
+        assert!(u > 0.4 && u < 0.9, "utilization {u}");
+        let empty = model(0);
+        assert_eq!(empty.regulated_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Analytic FPGA resource model of the regulator IP.
+//!
+//! The real paper reports post-synthesis LUT/FF/BRAM utilization of the
+//! monitoring/regulation IP on a Xilinx ZU9EG. We cannot synthesize RTL
+//! here, but this class of IP has a structurally determined cost — it is
+//! counters, comparators and an AXI-Lite endpoint — so an analytic model
+//! reproduces the table's message: the per-port cost is a fraction of a
+//! percent of the device and scales linearly with the number of regulated
+//! ports. The coefficients below are calibrated against published sizes
+//! of comparable open AXI performance-monitor/regulator IPs (Xilinx AXI
+//! Performance Monitor, MemGuard-FPGA ports).
+
+/// Structural parameters of one regulator instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceModel {
+    /// Width of the telemetry counters in bits (total bytes, total
+    /// transactions, stall cycles are this wide; window counters are 32).
+    pub counter_width: u32,
+    /// Number of wide telemetry counters.
+    pub wide_counters: u32,
+    /// Number of 32-bit window/config registers.
+    pub word_registers: u32,
+    /// Depth of the optional per-window history buffer (entries of
+    /// 64 bits); 0 disables it and uses no BRAM.
+    pub history_depth: u32,
+}
+
+impl Default for ResourceModel {
+    /// The configuration evaluated in the experiments: 48-bit totals,
+    /// 3 wide counters (bytes, transactions, stalls), 8 word registers,
+    /// no history buffer.
+    fn default() -> Self {
+        ResourceModel {
+            counter_width: 48,
+            wide_counters: 3,
+            word_registers: 8,
+            history_depth: 0,
+        }
+    }
+}
+
+/// LUT/FF/BRAM estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceEstimate {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM36 blocks.
+    pub bram36: u64,
+}
+
+impl ResourceEstimate {
+    /// Component-wise sum.
+    pub fn plus(self, other: ResourceEstimate) -> ResourceEstimate {
+        ResourceEstimate {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            bram36: self.bram36 + other.bram36,
+        }
+    }
+
+    /// Component-wise scaling by an integer count.
+    pub fn times(self, n: u64) -> ResourceEstimate {
+        ResourceEstimate { luts: self.luts * n, ffs: self.ffs * n, bram36: self.bram36 * n }
+    }
+}
+
+impl ResourceModel {
+    /// Estimated cost of one regulator instance (one AXI port).
+    pub fn per_port(&self) -> ResourceEstimate {
+        let w = self.counter_width as u64;
+        let wide = self.wide_counters as u64;
+        let words = self.word_registers as u64;
+        // FFs: counter state + word registers + handshake/gating state.
+        let ffs = wide * w + words * 32 + 24;
+        // LUTs: one adder per wide counter (~w/2 LUTs with carry chains),
+        // budget comparator + window comparator (~w), AXI-Lite address
+        // decode and read mux (~12 per word register), gating logic.
+        let luts = wide * (w / 2) + 2 * w + words * 12 + 40;
+        // BRAM: 64-bit history entries packed into BRAM36 blocks.
+        let bram_bits = self.history_depth as u64 * 64;
+        let bram36 = bram_bits.div_ceil(36 * 1024);
+        ResourceEstimate { luts, ffs, bram36 }
+    }
+
+    /// Estimated cost of `ports` regulator instances plus the shared
+    /// AXI-Lite configuration interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn for_ports(&self, ports: usize) -> ResourceEstimate {
+        assert!(ports > 0, "need at least one port");
+        let shared = ResourceEstimate { luts: 180, ffs: 120, bram36: 0 };
+        self.per_port().times(ports as u64).plus(shared)
+    }
+}
+
+/// Resource capacity of the Xilinx ZU9EG (the ZCU102 device used by the
+/// paper's evaluation board).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Zu9egBudget;
+
+impl Zu9egBudget {
+    /// Device LUT capacity.
+    pub const LUTS: u64 = 274_080;
+    /// Device flip-flop capacity.
+    pub const FFS: u64 = 548_160;
+    /// Device BRAM36 capacity.
+    pub const BRAM36: u64 = 912;
+
+    /// Utilization percentages (LUT, FF, BRAM) of an estimate.
+    pub fn utilization(est: ResourceEstimate) -> (f64, f64, f64) {
+        (
+            est.luts as f64 * 100.0 / Self::LUTS as f64,
+            est.ffs as f64 * 100.0 / Self::FFS as f64,
+            est.bram36 as f64 * 100.0 / Self::BRAM36 as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_port_cost_is_small() {
+        let est = ResourceModel::default().per_port();
+        // A regulator is a few hundred LUTs/FFs — well under 0.5 % of the
+        // device. This is the headline of the paper's resource table.
+        assert!(est.luts < 1_000, "LUTs {}", est.luts);
+        assert!(est.ffs < 1_000, "FFs {}", est.ffs);
+        assert_eq!(est.bram36, 0);
+        let (l, f, b) = Zu9egBudget::utilization(est);
+        assert!(l < 0.5 && f < 0.5 && b == 0.0);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_ports() {
+        let m = ResourceModel::default();
+        let one = m.for_ports(1);
+        let four = m.for_ports(4);
+        let eight = m.for_ports(8);
+        // Remove the shared part and check linearity.
+        let delta41 = four.luts - one.luts;
+        let delta84 = eight.luts - four.luts;
+        assert_eq!(delta41 / 3, delta84 / 4);
+        assert!(eight.luts < one.luts * 8 + 200);
+    }
+
+    #[test]
+    fn history_buffer_uses_bram() {
+        let m = ResourceModel { history_depth: 4096, ..ResourceModel::default() };
+        let est = m.per_port();
+        assert!(est.bram36 >= 7, "4096×64b needs ≥7 BRAM36, got {}", est.bram36);
+    }
+
+    #[test]
+    fn wider_counters_cost_more() {
+        let narrow = ResourceModel { counter_width: 32, ..ResourceModel::default() };
+        let wide = ResourceModel { counter_width: 64, ..ResourceModel::default() };
+        assert!(wide.per_port().luts > narrow.per_port().luts);
+        assert!(wide.per_port().ffs > narrow.per_port().ffs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        let _ = ResourceModel::default().for_ports(0);
+    }
+
+    #[test]
+    fn estimate_arithmetic() {
+        let a = ResourceEstimate { luts: 1, ffs: 2, bram36: 3 };
+        let b = a.times(2).plus(a);
+        assert_eq!(b, ResourceEstimate { luts: 3, ffs: 6, bram36: 9 });
+    }
+}

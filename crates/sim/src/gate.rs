@@ -1,0 +1,130 @@
+//! Port gating: the attachment point for QoS regulators.
+//!
+//! On the real FPGA, the paper's regulator IP sits between an
+//! accelerator's AXI master port and the system interconnect and gates the
+//! address-channel handshake. In the simulator, every master owns a
+//! [`PortGate`]; the master consults it each cycle before pushing a staged
+//! request into its interconnect port.
+//!
+//! The `fgqos-core` crate implements the paper's tightly-coupled regulator
+//! on this trait; `fgqos-baselines` implements MemGuard-style software
+//! regulation and PREM-style TDMA on the same seam, which makes the
+//! schemes directly comparable.
+
+use crate::axi::{Request, Response};
+use crate::time::Cycle;
+
+/// Outcome of presenting a request to a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDecision {
+    /// The request may enter the interconnect this cycle. The gate has
+    /// debited any budget it keeps.
+    Accept,
+    /// The request is stalled; the master must retry on a later cycle.
+    Deny,
+}
+
+impl GateDecision {
+    /// Returns `true` for [`GateDecision::Accept`].
+    #[inline]
+    pub fn is_accept(self) -> bool {
+        matches!(self, GateDecision::Accept)
+    }
+}
+
+/// A per-port admission gate.
+///
+/// Implementations must be *monotonic within a cycle*: once `try_accept`
+/// returns [`GateDecision::Accept`] for a request, the caller will issue
+/// that request in the same cycle (the master guarantees interconnect FIFO
+/// space before consulting the gate), so accounting done in `try_accept`
+/// is final.
+pub trait PortGate {
+    /// Called once per simulation cycle before any admission attempt.
+    fn on_cycle(&mut self, _now: Cycle) {}
+
+    /// Decides whether `request` may enter the interconnect at `now`.
+    fn try_accept(&mut self, request: &Request, now: Cycle) -> GateDecision;
+
+    /// Observes a completion on this port (for completion-based
+    /// accounting schemes).
+    fn on_complete(&mut self, _response: &Response, _now: Cycle) {}
+
+    /// Short human-readable label for reports.
+    fn label(&self) -> &'static str {
+        "gate"
+    }
+}
+
+impl PortGate for Box<dyn PortGate> {
+    fn on_cycle(&mut self, now: Cycle) {
+        self.as_mut().on_cycle(now);
+    }
+
+    fn try_accept(&mut self, request: &Request, now: Cycle) -> GateDecision {
+        self.as_mut().try_accept(request, now)
+    }
+
+    fn on_complete(&mut self, response: &Response, now: Cycle) {
+        self.as_mut().on_complete(response, now);
+    }
+
+    fn label(&self) -> &'static str {
+        self.as_ref().label()
+    }
+}
+
+/// A gate that admits everything: the unregulated baseline.
+///
+/// ```
+/// use fgqos_sim::gate::{GateDecision, OpenGate, PortGate};
+/// use fgqos_sim::axi::{Dir, MasterId, Request};
+/// use fgqos_sim::time::Cycle;
+///
+/// let mut g = OpenGate;
+/// let r = Request::new(MasterId::new(0), 0, 0, 1, Dir::Read, Cycle::ZERO);
+/// assert_eq!(g.try_accept(&r, Cycle::ZERO), GateDecision::Accept);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenGate;
+
+impl PortGate for OpenGate {
+    fn try_accept(&mut self, _request: &Request, _now: Cycle) -> GateDecision {
+        GateDecision::Accept
+    }
+
+    fn label(&self) -> &'static str {
+        "open"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axi::{Dir, MasterId, Request};
+
+    #[test]
+    fn open_gate_always_accepts() {
+        let mut g = OpenGate;
+        for i in 0..100 {
+            let r = Request::new(MasterId::new(0), i, i * 64, 4, Dir::Write, Cycle::new(i));
+            assert!(g.try_accept(&r, Cycle::new(i)).is_accept());
+        }
+        assert_eq!(g.label(), "open");
+    }
+
+    #[test]
+    fn boxed_gate_delegates() {
+        let mut g: Box<dyn PortGate> = Box::new(OpenGate);
+        let r = Request::new(MasterId::new(0), 0, 0, 1, Dir::Read, Cycle::ZERO);
+        g.on_cycle(Cycle::ZERO);
+        assert!(g.try_accept(&r, Cycle::ZERO).is_accept());
+        assert_eq!(g.label(), "open");
+    }
+
+    #[test]
+    fn decision_predicates() {
+        assert!(GateDecision::Accept.is_accept());
+        assert!(!GateDecision::Deny.is_accept());
+    }
+}

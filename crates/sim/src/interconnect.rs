@@ -1,0 +1,328 @@
+//! Multi-master crossbar interconnect.
+//!
+//! Models the PS/PL AXI port aggregation of a Zynq-class SoC: each master
+//! owns an ingress FIFO; one request per cycle is forwarded to the DRAM
+//! controller, selected by round-robin or fixed-priority arbitration.
+
+use crate::axi::{MasterId, Request};
+use crate::dram::DramController;
+use crate::time::Cycle;
+use std::collections::VecDeque;
+
+/// Arbitration policy between master ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// Fair rotation between ports with pending requests (default; this is
+    /// the policy of the Zynq US+ PS interconnect ports).
+    #[default]
+    RoundRobin,
+    /// Lower master index always wins. Models AXI QoS signalling with
+    /// statically assigned priorities.
+    FixedPriority,
+    /// Smooth weighted round-robin over [`XbarConfig::weights`]. Models
+    /// AXI QoS *weighting*: shares bandwidth proportionally but — unlike
+    /// regulation — puts no bound on what a backlogged port receives
+    /// when others idle, and no bound on burst interleaving.
+    WeightedRoundRobin,
+}
+
+/// Crossbar parameters.
+#[derive(Debug, Clone)]
+pub struct XbarConfig {
+    /// Depth of each per-master ingress FIFO.
+    pub port_fifo_depth: usize,
+    /// Arbitration policy.
+    pub arbitration: Arbitration,
+    /// Per-port weights for [`Arbitration::WeightedRoundRobin`]; empty
+    /// means every port weighs 1. Ignored by the other policies.
+    pub weights: Vec<u32>,
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        XbarConfig {
+            port_fifo_depth: 4,
+            arbitration: Arbitration::RoundRobin,
+            weights: Vec::new(),
+        }
+    }
+}
+
+/// The crossbar: per-port FIFOs plus an arbiter towards the DRAM queue.
+#[derive(Debug)]
+pub struct Crossbar {
+    cfg: XbarConfig,
+    ports: Vec<VecDeque<Request>>,
+    rr_next: usize,
+    weights: Vec<u32>,
+    swrr_credit: Vec<i64>,
+}
+
+impl Crossbar {
+    /// Creates a crossbar with `ports` master ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero or the FIFO depth is zero.
+    pub fn new(cfg: XbarConfig, ports: usize) -> Self {
+        assert!(ports > 0, "crossbar needs at least one port");
+        assert!(cfg.port_fifo_depth > 0, "port FIFO depth must be non-zero");
+        let weights: Vec<u32> = if cfg.weights.is_empty() {
+            vec![1; ports]
+        } else {
+            assert_eq!(cfg.weights.len(), ports, "one weight per port required");
+            assert!(cfg.weights.iter().all(|&w| w > 0), "weights must be non-zero");
+            cfg.weights.clone()
+        };
+        Crossbar {
+            cfg,
+            ports: (0..ports).map(|_| VecDeque::new()).collect(),
+            rr_next: 0,
+            swrr_credit: vec![0; ports],
+            weights,
+        }
+    }
+
+    /// Number of master ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether `master`'s ingress FIFO can admit another request.
+    #[inline]
+    pub fn has_space(&self, master: MasterId) -> bool {
+        self.ports[master.index()].len() < self.cfg.port_fifo_depth
+    }
+
+    /// Occupancy of `master`'s ingress FIFO.
+    pub fn port_len(&self, master: MasterId) -> usize {
+        self.ports[master.index()].len()
+    }
+
+    /// Pushes a request into its master's ingress FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full; callers must check [`Self::has_space`].
+    pub fn push(&mut self, request: Request) {
+        let port = &mut self.ports[request.master.index()];
+        assert!(port.len() < self.cfg.port_fifo_depth, "port FIFO overflow");
+        port.push_back(request);
+    }
+
+    /// Smooth weighted round-robin: every backlogged port gains its
+    /// weight in credit; the richest port wins and pays the total weight
+    /// of the backlogged set.
+    fn swrr_pick(&mut self) -> Option<usize> {
+        let backlogged: Vec<usize> =
+            (0..self.ports.len()).filter(|&p| !self.ports[p].is_empty()).collect();
+        if backlogged.is_empty() {
+            return None;
+        }
+        let mut total = 0i64;
+        for &p in &backlogged {
+            self.swrr_credit[p] += self.weights[p] as i64;
+            total += self.weights[p] as i64;
+        }
+        let winner = backlogged
+            .iter()
+            .copied()
+            .max_by_key(|&p| self.swrr_credit[p])
+            .expect("backlogged set non-empty");
+        self.swrr_credit[winner] -= total;
+        Some(winner)
+    }
+
+    /// One arbitration round: forwards at most one request into the DRAM
+    /// queue if it has space.
+    pub fn tick(&mut self, now: Cycle, dram: &mut DramController) {
+        if !dram.has_space() {
+            return;
+        }
+        let n = self.ports.len();
+        let winner = match self.cfg.arbitration {
+            Arbitration::RoundRobin => (0..n)
+                .map(|k| (self.rr_next + k) % n)
+                .find(|&p| !self.ports[p].is_empty()),
+            Arbitration::FixedPriority => (0..n).find(|&p| !self.ports[p].is_empty()),
+            Arbitration::WeightedRoundRobin => self.swrr_pick(),
+        };
+        if let Some(p) = winner {
+            let req = self.ports[p].pop_front().expect("winner port non-empty");
+            dram.enqueue(req, now);
+            if matches!(self.cfg.arbitration, Arbitration::RoundRobin) {
+                self.rr_next = (p + 1) % n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axi::Dir;
+    use crate::dram::DramConfig;
+
+    fn req(master: usize, serial: u64) -> Request {
+        Request::new(
+            MasterId::new(master),
+            serial,
+            serial * 4096,
+            1,
+            Dir::Read,
+            Cycle::ZERO,
+        )
+    }
+
+    fn dram() -> DramController {
+        DramController::new(DramConfig { t_refi: 0, ..DramConfig::default() })
+    }
+
+    #[test]
+    fn fifo_space_tracking() {
+        let mut x = Crossbar::new(XbarConfig { port_fifo_depth: 2, ..Default::default() }, 2);
+        let m0 = MasterId::new(0);
+        assert!(x.has_space(m0));
+        x.push(req(0, 0));
+        x.push(req(0, 1));
+        assert!(!x.has_space(m0));
+        assert!(x.has_space(MasterId::new(1)));
+        assert_eq!(x.port_len(m0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "port FIFO overflow")]
+    fn push_overflow_panics() {
+        let mut x = Crossbar::new(XbarConfig { port_fifo_depth: 1, ..Default::default() }, 1);
+        x.push(req(0, 0));
+        x.push(req(0, 1));
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut x = Crossbar::new(XbarConfig::default(), 3);
+        let mut d = dram();
+        for s in 0..2 {
+            for m in 0..3 {
+                x.push(req(m, s));
+            }
+        }
+        // Drain 6 requests; round robin must rotate 0,1,2,0,1,2.
+        let mut order = Vec::new();
+        for t in 0..6 {
+            let before = d.queue_len();
+            x.tick(Cycle::new(t), &mut d);
+            assert_eq!(d.queue_len(), before + 1);
+            order.push(t);
+        }
+        // All ports drained evenly.
+        for m in 0..3 {
+            assert_eq!(x.port_len(MasterId::new(m)), 0);
+        }
+    }
+
+    #[test]
+    fn fixed_priority_prefers_low_index() {
+        let mut x = Crossbar::new(
+            XbarConfig { arbitration: Arbitration::FixedPriority, ..Default::default() },
+            2,
+        );
+        let mut d = dram();
+        x.push(req(1, 0));
+        x.push(req(0, 0));
+        x.push(req(0, 1));
+        x.tick(Cycle::ZERO, &mut d);
+        x.tick(Cycle::new(1), &mut d);
+        // Port 0 should have been fully drained before port 1 moves.
+        assert_eq!(x.port_len(MasterId::new(0)), 0);
+        assert_eq!(x.port_len(MasterId::new(1)), 1);
+    }
+
+    #[test]
+    fn weighted_round_robin_shares_proportionally() {
+        let mut x = Crossbar::new(
+            XbarConfig {
+                arbitration: Arbitration::WeightedRoundRobin,
+                weights: vec![3, 1],
+                port_fifo_depth: 64,
+            },
+            2,
+        );
+        let mut d = DramController::new(DramConfig {
+            t_refi: 0,
+            queue_capacity: 1_000,
+            ..DramConfig::default()
+        });
+        for s in 0..48u64 {
+            x.push(req(0, s));
+        }
+        for s in 0..16u64 {
+            x.push(req(1, s));
+        }
+        // 32 grants: 3:1 split means port 0 gets 24, port 1 gets 8.
+        for t in 0..32u64 {
+            x.tick(Cycle::new(t), &mut d);
+        }
+        assert_eq!(x.port_len(MasterId::new(0)), 48 - 24);
+        assert_eq!(x.port_len(MasterId::new(1)), 16 - 8);
+    }
+
+    #[test]
+    fn weighted_round_robin_gives_idle_share_away() {
+        // With port 1 empty, port 0 gets every grant despite low weight.
+        let mut x = Crossbar::new(
+            XbarConfig {
+                arbitration: Arbitration::WeightedRoundRobin,
+                weights: vec![1, 7],
+                port_fifo_depth: 16,
+            },
+            2,
+        );
+        let mut d = DramController::new(DramConfig {
+            t_refi: 0,
+            queue_capacity: 1_000,
+            ..DramConfig::default()
+        });
+        for s in 0..8u64 {
+            x.push(req(0, s));
+        }
+        for t in 0..8u64 {
+            x.tick(Cycle::new(t), &mut d);
+        }
+        assert_eq!(x.port_len(MasterId::new(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per port")]
+    fn weight_count_must_match_ports() {
+        let _ = Crossbar::new(
+            XbarConfig {
+                arbitration: Arbitration::WeightedRoundRobin,
+                weights: vec![1, 2, 3],
+                ..Default::default()
+            },
+            2,
+        );
+    }
+
+    #[test]
+    fn stalls_when_dram_full() {
+        let mut d = DramController::new(DramConfig {
+            t_refi: 0,
+            queue_capacity: 1,
+            ..DramConfig::default()
+        });
+        let mut x = Crossbar::new(XbarConfig::default(), 1);
+        x.push(req(0, 0));
+        x.push(req(0, 1));
+        x.tick(Cycle::ZERO, &mut d);
+        assert_eq!(d.queue_len(), 1);
+        // DRAM queue full (nothing scheduled at cycle 0 tick already done):
+        // second tick must not move the request.
+        let before = x.port_len(MasterId::new(0));
+        if !d.has_space() {
+            x.tick(Cycle::new(1), &mut d);
+            assert_eq!(x.port_len(MasterId::new(0)), before);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! SoC top level: wiring, builder and the cycle loop.
+
+use crate::axi::MasterId;
+use crate::dram::{DramConfig, DramController, DramStats};
+use crate::gate::{OpenGate, PortGate};
+use crate::interconnect::{Crossbar, XbarConfig};
+use crate::master::{Master, MasterKind, MasterStats, TrafficSource};
+use crate::time::{Bandwidth, Cycle, Freq};
+
+/// Top-level SoC parameters.
+#[derive(Debug, Clone, Default)]
+pub struct SocConfig {
+    /// Single clock domain of the model.
+    pub freq: Freq,
+    /// DRAM controller parameters.
+    pub dram: DramConfig,
+    /// Crossbar parameters.
+    pub xbar: XbarConfig,
+}
+
+/// Software-side agent ticked by the simulation loop.
+///
+/// Controllers model the host-CPU software of the paper's stack (drivers,
+/// QoS managers, MemGuard tick handlers). They run "beside" the hardware:
+/// the SoC calls [`Controller::on_cycle`] every cycle and the controller
+/// decides internally when to act (e.g. every OS tick).
+pub trait Controller {
+    /// Called once per simulated cycle.
+    fn on_cycle(&mut self, now: Cycle);
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str {
+        "controller"
+    }
+}
+
+/// Builder for a [`Soc`].
+///
+/// Masters are assigned dense [`MasterId`]s in registration order.
+///
+/// ```
+/// use fgqos_sim::prelude::*;
+///
+/// let soc = SocBuilder::new(SocConfig::default())
+///     .master("dma0", SequentialSource::reads(0, 1024, 100), MasterKind::Accelerator)
+///     .build();
+/// assert_eq!(soc.master_count(), 1);
+/// ```
+pub struct SocBuilder {
+    cfg: SocConfig,
+    masters: Vec<Master>,
+    controllers: Vec<Box<dyn Controller>>,
+    window_cycles: Option<u64>,
+}
+
+impl SocBuilder {
+    /// Starts a builder with the given configuration.
+    pub fn new(cfg: SocConfig) -> Self {
+        SocBuilder { cfg, masters: Vec::new(), controllers: Vec::new(), window_cycles: None }
+    }
+
+    /// The id the *next* registered master will receive.
+    pub fn next_id(&self) -> MasterId {
+        MasterId::new(self.masters.len())
+    }
+
+    /// Adds an ungated master with the kind's default outstanding limit.
+    pub fn master(
+        self,
+        name: impl Into<String>,
+        source: impl TrafficSource + 'static,
+        kind: MasterKind,
+    ) -> Self {
+        let outstanding = kind.default_outstanding();
+        self.master_full(name, source, kind, OpenGate, outstanding)
+    }
+
+    /// Adds a master with an explicit [`PortGate`] (QoS regulator seam).
+    pub fn gated_master(
+        self,
+        name: impl Into<String>,
+        source: impl TrafficSource + 'static,
+        kind: MasterKind,
+        gate: impl PortGate + 'static,
+    ) -> Self {
+        let outstanding = kind.default_outstanding();
+        self.master_full(name, source, kind, gate, outstanding)
+    }
+
+    /// Adds a master with full control over gate and outstanding limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_outstanding` is zero.
+    pub fn master_full(
+        mut self,
+        name: impl Into<String>,
+        source: impl TrafficSource + 'static,
+        kind: MasterKind,
+        gate: impl PortGate + 'static,
+        max_outstanding: usize,
+    ) -> Self {
+        let id = MasterId::new(self.masters.len());
+        self.masters.push(Master::new(
+            id,
+            name,
+            kind,
+            Box::new(source),
+            Box::new(gate),
+            max_outstanding,
+        ));
+        self
+    }
+
+    /// Registers a software-side controller (QoS manager, MemGuard tick).
+    pub fn controller(mut self, controller: impl Controller + 'static) -> Self {
+        self.controllers.push(Box::new(controller));
+        self
+    }
+
+    /// Enables per-window byte recording on every master.
+    pub fn record_windows(mut self, window_cycles: u64) -> Self {
+        self.window_cycles = Some(window_cycles);
+        self
+    }
+
+    /// Finalizes the SoC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no master was registered or the configuration is invalid.
+    pub fn build(self) -> Soc {
+        assert!(!self.masters.is_empty(), "SoC needs at least one master");
+        let mut masters = self.masters;
+        if let Some(w) = self.window_cycles {
+            for m in &mut masters {
+                m.record_windows(w);
+            }
+        }
+        let xbar = Crossbar::new(self.cfg.xbar.clone(), masters.len());
+        let dram = DramController::new(self.cfg.dram.clone());
+        Soc {
+            freq: self.cfg.freq,
+            cycle: Cycle::ZERO,
+            masters,
+            xbar,
+            dram,
+            controllers: self.controllers,
+        }
+    }
+}
+
+/// The simulated SoC: masters, crossbar, DRAM and software controllers.
+pub struct Soc {
+    freq: Freq,
+    cycle: Cycle,
+    masters: Vec<Master>,
+    xbar: Crossbar,
+    dram: DramController,
+    controllers: Vec<Box<dyn Controller>>,
+}
+
+impl std::fmt::Debug for Soc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Soc")
+            .field("cycle", &self.cycle)
+            .field("masters", &self.masters.len())
+            .field("controllers", &self.controllers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Soc {
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The SoC clock.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// Number of master ports.
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Statistics of one master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn master_stats(&self, id: MasterId) -> &MasterStats {
+        self.masters[id.index()].stats()
+    }
+
+    /// Looks up a master id by its registration name.
+    pub fn master_id(&self, name: &str) -> Option<MasterId> {
+        self.masters.iter().find(|m| m.name() == name).map(|m| m.id())
+    }
+
+    /// DRAM-side aggregate statistics.
+    pub fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    /// Average throughput achieved by `id` over the whole run so far.
+    pub fn master_bandwidth(&self, id: MasterId) -> Bandwidth {
+        self.master_stats(id).meter.bandwidth(self.cycle, self.freq)
+    }
+
+    /// Aggregate DRAM throughput over the whole run so far.
+    pub fn total_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bytes_over(self.dram.stats().bytes_completed, self.cycle.get(), self.freq)
+    }
+
+    /// `true` when master `id` has exhausted its source and drained.
+    pub fn master_done(&self, id: MasterId) -> bool {
+        self.masters[id.index()].is_done()
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        for c in &mut self.controllers {
+            c.on_cycle(now);
+        }
+        for m in &mut self.masters {
+            m.tick(now, &mut self.xbar);
+        }
+        self.xbar.tick(now, &mut self.dram);
+        for response in self.dram.tick(now) {
+            let idx = response.request.master.index();
+            self.masters[idx].on_response(&response, now);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until master `id` finishes its workload, up to `max_cycles`.
+    ///
+    /// Returns the completion time, or `None` on timeout.
+    pub fn run_until_done(&mut self, id: MasterId, max_cycles: u64) -> Option<Cycle> {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if self.master_done(id) {
+                return Some(self.cycle);
+            }
+            self.step();
+        }
+        if self.master_done(id) {
+            Some(self.cycle)
+        } else {
+            None
+        }
+    }
+
+    /// Runs until every master finishes, up to `max_cycles`.
+    ///
+    /// Returns the completion time, or `None` on timeout.
+    pub fn run_until_all_done(&mut self, max_cycles: u64) -> Option<Cycle> {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if self.masters.iter().all(Master::is_done) {
+                return Some(self.cycle);
+            }
+            self.step();
+        }
+        None
+    }
+
+    /// Mutable access to one master (tests, ablation hooks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn master_mut(&mut self, id: MasterId) -> &mut Master {
+        &mut self.masters[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::SequentialSource;
+
+    fn no_refresh() -> SocConfig {
+        SocConfig {
+            dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+            ..SocConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_master_runs_to_completion() {
+        let mut soc = SocBuilder::new(no_refresh())
+            .master("dma", SequentialSource::reads(0, 1024, 50), MasterKind::Accelerator)
+            .build();
+        let done = soc.run_until_done(MasterId::new(0), 1_000_000);
+        assert!(done.is_some());
+        let st = soc.master_stats(MasterId::new(0));
+        assert_eq!(st.completed_txns, 50);
+        assert_eq!(st.bytes_completed, 50 * 1024);
+    }
+
+    #[test]
+    fn conservation_master_bytes_equal_dram_bytes() {
+        let mut soc = SocBuilder::new(no_refresh())
+            .master("a", SequentialSource::reads(0, 512, 40), MasterKind::Accelerator)
+            .master("b", SequentialSource::writes(1 << 24, 256, 60), MasterKind::Accelerator)
+            .build();
+        soc.run_until_all_done(1_000_000).expect("workloads drain");
+        let total: u64 = (0..soc.master_count())
+            .map(|i| soc.master_stats(MasterId::new(i)).bytes_completed)
+            .sum();
+        assert_eq!(total, soc.dram_stats().bytes_completed);
+        assert_eq!(total, 40 * 512 + 60 * 256);
+    }
+
+    #[test]
+    fn interference_slows_latency_sensitive_master() {
+        // Critical master alone.
+        let critical = || {
+            SequentialSource::reads(0, 256, 500).with_think_time(50).with_footprint(1 << 20)
+        };
+        let mut solo = SocBuilder::new(no_refresh())
+            .master_full("crit", critical(), MasterKind::Cpu, OpenGate, 1)
+            .build();
+        let t_solo = solo.run_until_done(MasterId::new(0), 10_000_000).unwrap();
+
+        // Same master against three greedy streaming interferers.
+        let mut builder = SocBuilder::new(no_refresh())
+            .master_full("crit", critical(), MasterKind::Cpu, OpenGate, 1);
+        for i in 0..3 {
+            builder = builder.master(
+                format!("dma{i}"),
+                SequentialSource::writes((1 << 28) * (i as u64 + 1), 4096, u64::MAX),
+                MasterKind::Accelerator,
+            );
+        }
+        let mut contended = builder.build();
+        let t_cont = contended.run_until_done(MasterId::new(0), 100_000_000).unwrap();
+
+        let slowdown = t_cont.get() as f64 / t_solo.get() as f64;
+        assert!(slowdown > 1.5, "expected visible interference, got {slowdown:.2}x");
+        // The interferers should also keep the DRAM far busier.
+        assert!(
+            contended.dram_stats().bytes_completed > solo.dram_stats().bytes_completed
+        );
+    }
+
+    #[test]
+    fn master_lookup_by_name() {
+        let soc = SocBuilder::new(no_refresh())
+            .master("x", SequentialSource::reads(0, 64, 1), MasterKind::Cpu)
+            .master("y", SequentialSource::reads(0, 64, 1), MasterKind::Cpu)
+            .build();
+        assert_eq!(soc.master_id("y"), Some(MasterId::new(1)));
+        assert_eq!(soc.master_id("z"), None);
+    }
+
+    #[test]
+    fn run_until_done_times_out() {
+        let mut soc = SocBuilder::new(no_refresh())
+            .master("inf", SequentialSource::reads(0, 64, u64::MAX), MasterKind::Cpu)
+            .build();
+        assert!(soc.run_until_done(MasterId::new(0), 1_000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn empty_soc_rejected() {
+        let _ = SocBuilder::new(no_refresh()).build();
+    }
+
+    #[test]
+    fn window_recording() {
+        let mut soc = SocBuilder::new(no_refresh())
+            .master("dma", SequentialSource::reads(0, 1024, 200), MasterKind::Accelerator)
+            .record_windows(1_000)
+            .build();
+        soc.run_until_all_done(1_000_000).unwrap();
+        let st = soc.master_stats(MasterId::new(0));
+        let w = st.window.as_ref().unwrap();
+        assert!(w.windows().iter().sum::<u64>() <= st.bytes_completed);
+        assert!(w.max_window() > 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Lightweight event tracing for debugging and test assertions.
+//!
+//! A [`Trace`] is an append-only log of timestamped simulation events.
+//! Tracing is opt-in and intended for short diagnostic runs; the hot
+//! simulation path does not touch it unless a component is explicitly
+//! wrapped (see [`TracingGate`]).
+
+use crate::axi::{MasterId, Request, Response};
+use crate::gate::{GateDecision, PortGate};
+use crate::time::Cycle;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A gate admitted a request.
+    Accepted { master: MasterId, serial: u64 },
+    /// A gate denied a request (regulation stall).
+    Denied { master: MasterId, serial: u64 },
+    /// A transaction completed.
+    Completed { master: MasterId, serial: u64 },
+}
+
+/// Shared, append-only event log.
+///
+/// Cloning a `Trace` clones the handle, not the log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Rc<RefCell<Vec<(Cycle, TraceEvent)>>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&self, now: Cycle, event: TraceEvent) {
+        self.events.borrow_mut().push((now, event));
+    }
+
+    /// Snapshot of all recorded events in order.
+    pub fn events(&self) -> Vec<(Cycle, TraceEvent)> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// `true` when no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of events matching `predicate`.
+    pub fn count_matching(&self, predicate: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.borrow().iter().filter(|(_, e)| predicate(e)).count()
+    }
+}
+
+/// A [`PortGate`] decorator that records accept/deny decisions into a
+/// [`Trace`] while delegating to an inner gate.
+#[derive(Debug)]
+pub struct TracingGate<G> {
+    inner: G,
+    trace: Trace,
+}
+
+impl<G: PortGate> TracingGate<G> {
+    /// Wraps `inner`, recording into `trace`.
+    pub fn new(inner: G, trace: Trace) -> Self {
+        TracingGate { inner, trace }
+    }
+
+    /// Returns the inner gate.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+}
+
+impl<G: PortGate> PortGate for TracingGate<G> {
+    fn on_cycle(&mut self, now: Cycle) {
+        self.inner.on_cycle(now);
+    }
+
+    fn try_accept(&mut self, request: &Request, now: Cycle) -> GateDecision {
+        let d = self.inner.try_accept(request, now);
+        let ev = match d {
+            GateDecision::Accept => {
+                TraceEvent::Accepted { master: request.master, serial: request.serial }
+            }
+            GateDecision::Deny => {
+                TraceEvent::Denied { master: request.master, serial: request.serial }
+            }
+        };
+        self.trace.push(now, ev);
+        d
+    }
+
+    fn on_complete(&mut self, response: &Response, now: Cycle) {
+        self.trace.push(
+            now,
+            TraceEvent::Completed {
+                master: response.request.master,
+                serial: response.request.serial,
+            },
+        );
+        self.inner.on_complete(response, now);
+    }
+
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axi::Dir;
+    use crate::gate::OpenGate;
+
+    #[test]
+    fn tracing_gate_records_decisions() {
+        let trace = Trace::new();
+        let mut g = TracingGate::new(OpenGate, trace.clone());
+        let r = Request::new(MasterId::new(0), 7, 0, 1, Dir::Read, Cycle::ZERO);
+        assert!(g.try_accept(&r, Cycle::new(3)).is_accept());
+        let resp = Response { request: r, completed_at: Cycle::new(50) };
+        g.on_complete(&resp, Cycle::new(50));
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            (Cycle::new(3), TraceEvent::Accepted { master: MasterId::new(0), serial: 7 })
+        );
+        assert_eq!(
+            events[1],
+            (Cycle::new(50), TraceEvent::Completed { master: MasterId::new(0), serial: 7 })
+        );
+        assert_eq!(trace.count_matching(|e| matches!(e, TraceEvent::Denied { .. })), 0);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # fgqos-workloads — traffic generators and benchmark kernel models
+//!
+//! Workloads for the `fgqos` experiments:
+//!
+//! * [`spec`] — a declarative traffic generator ([`TrafficSpec`] /
+//!   [`SpecSource`]) covering the synthetic AXI traffic-generator
+//!   configurations of the paper's evaluation: sequential, strided and
+//!   random address patterns, read/write mixes, rate limits, closed-loop
+//!   think times and on/off burst shaping.
+//! * [`kernels`] — memory-phase models of the benchmark kernels the
+//!   paper's accelerators and CPU tasks run (memcpy, STREAM triad, tiled
+//!   matmul, 2-D stencil, strided FFT, image pipeline), expressed as
+//!   phase sequences of [`TrafficSpec`]s.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod kernels;
+pub mod spec;
+pub mod trace;
+
+pub use kernels::{Kernel, KernelSource};
+pub use spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
+pub use trace::{parse_trace, write_trace, TraceRecord, TraceSource};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::kernels::{Kernel, KernelSource};
+    pub use crate::spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
+    pub use crate::trace::{parse_trace, write_trace, TraceRecord, TraceSource};
+}

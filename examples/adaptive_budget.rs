@@ -1,0 +1,97 @@
+//! Feedback re-budgeting across workload phases.
+//!
+//! A latency-sensitive task shares the SoC with three accelerators whose
+//! activity comes and goes. The AIMD [`FeedbackController`] watches the
+//! task's achieved throughput through the tightly-coupled monitor on its
+//! port and squeezes the accelerators' budgets only while the task is
+//! actually endangered — no manual tuning per phase.
+//!
+//! Run with: `cargo run --release --example adaptive_budget`
+
+use fgqos::core::prelude::*;
+use fgqos::prelude::*;
+use fgqos::workloads::prelude::*;
+
+fn main() {
+    // Critical task: 256 B random reads, ~500 cycles of compute each.
+    let critical = TrafficSpec::latency_sensitive(0, 4 << 20, 256, 500);
+    let (crit_monitor, crit_driver) = TcRegulator::monitor_only(1_000);
+
+    // Three accelerators, active in alternating 500 us phases.
+    let mut regulators = Vec::new();
+    let mut drivers = Vec::new();
+    for _ in 0..3 {
+        let (reg, driver) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 1_000,
+            budget_bytes: 8_192,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        regulators.push(reg);
+        drivers.push(driver);
+    }
+
+    // Hold the critical task at >= 4000 bytes per 10 us control period
+    // (~90 % of its isolation rate).
+    let controller = FeedbackController::new(
+        crit_driver.clone(),
+        4_000,
+        drivers.clone(),
+        8_192, // initial best-effort budget per 1 us window
+        256,   // floor
+        8_192, // ceiling
+        512,   // additive increase step
+        10_000,
+    );
+
+    let mut builder = SocBuilder::new(SocConfig::default())
+        .master_full("task", SpecSource::new(critical, 1), MasterKind::Cpu, crit_monitor, 1)
+        .controller(controller);
+    for (i, reg) in regulators.into_iter().enumerate() {
+        let spec = TrafficSpec::stream((1 + i as u64) << 28, 16 << 20, 512, Dir::Write)
+            .with_burst(BurstShape { on_cycles: 500_000, off_cycles: 500_000 });
+        builder = builder.gated_master(
+            format!("accel{i}"),
+            SpecSource::new(spec, 100 + i as u64),
+            MasterKind::Accelerator,
+            reg,
+        );
+    }
+
+    let mut soc = builder.build();
+    soc.run(4_000_000); // 4 ms: four interference phases
+
+    let task = soc.master_id("task").expect("task");
+    let stats = soc.master_stats(task);
+    println!(
+        "task: {} reads, p50 {} / p99 {} cycles, bandwidth {}",
+        stats.completed_txns,
+        stats.latency.percentile(0.50),
+        stats.latency.percentile(0.99),
+        soc.master_bandwidth(task),
+    );
+    for (i, d) in drivers.iter().enumerate() {
+        let t = d.telemetry();
+        println!(
+            "accel{i}: budget now {} B/window, {} total bytes, {} stall cycles",
+            d.budget_bytes(),
+            t.total_bytes,
+            t.stall_cycles,
+        );
+    }
+
+    // The controller must have intervened (budgets moved off the ceiling
+    // at some point: stalls prove enforcement happened).
+    assert!(
+        drivers.iter().any(|d| d.telemetry().stall_cycles > 0),
+        "feedback should have throttled the accelerators during busy phases"
+    );
+    // And the task must have kept most of its isolation-rate progress:
+    // ~1724 reads/ms in isolation; require > 80 % over 4 ms.
+    assert!(
+        stats.completed_txns > 5_500,
+        "task progress too low: {} reads",
+        stats.completed_txns
+    );
+    println!("\nfeedback held the task's throughput across interference phases");
+}

@@ -1,0 +1,213 @@
+//! `fgqos` — run a declarative scenario file and report QoS statistics.
+//!
+//! ```text
+//! Usage: fgqos <scenario-file> [options]
+//!
+//! Options:
+//!   --cycles N        run for N cycles (default 1000000)
+//!   --until-done NAME run until master NAME finishes (fallback: --cycles cap)
+//!   --histogram       print each master's latency distribution
+//!   --quiet           suppress the per-port fabric report
+//! ```
+
+use fgqos::scenario::ScenarioSpec;
+use fgqos::sim::axi::MasterId;
+use std::process::ExitCode;
+
+struct Args {
+    scenario_path: String,
+    cycles: u64,
+    until_done: Option<String>,
+    quiet: bool,
+    histogram: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fgqos <scenario-file> [--cycles N] [--until-done NAME] [--histogram] [--quiet]"
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut scenario_path = None;
+    let mut cycles = 1_000_000u64;
+    let mut until_done = None;
+    let mut quiet = false;
+    let mut histogram = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--cycles" => {
+                let v = argv.next().ok_or("--cycles needs a value")?;
+                cycles = v.parse().map_err(|e| format!("bad --cycles value: {e}"))?;
+            }
+            "--until-done" => {
+                until_done = Some(argv.next().ok_or("--until-done needs a master name")?);
+            }
+            "--quiet" => quiet = true,
+            "--histogram" => histogram = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()));
+            }
+            other => {
+                if scenario_path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one scenario file given\n{}", usage()));
+                }
+            }
+        }
+    }
+    let scenario_path = scenario_path.ok_or_else(|| usage().to_string())?;
+    Ok(Args { scenario_path, cycles, until_done, quiet, histogram })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.scenario_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
+    let (mut soc, fabric) = spec.build();
+
+    let ran = match &args.until_done {
+        Some(name) => {
+            let id = soc
+                .master_id(name)
+                .ok_or_else(|| format!("--until-done: no master named {name:?}"))?;
+            match soc.run_until_done(id, args.cycles) {
+                Some(t) => {
+                    println!("master {name:?} finished at {t}");
+                    t.get()
+                }
+                None => {
+                    println!(
+                        "master {name:?} did not finish within {} cycles",
+                        args.cycles
+                    );
+                    soc.now().get()
+                }
+            }
+        }
+        None => {
+            soc.run(args.cycles);
+            args.cycles
+        }
+    };
+
+    println!("\nsimulated {ran} cycles at {}", soc.freq());
+    println!(
+        "{:<12} {:>10} {:>14} {:>12} {:>9} {:>9} {:>9}",
+        "master", "txns", "bytes", "bandwidth", "p50", "p99", "max"
+    );
+    for i in 0..soc.master_count() {
+        let id = MasterId::new(i);
+        let st = soc.master_stats(id);
+        let name = spec.masters[i].name.clone();
+        println!(
+            "{:<12} {:>10} {:>14} {:>12} {:>9} {:>9} {:>9}",
+            name,
+            st.completed_txns,
+            st.bytes_completed,
+            format!("{}", soc.master_bandwidth(id)),
+            st.latency.percentile(0.50),
+            st.latency.percentile(0.99),
+            st.latency.max(),
+        );
+    }
+    let d = soc.dram_stats();
+    println!(
+        "\ndram: {} bytes, row-hit ratio {:.2}, bus utilization {:.2}, {} refreshes",
+        d.bytes_completed,
+        d.row_hit_ratio(),
+        d.bus_busy_cycles as f64 / ran.max(1) as f64,
+        d.refreshes,
+    );
+    if args.histogram {
+        for i in 0..soc.master_count() {
+            let id = MasterId::new(i);
+            let st = soc.master_stats(id);
+            if st.latency.count() == 0 {
+                continue;
+            }
+            println!("\nlatency histogram for {}:", spec.masters[i].name);
+            let peak = st
+                .latency
+                .nonzero_buckets()
+                .map(|(_, c)| c)
+                .max()
+                .unwrap_or(1);
+            for (lo, count) in st.latency.nonzero_buckets() {
+                let bar = "#".repeat((count * 40 / peak).max(1) as usize);
+                println!("{lo:>9} {count:>9} {bar}");
+            }
+        }
+    }
+    if !args.quiet {
+        println!("\nqos fabric:");
+        print!("{}", fabric.report());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let a = args(&["scen.fgq"]).expect("parses");
+        assert_eq!(a.scenario_path, "scen.fgq");
+        assert_eq!(a.cycles, 1_000_000);
+        assert!(a.until_done.is_none());
+        assert!(!a.quiet);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let a = args(&[
+            "s.fgq", "--cycles", "500", "--until-done", "cpu", "--quiet", "--histogram",
+        ])
+        .expect("parses");
+        assert_eq!(a.cycles, 500);
+        assert_eq!(a.until_done.as_deref(), Some("cpu"));
+        assert!(a.quiet);
+        assert!(a.histogram);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["a", "b"]).is_err());
+        assert!(args(&["a", "--cycles"]).is_err());
+        assert!(args(&["a", "--cycles", "xyz"]).is_err());
+        assert!(args(&["a", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn run_reports_missing_file() {
+        let e = run(Args {
+            scenario_path: "/nonexistent/scenario.fgq".into(),
+            cycles: 10,
+            until_done: None,
+            quiet: true,
+            histogram: false,
+        })
+        .unwrap_err();
+        assert!(e.contains("cannot read"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # fgqos — umbrella crate
+//!
+//! Re-exports the whole `fgqos` workspace behind one dependency. See the
+//! member crates for details:
+//!
+//! * [`sim`] — cycle-level FPGA HeSoC memory-subsystem simulator
+//! * [`core`] — the paper's tightly-coupled bandwidth monitor/regulator,
+//!   register file, driver and QoS policies
+//! * [`baselines`] — MemGuard, PREM/TDMA and unregulated baselines
+//! * [`workloads`] — synthetic traffic generators and benchmark kernels
+
+pub mod scenario;
+
+pub use fgqos_baselines as baselines;
+pub use fgqos_core as core;
+pub use fgqos_sim as sim;
+pub use fgqos_workloads as workloads;
+
+/// Commonly used items from all member crates.
+pub mod prelude {
+    pub use crate::scenario::ScenarioSpec;
+    pub use fgqos_sim::prelude::*;
+}

@@ -1,0 +1,709 @@
+//! Declarative scenario files.
+//!
+//! Experiments on the real board are described by a configuration (which
+//! ports exist, their roles, budgets, traffic) rather than by code. This
+//! module gives the simulated stack the same workflow: a small
+//! line-oriented text format parsed into a [`ScenarioSpec`], which builds
+//! a ready-to-run [`Soc`] plus the
+//! [`QosFabric`] software handle. The
+//! `fgqos` CLI binary runs such files directly.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! clock_mhz 1000
+//!
+//! [master cpu]
+//! kind cpu                 # cpu | accel
+//! role critical            # critical | best-effort | unmanaged
+//! pattern random           # seq | random | strided:<bytes>
+//! base 0x0
+//! footprint 4M
+//! txn 256
+//! think 1000
+//! total 10000
+//!
+//! [master dma0]
+//! kind accel
+//! role best-effort
+//! period 1000
+//! budget 2048
+//! pattern seq
+//! base 0x40000000
+//! footprint 16M
+//! txn 1024
+//!
+//! [master accel]
+//! kind accel
+//! workload kernel:stream-triad:4   # replay a kernel model 4 times
+//!
+//! [xbar]
+//! arbitration weighted             # rr | priority | weighted
+//! weights 4,1,1                    # one per master, in declaration order
+//!
+//! [policy reclaim]
+//! reserved 2500
+//! base 10240
+//! control 10000
+//! gain 25
+//! busy 256
+//! ```
+//!
+//! Masters also accept `burst <on> <off>` (on/off phasing in cycles),
+//! `gap`, `write_ratio`, `dir`, `outstanding` and `seed`. Sizes accept
+//! `K`/`M`/`G` suffixes (powers of two) and `0x` hex.
+
+use fgqos_core::fabric::{QosFabric, QosFabricBuilder};
+use fgqos_core::policy::ReclaimConfig;
+use fgqos_sim::axi::Dir;
+use fgqos_sim::gate::OpenGate;
+use fgqos_sim::master::MasterKind;
+use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
+use fgqos_sim::time::Freq;
+use fgqos_sim::interconnect::{Arbitration, XbarConfig};
+use fgqos_workloads::kernels::Kernel;
+use fgqos_workloads::spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`ScenarioSpec::parse`].
+#[derive(Debug)]
+pub struct ParseScenarioError {
+    /// 1-based line number (0 for structural errors).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseScenarioError {
+    ParseScenarioError { line, message: message.into() }
+}
+
+/// Parses `128`, `0x80`, `4K`, `16M`, `1G`.
+fn parse_size(token: &str, line: usize) -> Result<u64, ParseScenarioError> {
+    let t = token.trim();
+    let (body, mult) = match t.chars().last() {
+        Some('K') | Some('k') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('M') | Some('m') => (&t[..t.len() - 1], 1 << 20),
+        Some('G') | Some('g') => (&t[..t.len() - 1], 1 << 30),
+        _ => (t, 1),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|e| err(line, format!("bad number {token:?}: {e}")))?;
+    Ok(v * mult)
+}
+
+/// QoS role of a declared master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Monitored, never throttled.
+    Critical,
+    /// Regulated by a tightly-coupled regulator.
+    BestEffort,
+    /// No QoS hardware at all (plain [`OpenGate`]).
+    #[default]
+    Unmanaged,
+}
+
+/// Workload of a declared master: synthetic traffic or a kernel model.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Declarative synthetic traffic.
+    Spec(TrafficSpec),
+    /// A benchmark kernel model replayed for a number of iterations.
+    Kernel(Kernel, u64),
+}
+
+impl MasterSpec {
+    /// Base address of this master's footprint (kernel workloads are
+    /// placed at a per-master offset derived from their declaration
+    /// order via the seed; synthetic workloads carry their own base).
+    fn traffic_base(&self) -> u64 {
+        match &self.workload {
+            Workload::Spec(t) => t.base,
+            Workload::Kernel(..) => (1 + self.seed % 16) << 28,
+        }
+    }
+}
+
+/// One declared master.
+#[derive(Debug, Clone)]
+pub struct MasterSpec {
+    /// Port name (unique).
+    pub name: String,
+    /// Master kind (sets the default outstanding limit).
+    pub kind: MasterKind,
+    /// QoS role.
+    pub role: Role,
+    /// Regulation window (best-effort only).
+    pub period: u32,
+    /// Byte budget per window (best-effort only).
+    pub budget: u32,
+    /// Workload description.
+    pub workload: Workload,
+    /// Outstanding override (0 = kind default).
+    pub outstanding: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+/// Optional reclaim policy section.
+#[derive(Debug, Clone, Copy)]
+pub struct ReclaimSpec {
+    /// See [`ReclaimConfig`].
+    pub config: ReclaimConfig,
+}
+
+/// A parsed scenario.
+#[derive(Debug)]
+pub struct ScenarioSpec {
+    /// SoC clock.
+    pub freq: Freq,
+    /// Crossbar configuration (`[xbar]` section).
+    pub xbar: XbarConfig,
+    /// Declared masters, in file order.
+    pub masters: Vec<MasterSpec>,
+    /// Optional reclaim policy.
+    pub reclaim: Option<ReclaimSpec>,
+}
+
+#[derive(Debug)]
+struct MasterDraft {
+    name: String,
+    kind: Option<MasterKind>,
+    role: Role,
+    period: u32,
+    budget: u32,
+    pattern: AddressPattern,
+    base: u64,
+    footprint: u64,
+    txn: u64,
+    think: u64,
+    gap: u64,
+    total: u64,
+    write_ratio: f64,
+    dir: Dir,
+    burst: Option<BurstShape>,
+    kernel: Option<(Kernel, u64)>,
+    outstanding: usize,
+    seed: u64,
+    declared_at: usize,
+}
+
+impl MasterDraft {
+    fn new(name: String, line: usize) -> Self {
+        MasterDraft {
+            name,
+            kind: None,
+            role: Role::Unmanaged,
+            period: 1_000,
+            budget: 1_024,
+            pattern: AddressPattern::Sequential,
+            base: 0,
+            footprint: 16 << 20,
+            txn: 256,
+            think: 0,
+            gap: 0,
+            total: u64::MAX,
+            write_ratio: 0.0,
+            dir: Dir::Read,
+            burst: None,
+            kernel: None,
+            outstanding: 0,
+            seed: 1,
+            declared_at: line,
+        }
+    }
+
+    fn finish(self) -> Result<MasterSpec, ParseScenarioError> {
+        let kind = self
+            .kind
+            .ok_or_else(|| err(self.declared_at, format!("master {:?} missing kind", self.name)))?;
+        let workload = match self.kernel {
+            Some((kernel, iterations)) => Workload::Kernel(kernel, iterations),
+            None => {
+                let traffic = TrafficSpec {
+                    base: self.base,
+                    footprint: self.footprint,
+                    txn_bytes: self.txn,
+                    dir: self.dir,
+                    write_ratio: self.write_ratio,
+                    pattern: self.pattern,
+                    gap: self.gap,
+                    think: self.think,
+                    total: self.total,
+                    burst: self.burst,
+                };
+                traffic
+                    .validate()
+                    .map_err(|m| err(self.declared_at, format!("master {:?}: {m}", self.name)))?;
+                Workload::Spec(traffic)
+            }
+        };
+        Ok(MasterSpec {
+            name: self.name,
+            kind,
+            role: self.role,
+            period: self.period,
+            budget: self.budget,
+            workload,
+            outstanding: self.outstanding,
+            seed: self.seed,
+        })
+    }
+}
+
+enum Section {
+    Top,
+    Master(MasterDraft),
+    Reclaim(ReclaimConfig),
+    Xbar(XbarConfig),
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line with its number.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, ParseScenarioError> {
+        let mut freq = Freq::default();
+        let mut xbar = XbarConfig::default();
+        let mut masters: Vec<MasterSpec> = Vec::new();
+        let mut reclaim: Option<ReclaimSpec> = None;
+        let mut section = Section::Top;
+
+        let close =
+            |section: &mut Section,
+             masters: &mut Vec<MasterSpec>,
+             reclaim: &mut Option<ReclaimSpec>,
+             xbar: &mut XbarConfig|
+             -> Result<(), ParseScenarioError> {
+                match std::mem::replace(section, Section::Top) {
+                    Section::Top => {}
+                    Section::Master(d) => {
+                        let m = d.finish()?;
+                        if masters.iter().any(|x| x.name == m.name) {
+                            return Err(err(0, format!("duplicate master name {:?}", m.name)));
+                        }
+                        masters.push(m);
+                    }
+                    Section::Reclaim(cfg) => *reclaim = Some(ReclaimSpec { config: cfg }),
+                    Section::Xbar(cfg) => *xbar = cfg,
+                }
+                Ok(())
+            };
+
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            if let Some(header) = body.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(line_no, "unterminated section header"))?
+                    .trim();
+                close(&mut section, &mut masters, &mut reclaim, &mut xbar)?;
+                let mut parts = header.split_whitespace();
+                match parts.next() {
+                    Some("master") => {
+                        let name = parts
+                            .next()
+                            .ok_or_else(|| err(line_no, "master section needs a name"))?;
+                        section = Section::Master(MasterDraft::new(name.to_string(), line_no));
+                    }
+                    Some("xbar") => {
+                        section = Section::Xbar(XbarConfig::default());
+                    }
+                    Some("policy") => match parts.next() {
+                        Some("reclaim") => {
+                            section = Section::Reclaim(ReclaimConfig::default());
+                        }
+                        other => {
+                            return Err(err(line_no, format!("unknown policy {other:?}")));
+                        }
+                    },
+                    other => return Err(err(line_no, format!("unknown section {other:?}"))),
+                }
+                continue;
+            }
+            let (key, value) = body
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(line_no, format!("expected `key value`, got {body:?}")))?;
+            let value = value.trim();
+            match &mut section {
+                Section::Top => match key {
+                    "clock_mhz" => {
+                        freq = Freq::mhz(parse_size(value, line_no)?);
+                    }
+                    other => return Err(err(line_no, format!("unknown top-level key {other:?}"))),
+                },
+                Section::Master(d) => match key {
+                    "kind" => {
+                        d.kind = Some(match value {
+                            "cpu" => MasterKind::Cpu,
+                            "accel" => MasterKind::Accelerator,
+                            other => {
+                                return Err(err(line_no, format!("unknown kind {other:?}")))
+                            }
+                        })
+                    }
+                    "role" => {
+                        d.role = match value {
+                            "critical" => Role::Critical,
+                            "best-effort" => Role::BestEffort,
+                            "unmanaged" => Role::Unmanaged,
+                            other => {
+                                return Err(err(line_no, format!("unknown role {other:?}")))
+                            }
+                        }
+                    }
+                    "burst" => {
+                        let (on, off) = value
+                            .split_once(char::is_whitespace)
+                            .ok_or_else(|| err(line_no, "burst needs `<on> <off>`"))?;
+                        d.burst = Some(BurstShape {
+                            on_cycles: parse_size(on, line_no)?,
+                            off_cycles: parse_size(off, line_no)?,
+                        });
+                    }
+                    "workload" => {
+                        let spec = value
+                            .strip_prefix("kernel:")
+                            .ok_or_else(|| err(line_no, "workload must be kernel:<name>[:<iters>]"))?;
+                        let (name, iters) = match spec.split_once(':') {
+                            Some((n, i)) => (n, parse_size(i, line_no)?),
+                            None => (spec, 1),
+                        };
+                        let kernel = Kernel::all()
+                            .into_iter()
+                            .find(|k| k.name() == name)
+                            .ok_or_else(|| err(line_no, format!("unknown kernel {name:?}")))?;
+                        d.kernel = Some((kernel, iters));
+                    }
+                    "pattern" => {
+                        d.pattern = if value == "seq" {
+                            AddressPattern::Sequential
+                        } else if value == "random" {
+                            AddressPattern::Random
+                        } else if let Some(stride) = value.strip_prefix("strided:") {
+                            AddressPattern::Strided { stride: parse_size(stride, line_no)? }
+                        } else {
+                            return Err(err(line_no, format!("unknown pattern {value:?}")));
+                        }
+                    }
+                    "dir" => {
+                        d.dir = match value {
+                            "R" | "r" | "read" => Dir::Read,
+                            "W" | "w" | "write" => Dir::Write,
+                            other => return Err(err(line_no, format!("unknown dir {other:?}"))),
+                        }
+                    }
+                    "base" => d.base = parse_size(value, line_no)?,
+                    "footprint" => d.footprint = parse_size(value, line_no)?,
+                    "txn" => d.txn = parse_size(value, line_no)?,
+                    "think" => d.think = parse_size(value, line_no)?,
+                    "gap" => d.gap = parse_size(value, line_no)?,
+                    "total" => d.total = parse_size(value, line_no)?,
+                    "write_ratio" => {
+                        d.write_ratio = value
+                            .parse()
+                            .map_err(|e| err(line_no, format!("bad ratio: {e}")))?
+                    }
+                    "period" => d.period = parse_size(value, line_no)? as u32,
+                    "budget" => d.budget = parse_size(value, line_no)? as u32,
+                    "outstanding" => d.outstanding = parse_size(value, line_no)? as usize,
+                    "seed" => d.seed = parse_size(value, line_no)?,
+                    other => return Err(err(line_no, format!("unknown master key {other:?}"))),
+                },
+                Section::Xbar(cfg) => match key {
+                    "arbitration" => {
+                        cfg.arbitration = match value {
+                            "rr" => Arbitration::RoundRobin,
+                            "priority" => Arbitration::FixedPriority,
+                            "weighted" => Arbitration::WeightedRoundRobin,
+                            other => {
+                                return Err(err(
+                                    line_no,
+                                    format!("unknown arbitration {other:?}"),
+                                ))
+                            }
+                        }
+                    }
+                    "weights" => {
+                        cfg.weights = value
+                            .split(',')
+                            .map(|w| parse_size(w, line_no).map(|v| v as u32))
+                            .collect::<Result<Vec<u32>, _>>()?;
+                    }
+                    other => return Err(err(line_no, format!("unknown xbar key {other:?}"))),
+                },
+                Section::Reclaim(cfg) => match key {
+                    "reserved" => cfg.critical_reserved = parse_size(value, line_no)?,
+                    "base" => cfg.be_base = parse_size(value, line_no)?,
+                    "control" => cfg.control_period = parse_size(value, line_no)?,
+                    "gain" => cfg.gain = parse_size(value, line_no)?,
+                    "busy" => cfg.busy_threshold = Some(parse_size(value, line_no)?),
+                    other => return Err(err(line_no, format!("unknown reclaim key {other:?}"))),
+                },
+            }
+        }
+        close(&mut section, &mut masters, &mut reclaim, &mut xbar)?;
+        if masters.is_empty() {
+            return Err(err(0, "scenario declares no masters"));
+        }
+        if reclaim.is_some() {
+            let has_critical = masters.iter().any(|m| m.role == Role::Critical);
+            let has_be = masters.iter().any(|m| m.role == Role::BestEffort);
+            if !has_critical || !has_be {
+                return Err(err(
+                    0,
+                    "reclaim policy needs at least one critical and one best-effort master",
+                ));
+            }
+        }
+        if !xbar.weights.is_empty() && xbar.weights.len() != masters.len() {
+            return Err(err(0, "xbar weights must list one weight per master"));
+        }
+        Ok(ScenarioSpec { freq, xbar, masters, reclaim })
+    }
+
+    /// Builds the SoC and its QoS fabric.
+    pub fn build(&self) -> (Soc, QosFabric) {
+        let cfg = SocConfig { freq: self.freq, xbar: self.xbar.clone(), ..SocConfig::default() };
+        let mut fabric = QosFabricBuilder::new();
+        let mut builder = SocBuilder::new(cfg);
+        for m in &self.masters {
+            let outstanding = if m.outstanding > 0 {
+                m.outstanding
+            } else {
+                m.kind.default_outstanding()
+            };
+            let source: Box<dyn fgqos_sim::master::TrafficSource> = match &m.workload {
+                Workload::Spec(t) => Box::new(SpecSource::new(*t, m.seed)),
+                Workload::Kernel(k, iters) => Box::new(k.source(m.traffic_base(), *iters, m.seed)),
+            };
+            builder = match m.role {
+                Role::Critical => {
+                    let gate = fabric.critical_port(&m.name, m.period.max(1));
+                    builder.master_full(&m.name, source, m.kind, gate, outstanding)
+                }
+                Role::BestEffort => {
+                    let gate = fabric.best_effort_port(&m.name, m.period.max(1), m.budget);
+                    builder.master_full(&m.name, source, m.kind, gate, outstanding)
+                }
+                Role::Unmanaged => {
+                    builder.master_full(&m.name, source, m.kind, OpenGate, outstanding)
+                }
+            };
+        }
+        let fabric = fabric.finish();
+        if let Some(r) = &self.reclaim {
+            builder = builder.controller(fabric.reclaim_policy(r.config));
+        }
+        (builder.build(), fabric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+clock_mhz 1000
+
+[master cpu]
+kind cpu
+role critical
+pattern random
+footprint 4M
+txn 256
+think 1000
+total 2000
+outstanding 1
+
+[master dma0]
+kind accel
+role best-effort
+period 1000
+budget 2K
+pattern seq
+base 0x40000000
+txn 1024
+
+[master rogue]
+kind accel
+pattern strided:64K
+txn 512
+write_ratio 0.5
+seed 9
+";
+
+    fn spec_of(m: &MasterSpec) -> &TrafficSpec {
+        match &m.workload {
+            Workload::Spec(t) => t,
+            Workload::Kernel(..) => panic!("expected synthetic workload"),
+        }
+    }
+
+    #[test]
+    fn parses_sample() {
+        let s = ScenarioSpec::parse(SAMPLE).expect("parses");
+        assert_eq!(s.freq, Freq::ghz(1));
+        assert_eq!(s.masters.len(), 3);
+        let cpu = &s.masters[0];
+        assert_eq!(cpu.role, Role::Critical);
+        assert_eq!(cpu.kind, MasterKind::Cpu);
+        assert_eq!(spec_of(cpu).total, 2_000);
+        let dma = &s.masters[1];
+        assert_eq!(dma.budget, 2_048);
+        assert_eq!(spec_of(dma).base, 0x4000_0000);
+        let rogue = &s.masters[2];
+        assert_eq!(rogue.role, Role::Unmanaged);
+        assert!(matches!(spec_of(rogue).pattern, AddressPattern::Strided { stride: 65_536 }));
+        assert_eq!(spec_of(rogue).write_ratio, 0.5);
+    }
+
+    #[test]
+    fn xbar_section_and_kernel_and_burst() {
+        let text = "\
+[xbar]
+arbitration weighted
+weights 1,3
+
+[master cpu]
+kind cpu
+role critical
+burst 1000 9000
+txn 256
+total 100
+
+[master k]
+kind accel
+workload kernel:memcpy:2
+";
+        let s = ScenarioSpec::parse(text).expect("parses");
+        assert_eq!(s.xbar.arbitration, Arbitration::WeightedRoundRobin);
+        assert_eq!(s.xbar.weights, vec![1, 3]);
+        assert_eq!(
+            spec_of(&s.masters[0]).burst,
+            Some(BurstShape { on_cycles: 1_000, off_cycles: 9_000 })
+        );
+        match &s.masters[1].workload {
+            Workload::Kernel(k, iters) => {
+                assert_eq!(k.name(), "memcpy");
+                assert_eq!(*iters, 2);
+            }
+            other => panic!("expected kernel workload, got {other:?}"),
+        }
+        let (mut soc, _fabric) = s.build();
+        soc.run(20_000);
+        assert!(soc.master_stats(fgqos_sim::axi::MasterId::new(1)).issued_txns > 0);
+    }
+
+    #[test]
+    fn weight_count_must_match_masters() {
+        let text = "[xbar]\nweights 1,2,3\n[master a]\nkind cpu\n";
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("one weight per master"));
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let text = "[master a]\nkind accel\nworkload kernel:bogus\n";
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("unknown kernel"));
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let s = ScenarioSpec::parse(SAMPLE).expect("parses");
+        let (mut soc, fabric) = s.build();
+        assert_eq!(soc.master_count(), 3);
+        soc.run(200_000);
+        assert!(fabric.driver("dma0").unwrap().telemetry().total_bytes > 0);
+        assert!(fabric.driver("cpu").unwrap().telemetry().total_bytes > 0);
+        assert!(fabric.driver("rogue").is_none(), "unmanaged ports have no regulator");
+    }
+
+    #[test]
+    fn reclaim_section_builds_policy() {
+        let text = format!(
+            "{SAMPLE}\n[policy reclaim]\nreserved 2500\nbase 10K\ncontrol 10000\ngain 25\nbusy 256\n"
+        );
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        let r = s.reclaim.expect("reclaim present");
+        assert_eq!(r.config.critical_reserved, 2_500);
+        assert_eq!(r.config.be_base, 10_240);
+        assert_eq!(r.config.busy_threshold, Some(256));
+        let (mut soc, _fabric) = s.build();
+        soc.run(50_000);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("128", 1).unwrap(), 128);
+        assert_eq!(parse_size("0x80", 1).unwrap(), 128);
+        assert_eq!(parse_size("4K", 1).unwrap(), 4_096);
+        assert_eq!(parse_size("2M", 1).unwrap(), 2 << 20);
+        assert_eq!(parse_size("1G", 1).unwrap(), 1 << 30);
+        assert!(parse_size("12Q", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = ScenarioSpec::parse("clock_mhz 1000\nbogus").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = ScenarioSpec::parse("[master a]\nkind dsp\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("kind"));
+    }
+
+    #[test]
+    fn missing_kind_rejected() {
+        let e = ScenarioSpec::parse("[master a]\ntxn 256\n").unwrap_err();
+        assert!(e.message.contains("missing kind"));
+    }
+
+    #[test]
+    fn empty_scenario_rejected() {
+        let e = ScenarioSpec::parse("clock_mhz 500\n").unwrap_err();
+        assert!(e.message.contains("no masters"));
+    }
+
+    #[test]
+    fn duplicate_master_rejected() {
+        let text = "[master a]\nkind cpu\n[master a]\nkind cpu\n";
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn reclaim_requires_roles() {
+        let text = "[master a]\nkind cpu\n[policy reclaim]\nreserved 100\n";
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("reclaim policy needs"));
+    }
+
+    #[test]
+    fn invalid_traffic_rejected_at_parse() {
+        let text = "[master a]\nkind cpu\ntxn 100\n"; // not beat multiple
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("multiple"));
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end test of the `fgqos` CLI binary against the shipped demo
+//! scenario.
+
+use std::process::Command;
+
+fn fgqos() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fgqos"))
+}
+
+#[test]
+fn runs_demo_scenario() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "200000"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("simulated 200000 cycles"));
+    for name in ["cpu", "dma0", "dma1", "rogue"] {
+        assert!(stdout.contains(name), "missing master {name} in report");
+    }
+    assert!(stdout.contains("qos fabric:"));
+    assert!(stdout.contains("best-effort"));
+}
+
+#[test]
+fn until_done_mode() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--until-done", "rogue", "--cycles", "500000", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The rogue master's source is unbounded, so it cannot finish within
+    // the cap: the CLI must report that rather than hang.
+    assert!(stdout.contains("did not finish"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn rejects_missing_file() {
+    let out = fgqos().arg("/does/not/exist.fgq").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn rejects_bad_flags() {
+    let out = fgqos().args(["x.fgq", "--bogus"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn reports_unknown_master_for_until_done() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--until-done", "ghost"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no master named"));
+}
+
+#[test]
+fn runs_kernel_scenario_until_done() {
+    let out = fgqos()
+        .args([
+            "scenarios/kernels.fgq",
+            "--until-done",
+            "stencil",
+            "--cycles",
+            "50000000",
+            "--quiet",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("finished at"), "kernel should finish: {stdout}");
+    assert!(stdout.contains("stencil"));
+}
+
+#[test]
+fn histogram_flag_prints_distributions() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--quiet", "--histogram"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("latency histogram for cpu"));
+    assert!(stdout.contains('#'));
+}
