@@ -151,6 +151,25 @@ impl PortGate for MemGuardGate {
         GateDecision::Accept
     }
 
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // A throttled port unblocks at the next tick boundary (the
+        // while-loop in `on_cycle` catches up however many ticks were
+        // skipped). An in-flight overflow IRQ flips accept -> deny at
+        // `overflow_at + irq_latency_cycles`; wake there too so the
+        // throttle lands on the same cycle as under naive stepping.
+        let mut wake = (self.tick_start + self.cfg.tick_cycles).max(now);
+        if let Some(t) = self.overflow_at {
+            if !self.throttled(now) {
+                wake = wake.min((t + self.cfg.irq_latency_cycles).max(now));
+            }
+        }
+        Some(wake)
+    }
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+    }
+
     fn label(&self) -> &'static str {
         "memguard"
     }
@@ -163,7 +182,14 @@ mod tests {
 
     fn req(serial: u64, bytes: u64) -> Request {
         let beats = (bytes / fgqos_sim::axi::BEAT_BYTES) as u16;
-        Request::new(MasterId::new(0), serial, serial * 4096, beats, Dir::Read, Cycle::ZERO)
+        Request::new(
+            MasterId::new(0),
+            serial,
+            serial * 4096,
+            beats,
+            Dir::Read,
+            Cycle::ZERO,
+        )
     }
 
     fn gate(tick: u64, budget: u64, irq: u64) -> MemGuardGate {
@@ -193,7 +219,10 @@ mod tests {
         assert!(g.try_accept(&req(0, 256), Cycle::new(0)).is_accept()); // crosses budget
         assert!(g.try_accept(&req(1, 256), Cycle::new(50)).is_accept()); // IRQ in flight
         assert!(g.try_accept(&req(2, 256), Cycle::new(99)).is_accept()); // still in flight
-        assert_eq!(g.try_accept(&req(3, 256), Cycle::new(100)), GateDecision::Deny);
+        assert_eq!(
+            g.try_accept(&req(3, 256), Cycle::new(100)),
+            GateDecision::Deny
+        );
         assert_eq!(g.total_bytes(), 768);
     }
 
@@ -203,7 +232,10 @@ mod tests {
         g.on_cycle(Cycle::ZERO);
         assert!(g.try_accept(&req(0, 128), Cycle::new(0)).is_accept());
         // IRQ latency 0: throttle is immediate.
-        assert_eq!(g.try_accept(&req(1, 128), Cycle::new(1)), GateDecision::Deny);
+        assert_eq!(
+            g.try_accept(&req(1, 128), Cycle::new(1)),
+            GateDecision::Deny
+        );
         assert!(g.stall_cycles() > 0);
         g.on_cycle(Cycle::new(1_000));
         assert!(g.try_accept(&req(1, 128), Cycle::new(1_000)).is_accept());

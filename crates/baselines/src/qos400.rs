@@ -31,7 +31,11 @@ pub struct OtRegulatorConfig {
 
 impl Default for OtRegulatorConfig {
     fn default() -> Self {
-        OtRegulatorConfig { max_outstanding: 4, txns_per_period: 0, period_cycles: 1_000 }
+        OtRegulatorConfig {
+            max_outstanding: 4,
+            txns_per_period: 0,
+            period_cycles: 1_000,
+        }
     }
 }
 
@@ -133,8 +137,27 @@ impl PortGate for OtRegulatorGate {
     }
 
     fn on_complete(&mut self, _response: &Response, _now: Cycle) {
-        debug_assert!(self.in_flight > 0, "completion without in-flight transaction");
+        debug_assert!(
+            self.in_flight > 0,
+            "completion without in-flight transaction"
+        );
         self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // In-flight-cap denials flip on completions, which execute a
+        // full SoC step and mark the master's gate state dirty — no
+        // time-based wake is needed for them. The rate stage flips at
+        // its window boundary.
+        if self.cfg.txns_per_period == 0 {
+            None
+        } else {
+            Some((self.window_start + self.cfg.period_cycles).max(now))
+        }
+    }
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
     }
 
     fn label(&self) -> &'static str {
@@ -148,11 +171,21 @@ mod tests {
     use fgqos_sim::axi::{Dir, MasterId};
 
     fn req(serial: u64, beats: u16) -> Request {
-        Request::new(MasterId::new(0), serial, serial * 4096, beats, Dir::Read, Cycle::ZERO)
+        Request::new(
+            MasterId::new(0),
+            serial,
+            serial * 4096,
+            beats,
+            Dir::Read,
+            Cycle::ZERO,
+        )
     }
 
     fn resp(r: Request) -> Response {
-        Response { request: r, completed_at: Cycle::new(100) }
+        Response {
+            request: r,
+            completed_at: Cycle::new(100),
+        }
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl TdmaSchedule {
     pub fn new(slot_cycles: u64, num_slots: usize) -> Self {
         assert!(slot_cycles > 0, "slot length must be non-zero");
         assert!(num_slots > 0, "schedule needs at least one slot");
-        TdmaSchedule { slot_cycles, num_slots }
+        TdmaSchedule {
+            slot_cycles,
+            num_slots,
+        }
     }
 
     /// Slot length in cycles.
@@ -94,7 +97,13 @@ impl TdmaGate {
             my_slots.iter().all(|&s| s < schedule.num_slots()),
             "slot index outside schedule"
         );
-        TdmaGate { schedule, my_slots, guard_cycles, stall_cycles: 0, accepted: 0 }
+        TdmaGate {
+            schedule,
+            my_slots,
+            guard_cycles,
+            stall_cycles: 0,
+            accepted: 0,
+        }
     }
 
     /// Cycles spent denied.
@@ -122,6 +131,23 @@ impl PortGate for TdmaGate {
             self.stall_cycles += 1;
             GateDecision::Deny
         }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // The gate is a pure function of `now`: its decision can only
+        // flip at the guard-band edge of the current slot (accept ->
+        // deny) or at a slot boundary (deny -> accept, possibly of a
+        // later slot — re-evaluated boundary by boundary).
+        let remaining = self.schedule.remaining_in_slot(now);
+        if self.in_slot(now) && remaining > self.guard_cycles {
+            Some(now + (remaining - self.guard_cycles))
+        } else {
+            Some(now + remaining)
+        }
+    }
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
     }
 
     fn label(&self) -> &'static str {

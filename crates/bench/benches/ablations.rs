@@ -18,7 +18,10 @@ const CYCLES: u64 = 100_000;
 
 fn regulated_soc(ports: usize, charge: ChargePolicy, overshoot: OvershootPolicy) -> Soc {
     let cfg = SocConfig {
-        dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
         ..SocConfig::default()
     };
     let mut b = SocBuilder::new(cfg);
@@ -45,9 +48,10 @@ fn regulated_soc(ports: usize, charge: ChargePolicy, overshoot: OvershootPolicy)
 fn bench_charge_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_charge_policy");
     g.throughput(Throughput::Elements(CYCLES));
-    for (name, charge) in
-        [("acceptance", ChargePolicy::Acceptance), ("completion", ChargePolicy::Completion)]
-    {
+    for (name, charge) in [
+        ("acceptance", ChargePolicy::Acceptance),
+        ("completion", ChargePolicy::Completion),
+    ] {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || regulated_soc(4, charge, OvershootPolicy::Conservative),

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
-use fgqos_baselines::tdma::{TdmaGate, TdmaSchedule};
 use fgqos_baselines::qos400::{OtRegulatorConfig, OtRegulatorGate};
+use fgqos_baselines::tdma::{TdmaGate, TdmaSchedule};
 use fgqos_core::bucket::{BucketConfig, LeakyBucketRegulator};
 use fgqos_core::regulator::{OvershootPolicy, RegulatorConfig, TcRegulator};
 use fgqos_core::shared::SharedRegulator;
@@ -15,7 +15,14 @@ use fgqos_sim::time::Cycle;
 use std::hint::black_box;
 
 fn request(serial: u64) -> Request {
-    Request::new(MasterId::new(0), serial, serial * 4096, 16, Dir::Read, Cycle::new(serial))
+    Request::new(
+        MasterId::new(0),
+        serial,
+        serial * 4096,
+        16,
+        Dir::Read,
+        Cycle::new(serial),
+    )
 }
 
 /// One cycle of gate work: clock tick plus one admission attempt.

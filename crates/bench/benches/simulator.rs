@@ -2,6 +2,7 @@
 //! throughput as the SoC grows, plus statistics hot paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::Dir;
 use fgqos_sim::dram::DramConfig;
 use fgqos_sim::master::MasterKind;
@@ -10,16 +11,24 @@ use fgqos_sim::system::{SocBuilder, SocConfig};
 use fgqos_workloads::spec::{SpecSource, TrafficSpec};
 
 const CYCLES: u64 = 100_000;
+const FF_CYCLES: u64 = 1_000_000;
 
 fn build_soc(masters: usize) -> fgqos_sim::system::Soc {
     let cfg = SocConfig {
-        dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
         ..SocConfig::default()
     };
     let mut b = SocBuilder::new(cfg);
     for i in 0..masters {
         let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
-        b = b.master(format!("m{i}"), SpecSource::new(spec, i as u64), MasterKind::Accelerator);
+        b = b.master(
+            format!("m{i}"),
+            SpecSource::new(spec, i as u64),
+            MasterKind::Accelerator,
+        );
     }
     b.build()
 }
@@ -32,6 +41,57 @@ fn bench_soc_throughput(c: &mut Criterion) {
             b.iter_batched(
                 || build_soc(m),
                 |mut soc| soc.run(CYCLES),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+/// A tightly regulated SoC: every master spends most cycles gated, so
+/// the event-driven core has long dead stretches to skip. This is the
+/// exp_* harness's common case (budgets well below link rate).
+fn build_regulated_soc(masters: usize) -> fgqos_sim::system::Soc {
+    let cfg = SocConfig {
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
+        ..SocConfig::default()
+    };
+    let mut b = SocBuilder::new(cfg);
+    for i in 0..masters {
+        let (reg, _driver) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 10_000,
+            budget_bytes: 2_048,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
+        b = b.gated_master(
+            format!("m{i}"),
+            SpecSource::new(spec, i as u64),
+            MasterKind::Accelerator,
+            reg,
+        );
+    }
+    b.build()
+}
+
+/// Simulated-cycles-per-wall-second of the fast-forward core vs. naive
+/// per-cycle stepping, on the regulated workload where skipping pays.
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regulated_cycles");
+    g.throughput(Throughput::Elements(FF_CYCLES));
+    for (mode, naive) in [("fast", false), ("naive", true)] {
+        g.bench_with_input(BenchmarkId::new(mode, 4), &naive, |b, &naive| {
+            b.iter_batched(
+                || {
+                    let mut soc = build_regulated_soc(4);
+                    soc.set_naive(naive);
+                    soc
+                },
+                |mut soc| soc.run(FF_CYCLES),
                 criterion::BatchSize::LargeInput,
             );
         });
@@ -60,6 +120,6 @@ fn bench_latency_stats(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_soc_throughput, bench_latency_stats
+    targets = bench_soc_throughput, bench_fast_forward, bench_latency_stats
 }
 criterion_main!(benches);

@@ -23,7 +23,7 @@
 
 use fgqos_baselines::qos400::{OtRegulatorConfig, OtRegulatorGate};
 use fgqos_bench::scenario::{Scenario, Scheme};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::bucket::{BucketConfig, LeakyBucketRegulator};
 use fgqos_core::regulator::{ChargePolicy, OvershootPolicy, RegulatorConfig, TcRegulator};
 use fgqos_sim::gate::PortGate;
@@ -81,7 +81,10 @@ fn run_variant(
     }
     let mut soc = builder.build();
     let critical = soc.master_id("critical").expect("critical");
-    let cycles = soc.run_until_done(critical, MAX_CYCLES).expect("finishes").get();
+    let cycles = soc
+        .run_until_done(critical, MAX_CYCLES)
+        .expect("finishes")
+        .get();
     let st = soc.master_stats(critical);
     let mut be_bytes = 0u64;
     for i in 0..scenario.interferers {
@@ -91,7 +94,11 @@ fn run_variant(
     Outcome {
         slowdown: cycles as f64 / iso as f64,
         p99: st.latency.percentile(0.99),
-        overshoot: drivers.iter().map(|d| d.telemetry().max_overshoot).max().unwrap_or(0),
+        overshoot: drivers
+            .iter()
+            .map(|d| d.telemetry().max_overshoot)
+            .max()
+            .unwrap_or(0),
         be_gibs: be_bytes as f64 / cycles as f64 * 1e9 / (1024.0 * 1024.0 * 1024.0),
     }
 }
@@ -120,7 +127,10 @@ fn run_gated(
     }
     let mut soc = builder.build();
     let critical = soc.master_id("critical").expect("critical");
-    let cycles = soc.run_until_done(critical, MAX_CYCLES).expect("finishes").get();
+    let cycles = soc
+        .run_until_done(critical, MAX_CYCLES)
+        .expect("finishes")
+        .get();
     let st = soc.master_stats(critical);
     let mut be_bytes = 0u64;
     for i in 0..scenario.interferers {
@@ -135,103 +145,167 @@ fn run_gated(
     }
 }
 
-fn main() {
-    table::banner("EXP-A", "design-choice ablations of the tightly-coupled regulator");
-    let scenario = Scenario { interferer_txn_bytes: 512, ..Scenario::default() };
-    let iso = scenario.isolation_cycles();
-    // Sanity anchor: the unregulated co-run.
-    let (unreg_cycles, _) = scenario.run(Scheme::Unregulated, MAX_CYCLES);
-    table::context("isolation_cycles", iso);
-    table::context("unregulated slowdown", format!("{:.2}", unreg_cycles as f64 / iso as f64));
-    table::header(&["variant", "slowdown", "p99_lat", "overshoot_B", "be_gibs"]);
+/// One ablation point of the parallel sweep.
+#[derive(Clone, Copy)]
+enum Variant {
+    /// Sanity anchor; printed as a context line, not a table row.
+    Unregulated,
+    Tc {
+        name: &'static str,
+        charge: ChargePolicy,
+        overshoot: OvershootPolicy,
+        arb: Arbitration,
+        period: u32,
+        budget: u32,
+    },
+    LeakyBucket,
+    Qos400 {
+        name: &'static str,
+        txn_bytes: u64,
+    },
+}
 
-    let show = |name: &str, o: Outcome| {
+fn main() {
+    table::banner(
+        "EXP-A",
+        "design-choice ablations of the tightly-coupled regulator",
+    );
+    let scenario = Scenario {
+        interferer_txn_bytes: 512,
+        ..Scenario::default()
+    };
+    let iso = scenario.isolation_cycles();
+
+    let tc = |name, charge, overshoot, arb| Variant::Tc {
+        name,
+        charge,
+        overshoot,
+        arb,
+        period: 1_000,
+        budget: 1_024,
+    };
+    let points = vec![
+        Variant::Unregulated,
+        tc(
+            "baseline",
+            ChargePolicy::Acceptance,
+            OvershootPolicy::Conservative,
+            Arbitration::RoundRobin,
+        ),
+        tc(
+            "charge@done",
+            ChargePolicy::Completion,
+            OvershootPolicy::Conservative,
+            Arbitration::RoundRobin,
+        ),
+        tc(
+            "final-burst",
+            ChargePolicy::Acceptance,
+            OvershootPolicy::FinalBurst,
+            Arbitration::RoundRobin,
+        ),
+        tc(
+            "fixed-prio",
+            ChargePolicy::Acceptance,
+            OvershootPolicy::Conservative,
+            Arbitration::FixedPriority,
+        ),
+        // Same average bandwidth, 6x coarser windows.
+        Variant::Tc {
+            name: "coarse-6x",
+            charge: ChargePolicy::Acceptance,
+            overshoot: OvershootPolicy::Conservative,
+            arb: Arbitration::RoundRobin,
+            period: 6_000,
+            budget: 6_144,
+        },
+        // Token bucket at the same average rate, depth = one window
+        // budget: smoother injection, no aligned-window guarantee.
+        Variant::LeakyBucket,
+        // QoS-400-style regulation at the same *nominal* transaction
+        // rate (2 x 512 B txns per us): byte-blind, so its enforcement
+        // quality depends entirely on the burst size staying what the
+        // integrator assumed.
+        Variant::Qos400 {
+            name: "qos400-ot",
+            txn_bytes: 512,
+        },
+        // The byte-blindness: the *same* QoS-400 configuration, but the
+        // accelerators switch to 4 KiB bursts. The transaction-rate cap
+        // still admits 2 txns/us -- now 8x the bytes. The byte-based
+        // regulator's enforcement would be unchanged.
+        Variant::Qos400 {
+            name: "qos400-4k-burst",
+            txn_bytes: 4_096,
+        },
+    ];
+
+    let results = sweep::run_parallel(points, |variant| match variant {
+        Variant::Unregulated => {
+            let (unreg_cycles, _) = scenario.run(Scheme::Unregulated, MAX_CYCLES);
+            (
+                "unregulated",
+                Outcome {
+                    slowdown: unreg_cycles as f64 / iso as f64,
+                    p99: 0,
+                    overshoot: 0,
+                    be_gibs: 0.0,
+                },
+            )
+        }
+        Variant::Tc {
+            name,
+            charge,
+            overshoot,
+            arb,
+            period,
+            budget,
+        } => (
+            name,
+            run_variant(&scenario, charge, overshoot, arb, period, budget, iso),
+        ),
+        Variant::LeakyBucket => (
+            "leaky-bucket",
+            run_gated(&scenario, iso, || {
+                Box::new(LeakyBucketRegulator::new(BucketConfig {
+                    budget_bytes: 1_024,
+                    period_cycles: 1_000,
+                    depth_bytes: 1_024,
+                    ..BucketConfig::default()
+                }))
+            }),
+        ),
+        Variant::Qos400 { name, txn_bytes } => {
+            let s = Scenario {
+                interferer_txn_bytes: txn_bytes,
+                ..scenario.clone()
+            };
+            (
+                name,
+                run_gated(&s, iso, || {
+                    Box::new(OtRegulatorGate::new(OtRegulatorConfig {
+                        max_outstanding: 2,
+                        txns_per_period: 2,
+                        period_cycles: 1_000,
+                    }))
+                }),
+            )
+        }
+    });
+
+    table::context("isolation_cycles", iso);
+    table::context(
+        "unregulated slowdown",
+        format!("{:.2}", results[0].1.slowdown),
+    );
+    table::header(&["variant", "slowdown", "p99_lat", "overshoot_B", "be_gibs"]);
+    for (name, o) in &results[1..] {
         table::row(&[
-            name.into(),
+            (*name).into(),
             table::f2(o.slowdown),
             table::int(o.p99),
             table::int(o.overshoot),
             table::f2(o.be_gibs),
         ]);
-    };
-
-    let base = |charge, overshoot, arb| {
-        run_variant(&scenario, charge, overshoot, arb, 1_000, 1_024, iso)
-    };
-
-    show(
-        "baseline",
-        base(ChargePolicy::Acceptance, OvershootPolicy::Conservative, Arbitration::RoundRobin),
-    );
-    show(
-        "charge@done",
-        base(ChargePolicy::Completion, OvershootPolicy::Conservative, Arbitration::RoundRobin),
-    );
-    show(
-        "final-burst",
-        base(ChargePolicy::Acceptance, OvershootPolicy::FinalBurst, Arbitration::RoundRobin),
-    );
-    show(
-        "fixed-prio",
-        base(
-            ChargePolicy::Acceptance,
-            OvershootPolicy::Conservative,
-            Arbitration::FixedPriority,
-        ),
-    );
-    // Same average bandwidth, 6x coarser windows.
-    show(
-        "coarse-6x",
-        run_variant(
-            &scenario,
-            ChargePolicy::Acceptance,
-            OvershootPolicy::Conservative,
-            Arbitration::RoundRobin,
-            6_000,
-            6_144,
-            iso,
-        ),
-    );
-    // Token bucket at the same average rate, depth = one window budget:
-    // smoother injection, no aligned-window guarantee.
-    show(
-        "leaky-bucket",
-        run_gated(&scenario, iso, || {
-            Box::new(LeakyBucketRegulator::new(BucketConfig {
-                budget_bytes: 1_024,
-                period_cycles: 1_000,
-                depth_bytes: 1_024,
-                ..BucketConfig::default()
-            }))
-        }),
-    );
-    // QoS-400-style regulation at the same *nominal* transaction rate
-    // (2 x 512 B txns per us): byte-blind, so its enforcement quality
-    // depends entirely on the burst size staying what the integrator
-    // assumed.
-    show(
-        "qos400-ot",
-        run_gated(&scenario, iso, || {
-            Box::new(OtRegulatorGate::new(OtRegulatorConfig {
-                max_outstanding: 2,
-                txns_per_period: 2,
-                period_cycles: 1_000,
-            }))
-        }),
-    );
-    // The byte-blindness: the *same* QoS-400 configuration, but the
-    // accelerators switch to 4 KiB bursts. The transaction-rate cap
-    // still admits 2 txns/us -- now 8x the bytes. The byte-based
-    // regulator's enforcement would be unchanged.
-    let scenario_4k = Scenario { interferer_txn_bytes: 4_096, ..scenario.clone() };
-    show(
-        "qos400-4k-burst",
-        run_gated(&scenario_4k, iso, || {
-            Box::new(OtRegulatorGate::new(OtRegulatorConfig {
-                max_outstanding: 2,
-                txns_per_period: 2,
-                period_cycles: 1_000,
-            }))
-        }),
-    );
+    }
 }

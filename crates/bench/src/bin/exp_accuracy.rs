@@ -16,7 +16,7 @@
 //! (measured uniformly from per-window completion records).
 
 use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::bucket::{BucketConfig, LeakyBucketRegulator};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::{Dir, MasterId};
@@ -40,7 +40,11 @@ fn measure(gate_kind: &str, set_point_mib: f64) -> (f64, u64) {
     let mut builder = SocBuilder::new(SocConfig::default());
     // Every scheme's worst interval is measured the same way: per-window
     // completed bytes at the scheme's own replenishment interval.
-    let interval = if gate_kind == "memguard" { MG_TICK } else { TC_PERIOD };
+    let interval = if gate_kind == "memguard" {
+        MG_TICK
+    } else {
+        TC_PERIOD
+    };
     let budget_for_interval = bw.to_window_budget(interval, freq);
     builder = match gate_kind {
         "tc-regulator" => {
@@ -86,26 +90,42 @@ fn measure(gate_kind: &str, set_point_mib: f64) -> (f64, u64) {
     soc.master_mut(MasterId::new(0)).record_windows(interval);
     soc.run(RUN_CYCLES);
     let measured = soc.master_bandwidth(MasterId::new(0)).mib_per_s();
-    let worst_window =
-        soc.master_stats(MasterId::new(0)).window.as_ref().expect("recording on").max_window();
+    let worst_window = soc
+        .master_stats(MasterId::new(0))
+        .window
+        .as_ref()
+        .expect("recording on")
+        .max_window();
     (measured, worst_window.saturating_sub(budget_for_interval))
 }
 
 fn main() {
-    table::banner("EXP-F2", "regulation accuracy: configured vs. measured bandwidth");
+    table::banner(
+        "EXP-F2",
+        "regulation accuracy: configured vs. measured bandwidth",
+    );
     table::context("tc window", format!("{TC_PERIOD} cycles (10 us)"));
     table::context("memguard tick/irq", format!("{MG_TICK} / {MG_IRQ} cycles"));
     table::header(&["scheme", "set_mibs", "meas_mibs", "err_pct", "overshoot_B"]);
-    for scheme in ["tc-regulator", "leaky-bucket", "memguard"] {
-        for set in [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0] {
-            let (measured, overshoot) = measure(scheme, set);
-            table::row(&[
-                scheme.to_string(),
-                table::f2(set),
-                table::f2(measured),
-                table::f2((measured - set) / set * 100.0),
-                table::int(overshoot),
-            ]);
-        }
+    let points: Vec<(&str, f64)> = ["tc-regulator", "leaky-bucket", "memguard"]
+        .into_iter()
+        .flat_map(|scheme| {
+            [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0]
+                .into_iter()
+                .map(move |set| (scheme, set))
+        })
+        .collect();
+    let rows = sweep::run_parallel(points, |(scheme, set)| {
+        let (measured, overshoot) = measure(scheme, set);
+        vec![
+            scheme.to_string(),
+            table::f2(set),
+            table::f2(measured),
+            table::f2((measured - set) / set * 100.0),
+            table::int(overshoot),
+        ]
+    });
+    for row in rows {
+        table::row(&row);
     }
 }

@@ -19,7 +19,7 @@
 //! Printed columns: time (µs), critical bytes in the window, dma0 bytes
 //! in the window, commanded best-effort budget (bytes/window).
 
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::driver::RegulatorDriver;
 use fgqos_core::policy::{FeedbackController, ReclaimConfig, ReclaimPolicy};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
@@ -54,24 +54,34 @@ impl Controller for BudgetSampler {
     }
 }
 
-fn print_timeline(crit: &[u64], be: &[u64], budgets: &[u32]) {
-    table::header(&["t_us", "crit_B", "dma0_B", "budget_B"]);
+fn timeline_rows(crit: &[u64], be: &[u64], budgets: &[u32]) -> Vec<Vec<String>> {
     let n = crit.len().min(be.len()).min(budgets.len());
-    for i in 0..n {
-        table::row(&[
-            table::int(i as u64 * SAMPLE / 1_000),
-            table::int(crit[i]),
-            table::int(be[i]),
-            table::int(budgets[i] as u64),
-        ]);
+    (0..n)
+        .map(|i| {
+            vec![
+                table::int(i as u64 * SAMPLE / 1_000),
+                table::int(crit[i]),
+                table::int(be[i]),
+                table::int(budgets[i] as u64),
+            ]
+        })
+        .collect()
+}
+
+fn print_section(banner: (&str, &str), rows: &[Vec<String>]) {
+    println!();
+    table::banner(banner.0, banner.1);
+    table::header(&["t_us", "crit_B", "dma0_B", "budget_B"]);
+    for row in rows {
+        table::row(row);
     }
 }
 
-fn section_a_reclaim() {
-    println!();
-    table::banner("EXP-F5a", "reclaim timeline: bursty critical, greedy best-effort");
-    let critical = TrafficSpec::latency_sensitive(0, 4 << 20, 256, 1_000)
-        .with_burst(BurstShape { on_cycles: 300_000, off_cycles: 300_000 });
+fn section_a_reclaim() -> Vec<Vec<String>> {
+    let critical = TrafficSpec::latency_sensitive(0, 4 << 20, 256, 1_000).with_burst(BurstShape {
+        on_cycles: 300_000,
+        off_cycles: 300_000,
+    });
     let (crit_monitor, crit_driver) = TcRegulator::monitor_only(1_000);
     let mut regs = Vec::new();
     let mut drivers = Vec::new();
@@ -97,10 +107,19 @@ fn section_a_reclaim() {
         },
     );
     let samples = Rc::new(RefCell::new(Vec::new()));
-    let sampler =
-        BudgetSampler { driver: drivers[0].clone(), samples: Rc::clone(&samples), next_at: 0 };
+    let sampler = BudgetSampler {
+        driver: drivers[0].clone(),
+        samples: Rc::clone(&samples),
+        next_at: 0,
+    };
     let mut builder = SocBuilder::new(SocConfig::default())
-        .master_full("critical", SpecSource::new(critical, 1), MasterKind::Cpu, crit_monitor, 1)
+        .master_full(
+            "critical",
+            SpecSource::new(critical, 1),
+            MasterKind::Cpu,
+            crit_monitor,
+            1,
+        )
         .controller(policy)
         .controller(sampler)
         .record_windows(SAMPLE);
@@ -122,14 +141,25 @@ fn section_a_reclaim() {
     soc.run(HORIZON);
     let crit_id = soc.master_id("critical").expect("critical");
     let be_id = soc.master_id("dma0").expect("dma0");
-    let crit_w = soc.master_stats(crit_id).window.as_ref().expect("windows").windows().to_vec();
-    let be_w = soc.master_stats(be_id).window.as_ref().expect("windows").windows().to_vec();
-    print_timeline(&crit_w, &be_w, &samples.borrow());
+    let crit_w = soc
+        .master_stats(crit_id)
+        .window
+        .as_ref()
+        .expect("windows")
+        .windows()
+        .to_vec();
+    let be_w = soc
+        .master_stats(be_id)
+        .window
+        .as_ref()
+        .expect("windows")
+        .windows()
+        .to_vec();
+    let rows = timeline_rows(&crit_w, &be_w, &samples.borrow());
+    rows
 }
 
-fn section_b_feedback() {
-    println!();
-    table::banner("EXP-F5b", "AIMD feedback timeline: steady critical, bursty interference");
+fn section_b_feedback() -> Vec<Vec<String>> {
     let critical = TrafficSpec::latency_sensitive(0, 4 << 20, 256, 500);
     let (crit_monitor, crit_driver) = TcRegulator::monitor_only(1_000);
     let mut regs = Vec::new();
@@ -157,10 +187,19 @@ fn section_b_feedback() {
         10_000,
     );
     let samples = Rc::new(RefCell::new(Vec::new()));
-    let sampler =
-        BudgetSampler { driver: drivers[0].clone(), samples: Rc::clone(&samples), next_at: 0 };
+    let sampler = BudgetSampler {
+        driver: drivers[0].clone(),
+        samples: Rc::clone(&samples),
+        next_at: 0,
+    };
     let mut builder = SocBuilder::new(SocConfig::default())
-        .master_full("critical", SpecSource::new(critical, 1), MasterKind::Cpu, crit_monitor, 1)
+        .master_full(
+            "critical",
+            SpecSource::new(critical, 1),
+            MasterKind::Cpu,
+            crit_monitor,
+            1,
+        )
         .controller(policy)
         .controller(sampler)
         .record_windows(SAMPLE);
@@ -172,7 +211,10 @@ fn section_b_feedback() {
             512,
             fgqos_sim::axi::Dir::Write,
         )
-        .with_burst(BurstShape { on_cycles: 500_000, off_cycles: 500_000 });
+        .with_burst(BurstShape {
+            on_cycles: 500_000,
+            off_cycles: 500_000,
+        });
         builder = builder.gated_master(
             format!("dma{i}"),
             SpecSource::new(spec, 100 + i as u64),
@@ -184,13 +226,43 @@ fn section_b_feedback() {
     soc.run(HORIZON);
     let crit_id = soc.master_id("critical").expect("critical");
     let be_id = soc.master_id("dma0").expect("dma0");
-    let crit_w = soc.master_stats(crit_id).window.as_ref().expect("windows").windows().to_vec();
-    let be_w = soc.master_stats(be_id).window.as_ref().expect("windows").windows().to_vec();
-    print_timeline(&crit_w, &be_w, &samples.borrow());
+    let crit_w = soc
+        .master_stats(crit_id)
+        .window
+        .as_ref()
+        .expect("windows")
+        .windows()
+        .to_vec();
+    let be_w = soc
+        .master_stats(be_id)
+        .window
+        .as_ref()
+        .expect("windows")
+        .windows()
+        .to_vec();
+    let rows = timeline_rows(&crit_w, &be_w, &samples.borrow());
+    rows
 }
 
 fn main() {
     table::banner("EXP-F5", "dynamic adaptation timelines (two policies)");
-    section_a_reclaim();
-    section_b_feedback();
+    // Both timelines simulate independently; rows come back in order.
+    let sections = sweep::run_parallel(vec![0u8, 1], |which| match which {
+        0 => section_a_reclaim(),
+        _ => section_b_feedback(),
+    });
+    print_section(
+        (
+            "EXP-F5a",
+            "reclaim timeline: bursty critical, greedy best-effort",
+        ),
+        &sections[0],
+    );
+    print_section(
+        (
+            "EXP-F5b",
+            "AIMD feedback timeline: steady critical, bursty interference",
+        ),
+        &sections[1],
+    );
 }

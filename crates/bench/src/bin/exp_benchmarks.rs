@@ -13,7 +13,7 @@
 //! scheme, best-effort GiB/s under each regulated scheme.
 
 use fgqos_bench::scenario::{Built, Scenario, Scheme};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_workloads::kernels::Kernel;
 
 const ITERATIONS: u64 = 3;
@@ -40,10 +40,18 @@ fn main() {
     table::context("memguard", "1 ms tick, 2 us irq, 1 MiB/tick per port");
     table::context("tc-regulator", "1 us window, 1 KiB/window per port");
     table::header(&[
-        "kernel", "iso_kcyc", "sd_unreg", "sd_memguard", "sd_tc", "be_mg_gibs", "be_tc_gibs",
+        "kernel",
+        "iso_kcyc",
+        "sd_unreg",
+        "sd_memguard",
+        "sd_tc",
+        "be_mg_gibs",
+        "be_tc_gibs",
     ]);
 
-    for kernel in Kernel::all() {
+    // One sweep point per kernel; each worker measures its own isolation
+    // baseline and all three scheme co-runs.
+    let rows = sweep::run_parallel(Kernel::all().to_vec(), |kernel| {
         let source = || kernel.source(0, ITERATIONS, 7);
         let iso = scenario.isolation_cycles_with(source());
 
@@ -63,9 +71,12 @@ fn main() {
             budget: 1_048_576,
             irq: 2_000,
         });
-        let (sd_tc, be_tc) = run(Scheme::Tc { period: 1_000, budget: 1_024 });
+        let (sd_tc, be_tc) = run(Scheme::Tc {
+            period: 1_000,
+            budget: 1_024,
+        });
 
-        table::row(&[
+        vec![
             kernel.name().into(),
             table::int(iso / 1_000),
             table::f2(sd_unreg),
@@ -73,6 +84,9 @@ fn main() {
             table::f2(sd_tc),
             table::f2(be_mg),
             table::f2(be_tc),
-        ]);
+        ]
+    });
+    for row in rows {
+        table::row(&row);
     }
 }

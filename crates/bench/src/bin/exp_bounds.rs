@@ -10,7 +10,7 @@
 //! Printed columns: ports, period, budget per window, analytic
 //! utilization, observed max latency, bound, tightness (bound/observed).
 
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::analysis::{PortModel, SystemModel};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::{Dir, BEAT_BYTES};
@@ -52,21 +52,31 @@ fn observe(ports: usize, period: u32, budget: u32, txn_bytes: u64, seed: u64) ->
 }
 
 fn main() {
-    table::banner("EXP-B", "analytical worst-case delay bound vs. observed worst case");
+    table::banner(
+        "EXP-B",
+        "analytical worst-case delay bound vs. observed worst case",
+    );
     table::context("critical", "256 B random closed-loop reads");
     table::header(&[
-        "ports", "period", "budget_B", "util", "observed", "bound", "tightness",
+        "ports",
+        "period",
+        "budget_B",
+        "util",
+        "observed",
+        "bound",
+        "tightness",
     ]);
     let txn_bytes = 512u64;
-    for (ports, period, budget) in [
-        (1usize, 1_000u32, 512u32),
+    let configs: Vec<(usize, u32, u32)> = vec![
+        (1, 1_000, 512),
         (2, 1_000, 512),
         (4, 1_000, 512),
         (6, 1_000, 512),
         (4, 1_000, 1_024),
         (4, 2_000, 1_024),
         (4, 5_000, 2_560),
-    ] {
+    ];
+    let rows = sweep::run_parallel(configs, |(ports, period, budget)| {
         let model = SystemModel {
             dram: DramConfig::default(),
             fifo_depth: XbarConfig::default().port_fifo_depth as u64,
@@ -83,7 +93,7 @@ fn main() {
         };
         let bound = model.critical_delay_bound().expect("bound converges");
         let observed = observe(ports, period, budget, txn_bytes, 7);
-        table::row(&[
+        vec![
             table::int(ports as u64),
             table::int(period as u64),
             table::int(budget as u64),
@@ -91,6 +101,9 @@ fn main() {
             table::int(observed),
             table::int(bound),
             table::f2(bound as f64 / observed as f64),
-        ]);
+        ]
+    });
+    for row in rows {
+        table::row(&row);
     }
 }

@@ -13,7 +13,7 @@
 //! (bytes), worst interval bytes, overshoot bytes, overshoot %.
 
 use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::regulator::{OvershootPolicy, RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::{Dir, MasterId};
 use fgqos_sim::gate::PortGate;
@@ -23,14 +23,15 @@ use fgqos_workloads::spec::{SpecSource, TrafficSpec};
 
 const RUN_CYCLES: u64 = 20_000_000;
 
-fn run_one(
-    gate: impl PortGate + 'static,
-    interval: u64,
-    budget: u64,
-) -> (u64, u64) {
+fn run_one(gate: impl PortGate + 'static, interval: u64, budget: u64) -> (u64, u64) {
     let spec = TrafficSpec::stream(0, 16 << 20, 1024, Dir::Write);
     let mut soc = SocBuilder::new(SocConfig::default())
-        .gated_master("dma", SpecSource::new(spec, 1), MasterKind::Accelerator, gate)
+        .gated_master(
+            "dma",
+            SpecSource::new(spec, 1),
+            MasterKind::Accelerator,
+            gate,
+        )
         .record_windows(interval)
         .build();
     soc.run(RUN_CYCLES);
@@ -40,57 +41,89 @@ fn run_one(
 }
 
 fn main() {
-    table::banner("EXP-F6", "worst bytes past the budget per replenishment interval");
+    table::banner(
+        "EXP-F6",
+        "worst bytes past the budget per replenishment interval",
+    );
     table::context("master", "greedy 1 KiB write stream");
     table::context("average budget", "2 GiB/s equivalent for every scheme");
     table::header(&[
-        "scheme", "interval", "irq_lat", "budget_B", "worst_B", "overshoot_B", "overshoot_pct",
+        "scheme",
+        "interval",
+        "irq_lat",
+        "budget_B",
+        "worst_B",
+        "overshoot_B",
+        "overshoot_pct",
     ]);
 
-    // Tightly-coupled, conservative and final-burst variants; 10 us window.
+    // Tightly-coupled (10 us window, conservative and final-burst
+    // variants) and MemGuard (1 ms tick) across an IRQ latency sweep.
     let period = 10_000u64;
     let budget = 2 * period; // ~2 GiB/s at 1 GHz: 2 bytes/cycle
-    for (name, overshoot) in [
-        ("tc-conservative", OvershootPolicy::Conservative),
-        ("tc-final-burst", OvershootPolicy::FinalBurst),
-    ] {
-        let (reg, _driver) = TcRegulator::create(RegulatorConfig {
-            period_cycles: period as u32,
-            budget_bytes: budget as u32,
-            enabled: true,
-            overshoot,
-            ..RegulatorConfig::default()
-        });
-        let (worst, over) = run_one(reg, period, budget);
-        table::row(&[
-            name.into(),
-            table::int(period),
-            table::int(0),
-            table::int(budget),
-            table::int(worst),
-            table::int(over),
-            table::f2(over as f64 * 100.0 / budget as f64),
-        ]);
-    }
-
-    // MemGuard: 1 ms tick, IRQ latency sweep.
     let tick = 1_000_000u64;
     let mg_budget = 2 * tick;
-    for irq in [500u64, 1_000, 2_000, 5_000, 10_000, 20_000] {
-        let gate = MemGuardGate::new(MemGuardConfig {
-            tick_cycles: tick,
-            budget_bytes: mg_budget,
-            irq_latency_cycles: irq,
-        });
-        let (worst, over) = run_one(gate, tick, mg_budget);
-        table::row(&[
-            "memguard".into(),
-            table::int(tick),
-            table::int(irq),
-            table::int(mg_budget),
-            table::int(worst),
-            table::int(over),
-            table::f2(over as f64 * 100.0 / mg_budget as f64),
-        ]);
+
+    enum Point {
+        Tc {
+            name: &'static str,
+            overshoot: OvershootPolicy,
+        },
+        MemGuard {
+            irq: u64,
+        },
+    }
+    let mut points = vec![
+        Point::Tc {
+            name: "tc-conservative",
+            overshoot: OvershootPolicy::Conservative,
+        },
+        Point::Tc {
+            name: "tc-final-burst",
+            overshoot: OvershootPolicy::FinalBurst,
+        },
+    ];
+    points.extend([500u64, 1_000, 2_000, 5_000, 10_000, 20_000].map(|irq| Point::MemGuard { irq }));
+
+    let rows = sweep::run_parallel(points, |point| match point {
+        Point::Tc { name, overshoot } => {
+            let (reg, _driver) = TcRegulator::create(RegulatorConfig {
+                period_cycles: period as u32,
+                budget_bytes: budget as u32,
+                enabled: true,
+                overshoot,
+                ..RegulatorConfig::default()
+            });
+            let (worst, over) = run_one(reg, period, budget);
+            vec![
+                name.into(),
+                table::int(period),
+                table::int(0),
+                table::int(budget),
+                table::int(worst),
+                table::int(over),
+                table::f2(over as f64 * 100.0 / budget as f64),
+            ]
+        }
+        Point::MemGuard { irq } => {
+            let gate = MemGuardGate::new(MemGuardConfig {
+                tick_cycles: tick,
+                budget_bytes: mg_budget,
+                irq_latency_cycles: irq,
+            });
+            let (worst, over) = run_one(gate, tick, mg_budget);
+            vec![
+                "memguard".into(),
+                table::int(tick),
+                table::int(irq),
+                table::int(mg_budget),
+                table::int(worst),
+                table::int(over),
+                table::f2(over as f64 * 100.0 / mg_budget as f64),
+            ]
+        }
+    });
+    for row in rows {
+        table::row(&row);
     }
 }

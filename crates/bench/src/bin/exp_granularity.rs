@@ -16,7 +16,7 @@
 //! its isolation-rate progress), interferer achieved MiB/s.
 
 use fgqos_bench::scenario::{Scenario, Scheme};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_sim::time::{Bandwidth, Freq};
 
 const PROGRESS_WINDOW: u64 = 10_000; // 10 us progress buckets
@@ -55,19 +55,34 @@ fn main() {
     let iso_rate_per_window = iso_bytes * PROGRESS_WINDOW / iso;
     table::context("interferers", "3 × 512 B greedy streams @ 1 GiB/s each");
     table::context("isolation_cycles", iso);
-    table::context("starvation threshold", format!("{} B / 10 us", iso_rate_per_window / 2));
+    table::context(
+        "starvation threshold",
+        format!("{} B / 10 us", iso_rate_per_window / 2),
+    );
     table::header(&[
-        "period_cyc", "budget_B", "slowdown", "p50_lat", "p99_lat", "starve_us", "intf_mibs",
+        "period_cyc",
+        "budget_B",
+        "slowdown",
+        "p50_lat",
+        "p99_lat",
+        "starve_us",
+        "intf_mibs",
     ]);
 
-    for period in
-        [500u64, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 2_000_000]
-    {
+    let periods: Vec<u64> = vec![
+        500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 2_000_000,
+    ];
+    let rows = sweep::run_parallel(periods, |period| {
         let budget = per_interferer.to_window_budget(period, freq);
-        let scheme =
-            Scheme::Tc { period: period as u32, budget: budget.min(u32::MAX as u64) as u32 };
+        let scheme = Scheme::Tc {
+            period: period as u32,
+            budget: budget.min(u32::MAX as u64) as u32,
+        };
         let mut built = scenario.build(scheme);
-        built.soc.master_mut(built.critical).record_windows(PROGRESS_WINDOW);
+        built
+            .soc
+            .master_mut(built.critical)
+            .record_windows(PROGRESS_WINDOW);
         let cycles = built
             .soc
             .run_until_done(built.critical, u64::MAX / 2)
@@ -80,7 +95,7 @@ fn main() {
         );
         let intf = built.soc.master_id("dma0").expect("dma0");
         let intf_bw = built.soc.master_bandwidth(intf);
-        table::row(&[
+        vec![
             table::int(period),
             table::int(budget),
             table::f2(cycles as f64 / iso as f64),
@@ -88,6 +103,9 @@ fn main() {
             table::int(st.latency.percentile(0.99)),
             table::f2(starve as f64 / 1_000.0),
             table::f2(intf_bw.mib_per_s()),
-        ]);
+        ]
+    });
+    for row in rows {
+        table::row(&row);
     }
 }

@@ -11,39 +11,56 @@
 //! (cycles), aggregate DRAM bandwidth (GiB/s).
 
 use fgqos_bench::scenario::{Scenario, Scheme};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_sim::axi::Dir;
 
 fn main() {
-    table::banner("EXP-F1", "critical slowdown vs. number of unregulated interferers");
+    table::banner(
+        "EXP-F1",
+        "critical slowdown vs. number of unregulated interferers",
+    );
     let base = Scenario::default();
-    table::context("critical", "256 B random closed-loop reads, think 100 cycles");
+    table::context(
+        "critical",
+        "256 B random closed-loop reads, think 100 cycles",
+    );
     table::context("interferer", "greedy 1 KiB sequential streams");
-    table::header(&["interferers", "dir", "cycles", "slowdown", "p50_lat", "p99_lat", "dram_gibs"]);
+    table::header(&[
+        "interferers",
+        "dir",
+        "cycles",
+        "slowdown",
+        "p50_lat",
+        "p99_lat",
+        "dram_gibs",
+    ]);
 
-    for dir in [Dir::Read, Dir::Write] {
-        let mut iso = 0;
-        for n in 0..=7usize {
-            let s = Scenario { interferers: n, interferer_dir: dir, ..base.clone() };
-            let (cycles, built) = if n == 0 {
-                let c = s.isolation_cycles();
-                iso = c;
-                // Re-run through the normal path for consistent stats.
-                Scenario { interferers: 0, ..s.clone() }.run(Scheme::Unregulated, u64::MAX / 2)
-            } else {
-                s.run(Scheme::Unregulated, u64::MAX / 2)
-            };
-            let st = built.soc.master_stats(built.critical);
-            let dram_bw = built.soc.total_bandwidth();
-            table::row(&[
-                table::int(n as u64),
-                dir.to_string(),
-                table::int(cycles),
-                table::f2(cycles as f64 / iso as f64),
-                table::int(st.latency.percentile(0.50)),
-                table::int(st.latency.percentile(0.99)),
-                table::f2(dram_bw.gib_per_s()),
-            ]);
-        }
+    // Isolation has no interferers, so the baseline is direction-free.
+    let iso = base.isolation_cycles();
+    let points: Vec<(Dir, usize)> = [Dir::Read, Dir::Write]
+        .into_iter()
+        .flat_map(|dir| (0..=7usize).map(move |n| (dir, n)))
+        .collect();
+    let rows = sweep::run_parallel(points, |(dir, n)| {
+        let s = Scenario {
+            interferers: n,
+            interferer_dir: dir,
+            ..base.clone()
+        };
+        let (cycles, built) = s.run(Scheme::Unregulated, u64::MAX / 2);
+        let st = built.soc.master_stats(built.critical);
+        let dram_bw = built.soc.total_bandwidth();
+        vec![
+            table::int(n as u64),
+            dir.to_string(),
+            table::int(cycles),
+            table::f2(cycles as f64 / iso as f64),
+            table::int(st.latency.percentile(0.50)),
+            table::int(st.latency.percentile(0.99)),
+            table::f2(dram_bw.gib_per_s()),
+        ]
+    });
+    for row in rows {
+        table::row(&row);
     }
 }

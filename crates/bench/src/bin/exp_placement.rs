@@ -18,7 +18,7 @@
 //! Printed: per-BE achieved vs. target MiB/s for both placements and the
 //! worst relative target error.
 
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_core::shared::SharedRegulator;
 use fgqos_sim::axi::Dir;
@@ -62,32 +62,52 @@ fn build(shared: bool) -> Soc {
 }
 
 fn main() {
-    table::banner("EXP-P", "per-port (tightly-coupled) vs shared-budget regulator placement");
+    table::banner(
+        "EXP-P",
+        "per-port (tightly-coupled) vs shared-budget regulator placement",
+    );
     let freq = Freq::default();
     let total: u64 = TARGETS.iter().sum();
     table::context("aggregate budget", format!("{total} B / {PERIOD} cycles"));
-    table::context("targets", "dma0 gets 3/4 of the pool, dma1-3 split the rest");
+    table::context(
+        "targets",
+        "dma0 gets 3/4 of the pool, dma1-3 split the rest",
+    );
     table::header(&[
-        "placement", "port", "target_mibs", "achieved_mibs", "err_pct",
+        "placement",
+        "port",
+        "target_mibs",
+        "achieved_mibs",
+        "err_pct",
     ]);
 
-    for (name, shared) in [("per-port", false), ("shared", true)] {
-        let mut soc = build(shared);
-        soc.run(RUN_CYCLES);
-        let mut worst = 0.0f64;
-        for (i, &budget) in TARGETS.iter().enumerate() {
-            let target = Bandwidth::from_bytes_over(budget, PERIOD, freq).mib_per_s();
-            let id = soc.master_id(&format!("dma{i}")).expect("dma");
-            let achieved = soc.master_bandwidth(id).mib_per_s();
-            let err = (achieved - target) / target * 100.0;
-            worst = worst.max(err.abs());
-            table::row(&[
-                name.into(),
-                format!("dma{i}"),
-                table::f2(target),
-                table::f2(achieved),
-                table::f2(err),
-            ]);
+    let sections = sweep::run_parallel(
+        vec![("per-port", false), ("shared", true)],
+        |(name, shared)| {
+            let mut soc = build(shared);
+            soc.run(RUN_CYCLES);
+            let mut worst = 0.0f64;
+            let mut rows = Vec::new();
+            for (i, &budget) in TARGETS.iter().enumerate() {
+                let target = Bandwidth::from_bytes_over(budget, PERIOD, freq).mib_per_s();
+                let id = soc.master_id(&format!("dma{i}")).expect("dma");
+                let achieved = soc.master_bandwidth(id).mib_per_s();
+                let err = (achieved - target) / target * 100.0;
+                worst = worst.max(err.abs());
+                rows.push(vec![
+                    name.into(),
+                    format!("dma{i}"),
+                    table::f2(target),
+                    table::f2(achieved),
+                    table::f2(err),
+                ]);
+            }
+            (name, rows, worst)
+        },
+    );
+    for (name, rows, worst) in sections {
+        for row in rows {
+            table::row(&row);
         }
         println!("#   {name}: worst target error {worst:.1} %");
     }

@@ -10,7 +10,7 @@
 //! Printed columns: ports, counter width, LUTs, FFs, BRAM36, and device
 //! utilization percentages.
 
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::cost::{ResourceModel, Zu9egBudget};
 
 fn main() {
@@ -24,30 +24,55 @@ fn main() {
             Zu9egBudget::BRAM36
         ),
     );
-    table::header(&["ports", "cnt_width", "luts", "ffs", "bram36", "lut_pct", "ff_pct"]);
-    for width in [32u32, 48, 64] {
-        let model = ResourceModel { counter_width: width, ..ResourceModel::default() };
-        for ports in [1usize, 2, 4, 8] {
-            let est = model.for_ports(ports);
-            let (lut_pct, ff_pct, _) = Zu9egBudget::utilization(est);
-            table::row(&[
-                table::int(ports as u64),
-                table::int(width as u64),
-                table::int(est.luts),
-                table::int(est.ffs),
-                table::int(est.bram36),
-                table::f3(lut_pct),
-                table::f3(ff_pct),
-            ]);
-        }
+    table::header(&[
+        "ports",
+        "cnt_width",
+        "luts",
+        "ffs",
+        "bram36",
+        "lut_pct",
+        "ff_pct",
+    ]);
+    let points: Vec<(u32, usize)> = [32u32, 48, 64]
+        .into_iter()
+        .flat_map(|width| {
+            [1usize, 2, 4, 8]
+                .into_iter()
+                .map(move |ports| (width, ports))
+        })
+        .collect();
+    let rows = sweep::run_parallel(points, |(width, ports)| {
+        let model = ResourceModel {
+            counter_width: width,
+            ..ResourceModel::default()
+        };
+        let est = model.for_ports(ports);
+        let (lut_pct, ff_pct, _) = Zu9egBudget::utilization(est);
+        vec![
+            table::int(ports as u64),
+            table::int(width as u64),
+            table::int(est.luts),
+            table::int(est.ffs),
+            table::int(est.bram36),
+            table::f3(lut_pct),
+            table::f3(ff_pct),
+        ]
+    });
+    for row in rows {
+        table::row(&row);
     }
 
     println!();
     table::banner("EXP-T1b", "optional 4096-entry telemetry history buffer");
-    let hist = ResourceModel { history_depth: 4096, ..ResourceModel::default() };
+    let hist = ResourceModel {
+        history_depth: 4096,
+        ..ResourceModel::default()
+    };
     let est = hist.for_ports(4);
     let (lut_pct, ff_pct, bram_pct) = Zu9egBudget::utilization(est);
-    table::header(&["ports", "luts", "ffs", "bram36", "lut_pct", "ff_pct", "bram_pct"]);
+    table::header(&[
+        "ports", "luts", "ffs", "bram36", "lut_pct", "ff_pct", "bram_pct",
+    ]);
     table::row(&[
         table::int(4),
         table::int(est.luts),

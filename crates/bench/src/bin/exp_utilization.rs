@@ -26,12 +26,21 @@
 //! retained, bound verdict.
 
 use fgqos_bench::scenario::{Built, Scenario, Scheme};
-use fgqos_bench::table;
+use fgqos_bench::{sweep, table};
 use fgqos_core::policy::ReclaimConfig;
 use fgqos_workloads::spec::BurstShape;
 
 const BOUND: f64 = 1.10;
 const MAX_CYCLES: u64 = u64::MAX / 2;
+
+/// One grid point of the scheme sweep.
+#[derive(Debug, Clone, Copy)]
+enum Point {
+    Unregulated,
+    PremPhase { phase: u64 },
+    MemGuard { bpk: u64 },
+    Tc { budget: u32, reclaim: bool },
+}
 
 /// Aggregate best-effort bytes per cycle achieved in a run.
 fn best_effort_rate(built: &Built, cycles: u64, n: usize) -> f64 {
@@ -58,14 +67,20 @@ fn print_scheme(name: &str, slowdown: f64, rate: f64, unreg_rate: f64) {
 }
 
 fn main() {
-    table::banner("EXP-F4", "best-effort utilization under a 10% critical slowdown bound");
+    table::banner(
+        "EXP-F4",
+        "best-effort utilization under a 10% critical slowdown bound",
+    );
     // Bursty critical workload: active/compute phases of 500 us each; the
     // critical task is compute-dominated while active (think 1000 cycles
     // per 256 B access, ~8 % memory time), as a task with a 10 % QoS
     // bound necessarily is.
     let phase = 500_000u64;
     let scenario = Scenario {
-        critical_burst: Some(BurstShape { on_cycles: phase, off_cycles: phase }),
+        critical_burst: Some(BurstShape {
+            on_cycles: phase,
+            off_cycles: phase,
+        }),
         critical_txns: 3_000,
         critical_think: 1_000,
         interferer_txn_bytes: 512,
@@ -74,49 +89,52 @@ fn main() {
     let n = scenario.interferers;
     let iso = scenario.isolation_cycles();
     table::context("interferers", n);
-    table::context("critical", "500 us active / 500 us compute phases, think 1000");
+    table::context(
+        "critical",
+        "500 us active / 500 us compute phases, think 1000",
+    );
     table::context("bound", "critical slowdown <= 1.10");
 
-    let (unreg_cycles, unreg) = scenario.run(Scheme::Unregulated, MAX_CYCLES);
-    let unreg_rate = best_effort_rate(&unreg, unreg_cycles, n);
-
-    table::header(&["scheme", "slowdown", "be_gibs", "be_retained", "meets_bound"]);
-    print_scheme("unregulated", unreg_cycles as f64 / iso as f64, unreg_rate, unreg_rate);
-
-    // PREM-style mutual exclusion aligned to the critical phases.
-    let (prem_cycles, prem) =
-        scenario.run(Scheme::PremPhase { phase, guard: 2_500 }, MAX_CYCLES);
-    let prem_rate = best_effort_rate(&prem, prem_cycles, n);
-    print_scheme("prem-phase", prem_cycles as f64 / iso as f64, prem_rate, unreg_rate);
-
-    // MemGuard: find the largest per-tick budget meeting the bound.
+    // The whole scheme/budget grid runs as one parallel sweep; each point
+    // reduces to (slowdown, best-effort rate) and the grid searches below
+    // stay serial over the order-stable results.
     let mg_grid: &[u64] = &[10, 25, 50, 100, 250, 500, 1_000, 2_000];
-    let mut best: Option<(f64, f64)> = None;
-    for &bpk in mg_grid {
-        let tick = 1_000_000u64;
-        let (cycles, built) = scenario.run(
-            Scheme::MemGuard { tick, budget: bpk * tick / 1_000, irq: 2_000 },
-            MAX_CYCLES,
-        );
-        let slowdown = cycles as f64 / iso as f64;
-        if slowdown <= BOUND {
-            let rate = best_effort_rate(&built, cycles, n);
-            if best.is_none_or(|(_, r)| rate > r) {
-                best = Some((slowdown, rate));
-            }
-        }
-    }
-    match best {
-        Some((sd, rate)) => print_scheme("memguard", sd, rate, unreg_rate),
-        None => table::row(&["memguard".into(), "-".into(), "-".into(), "-".into(), "no".into()]),
+    let tc_grid: &[u32] = &[512, 1_024, 1_536, 2_048, 2_560, 3_072, 4_096];
+    let mut points = vec![Point::Unregulated, Point::PremPhase { phase }];
+    points.extend(mg_grid.iter().map(|&bpk| Point::MemGuard { bpk }));
+    for reclaim in [false, true] {
+        points.extend(tc_grid.iter().map(|&budget| Point::Tc { budget, reclaim }));
     }
 
-    // Tightly-coupled regulator: 1 us windows, budget grid in bytes/window.
-    let tc_grid: &[u32] = &[512, 1_024, 1_536, 2_048, 2_560, 3_072, 4_096];
-    for reclaim in [false, true] {
-        let mut best: Option<(f64, f64)> = None;
-        for &budget in tc_grid {
-            let mut built = if reclaim {
+    let results = sweep::run_parallel(points, |point| {
+        let mut built = match point {
+            Point::Unregulated => scenario.build(Scheme::Unregulated),
+            Point::PremPhase { phase } => {
+                // PREM-style mutual exclusion aligned to the critical phases.
+                scenario.build(Scheme::PremPhase {
+                    phase,
+                    guard: 2_500,
+                })
+            }
+            Point::MemGuard { bpk } => {
+                let tick = 1_000_000u64;
+                scenario.build(Scheme::MemGuard {
+                    tick,
+                    budget: bpk * tick / 1_000,
+                    irq: 2_000,
+                })
+            }
+            Point::Tc {
+                budget,
+                reclaim: false,
+            } => scenario.build(Scheme::Tc {
+                period: 1_000,
+                budget,
+            }),
+            Point::Tc {
+                budget,
+                reclaim: true,
+            } => {
                 // Lend the critical actor's protection headroom to the
                 // best-effort ports while its phase is idle. The reserve
                 // matches the active-phase demand (~0.25 B/cycle); the
@@ -134,28 +152,58 @@ fn main() {
                         ..ReclaimConfig::default()
                     },
                 )
-            } else {
-                scenario.build(Scheme::Tc { period: 1_000, budget })
-            };
-            let cycles = built
-                .soc
-                .run_until_done(built.critical, MAX_CYCLES)
-                .expect("critical finishes")
-                .get();
-            let slowdown = cycles as f64 / iso as f64;
-            if slowdown <= BOUND {
-                let rate = best_effort_rate(&built, cycles, n);
-                if best.is_none_or(|(_, r)| rate > r) {
-                    best = Some((slowdown, rate));
-                }
+            }
+        };
+        let cycles = built
+            .soc
+            .run_until_done(built.critical, MAX_CYCLES)
+            .expect("critical finishes")
+            .get();
+        (
+            cycles as f64 / iso as f64,
+            best_effort_rate(&built, cycles, n),
+        )
+    });
+
+    let (unreg_slowdown, unreg_rate) = results[0];
+    let (prem_slowdown, prem_rate) = results[1];
+    table::header(&[
+        "scheme",
+        "slowdown",
+        "be_gibs",
+        "be_retained",
+        "meets_bound",
+    ]);
+    print_scheme("unregulated", unreg_slowdown, unreg_rate, unreg_rate);
+    print_scheme("prem-phase", prem_slowdown, prem_rate, unreg_rate);
+
+    // MemGuard and tightly-coupled: largest grid point meeting the bound.
+    let mut cursor = results[2..].iter().copied();
+    let mg: Vec<(f64, f64)> = cursor.by_ref().take(mg_grid.len()).collect();
+    let select = |outcomes: &[(f64, f64)]| -> Option<(f64, f64)> {
+        let mut best: Option<(f64, f64)> = None;
+        for &(slowdown, rate) in outcomes {
+            if slowdown <= BOUND && best.is_none_or(|(_, r)| rate > r) {
+                best = Some((slowdown, rate));
             }
         }
-        let name = if reclaim { "tc+reclaim" } else { "tc-regulator" };
-        match best {
+        best
+    };
+    match select(&mg) {
+        Some((sd, rate)) => print_scheme("memguard", sd, rate, unreg_rate),
+        None => table::row(&[
+            "memguard".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "no".into(),
+        ]),
+    }
+    for name in ["tc-regulator", "tc+reclaim"] {
+        let outcomes: Vec<(f64, f64)> = cursor.by_ref().take(tc_grid.len()).collect();
+        match select(&outcomes) {
             Some((sd, rate)) => print_scheme(name, sd, rate, unreg_rate),
-            None => {
-                table::row(&[name.into(), "-".into(), "-".into(), "-".into(), "no".into()])
-            }
+            None => table::row(&[name.into(), "-".into(), "-".into(), "-".into(), "no".into()]),
         }
     }
 }

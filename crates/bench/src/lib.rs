@@ -13,9 +13,16 @@
 //! | `exp_enforcement` | EXP-F6: enforcement-latency distribution |
 //! | `exp_resources` | EXP-T1: FPGA resource usage of the IP |
 //! | `exp_benchmarks` | EXP-T2: per-kernel slowdown table |
+//! | `exp_ablations` | EXP-A: design-choice ablations |
+//! | `exp_bounds` | EXP-B: analytic bound vs. observed worst case |
+//! | `exp_placement` | EXP-P: per-port vs. shared regulator placement |
 //!
 //! This library crate hosts the shared harness utilities ([`scenario`],
-//! [`table`]) used by those binaries and by the Criterion benches.
+//! [`sweep`], [`table`]) used by those binaries and by the Criterion
+//! benches. Every binary evaluates its grid through
+//! [`sweep::run_parallel`], so wall-clock scales with the machine while
+//! row order stays deterministic.
 
 pub mod scenario;
+pub mod sweep;
 pub mod table;

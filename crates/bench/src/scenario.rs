@@ -9,12 +9,12 @@
 use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
 use fgqos_baselines::tdma::{TdmaGate, TdmaSchedule};
 use fgqos_core::driver::RegulatorDriver;
+use fgqos_core::policy::{ReclaimConfig, ReclaimPolicy};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::{Dir, MasterId};
 use fgqos_sim::dram::DramConfig;
 use fgqos_sim::master::{MasterKind, TrafficSource};
 use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
-use fgqos_core::policy::{ReclaimConfig, ReclaimPolicy};
 use fgqos_workloads::spec::{BurstShape, SpecSource, TrafficSpec};
 
 /// The arbitration scheme applied to the interferers.
@@ -127,9 +127,13 @@ pub struct Built {
 impl Scenario {
     /// The critical actor's traffic spec.
     pub fn critical_spec(&self) -> TrafficSpec {
-        let spec =
-            TrafficSpec::latency_sensitive(0, 4 << 20, self.critical_txn_bytes, self.critical_think)
-                .with_total(self.critical_txns);
+        let spec = TrafficSpec::latency_sensitive(
+            0,
+            4 << 20,
+            self.critical_txn_bytes,
+            self.critical_think,
+        )
+        .with_total(self.critical_txns);
         match self.critical_burst {
             Some(b) => spec.with_burst(b),
             None => spec,
@@ -148,7 +152,10 @@ impl Scenario {
 
     /// SoC configuration shared by all schemes (refresh enabled).
     pub fn soc_config(&self) -> SocConfig {
-        SocConfig { dram: DramConfig::default(), ..SocConfig::default() }
+        SocConfig {
+            dram: DramConfig::default(),
+            ..SocConfig::default()
+        }
     }
 
     /// Builds the co-run system under `scheme` with the default critical
@@ -212,7 +219,12 @@ impl Scenario {
         }
         let soc = builder.build();
         let critical = soc.master_id("critical").expect("critical registered");
-        Built { soc, critical, critical_driver, interferer_drivers }
+        Built {
+            soc,
+            critical,
+            critical_driver,
+            interferer_drivers,
+        }
     }
 
     /// Builds the tightly-coupled scheme plus a CMRI-style
@@ -241,7 +253,10 @@ impl Scenario {
         let policy = ReclaimPolicy::new(
             critical_driver.clone(),
             interferer_drivers.clone(),
-            ReclaimConfig { be_base: base_budget as u64 * windows, ..reclaim },
+            ReclaimConfig {
+                be_base: base_budget as u64 * windows,
+                ..reclaim
+            },
         );
         let mut builder = SocBuilder::new(self.soc_config())
             .master_full(
@@ -254,12 +269,16 @@ impl Scenario {
             .controller(policy);
         for (i, reg) in regulators.into_iter().enumerate() {
             let source = SpecSource::new(self.interferer_spec(i), self.seed + 100 + i as u64);
-            builder =
-                builder.gated_master(format!("dma{i}"), source, MasterKind::Accelerator, reg);
+            builder = builder.gated_master(format!("dma{i}"), source, MasterKind::Accelerator, reg);
         }
         let soc = builder.build();
         let critical = soc.master_id("critical").expect("critical registered");
-        Built { soc, critical, critical_driver, interferer_drivers }
+        Built {
+            soc,
+            critical,
+            critical_driver,
+            interferer_drivers,
+        }
     }
 
     /// Runs the critical actor alone and returns its completion time in
@@ -306,7 +325,11 @@ mod tests {
     use super::*;
 
     fn small() -> Scenario {
-        Scenario { interferers: 2, critical_txns: 200, ..Scenario::default() }
+        Scenario {
+            interferers: 2,
+            critical_txns: 200,
+            ..Scenario::default()
+        }
     }
 
     #[test]
@@ -327,9 +350,17 @@ mod tests {
     fn tc_regulation_recovers_critical_performance() {
         let s = small();
         let (unreg, _) = s.run(Scheme::Unregulated, 1_000_000_000);
-        let (reg, built) =
-            s.run(Scheme::Tc { period: 1_000, budget: 2_000 }, 1_000_000_000);
-        assert!(reg < unreg, "regulated ({reg}) must beat unregulated ({unreg})");
+        let (reg, built) = s.run(
+            Scheme::Tc {
+                period: 1_000,
+                budget: 2_000,
+            },
+            1_000_000_000,
+        );
+        assert!(
+            reg < unreg,
+            "regulated ({reg}) must beat unregulated ({unreg})"
+        );
         // The interferers were indeed throttled.
         let t = built.interferer_drivers[0].telemetry();
         assert!(t.stall_cycles > 0);
@@ -340,6 +371,9 @@ mod tests {
         let s = small();
         let (_, built) = s.run(Scheme::Unregulated, 1_000_000_000);
         let telemetry = built.critical_driver.telemetry();
-        assert_eq!(telemetry.total_bytes, s.critical_txns * s.critical_txn_bytes);
+        assert_eq!(
+            telemetry.total_bytes,
+            s.critical_txns * s.critical_txn_bytes
+        );
     }
 }

@@ -149,10 +149,9 @@ impl SystemModel {
     pub fn bypass_txns(&self, backlog: u64, horizon: u64) -> u64 {
         let older = backlog + self.ports.len() as u64 + 1;
         let structural = self.dram.row_hit_cap as u64 * older;
-        let admitted = self
-            .ports
-            .iter()
-            .fold(0u64, |acc, p| acc.saturating_add(p.admissions_during(horizon)));
+        let admitted = self.ports.iter().fold(0u64, |acc, p| {
+            acc.saturating_add(p.admissions_during(horizon))
+        });
         structural.min(admitted)
     }
 
@@ -183,12 +182,8 @@ impl SystemModel {
         for _ in 0..64 {
             let bypass = self.bypass_txns(backlog, bound) * t_intf;
             let refresh = (bound / self.dram.t_refi + 1) * self.dram.t_rfc;
-            let next = enter
-                + backlog * t_intf
-                + bypass
-                + t_crit
-                + self.dram.transport_latency
-                + refresh;
+            let next =
+                enter + backlog * t_intf + bypass + t_crit + self.dram.transport_latency + refresh;
             if next == bound {
                 return Some(bound);
             }
@@ -232,8 +227,7 @@ impl SystemModel {
             .map(|p| {
                 let txns_per_window = p.budget_bytes as f64 / p.txn_bytes.max(1) as f64;
                 let beats = p.txn_bytes.div_ceil(BEAT_BYTES);
-                txns_per_window * self.txn_service_cycles(beats) as f64
-                    / p.period_cycles as f64
+                txns_per_window * self.txn_service_cycles(beats) as f64 / p.period_cycles as f64
             })
             .sum()
     }
@@ -275,7 +269,10 @@ mod tests {
     fn backlog_capped_by_fabric() {
         let mut p = port();
         p.max_outstanding = 100;
-        let m = SystemModel { ports: vec![p], ..model(0) };
+        let m = SystemModel {
+            ports: vec![p],
+            ..model(0)
+        };
         // fifo 4 + queue 24 = 28 < 100.
         assert_eq!(m.backlog_txns(), 28);
     }
@@ -285,7 +282,10 @@ mod tests {
         let b1 = model(1).critical_delay_bound().expect("converges");
         let b4 = model(4).critical_delay_bound().expect("converges");
         let b8 = model(8).critical_delay_bound().expect("converges");
-        assert!(b1 < b4 && b4 < b8, "bound must grow with interference: {b1} {b4} {b8}");
+        assert!(
+            b1 < b4 && b4 < b8,
+            "bound must grow with interference: {b1} {b4} {b8}"
+        );
     }
 
     #[test]
@@ -297,7 +297,10 @@ mod tests {
         let loose = model(4);
         let bt = tight.critical_delay_bound().unwrap();
         let bl = loose.critical_delay_bound().unwrap();
-        assert!(bt <= bl, "tighter budgets cannot worsen the bound: {bt} vs {bl}");
+        assert!(
+            bt <= bl,
+            "tighter budgets cannot worsen the bound: {bt} vs {bl}"
+        );
     }
 
     #[test]
@@ -323,7 +326,10 @@ mod tests {
         m.ports.push(PortModel::unregulated(8, 512));
         let b = m.critical_delay_bound().expect("converges");
         let regulated_only = model(2).critical_delay_bound().unwrap();
-        assert!(b > regulated_only, "an extra unregulated port must worsen the bound");
+        assert!(
+            b > regulated_only,
+            "an extra unregulated port must worsen the bound"
+        );
         // The admission curve of an unregulated port is effectively
         // unbounded: the structural bypass cap must bind instead.
         let backlog = m.backlog_txns();

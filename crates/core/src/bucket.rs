@@ -156,7 +156,14 @@ mod tests {
 
     fn req(serial: u64, bytes: u64) -> Request {
         let beats = (bytes / fgqos_sim::axi::BEAT_BYTES) as u16;
-        Request::new(MasterId::new(0), serial, serial * 4096, beats, Dir::Read, Cycle::ZERO)
+        Request::new(
+            MasterId::new(0),
+            serial,
+            serial * 4096,
+            beats,
+            Dir::Read,
+            Cycle::ZERO,
+        )
     }
 
     fn bucket(budget: u32, period: u32, depth: u32) -> LeakyBucketRegulator {

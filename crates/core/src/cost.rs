@@ -62,7 +62,11 @@ impl ResourceEstimate {
 
     /// Component-wise scaling by an integer count.
     pub fn times(self, n: u64) -> ResourceEstimate {
-        ResourceEstimate { luts: self.luts * n, ffs: self.ffs * n, bram36: self.bram36 * n }
+        ResourceEstimate {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            bram36: self.bram36 * n,
+        }
     }
 }
 
@@ -92,7 +96,11 @@ impl ResourceModel {
     /// Panics if `ports` is zero.
     pub fn for_ports(&self, ports: usize) -> ResourceEstimate {
         assert!(ports > 0, "need at least one port");
-        let shared = ResourceEstimate { luts: 180, ffs: 120, bram36: 0 };
+        let shared = ResourceEstimate {
+            luts: 180,
+            ffs: 120,
+            bram36: 0,
+        };
         self.per_port().times(ports as u64).plus(shared)
     }
 }
@@ -151,15 +159,28 @@ mod tests {
 
     #[test]
     fn history_buffer_uses_bram() {
-        let m = ResourceModel { history_depth: 4096, ..ResourceModel::default() };
+        let m = ResourceModel {
+            history_depth: 4096,
+            ..ResourceModel::default()
+        };
         let est = m.per_port();
-        assert!(est.bram36 >= 7, "4096×64b needs ≥7 BRAM36, got {}", est.bram36);
+        assert!(
+            est.bram36 >= 7,
+            "4096×64b needs ≥7 BRAM36, got {}",
+            est.bram36
+        );
     }
 
     #[test]
     fn wider_counters_cost_more() {
-        let narrow = ResourceModel { counter_width: 32, ..ResourceModel::default() };
-        let wide = ResourceModel { counter_width: 64, ..ResourceModel::default() };
+        let narrow = ResourceModel {
+            counter_width: 32,
+            ..ResourceModel::default()
+        };
+        let wide = ResourceModel {
+            counter_width: 64,
+            ..ResourceModel::default()
+        };
         assert!(wide.per_port().luts > narrow.per_port().luts);
         assert!(wide.per_port().ffs > narrow.per_port().ffs);
     }
@@ -172,8 +193,19 @@ mod tests {
 
     #[test]
     fn estimate_arithmetic() {
-        let a = ResourceEstimate { luts: 1, ffs: 2, bram36: 3 };
+        let a = ResourceEstimate {
+            luts: 1,
+            ffs: 2,
+            bram36: 3,
+        };
         let b = a.times(2).plus(a);
-        assert_eq!(b, ResourceEstimate { luts: 3, ffs: 6, bram36: 9 });
+        assert_eq!(
+            b,
+            ResourceEstimate {
+                luts: 3,
+                ffs: 6,
+                bram36: 9
+            }
+        );
     }
 }

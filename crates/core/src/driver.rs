@@ -6,8 +6,7 @@
 //! side never sees state the real driver could not.
 
 use crate::regfile::{
-    Reg, RegFile, CTRL_ENABLE, CTRL_RESET_STATS, CTRL_SPLIT_RW, STATUS_EXHAUSTED,
-    STATUS_THROTTLED,
+    Reg, RegFile, CTRL_ENABLE, CTRL_RESET_STATS, CTRL_SPLIT_RW, STATUS_EXHAUSTED, STATUS_THROTTLED,
 };
 use fgqos_sim::time::{Bandwidth, Freq};
 use std::sync::Arc;

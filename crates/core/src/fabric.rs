@@ -76,7 +76,11 @@ impl QosFabricBuilder {
         let name = name.into();
         self.assert_fresh(&name);
         let (gate, driver) = TcRegulator::monitor_only(period_cycles);
-        self.ports.push(PortEntry { name, role: PortRole::Critical, driver });
+        self.ports.push(PortEntry {
+            name,
+            role: PortRole::Critical,
+            driver,
+        });
         gate
     }
 
@@ -99,7 +103,11 @@ impl QosFabricBuilder {
             enabled: true,
             ..RegulatorConfig::default()
         });
-        self.ports.push(PortEntry { name, role: PortRole::BestEffort, driver });
+        self.ports.push(PortEntry {
+            name,
+            role: PortRole::BestEffort,
+            driver,
+        });
         gate
     }
 
@@ -154,7 +162,10 @@ impl QosFabric {
 
     /// Looks up a port's driver by name.
     pub fn driver(&self, name: &str) -> Option<&RegulatorDriver> {
-        self.ports.iter().find(|p| p.name == name).map(|p| &p.driver)
+        self.ports
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.driver)
     }
 
     /// A port's role by name.

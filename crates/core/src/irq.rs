@@ -56,7 +56,10 @@ impl IrqDispatcher {
     /// Creates a dispatcher with the given interrupt delivery latency
     /// (GIC propagation + kernel entry, in cycles).
     pub fn new(latency_cycles: u64) -> Self {
-        IrqDispatcher { latency: latency_cycles, lines: Vec::new() }
+        IrqDispatcher {
+            latency: latency_cycles,
+            lines: Vec::new(),
+        }
     }
 
     /// Connects a port's interrupt line: enables `IRQ_ENABLE` in the
@@ -104,6 +107,31 @@ impl Controller for IrqDispatcher {
                 }
             }
         }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+        };
+        for line in &self.lines {
+            if let Some(at) = line.pending_at {
+                merge(at.max(now));
+            } else if line.armed {
+                let regs = line.driver.regfile();
+                let level = regs.read(Reg::Ctrl) & CTRL_IRQ_ENABLE != 0
+                    && regs.read(Reg::Status) & STATUS_EXHAUSTED != 0;
+                if level {
+                    // An asserted, armed line latches a delivery on the
+                    // very next executed cycle: do not skip past it.
+                    merge(now);
+                }
+            }
+            // A dropped or disarmed line needs no wake of its own: the
+            // level can only flip at an executed cycle (a gate decision
+            // or a handler run), which wakes the SoC anyway.
+        }
+        wake
     }
 
     fn label(&self) -> &'static str {
@@ -156,7 +184,11 @@ mod tests {
         }
         let events = events.borrow();
         assert_eq!(events.len(), 1, "one delivery per assertion edge");
-        assert_eq!(events[0], Cycle::new(50), "delivery after the dispatch latency");
+        assert_eq!(
+            events[0],
+            Cycle::new(50),
+            "delivery after the dispatch latency"
+        );
         assert_eq!(irq.delivered(), 1);
         // The handler acknowledged: the sticky bit is clear.
         assert!(!driver.telemetry().exhausted);
@@ -197,15 +229,25 @@ mod tests {
         let sink = Rc::clone(&count);
         let mut irq = IrqDispatcher::new(0);
         // Handler does NOT acknowledge.
-        irq.connect(driver.clone(), Box::new(move |_, _| *sink.borrow_mut() += 1));
+        irq.connect(
+            driver.clone(),
+            Box::new(move |_, _| *sink.borrow_mut() += 1),
+        );
 
         reg.on_cycle(Cycle::ZERO);
         exhaust(&mut reg, Cycle::ZERO);
         for t in 0..500u64 {
             irq.on_cycle(Cycle::new(t));
         }
-        assert_eq!(*count.borrow(), 1, "level stays asserted but only one edge fired");
-        assert!(driver.telemetry().exhausted, "bit remains sticky without ack");
+        assert_eq!(
+            *count.borrow(),
+            1,
+            "level stays asserted but only one edge fired"
+        );
+        assert!(
+            driver.telemetry().exhausted,
+            "bit remains sticky without ack"
+        );
     }
 
     #[test]
@@ -214,7 +256,10 @@ mod tests {
         let count = Rc::new(RefCell::new(0u32));
         let sink = Rc::clone(&count);
         let mut irq = IrqDispatcher::new(0);
-        irq.connect(driver.clone(), Box::new(move |_, _| *sink.borrow_mut() += 1));
+        irq.connect(
+            driver.clone(),
+            Box::new(move |_, _| *sink.borrow_mut() += 1),
+        );
         // Software masks the line again after connect.
         driver.regfile().clear_bits(Reg::Ctrl, CTRL_IRQ_ENABLE);
 

@@ -75,8 +75,8 @@ pub use cost::{ResourceEstimate, ResourceModel, Zu9egBudget};
 pub use driver::{RegulatorDriver, RegulatorTelemetry};
 pub use fabric::{PortRole, QosFabric, QosFabricBuilder};
 pub use irq::{IrqDispatcher, IrqHandler};
-pub use policy::{FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition};
 pub use monitor::WindowMonitor;
+pub use policy::{FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition};
 pub use regfile::{Reg, RegFile};
 pub use regulator::{ChargePolicy, OvershootPolicy, RegulatorConfig, SplitBudgets, TcRegulator};
 pub use shared::{SharedBudgetGate, SharedRegulator};
@@ -89,8 +89,12 @@ pub mod prelude {
     pub use crate::driver::{RegulatorDriver, RegulatorTelemetry};
     pub use crate::fabric::{PortRole, QosFabric, QosFabricBuilder};
     pub use crate::irq::{IrqDispatcher, IrqHandler};
-    pub use crate::policy::{FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition};
+    pub use crate::policy::{
+        FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition,
+    };
     pub use crate::regfile::{Reg, RegFile};
-    pub use crate::regulator::{ChargePolicy, OvershootPolicy, RegulatorConfig, SplitBudgets, TcRegulator};
+    pub use crate::regulator::{
+        ChargePolicy, OvershootPolicy, RegulatorConfig, SplitBudgets, TcRegulator,
+    };
     pub use crate::shared::{SharedBudgetGate, SharedRegulator};
 }

@@ -102,10 +102,16 @@ impl WindowMonitor {
             let overshoot = self.win_bytes.saturating_sub(budget);
             self.max_overshoot = self.max_overshoot.max(overshoot);
             self.windows += 1;
-            self.regs.write(Reg::LastWinBytes, self.win_bytes.min(u32::MAX as u64) as u32);
-            self.regs.write(Reg::Windows, self.windows.min(u32::MAX as u64) as u32);
+            self.regs.write(
+                Reg::LastWinBytes,
+                self.win_bytes.min(u32::MAX as u64) as u32,
+            );
             self.regs
-                .write(Reg::MaxOvershoot, self.max_overshoot.min(u32::MAX as u64) as u32);
+                .write(Reg::Windows, self.windows.min(u32::MAX as u64) as u32);
+            self.regs.write(
+                Reg::MaxOvershoot,
+                self.max_overshoot.min(u32::MAX as u64) as u32,
+            );
             self.win_bytes = 0;
             self.win_rd_bytes = 0;
             self.win_wr_bytes = 0;
@@ -139,15 +145,25 @@ impl WindowMonitor {
         self.total_bytes += bytes;
         self.total_txns += 1;
         self.sync_window_regs();
-        self.regs.write64(Reg::TotalBytesLo, Reg::TotalBytesHi, self.total_bytes);
-        self.regs.write64(Reg::TotalTxnsLo, Reg::TotalTxnsHi, self.total_txns);
+        self.regs
+            .write64(Reg::TotalBytesLo, Reg::TotalBytesHi, self.total_bytes);
+        self.regs
+            .write64(Reg::TotalTxnsLo, Reg::TotalTxnsHi, self.total_txns);
     }
 
     fn sync_window_regs(&self) {
-        self.regs.write(Reg::WinBytes, self.win_bytes.min(u32::MAX as u64) as u32);
-        self.regs.write(Reg::WinRdBytes, self.win_rd_bytes.min(u32::MAX as u64) as u32);
-        self.regs.write(Reg::WinWrBytes, self.win_wr_bytes.min(u32::MAX as u64) as u32);
-        self.regs.write(Reg::WinTxns, self.win_txns.min(u32::MAX as u64) as u32);
+        self.regs
+            .write(Reg::WinBytes, self.win_bytes.min(u32::MAX as u64) as u32);
+        self.regs.write(
+            Reg::WinRdBytes,
+            self.win_rd_bytes.min(u32::MAX as u64) as u32,
+        );
+        self.regs.write(
+            Reg::WinWrBytes,
+            self.win_wr_bytes.min(u32::MAX as u64) as u32,
+        );
+        self.regs
+            .write(Reg::WinTxns, self.win_txns.min(u32::MAX as u64) as u32);
     }
 
     /// Clears all telemetry and restarts the open window at `now`.

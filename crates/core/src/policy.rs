@@ -41,7 +41,10 @@ pub struct StaticPartition {
 impl StaticPartition {
     /// Creates a partition from per-port assignments.
     pub fn new(ports: Vec<PortBudget>) -> Self {
-        StaticPartition { ports, programmed: false }
+        StaticPartition {
+            ports,
+            programmed: false,
+        }
     }
 }
 
@@ -56,6 +59,14 @@ impl Controller for StaticPartition {
             p.driver.set_enabled(true);
         }
         self.programmed = true;
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.programmed {
+            None
+        } else {
+            Some(now)
+        }
     }
 
     fn label(&self) -> &'static str {
@@ -130,8 +141,17 @@ impl ReclaimPolicy {
     ) -> Self {
         assert!(cfg.control_period > 0, "control period must be non-zero");
         assert!(cfg.gain > 0, "gain must be non-zero");
-        assert!(!best_effort.is_empty(), "reclaim needs at least one best-effort port");
-        ReclaimPolicy { critical, best_effort, cfg, next_at: 0, last_crit_total: 0 }
+        assert!(
+            !best_effort.is_empty(),
+            "reclaim needs at least one best-effort port"
+        );
+        ReclaimPolicy {
+            critical,
+            best_effort,
+            cfg,
+            next_at: 0,
+            last_crit_total: 0,
+        }
     }
 
     fn program_best_effort(&self, bytes_per_period: u64) {
@@ -161,6 +181,10 @@ impl Controller for ReclaimPolicy {
             self.cfg.gain * unused / self.best_effort.len() as u64
         };
         self.program_best_effort(self.cfg.be_base + extra);
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        Some(Cycle::new(self.next_at).max(now))
     }
 
     fn label(&self) -> &'static str {
@@ -216,8 +240,14 @@ impl FeedbackController {
         control_period: u64,
     ) -> Self {
         assert!(control_period > 0, "control period must be non-zero");
-        assert!(!best_effort.is_empty(), "feedback needs at least one best-effort port");
-        assert!(min_budget <= max_budget, "min_budget must not exceed max_budget");
+        assert!(
+            !best_effort.is_empty(),
+            "feedback needs at least one best-effort port"
+        );
+        assert!(
+            min_budget <= max_budget,
+            "min_budget must not exceed max_budget"
+        );
         assert!(
             (min_budget..=max_budget).contains(&initial_budget),
             "initial budget outside [min, max]"
@@ -274,9 +304,16 @@ impl Controller for FeedbackController {
         if crit_used < self.target_bytes_per_period {
             self.be_budget = (self.be_budget / 2).max(self.min_budget);
         } else {
-            self.be_budget = self.be_budget.saturating_add(self.step).min(self.max_budget);
+            self.be_budget = self
+                .be_budget
+                .saturating_add(self.step)
+                .min(self.max_budget);
         }
         self.program();
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        Some(Cycle::new(self.next_at).max(now))
     }
 
     fn label(&self) -> &'static str {
@@ -326,7 +363,8 @@ mod tests {
     /// Pretends the hardware moved `bytes` more bytes on `d`'s port.
     fn feed_bytes(d: &RegulatorDriver, bytes: u64) {
         let cur = d.regfile().read64(Reg::TotalBytesLo, Reg::TotalBytesHi);
-        d.regfile().write64(Reg::TotalBytesLo, Reg::TotalBytesHi, cur + bytes);
+        d.regfile()
+            .write64(Reg::TotalBytesLo, Reg::TotalBytesHi, cur + bytes);
     }
 
     #[test]

@@ -97,7 +97,9 @@ impl RegFile {
     /// Creates a block with reset values: disabled, period 1024 cycles,
     /// budget 1024 bytes (reset defaults of the IP).
     pub fn new() -> Self {
-        let rf = RegFile { regs: std::array::from_fn(|_| AtomicU32::new(0)) };
+        let rf = RegFile {
+            regs: std::array::from_fn(|_| AtomicU32::new(0)),
+        };
         rf.write(Reg::Period, 1024);
         rf.write(Reg::Budget, 1024);
         rf.write(Reg::BudgetRd, 512);

@@ -19,8 +19,7 @@
 use crate::driver::RegulatorDriver;
 use crate::monitor::WindowMonitor;
 use crate::regfile::{
-    Reg, RegFile, CTRL_ENABLE, CTRL_RESET_STATS, CTRL_SPLIT_RW, STATUS_EXHAUSTED,
-    STATUS_THROTTLED,
+    Reg, RegFile, CTRL_ENABLE, CTRL_RESET_STATS, CTRL_SPLIT_RW, STATUS_EXHAUSTED, STATUS_THROTTLED,
 };
 use fgqos_sim::axi::Dir;
 use fgqos_sim::axi::{Request, Response};
@@ -232,16 +231,32 @@ impl PortGate for TcRegulator {
             GateDecision::Accept
         } else {
             self.stall_cycles += 1;
-            self.regs.write64(Reg::StallLo, Reg::StallHi, self.stall_cycles);
-            self.regs.set_bits(Reg::Status, STATUS_THROTTLED | STATUS_EXHAUSTED);
+            self.regs
+                .write64(Reg::StallLo, Reg::StallHi, self.stall_cycles);
+            self.regs
+                .set_bits(Reg::Status, STATUS_THROTTLED | STATUS_EXHAUSTED);
             GateDecision::Deny
         }
     }
 
     fn on_complete(&mut self, response: &Response, _now: Cycle) {
         if self.enabled() && self.charge == ChargePolicy::Completion {
-            self.monitor.record_dir(response.request.bytes(), response.request.dir);
+            self.monitor
+                .record_dir(response.request.bytes(), response.request.dir);
         }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Decision and telemetry change only at window boundaries (or at
+        // accept/complete/register-write events, which all happen on
+        // executed cycles anyway).
+        Some((self.monitor.window_start() + self.monitor.period()).max(now))
+    }
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+        self.regs
+            .write64(Reg::StallLo, Reg::StallHi, self.stall_cycles);
     }
 
     fn label(&self) -> &'static str {
@@ -256,7 +271,14 @@ mod tests {
 
     fn req(serial: u64, bytes: u64) -> Request {
         let beats = (bytes / fgqos_sim::axi::BEAT_BYTES) as u16;
-        Request::new(MasterId::new(0), serial, serial * 4096, beats, Dir::Read, Cycle::ZERO)
+        Request::new(
+            MasterId::new(0),
+            serial,
+            serial * 4096,
+            beats,
+            Dir::Read,
+            Cycle::ZERO,
+        )
     }
 
     fn regulator(period: u32, budget: u32) -> (TcRegulator, RegulatorDriver) {
@@ -274,7 +296,10 @@ mod tests {
         r.on_cycle(Cycle::ZERO);
         assert!(r.try_accept(&req(0, 128), Cycle::new(1)).is_accept());
         assert!(r.try_accept(&req(1, 128), Cycle::new(2)).is_accept());
-        assert_eq!(r.try_accept(&req(2, 128), Cycle::new(3)), GateDecision::Deny);
+        assert_eq!(
+            r.try_accept(&req(2, 128), Cycle::new(3)),
+            GateDecision::Deny
+        );
         assert_eq!(r.window_bytes(), 256);
         assert!(r.stall_cycles() == 1);
     }
@@ -284,7 +309,10 @@ mod tests {
         let (mut r, _d) = regulator(100, 128);
         r.on_cycle(Cycle::ZERO);
         assert!(r.try_accept(&req(0, 128), Cycle::new(0)).is_accept());
-        assert_eq!(r.try_accept(&req(1, 128), Cycle::new(1)), GateDecision::Deny);
+        assert_eq!(
+            r.try_accept(&req(1, 128), Cycle::new(1)),
+            GateDecision::Deny
+        );
         r.on_cycle(Cycle::new(100));
         assert!(r.try_accept(&req(1, 128), Cycle::new(100)).is_accept());
     }
@@ -384,10 +412,19 @@ mod tests {
         assert!(r.try_accept(&a, Cycle::ZERO).is_accept());
         assert!(r.try_accept(&b, Cycle::ZERO).is_accept());
         assert_eq!(r.window_bytes(), 0);
-        r.on_complete(&Response { request: a, completed_at: Cycle::new(50) }, Cycle::new(50));
+        r.on_complete(
+            &Response {
+                request: a,
+                completed_at: Cycle::new(50),
+            },
+            Cycle::new(50),
+        );
         assert_eq!(r.window_bytes(), 128);
         // Budget is now fully consumed by completed bytes.
-        assert_eq!(r.try_accept(&req(2, 16), Cycle::new(51)), GateDecision::Deny);
+        assert_eq!(
+            r.try_accept(&req(2, 16), Cycle::new(51)),
+            GateDecision::Deny
+        );
     }
 
     #[test]
@@ -416,7 +453,14 @@ mod tests {
 
     fn req_dir(serial: u64, bytes: u64, dir: Dir) -> Request {
         let beats = (bytes / fgqos_sim::axi::BEAT_BYTES) as u16;
-        Request::new(MasterId::new(0), serial, serial * 4096, beats, dir, Cycle::ZERO)
+        Request::new(
+            MasterId::new(0),
+            serial,
+            serial * 4096,
+            beats,
+            dir,
+            Cycle::ZERO,
+        )
     }
 
     #[test]
@@ -425,23 +469,37 @@ mod tests {
             period_cycles: 1_000,
             budget_bytes: 1_024,
             enabled: true,
-            split: Some(SplitBudgets { read_bytes: 256, write_bytes: 128 }),
+            split: Some(SplitBudgets {
+                read_bytes: 256,
+                write_bytes: 128,
+            }),
             ..RegulatorConfig::default()
         });
         r.on_cycle(Cycle::ZERO);
         // Reads consume the read budget only.
-        assert!(r.try_accept(&req_dir(0, 256, Dir::Read), Cycle::ZERO).is_accept());
-        assert_eq!(r.try_accept(&req_dir(1, 16, Dir::Read), Cycle::ZERO), GateDecision::Deny);
+        assert!(r
+            .try_accept(&req_dir(0, 256, Dir::Read), Cycle::ZERO)
+            .is_accept());
+        assert_eq!(
+            r.try_accept(&req_dir(1, 16, Dir::Read), Cycle::ZERO),
+            GateDecision::Deny
+        );
         // The write channel is untouched by read traffic.
-        assert!(r.try_accept(&req_dir(2, 128, Dir::Write), Cycle::ZERO).is_accept());
+        assert!(r
+            .try_accept(&req_dir(2, 128, Dir::Write), Cycle::ZERO)
+            .is_accept());
         assert_eq!(
             r.try_accept(&req_dir(3, 16, Dir::Write), Cycle::ZERO),
             GateDecision::Deny
         );
         // Both replenish at the boundary.
         r.on_cycle(Cycle::new(1_000));
-        assert!(r.try_accept(&req_dir(4, 256, Dir::Read), Cycle::new(1_000)).is_accept());
-        assert!(r.try_accept(&req_dir(5, 128, Dir::Write), Cycle::new(1_000)).is_accept());
+        assert!(r
+            .try_accept(&req_dir(4, 256, Dir::Read), Cycle::new(1_000))
+            .is_accept());
+        assert!(r
+            .try_accept(&req_dir(5, 128, Dir::Write), Cycle::new(1_000))
+            .is_accept());
     }
 
     #[test]
@@ -450,12 +508,19 @@ mod tests {
             period_cycles: 1_000,
             budget_bytes: 4_096,
             enabled: true,
-            split: Some(SplitBudgets { read_bytes: 2_048, write_bytes: 2_048 }),
+            split: Some(SplitBudgets {
+                read_bytes: 2_048,
+                write_bytes: 2_048,
+            }),
             ..RegulatorConfig::default()
         });
         r.on_cycle(Cycle::ZERO);
-        assert!(r.try_accept(&req_dir(0, 512, Dir::Read), Cycle::ZERO).is_accept());
-        assert!(r.try_accept(&req_dir(1, 256, Dir::Write), Cycle::ZERO).is_accept());
+        assert!(r
+            .try_accept(&req_dir(0, 512, Dir::Read), Cycle::ZERO)
+            .is_accept());
+        assert!(r
+            .try_accept(&req_dir(1, 256, Dir::Write), Cycle::ZERO)
+            .is_accept());
         let t = d.telemetry();
         assert_eq!(t.window_read_bytes, 512);
         assert_eq!(t.window_write_bytes, 256);
@@ -468,15 +533,25 @@ mod tests {
             period_cycles: 100,
             budget_bytes: 1_024,
             enabled: true,
-            split: Some(SplitBudgets { read_bytes: 128, write_bytes: 128 }),
+            split: Some(SplitBudgets {
+                read_bytes: 128,
+                write_bytes: 128,
+            }),
             ..RegulatorConfig::default()
         });
         r.on_cycle(Cycle::ZERO);
         d.set_read_budget_bytes(512);
-        assert!(r.try_accept(&req_dir(0, 128, Dir::Read), Cycle::ZERO).is_accept());
-        assert_eq!(r.try_accept(&req_dir(1, 128, Dir::Read), Cycle::ZERO), GateDecision::Deny);
+        assert!(r
+            .try_accept(&req_dir(0, 128, Dir::Read), Cycle::ZERO)
+            .is_accept());
+        assert_eq!(
+            r.try_accept(&req_dir(1, 128, Dir::Read), Cycle::ZERO),
+            GateDecision::Deny
+        );
         r.on_cycle(Cycle::new(100));
-        assert!(r.try_accept(&req_dir(1, 512, Dir::Read), Cycle::new(100)).is_accept());
+        assert!(r
+            .try_accept(&req_dir(1, 512, Dir::Read), Cycle::new(100))
+            .is_accept());
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl SharedRegulator {
 
     /// A gate for one member port (hand one to each regulated master).
     pub fn port_gate(&self) -> SharedBudgetGate {
-        SharedBudgetGate { state: Arc::clone(&self.state), stall_cycles: 0, accepted_bytes: 0 }
+        SharedBudgetGate {
+            state: Arc::clone(&self.state),
+            stall_cycles: 0,
+            accepted_bytes: 0,
+        }
     }
 
     /// Reprograms the aggregate budget (takes effect immediately; the
@@ -144,6 +148,19 @@ impl PortGate for SharedBudgetGate {
         }
     }
 
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // A denied request can only succeed once the aggregate window
+        // rolls. `window_start` may lag `now` (it only advances at
+        // executed cycles); the `max(now)` clamp then degrades to "poll
+        // now", which is always safe.
+        let s = self.state.lock().expect("regulator lock");
+        Some((s.window_start + s.period).max(now))
+    }
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+    }
+
     fn label(&self) -> &'static str {
         "shared-budget"
     }
@@ -156,7 +173,14 @@ mod tests {
 
     fn req(master: usize, serial: u64, bytes: u64) -> Request {
         let beats = (bytes / fgqos_sim::axi::BEAT_BYTES) as u16;
-        Request::new(MasterId::new(master), serial, serial * 4096, beats, Dir::Read, Cycle::ZERO)
+        Request::new(
+            MasterId::new(master),
+            serial,
+            serial * 4096,
+            beats,
+            Dir::Read,
+            Cycle::ZERO,
+        )
     }
 
     #[test]
@@ -168,8 +192,14 @@ mod tests {
         assert!(a.try_accept(&req(0, 0, 256), Cycle::ZERO).is_accept());
         assert!(b.try_accept(&req(1, 0, 256), Cycle::ZERO).is_accept());
         // Aggregate exhausted: both ports are denied.
-        assert_eq!(a.try_accept(&req(0, 1, 16), Cycle::ZERO), GateDecision::Deny);
-        assert_eq!(b.try_accept(&req(1, 1, 16), Cycle::ZERO), GateDecision::Deny);
+        assert_eq!(
+            a.try_accept(&req(0, 1, 16), Cycle::ZERO),
+            GateDecision::Deny
+        );
+        assert_eq!(
+            b.try_accept(&req(1, 1, 16), Cycle::ZERO),
+            GateDecision::Deny
+        );
     }
 
     #[test]
@@ -177,7 +207,10 @@ mod tests {
         let group = SharedRegulator::new(100, 128);
         let mut a = group.port_gate();
         assert!(a.try_accept(&req(0, 0, 128), Cycle::ZERO).is_accept());
-        assert_eq!(a.try_accept(&req(0, 1, 128), Cycle::new(50)), GateDecision::Deny);
+        assert_eq!(
+            a.try_accept(&req(0, 1, 128), Cycle::new(50)),
+            GateDecision::Deny
+        );
         assert!(a.try_accept(&req(0, 1, 128), Cycle::new(100)).is_accept());
         assert_eq!(group.windows(), 1);
         assert_eq!(group.max_window_bytes(), 128);
@@ -195,7 +228,10 @@ mod tests {
         for s in 0..4u64 {
             let _ = greedy.try_accept(&req(0, s, 256), Cycle::new(s));
         }
-        assert_eq!(meek.try_accept(&req(1, 0, 256), Cycle::new(10)), GateDecision::Deny);
+        assert_eq!(
+            meek.try_accept(&req(1, 0, 256), Cycle::new(10)),
+            GateDecision::Deny
+        );
         assert_eq!(greedy.accepted_bytes(), 1_024);
         assert_eq!(meek.accepted_bytes(), 0);
     }
@@ -204,7 +240,10 @@ mod tests {
     fn budget_reprogramming_is_immediate() {
         let group = SharedRegulator::new(1_000, 0);
         let mut a = group.port_gate();
-        assert_eq!(a.try_accept(&req(0, 0, 16), Cycle::ZERO), GateDecision::Deny);
+        assert_eq!(
+            a.try_accept(&req(0, 0, 16), Cycle::ZERO),
+            GateDecision::Deny
+        );
         group.set_budget_bytes(1_024);
         assert!(a.try_accept(&req(0, 0, 16), Cycle::new(1)).is_accept());
     }

@@ -182,7 +182,10 @@ mod tests {
     fn response_latencies() {
         let mut r = req(4);
         r.accepted_at = Cycle::new(9);
-        let resp = Response { request: r, completed_at: Cycle::new(30) };
+        let resp = Response {
+            request: r,
+            completed_at: Cycle::new(30),
+        };
         assert_eq!(resp.latency(), 25);
         assert_eq!(resp.service_latency(), 21);
     }

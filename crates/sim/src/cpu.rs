@@ -30,7 +30,12 @@ pub struct CacheConfig {
 impl Default for CacheConfig {
     /// A 32 KiB, 4-way, 64 B-line L1 with a 4-cycle hit.
     fn default() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 4, hit_latency: 4 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 4,
+        }
     }
 }
 
@@ -143,9 +148,24 @@ impl Cache {
             panic!("invalid CacheConfig: {e}");
         }
         let sets = (0..cfg.sets())
-            .map(|_| vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.ways])
+            .map(|_| {
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    cfg.ways
+                ]
+            })
             .collect();
-        Cache { cfg, sets, tick: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration.
@@ -185,16 +205,13 @@ impl Cache {
         }
         self.stats.misses += 1;
         // Victim: invalid way first, else LRU.
-        let victim = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways is non-zero")
-            });
+        let victim = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("ways is non-zero")
+        });
         let evicted = set[victim];
         let writeback = if evicted.valid && evicted.dirty {
             self.stats.writebacks += 1;
@@ -202,7 +219,12 @@ impl Cache {
         } else {
             None
         };
-        set[victim] = Line { tag, valid: true, dirty: is_write, lru: self.tick };
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
         CacheOutcome::Miss { writeback }
     }
 }
@@ -280,7 +302,8 @@ impl<S: TrafficSource> TrafficSource for CachedSource<S> {
                     let fill_addr = self.cache.line_addr(access.addr);
                     let fill = self.line_request(fill_addr, Dir::Read, self.cursor);
                     if let Some(wb) = writeback {
-                        self.queue.push_back(self.line_request(wb, Dir::Write, self.cursor));
+                        self.queue
+                            .push_back(self.line_request(wb, Dir::Write, self.cursor));
                     }
                     return Some(fill);
                 }
@@ -299,6 +322,20 @@ impl<S: TrafficSource> TrafficSource for CachedSource<S> {
 
     fn is_done(&self) -> bool {
         self.inner.is_done() && self.queue.is_empty()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.queue.is_empty() {
+            // A queued write-back can be handed out any cycle.
+            Some(now)
+        } else if self.inner.is_done() {
+            None
+        } else {
+            // Pulls while the core's local time is ahead of `now` return
+            // `None` without touching any state; the first mutating pull
+            // happens once the cursor is reached.
+            Some(self.cursor.max(now))
+        }
     }
 }
 
@@ -320,25 +357,46 @@ mod tests {
 
     fn tiny_cache() -> CacheConfig {
         // 2 sets x 2 ways x 64 B lines = 256 B.
-        CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2, hit_latency: 2 }
+        CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 2,
+        }
     }
 
     #[test]
     fn config_validation() {
         assert!(CacheConfig::default().validate().is_ok());
-        assert!(CacheConfig { line_bytes: 48, ..CacheConfig::default() }.validate().is_err());
-        assert!(CacheConfig { ways: 0, ..CacheConfig::default() }.validate().is_err());
-        assert!(
-            CacheConfig { size_bytes: 96, line_bytes: 64, ways: 1, hit_latency: 1 }
-                .validate()
-                .is_err()
-        );
+        assert!(CacheConfig {
+            line_bytes: 48,
+            ..CacheConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            ways: 0,
+            ..CacheConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 96,
+            line_bytes: 64,
+            ways: 1,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn hit_after_fill_same_line() {
         let mut c = Cache::new(tiny_cache());
-        assert!(matches!(c.access(0x100, false), CacheOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0x100, false),
+            CacheOutcome::Miss { writeback: None }
+        ));
         assert_eq!(c.access(0x100, false), CacheOutcome::Hit);
         assert_eq!(c.access(0x13f, false), CacheOutcome::Hit); // same 64B line
         assert_ne!(c.access(0x140, false), CacheOutcome::Hit); // next line
@@ -350,16 +408,27 @@ mod tests {
     fn lru_eviction_and_dirty_writeback() {
         let mut c = Cache::new(tiny_cache());
         // Set 0 holds lines with line_index % 2 == 0: addresses 0, 128, 256...
-        assert!(matches!(c.access(0, true), CacheOutcome::Miss { writeback: None }));
-        assert!(matches!(c.access(128, false), CacheOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0, true),
+            CacheOutcome::Miss { writeback: None }
+        ));
+        assert!(matches!(
+            c.access(128, false),
+            CacheOutcome::Miss { writeback: None }
+        ));
         // Third distinct line in set 0 evicts LRU (addr 0, dirty).
         match c.access(256, false) {
-            CacheOutcome::Miss { writeback: Some(wb) } => assert_eq!(wb, 0),
+            CacheOutcome::Miss {
+                writeback: Some(wb),
+            } => assert_eq!(wb, 0),
             other => panic!("expected dirty eviction, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);
         // Clean eviction produces no writeback.
-        assert!(matches!(c.access(384, false), CacheOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(384, false),
+            CacheOutcome::Miss { writeback: None }
+        ));
     }
 
     #[test]
@@ -396,7 +465,10 @@ mod tests {
                     now,
                 );
                 src.on_complete(
-                    &Response { request: req, completed_at: now + 50 },
+                    &Response {
+                        request: req,
+                        completed_at: now + 50,
+                    },
                     now + 50,
                 );
             }
@@ -436,7 +508,10 @@ mod tests {
                     now,
                 );
                 src.on_complete(
-                    &Response { request: req, completed_at: now + 50 },
+                    &Response {
+                        request: req,
+                        completed_at: now + 50,
+                    },
                     now + 50,
                 );
             }
@@ -454,6 +529,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid CacheConfig")]
     fn invalid_config_panics() {
-        let _ = Cache::new(CacheConfig { ways: 0, ..CacheConfig::default() });
+        let _ = Cache::new(CacheConfig {
+            ways: 0,
+            ..CacheConfig::default()
+        });
     }
 }

@@ -185,6 +185,8 @@ pub struct DramController {
     next_refresh: Cycle,
     hit_streak: u32,
     draining_writes: bool,
+    // Reused completion buffer so the per-cycle tick allocates nothing.
+    completed_buf: Vec<Response>,
     stats: DramStats,
 }
 
@@ -199,7 +201,10 @@ impl DramController {
             panic!("invalid DramConfig: {e}");
         }
         let banks = vec![
-            BankState { open_row: None, ready_at: Cycle::ZERO };
+            BankState {
+                open_row: None,
+                ready_at: Cycle::ZERO
+            };
             cfg.banks
         ];
         let next_refresh = if cfg.t_refi == 0 {
@@ -217,6 +222,7 @@ impl DramController {
             next_refresh,
             hit_streak: 0,
             draining_writes: false,
+            completed_buf: Vec::new(),
             stats: DramStats::default(),
         }
     }
@@ -244,7 +250,10 @@ impl DramController {
     /// Panics if the queue is full; callers must check [`Self::has_space`].
     pub fn enqueue(&mut self, request: Request, now: Cycle) {
         assert!(self.has_space(), "DRAM queue overflow");
-        self.queue.push_back(Queued { request, arrived: now });
+        self.queue.push_back(Queued {
+            request,
+            arrived: now,
+        });
     }
 
     /// Aggregate statistics.
@@ -283,11 +292,10 @@ impl DramController {
         }
         let oldest = oldest?;
         match hit {
-            Some(i) if i != oldest
-                && self.hit_streak < self.cfg.row_hit_cap => {
-                    self.hit_streak += 1;
-                    Some(i)
-                }
+            Some(i) if i != oldest && self.hit_streak < self.cfg.row_hit_cap => {
+                self.hit_streak += 1;
+                Some(i)
+            }
             _ => {
                 self.hit_streak = 0;
                 Some(oldest)
@@ -301,7 +309,11 @@ impl DramController {
         if !self.cfg.read_priority {
             return None;
         }
-        let writes = self.queue.iter().filter(|q| q.request.dir == Dir::Write).count();
+        let writes = self
+            .queue
+            .iter()
+            .filter(|q| q.request.dir == Dir::Write)
+            .count();
         let reads = self.queue.len() - writes;
         let cap = self.cfg.queue_capacity;
         if self.draining_writes {
@@ -323,10 +335,11 @@ impl DramController {
     }
 
     /// Advances the controller by one cycle; returns transactions that
-    /// completed this cycle.
-    pub fn tick(&mut self, now: Cycle) -> Vec<Response> {
+    /// completed this cycle. The returned slice borrows an internal
+    /// buffer that is overwritten by the next call.
+    pub fn tick(&mut self, now: Cycle) -> &[Response] {
         // 1. Collect completions.
-        let mut done = Vec::new();
+        self.completed_buf.clear();
         let mut i = 0;
         while i < self.in_service.len() {
             if self.in_service[i].complete_at <= now {
@@ -336,7 +349,10 @@ impl DramController {
                     Dir::Read => self.stats.reads += 1,
                     Dir::Write => self.stats.writes += 1,
                 }
-                done.push(Response { request: s.request, completed_at: s.complete_at });
+                self.completed_buf.push(Response {
+                    request: s.request,
+                    completed_at: s.complete_at,
+                });
             } else {
                 i += 1;
             }
@@ -363,11 +379,39 @@ impl DramController {
             }
         }
 
-        done
+        &self.completed_buf
+    }
+
+    /// Earliest cycle `>= now` at which ticking the controller can change
+    /// state: the next completion, the next cycle the pipeline window
+    /// admits a queued request, or the next refresh. `None` when the
+    /// controller is idle with refresh disabled.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+        };
+        for s in &self.in_service {
+            merge(s.complete_at.max(now));
+        }
+        if !self.queue.is_empty() {
+            let sched = Cycle::new(
+                self.bus_free_at
+                    .get()
+                    .saturating_sub(self.cfg.pipeline_lookahead),
+            );
+            merge(sched.max(now));
+        }
+        if self.cfg.t_refi != 0 {
+            merge(self.next_refresh.max(now));
+        }
+        wake
     }
 
     fn issue(&mut self, q: Queued, now: Cycle) {
-        self.stats.queue_wait.record(now.saturating_since(q.arrived));
+        self.stats
+            .queue_wait
+            .record(now.saturating_since(q.arrived));
         let (bank_idx, row) = self.cfg.map(q.request.addr);
         let bank = &mut self.banks[bank_idx];
         let bank_ready = bank.ready_at.max(now);
@@ -413,7 +457,10 @@ mod tests {
     use crate::axi::{Dir, MasterId, Request};
 
     fn cfg_no_refresh() -> DramConfig {
-        DramConfig { t_refi: 0, ..DramConfig::default() }
+        DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        }
     }
 
     fn run_until_idle(d: &mut DramController, start: Cycle) -> (Vec<Response>, Cycle) {
@@ -437,12 +484,30 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(DramConfig::default().validate().is_ok());
-        assert!(DramConfig { banks: 0, ..DramConfig::default() }.validate().is_err());
-        assert!(DramConfig { row_bytes: 1000, ..DramConfig::default() }.validate().is_err());
-        assert!(DramConfig { queue_capacity: 0, ..DramConfig::default() }
-            .validate()
-            .is_err());
-        assert!(DramConfig { t_rfc: 10_000, ..DramConfig::default() }.validate().is_err());
+        assert!(DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DramConfig {
+            row_bytes: 1000,
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DramConfig {
+            queue_capacity: 0,
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DramConfig {
+            t_rfc: 10_000,
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -520,7 +585,11 @@ mod tests {
         let (resps, _) = run_until_idle(&mut d, now);
         // With cap 2, exactly 2 hits bypass the old conflict request.
         let order: Vec<usize> = resps.iter().map(|r| r.request.master.index()).collect();
-        assert_eq!(order[..3], [0, 0, 1], "two hits bypass, then oldest: {order:?}");
+        assert_eq!(
+            order[..3],
+            [0, 0, 1],
+            "two hits bypass, then oldest: {order:?}"
+        );
     }
 
     #[test]
@@ -576,7 +645,11 @@ mod tests {
         d.enqueue(req(0, 0, 0, 4, Dir::Write), Cycle::ZERO);
         d.enqueue(req(1, 0, 2048, 4, Dir::Read), Cycle::ZERO);
         let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
-        assert_eq!(resps[0].request.dir, Dir::Read, "read must bypass the older write");
+        assert_eq!(
+            resps[0].request.dir,
+            Dir::Read,
+            "read must bypass the older write"
+        );
         assert_eq!(resps[1].request.dir, Dir::Write);
     }
 
@@ -594,7 +667,10 @@ mod tests {
         let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
         // Drain mode: writes are served down to the low watermark before
         // the read gets the bus.
-        let read_pos = resps.iter().position(|r| r.request.dir == Dir::Read).unwrap();
+        let read_pos = resps
+            .iter()
+            .position(|r| r.request.dir == Dir::Read)
+            .unwrap();
         assert!(
             read_pos >= 4,
             "drain should serve several writes before the read, got position {read_pos}"
@@ -609,7 +685,11 @@ mod tests {
         d.enqueue(req(0, 0, 0, 4, Dir::Write), Cycle::ZERO);
         d.enqueue(req(1, 0, 2048, 4, Dir::Read), Cycle::ZERO);
         let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
-        assert_eq!(resps[0].request.dir, Dir::Write, "FCFS order without read priority");
+        assert_eq!(
+            resps[0].request.dir,
+            Dir::Write,
+            "FCFS order without read priority"
+        );
     }
 
     #[test]
@@ -622,7 +702,10 @@ mod tests {
         d.enqueue(req(1, 0, 2048, 64, Dir::Read), Cycle::ZERO);
         let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
         let delta = resps[1].completed_at - resps[0].completed_at;
-        assert!(delta >= 64, "second burst must wait for 64 bus beats, got {delta}");
+        assert!(
+            delta >= 64,
+            "second burst must wait for 64 bus beats, got {delta}"
+        );
         assert_eq!(d.stats().bus_busy_cycles, 128);
     }
 
@@ -648,6 +731,9 @@ mod tests {
         }
         let beats = 200 * 128;
         let efficiency = beats as f64 / now.get() as f64;
-        assert!(efficiency > 0.85, "streaming efficiency too low: {efficiency}");
+        assert!(
+            efficiency > 0.85,
+            "streaming efficiency too low: {efficiency}"
+        );
     }
 }

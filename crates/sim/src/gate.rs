@@ -39,8 +39,31 @@ impl GateDecision {
 /// that request in the same cycle (the master guarantees interconnect FIFO
 /// space before consulting the gate), so accounting done in `try_accept`
 /// is final.
+///
+/// # Fast-forward contract
+///
+/// The simulator skips cycles in which no component can change state
+/// (see [`Soc::step`](crate::system::Soc)). Two hooks keep gated runs
+/// bit-identical to naive cycle-by-cycle stepping:
+///
+/// * [`PortGate::next_activity`] reports the earliest cycle `>= now` at
+///   which the gate's admission decision or externally visible state
+///   (telemetry registers, window counters) can change *on its own* —
+///   that is, assuming no request is accepted and no completion arrives
+///   in between, since both of those execute a full cycle anyway. The
+///   default is `Some(now)`, which declares "I may change every cycle"
+///   and disables skipping for the owning master — always safe.
+/// * [`PortGate::on_denied_skip`] replicates the per-cycle accounting a
+///   denying gate would have done over `cycles` skipped retry cycles
+///   (stall counters, status registers). Any gate that returns a
+///   `next_activity` later than `now` while it is denying must implement
+///   it; the default is a no-op.
 pub trait PortGate {
     /// Called once per simulation cycle before any admission attempt.
+    ///
+    /// Under fast-forward this is only invoked at *executed* cycles, so
+    /// periodic work must catch up over gaps (e.g. roll every elapsed
+    /// window, not just one).
     fn on_cycle(&mut self, _now: Cycle) {}
 
     /// Decides whether `request` may enter the interconnect at `now`.
@@ -49,6 +72,16 @@ pub trait PortGate {
     /// Observes a completion on this port (for completion-based
     /// accounting schemes).
     fn on_complete(&mut self, _response: &Response, _now: Cycle) {}
+
+    /// Earliest cycle `>= now` at which this gate can change state on its
+    /// own; `None` means never (see the trait-level contract).
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
+    /// Accounts for `cycles` skipped cycles during which the master
+    /// would have retried a request this gate kept denying.
+    fn on_denied_skip(&mut self, _cycles: u64) {}
 
     /// Short human-readable label for reports.
     fn label(&self) -> &'static str {
@@ -67,6 +100,14 @@ impl PortGate for Box<dyn PortGate> {
 
     fn on_complete(&mut self, response: &Response, now: Cycle) {
         self.as_mut().on_complete(response, now);
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.as_ref().next_activity(now)
+    }
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.as_mut().on_denied_skip(cycles);
     }
 
     fn label(&self) -> &'static str {
@@ -91,6 +132,10 @@ pub struct OpenGate;
 impl PortGate for OpenGate {
     fn try_accept(&mut self, _request: &Request, _now: Cycle) -> GateDecision {
         GateDecision::Accept
+    }
+
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 
     fn label(&self) -> &'static str {

@@ -56,6 +56,9 @@ pub struct Crossbar {
     rr_next: usize,
     weights: Vec<u32>,
     swrr_credit: Vec<i64>,
+    // Reused across arbitration rounds so the per-cycle scan allocates
+    // nothing.
+    swrr_scratch: Vec<usize>,
 }
 
 impl Crossbar {
@@ -71,7 +74,10 @@ impl Crossbar {
             vec![1; ports]
         } else {
             assert_eq!(cfg.weights.len(), ports, "one weight per port required");
-            assert!(cfg.weights.iter().all(|&w| w > 0), "weights must be non-zero");
+            assert!(
+                cfg.weights.iter().all(|&w| w > 0),
+                "weights must be non-zero"
+            );
             cfg.weights.clone()
         };
         Crossbar {
@@ -79,6 +85,7 @@ impl Crossbar {
             ports: (0..ports).map(|_| VecDeque::new()).collect(),
             rr_next: 0,
             swrr_credit: vec![0; ports],
+            swrr_scratch: Vec::with_capacity(ports),
             weights,
         }
     }
@@ -114,9 +121,11 @@ impl Crossbar {
     /// weight in credit; the richest port wins and pays the total weight
     /// of the backlogged set.
     fn swrr_pick(&mut self) -> Option<usize> {
-        let backlogged: Vec<usize> =
-            (0..self.ports.len()).filter(|&p| !self.ports[p].is_empty()).collect();
+        let mut backlogged = std::mem::take(&mut self.swrr_scratch);
+        backlogged.clear();
+        backlogged.extend((0..self.ports.len()).filter(|&p| !self.ports[p].is_empty()));
         if backlogged.is_empty() {
+            self.swrr_scratch = backlogged;
             return None;
         }
         let mut total = 0i64;
@@ -130,7 +139,21 @@ impl Crossbar {
             .max_by_key(|&p| self.swrr_credit[p])
             .expect("backlogged set non-empty");
         self.swrr_credit[winner] -= total;
+        self.swrr_scratch = backlogged;
         Some(winner)
+    }
+
+    /// Earliest cycle `>= now` at which the crossbar can change state on
+    /// its own: any backlogged ingress FIFO may forward a request as soon
+    /// as the DRAM queue has space, so a non-empty crossbar reports
+    /// activity every cycle; an empty one only moves when a master pushes
+    /// (which executes a cycle anyway).
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.ports.iter().any(|p| !p.is_empty()) {
+            Some(now)
+        } else {
+            None
+        }
     }
 
     /// One arbitration round: forwards at most one request into the DRAM
@@ -175,12 +198,21 @@ mod tests {
     }
 
     fn dram() -> DramController {
-        DramController::new(DramConfig { t_refi: 0, ..DramConfig::default() })
+        DramController::new(DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        })
     }
 
     #[test]
     fn fifo_space_tracking() {
-        let mut x = Crossbar::new(XbarConfig { port_fifo_depth: 2, ..Default::default() }, 2);
+        let mut x = Crossbar::new(
+            XbarConfig {
+                port_fifo_depth: 2,
+                ..Default::default()
+            },
+            2,
+        );
         let m0 = MasterId::new(0);
         assert!(x.has_space(m0));
         x.push(req(0, 0));
@@ -193,7 +225,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "port FIFO overflow")]
     fn push_overflow_panics() {
-        let mut x = Crossbar::new(XbarConfig { port_fifo_depth: 1, ..Default::default() }, 1);
+        let mut x = Crossbar::new(
+            XbarConfig {
+                port_fifo_depth: 1,
+                ..Default::default()
+            },
+            1,
+        );
         x.push(req(0, 0));
         x.push(req(0, 1));
     }
@@ -224,7 +262,10 @@ mod tests {
     #[test]
     fn fixed_priority_prefers_low_index() {
         let mut x = Crossbar::new(
-            XbarConfig { arbitration: Arbitration::FixedPriority, ..Default::default() },
+            XbarConfig {
+                arbitration: Arbitration::FixedPriority,
+                ..Default::default()
+            },
             2,
         );
         let mut d = dram();

@@ -66,6 +66,16 @@ pub trait TrafficSource {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// Earliest cycle `>= now` at which pulling from this source could
+    /// yield a request whose `not_before` has arrived, assuming no
+    /// completion is delivered in between (completions execute a cycle
+    /// and re-ask). `None` means the source is exhausted. The default
+    /// `Some(now)` declares "poll me every cycle" and merely disables
+    /// fast-forwarding for the owning master — always safe.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 }
 
 impl TrafficSource for Box<dyn TrafficSource> {
@@ -79,6 +89,10 @@ impl TrafficSource for Box<dyn TrafficSource> {
 
     fn is_done(&self) -> bool {
         self.as_ref().is_done()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.as_ref().next_activity(now)
     }
 }
 
@@ -204,7 +218,12 @@ impl TrafficSource for SequentialSource {
             self.next_addr = self.base;
         }
         self.issued += 1;
-        Some(PendingRequest { addr, beats: self.beats, dir: self.dir, not_before })
+        Some(PendingRequest {
+            addr,
+            beats: self.beats,
+            dir: self.dir,
+            not_before,
+        })
     }
 
     fn on_complete(&mut self, response: &Response, _now: Cycle) {
@@ -215,6 +234,17 @@ impl TrafficSource for SequentialSource {
 
     fn is_done(&self) -> bool {
         self.issued >= self.total_txns
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.issued >= self.total_txns {
+            None
+        } else {
+            // Pulling at `next_ready.max(now)` yields the same
+            // `not_before` and the same updated schedule as pulling on
+            // any earlier cycle would have.
+            Some(self.next_ready.max(now))
+        }
     }
 }
 
@@ -252,6 +282,17 @@ pub struct Master {
     staged: Option<(PendingRequest, Option<Cycle>)>,
     in_flight: usize,
     serial: u64,
+    // Fast-forward bookkeeping: whether the most recent gate attempt for
+    // the currently staged request was a denial, and whether a completion
+    // has touched the gate/source since that attempt (which may flip a
+    // capacity-based denial without any gate-internal schedule).
+    last_denied: bool,
+    gate_dirty: bool,
+    // The gate's flip cycle, latched *at the denied cycle*. A time-pure
+    // gate (e.g. TDMA) queried after its accept window has already
+    // opened reports the window's *end*, not its start — so the wake for
+    // a denied retry must be captured while the denial is in force.
+    retry_at: Option<Cycle>,
     stats: MasterStats,
 }
 
@@ -294,6 +335,9 @@ impl Master {
             staged: None,
             in_flight: 0,
             serial: 0,
+            last_denied: false,
+            gate_dirty: false,
+            retry_at: None,
             stats: MasterStats::default(),
         }
     }
@@ -339,9 +383,7 @@ impl Master {
     pub fn tick(&mut self, now: Cycle, xbar: &mut Crossbar) {
         self.gate.on_cycle(now);
 
-        if self.staged.is_none()
-            && self.in_flight < self.max_outstanding
-            && !self.source.is_done()
+        if self.staged.is_none() && self.in_flight < self.max_outstanding && !self.source.is_done()
         {
             if let Some(p) = self.source.next_request(now) {
                 self.staged = Some((p, None));
@@ -359,9 +401,16 @@ impl Master {
             self.stats.fifo_stall_cycles += 1;
             return;
         }
-        let mut request =
-            Request::new(self.id, self.serial, pending.addr, pending.beats, pending.dir, first);
+        let mut request = Request::new(
+            self.id,
+            self.serial,
+            pending.addr,
+            pending.beats,
+            pending.dir,
+            first,
+        );
         request.accepted_at = now;
+        self.gate_dirty = false;
         match self.gate.try_accept(&request, now) {
             GateDecision::Accept => {
                 xbar.push(request);
@@ -369,10 +418,59 @@ impl Master {
                 self.in_flight += 1;
                 self.stats.issued_txns += 1;
                 self.staged = None;
+                self.last_denied = false;
             }
             GateDecision::Deny => {
                 self.stats.gate_stall_cycles += 1;
+                self.last_denied = true;
+                // Latch the flip cycle now, while the gate still reports
+                // the denied state's edge (see `retry_at`).
+                self.retry_at = self.gate.next_activity(now);
             }
+        }
+    }
+
+    /// Earliest cycle `>= now` at which ticking this master could change
+    /// any state, assuming no response is delivered in between (the DRAM
+    /// controller wakes the SoC for every completion).
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Gate-internal schedules (window rolls, telemetry registers)
+        // must run at their naive cycles even when the master itself has
+        // nothing to present, so the gate is consulted unconditionally.
+        let gate = self.gate.next_activity(now);
+        let own = if let Some((pending, _)) = &self.staged {
+            if now < pending.not_before {
+                Some(pending.not_before)
+            } else if self.in_flight >= self.max_outstanding {
+                None // unblocked only by a completion
+            } else if self.last_denied && !self.gate_dirty {
+                // The denial can only flip at the gate's latched edge.
+                self.retry_at.map(|c| c.max(now))
+            } else {
+                Some(now) // FIFO stall retry, or a denial a completion may have flipped
+            }
+        } else if self.in_flight >= self.max_outstanding || self.source.is_done() {
+            None // draining: unblocked only by completions
+        } else {
+            self.source.next_activity(now)
+        };
+        match (gate, own) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Replicates the per-cycle accounting of `cycles` skipped cycles.
+    ///
+    /// The only per-cycle side effect a no-op cycle has on a master is
+    /// the denied-retry stall accounting: a staged request whose gate
+    /// keeps denying burns one gate-stall cycle per cycle in naive
+    /// stepping (FIFO stalls never coincide with skips — a backlogged
+    /// crossbar reports activity every cycle).
+    pub(crate) fn on_skipped(&mut self, cycles: u64) {
+        if self.last_denied && self.staged.is_some() {
+            self.stats.gate_stall_cycles += cycles;
+            self.gate.on_denied_skip(cycles);
         }
     }
 
@@ -383,20 +481,31 @@ impl Master {
     /// Panics if the response does not belong to this master or no
     /// transaction is in flight.
     pub fn on_response(&mut self, response: &Response, now: Cycle) {
-        assert_eq!(response.request.master, self.id, "response routed to wrong master");
-        assert!(self.in_flight > 0, "completion without in-flight transaction");
+        assert_eq!(
+            response.request.master, self.id,
+            "response routed to wrong master"
+        );
+        assert!(
+            self.in_flight > 0,
+            "completion without in-flight transaction"
+        );
         self.in_flight -= 1;
         let bytes = response.request.bytes();
         self.stats.completed_txns += 1;
         self.stats.bytes_completed += bytes;
         self.stats.latency.record(response.latency());
-        self.stats.service_latency.record(response.service_latency());
+        self.stats
+            .service_latency
+            .record(response.service_latency());
         self.stats.meter.record(bytes);
         if let Some(w) = self.stats.window.as_mut() {
             w.add(response.completed_at, bytes);
         }
         self.source.on_complete(response, now);
         self.gate.on_complete(response, now);
+        // A completion may flip a capacity-based gate denial (e.g. an
+        // in-flight cap): force one live retry before sleeping again.
+        self.gate_dirty = true;
     }
 
     /// Mutable access to the port gate (used by tests and ablations).
@@ -415,7 +524,10 @@ mod tests {
     fn harness() -> (Crossbar, DramController) {
         (
             Crossbar::new(XbarConfig::default(), 1),
-            DramController::new(DramConfig { t_refi: 0, ..DramConfig::default() }),
+            DramController::new(DramConfig {
+                t_refi: 0,
+                ..DramConfig::default()
+            }),
         )
     }
 
@@ -425,7 +537,7 @@ mod tests {
             master.tick(now, xbar);
             xbar.tick(now, dram);
             for r in dram.tick(now) {
-                master.on_response(&r, now);
+                master.on_response(r, now);
             }
             if master.is_done() && dram.is_idle() {
                 break;
@@ -466,8 +578,9 @@ mod tests {
     #[test]
     fn sequential_source_footprint_wraps() {
         let mut s = SequentialSource::writes(0x1000, 64, 10).with_footprint(128);
-        let addrs: Vec<u64> =
-            (0..4).map(|_| s.next_request(Cycle::ZERO).unwrap().addr).collect();
+        let addrs: Vec<u64> = (0..4)
+            .map(|_| s.next_request(Cycle::ZERO).unwrap().addr)
+            .collect();
         assert_eq!(addrs, [0x1000, 0x1040, 0x1000, 0x1040]);
     }
 
@@ -519,7 +632,7 @@ mod tests {
             assert!(m.in_flight() <= 3);
             xbar.tick(now, &mut dram);
             for r in dram.tick(now) {
-                m.on_response(&r, now);
+                m.on_response(r, now);
             }
         }
         assert!(m.stats().completed_txns > 0);
@@ -543,11 +656,14 @@ mod tests {
             m.tick(now, &mut xbar);
             xbar.tick(now, &mut dram);
             for r in dram.tick(now) {
-                m.on_response(&r, now);
+                m.on_response(r, now);
             }
         }
         let n = m.stats().completed_txns;
-        assert!((15..=21).contains(&n), "closed-loop rate off: {n} txns in 20k cycles");
+        assert!(
+            (15..=21).contains(&n),
+            "closed-loop rate off: {n} txns in 20k cycles"
+        );
     }
 
     #[test]
@@ -584,7 +700,10 @@ mod tests {
             1,
         );
         let req = Request::new(MasterId::new(1), 0, 0, 1, Dir::Read, Cycle::ZERO);
-        let resp = Response { request: req, completed_at: Cycle::new(10) };
+        let resp = Response {
+            request: req,
+            completed_at: Cycle::new(10),
+        };
         m.on_response(&resp, Cycle::new(10));
     }
 }

@@ -29,7 +29,11 @@ pub struct BandwidthMeter {
 impl BandwidthMeter {
     /// Creates a meter whose interval starts at `start`.
     pub fn new(start: Cycle) -> Self {
-        BandwidthMeter { bytes: 0, txns: 0, start }
+        BandwidthMeter {
+            bytes: 0,
+            txns: 0,
+            start,
+        }
     }
 
     /// Records one completed transfer of `bytes` bytes.
@@ -342,12 +346,24 @@ mod tests {
     #[test]
     fn latency_bucket_roundtrip_error_bounded() {
         // bucket_value(bucket_index(v)) must be within 1/SUBS of v.
-        for v in [1u64, 17, 100, 1000, 4096, 65_535, 1 << 20, (1 << 33) + 12345] {
+        for v in [
+            1u64,
+            17,
+            100,
+            1000,
+            4096,
+            65_535,
+            1 << 20,
+            (1 << 33) + 12345,
+        ] {
             let idx = LatencyStats::bucket_index(v);
             let lo = LatencyStats::bucket_value(idx);
             assert!(lo <= v, "lower bound {lo} above value {v}");
             let rel = (v - lo) as f64 / v as f64;
-            assert!(rel <= 1.0 / SUBS as f64 + 1e-9, "error {rel} too large for {v}");
+            assert!(
+                rel <= 1.0 / SUBS as f64 + 1e-9,
+                "error {rel} too large for {v}"
+            );
         }
     }
 

@@ -26,7 +26,20 @@ pub struct SocConfig {
 /// decides internally when to act (e.g. every OS tick).
 pub trait Controller {
     /// Called once per simulated cycle.
+    ///
+    /// Under fast-forward this is only invoked at *executed* cycles, so
+    /// periodic work must catch up over gaps (the stock controllers all
+    /// schedule themselves with a `next_at` deadline, which is naturally
+    /// gap-safe).
     fn on_cycle(&mut self, now: Cycle);
+
+    /// Earliest cycle `>= now` at which this controller can act, `None`
+    /// for never again. The conservative default `Some(now)` declares
+    /// "call me every cycle" and disables fast-forwarding for the whole
+    /// SoC — always safe, never wrong, just slow.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 
     /// Short label for reports.
     fn label(&self) -> &'static str {
@@ -56,7 +69,12 @@ pub struct SocBuilder {
 impl SocBuilder {
     /// Starts a builder with the given configuration.
     pub fn new(cfg: SocConfig) -> Self {
-        SocBuilder { cfg, masters: Vec::new(), controllers: Vec::new(), window_cycles: None }
+        SocBuilder {
+            cfg,
+            masters: Vec::new(),
+            controllers: Vec::new(),
+            window_cycles: None,
+        }
     }
 
     /// The id the *next* registered master will receive.
@@ -139,6 +157,9 @@ impl SocBuilder {
         }
         let xbar = Crossbar::new(self.cfg.xbar.clone(), masters.len());
         let dram = DramController::new(self.cfg.dram.clone());
+        // FGQOS_NAIVE=1 forces cycle-by-cycle stepping (A/B debugging,
+        // speedup measurement); any other value keeps fast-forward on.
+        let naive = std::env::var_os("FGQOS_NAIVE").is_some_and(|v| v != "0" && !v.is_empty());
         Soc {
             freq: self.cfg.freq,
             cycle: Cycle::ZERO,
@@ -146,6 +167,7 @@ impl SocBuilder {
             xbar,
             dram,
             controllers: self.controllers,
+            naive,
         }
     }
 }
@@ -158,6 +180,7 @@ pub struct Soc {
     xbar: Crossbar,
     dram: DramController,
     controllers: Vec<Box<dyn Controller>>,
+    naive: bool,
 }
 
 impl std::fmt::Debug for Soc {
@@ -197,7 +220,10 @@ impl Soc {
 
     /// Looks up a master id by its registration name.
     pub fn master_id(&self, name: &str) -> Option<MasterId> {
-        self.masters.iter().find(|m| m.name() == name).map(|m| m.id())
+        self.masters
+            .iter()
+            .find(|m| m.name() == name)
+            .map(|m| m.id())
     }
 
     /// DRAM-side aggregate statistics.
@@ -212,12 +238,25 @@ impl Soc {
 
     /// Aggregate DRAM throughput over the whole run so far.
     pub fn total_bandwidth(&self) -> Bandwidth {
-        Bandwidth::from_bytes_over(self.dram.stats().bytes_completed, self.cycle.get(), self.freq)
+        Bandwidth::from_bytes_over(
+            self.dram.stats().bytes_completed,
+            self.cycle.get(),
+            self.freq,
+        )
     }
 
     /// `true` when master `id` has exhausted its source and drained.
     pub fn master_done(&self, id: MasterId) -> bool {
         self.masters[id.index()].is_done()
+    }
+
+    /// Forces cycle-by-cycle stepping (`true`) or re-enables next-event
+    /// fast-forward (`false`). Also settable via the `FGQOS_NAIVE`
+    /// environment variable at build time. Both modes produce
+    /// bit-identical statistics; naive mode exists for A/B verification
+    /// and speedup measurement.
+    pub fn set_naive(&mut self, naive: bool) {
+        self.naive = naive;
     }
 
     /// Advances the simulation by one cycle.
@@ -230,17 +269,65 @@ impl Soc {
             m.tick(now, &mut self.xbar);
         }
         self.xbar.tick(now, &mut self.dram);
-        for response in self.dram.tick(now) {
+        let responses = self.dram.tick(now);
+        for response in responses {
             let idx = response.request.master.index();
-            self.masters[idx].on_response(&response, now);
+            self.masters[idx].on_response(response, now);
         }
         self.cycle += 1;
     }
 
+    /// Earliest cycle `>= now` at which any component can change state:
+    /// the minimum over every master (source schedule, staged request,
+    /// gate window), the crossbar, the DRAM controller and every
+    /// software controller. `None` when the whole SoC is quiescent.
+    pub fn next_event(&self) -> Option<Cycle> {
+        let now = self.cycle;
+        let mut wake: Option<Cycle> = None;
+        let mut merge = |c: Option<Cycle>| {
+            wake = match (wake, c) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        for m in &self.masters {
+            merge(m.next_activity(now));
+        }
+        merge(self.xbar.next_activity(now));
+        merge(self.dram.next_activity(now));
+        for c in &self.controllers {
+            merge(c.next_activity(now));
+        }
+        wake
+    }
+
+    /// Jumps over cycles in which no component can change state, up to
+    /// (but not past) `deadline`. Skipped cycles are global no-ops except
+    /// for per-cycle stall accounting, which is replicated exactly (see
+    /// [`PortGate::on_denied_skip`]).
+    fn fast_forward(&mut self, deadline: Cycle) {
+        if self.naive || self.cycle >= deadline {
+            return;
+        }
+        let target = match self.next_event() {
+            Some(wake) => wake.min(deadline),
+            None => deadline,
+        };
+        if target > self.cycle {
+            let skipped = target - self.cycle;
+            for m in &mut self.masters {
+                m.on_skipped(skipped);
+            }
+            self.cycle = target;
+        }
+    }
+
     /// Runs for `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let deadline = self.cycle + cycles;
+        while self.cycle < deadline {
             self.step();
+            self.fast_forward(deadline);
         }
     }
 
@@ -254,6 +341,12 @@ impl Soc {
                 return Some(self.cycle);
             }
             self.step();
+            // Completion is re-checked before fast-forwarding so the
+            // reported cycle matches naive stepping's top-of-loop check.
+            if self.master_done(id) {
+                return Some(self.cycle);
+            }
+            self.fast_forward(deadline);
         }
         if self.master_done(id) {
             Some(self.cycle)
@@ -272,6 +365,10 @@ impl Soc {
                 return Some(self.cycle);
             }
             self.step();
+            if self.cycle < deadline && self.masters.iter().all(Master::is_done) {
+                return Some(self.cycle);
+            }
+            self.fast_forward(deadline);
         }
         None
     }
@@ -293,7 +390,10 @@ mod tests {
 
     fn no_refresh() -> SocConfig {
         SocConfig {
-            dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+            dram: DramConfig {
+                t_refi: 0,
+                ..DramConfig::default()
+            },
             ..SocConfig::default()
         }
     }
@@ -301,7 +401,11 @@ mod tests {
     #[test]
     fn single_master_runs_to_completion() {
         let mut soc = SocBuilder::new(no_refresh())
-            .master("dma", SequentialSource::reads(0, 1024, 50), MasterKind::Accelerator)
+            .master(
+                "dma",
+                SequentialSource::reads(0, 1024, 50),
+                MasterKind::Accelerator,
+            )
             .build();
         let done = soc.run_until_done(MasterId::new(0), 1_000_000);
         assert!(done.is_some());
@@ -313,8 +417,16 @@ mod tests {
     #[test]
     fn conservation_master_bytes_equal_dram_bytes() {
         let mut soc = SocBuilder::new(no_refresh())
-            .master("a", SequentialSource::reads(0, 512, 40), MasterKind::Accelerator)
-            .master("b", SequentialSource::writes(1 << 24, 256, 60), MasterKind::Accelerator)
+            .master(
+                "a",
+                SequentialSource::reads(0, 512, 40),
+                MasterKind::Accelerator,
+            )
+            .master(
+                "b",
+                SequentialSource::writes(1 << 24, 256, 60),
+                MasterKind::Accelerator,
+            )
             .build();
         soc.run_until_all_done(1_000_000).expect("workloads drain");
         let total: u64 = (0..soc.master_count())
@@ -328,7 +440,9 @@ mod tests {
     fn interference_slows_latency_sensitive_master() {
         // Critical master alone.
         let critical = || {
-            SequentialSource::reads(0, 256, 500).with_think_time(50).with_footprint(1 << 20)
+            SequentialSource::reads(0, 256, 500)
+                .with_think_time(50)
+                .with_footprint(1 << 20)
         };
         let mut solo = SocBuilder::new(no_refresh())
             .master_full("crit", critical(), MasterKind::Cpu, OpenGate, 1)
@@ -336,8 +450,13 @@ mod tests {
         let t_solo = solo.run_until_done(MasterId::new(0), 10_000_000).unwrap();
 
         // Same master against three greedy streaming interferers.
-        let mut builder = SocBuilder::new(no_refresh())
-            .master_full("crit", critical(), MasterKind::Cpu, OpenGate, 1);
+        let mut builder = SocBuilder::new(no_refresh()).master_full(
+            "crit",
+            critical(),
+            MasterKind::Cpu,
+            OpenGate,
+            1,
+        );
         for i in 0..3 {
             builder = builder.master(
                 format!("dma{i}"),
@@ -346,14 +465,17 @@ mod tests {
             );
         }
         let mut contended = builder.build();
-        let t_cont = contended.run_until_done(MasterId::new(0), 100_000_000).unwrap();
+        let t_cont = contended
+            .run_until_done(MasterId::new(0), 100_000_000)
+            .unwrap();
 
         let slowdown = t_cont.get() as f64 / t_solo.get() as f64;
-        assert!(slowdown > 1.5, "expected visible interference, got {slowdown:.2}x");
-        // The interferers should also keep the DRAM far busier.
         assert!(
-            contended.dram_stats().bytes_completed > solo.dram_stats().bytes_completed
+            slowdown > 1.5,
+            "expected visible interference, got {slowdown:.2}x"
         );
+        // The interferers should also keep the DRAM far busier.
+        assert!(contended.dram_stats().bytes_completed > solo.dram_stats().bytes_completed);
     }
 
     #[test]
@@ -369,7 +491,11 @@ mod tests {
     #[test]
     fn run_until_done_times_out() {
         let mut soc = SocBuilder::new(no_refresh())
-            .master("inf", SequentialSource::reads(0, 64, u64::MAX), MasterKind::Cpu)
+            .master(
+                "inf",
+                SequentialSource::reads(0, 64, u64::MAX),
+                MasterKind::Cpu,
+            )
             .build();
         assert!(soc.run_until_done(MasterId::new(0), 1_000).is_none());
     }
@@ -383,7 +509,11 @@ mod tests {
     #[test]
     fn window_recording() {
         let mut soc = SocBuilder::new(no_refresh())
-            .master("dma", SequentialSource::reads(0, 1024, 200), MasterKind::Accelerator)
+            .master(
+                "dma",
+                SequentialSource::reads(0, 1024, 200),
+                MasterKind::Accelerator,
+            )
             .record_windows(1_000)
             .build();
         soc.run_until_all_done(1_000_000).unwrap();

@@ -46,7 +46,10 @@ impl Cycle {
     /// Panics in debug builds if `earlier` is later than `self`.
     #[inline]
     pub fn cycles_since(self, earlier: Cycle) -> u64 {
-        debug_assert!(earlier.0 <= self.0, "cycles_since: earlier is in the future");
+        debug_assert!(
+            earlier.0 <= self.0,
+            "cycles_since: earlier is in the future"
+        );
         self.0 - earlier.0
     }
 
@@ -319,14 +322,17 @@ mod tests {
         // 16 bytes per cycle at 1 GHz = 16 GB/s.
         let bw = Bandwidth::from_bytes_over(16_000, 1_000, Freq::ghz(1));
         assert_eq!(bw.bytes_per_s(), 16e9);
-        assert_eq!(Bandwidth::from_bytes_over(100, 0, Freq::ghz(1)), Bandwidth::ZERO);
+        assert_eq!(
+            Bandwidth::from_bytes_over(100, 0, Freq::ghz(1)),
+            Bandwidth::ZERO
+        );
     }
 
     #[test]
     fn bandwidth_budget_roundtrip() {
         let freq = Freq::ghz(1);
         let bw = Bandwidth::from_bytes_per_s(1e9); // 1 GB/s
-        // 1000-cycle window at 1 GHz = 1 us -> 1000 bytes.
+                                                   // 1000-cycle window at 1 GHz = 1 us -> 1000 bytes.
         assert_eq!(bw.to_window_budget(1_000, freq), 1_000);
     }
 
@@ -340,7 +346,11 @@ mod tests {
 
     #[test]
     fn bandwidth_display_units() {
-        assert!(Bandwidth::from_mib_per_s(10.0).to_string().contains("MiB/s"));
-        assert!(Bandwidth::from_mib_per_s(4096.0).to_string().contains("GiB/s"));
+        assert!(Bandwidth::from_mib_per_s(10.0)
+            .to_string()
+            .contains("MiB/s"));
+        assert!(Bandwidth::from_mib_per_s(4096.0)
+            .to_string()
+            .contains("GiB/s"));
     }
 }

@@ -58,7 +58,11 @@ impl Trace {
 
     /// Count of events matching `predicate`.
     pub fn count_matching(&self, predicate: impl Fn(&TraceEvent) -> bool) -> usize {
-        self.events.borrow().iter().filter(|(_, e)| predicate(e)).count()
+        self.events
+            .borrow()
+            .iter()
+            .filter(|(_, e)| predicate(e))
+            .count()
     }
 }
 
@@ -90,12 +94,14 @@ impl<G: PortGate> PortGate for TracingGate<G> {
     fn try_accept(&mut self, request: &Request, now: Cycle) -> GateDecision {
         let d = self.inner.try_accept(request, now);
         let ev = match d {
-            GateDecision::Accept => {
-                TraceEvent::Accepted { master: request.master, serial: request.serial }
-            }
-            GateDecision::Deny => {
-                TraceEvent::Denied { master: request.master, serial: request.serial }
-            }
+            GateDecision::Accept => TraceEvent::Accepted {
+                master: request.master,
+                serial: request.serial,
+            },
+            GateDecision::Deny => TraceEvent::Denied {
+                master: request.master,
+                serial: request.serial,
+            },
         };
         self.trace.push(now, ev);
         d
@@ -110,6 +116,15 @@ impl<G: PortGate> PortGate for TracingGate<G> {
             },
         );
         self.inner.on_complete(response, now);
+    }
+
+    // `next_activity` deliberately keeps the conservative `Some(now)`
+    // default rather than forwarding to the inner gate: the trace records
+    // one `Denied` event per retry cycle, so a traced port must execute
+    // every cycle to keep its event stream identical to naive stepping.
+
+    fn on_denied_skip(&mut self, cycles: u64) {
+        self.inner.on_denied_skip(cycles);
     }
 
     fn label(&self) -> &'static str {
@@ -129,19 +144,37 @@ mod tests {
         let mut g = TracingGate::new(OpenGate, trace.clone());
         let r = Request::new(MasterId::new(0), 7, 0, 1, Dir::Read, Cycle::ZERO);
         assert!(g.try_accept(&r, Cycle::new(3)).is_accept());
-        let resp = Response { request: r, completed_at: Cycle::new(50) };
+        let resp = Response {
+            request: r,
+            completed_at: Cycle::new(50),
+        };
         g.on_complete(&resp, Cycle::new(50));
         let events = trace.events();
         assert_eq!(events.len(), 2);
         assert_eq!(
             events[0],
-            (Cycle::new(3), TraceEvent::Accepted { master: MasterId::new(0), serial: 7 })
+            (
+                Cycle::new(3),
+                TraceEvent::Accepted {
+                    master: MasterId::new(0),
+                    serial: 7
+                }
+            )
         );
         assert_eq!(
             events[1],
-            (Cycle::new(50), TraceEvent::Completed { master: MasterId::new(0), serial: 7 })
+            (
+                Cycle::new(50),
+                TraceEvent::Completed {
+                    master: MasterId::new(0),
+                    serial: 7
+                }
+            )
         );
-        assert_eq!(trace.count_matching(|e| matches!(e, TraceEvent::Denied { .. })), 0);
+        assert_eq!(
+            trace.count_matching(|e| matches!(e, TraceEvent::Denied { .. })),
+            0
+        );
         assert!(!trace.is_empty());
     }
 }

@@ -78,16 +78,12 @@ impl Kernel {
     pub fn phases(self, base: u64) -> Vec<TrafficSpec> {
         let m = 1 << 20; // 1 MiB footprint unit
         match self {
-            Kernel::Memcpy => vec![
-                TrafficSpec::stream(base, 2 * m, 256, Dir::Read)
-                    .with_write_ratio(0.5)
-                    .with_total(1024),
-            ],
-            Kernel::StreamTriad => vec![
-                TrafficSpec::stream(base, 3 * m, 256, Dir::Read)
-                    .with_write_ratio(0.34)
-                    .with_total(1536),
-            ],
+            Kernel::Memcpy => vec![TrafficSpec::stream(base, 2 * m, 256, Dir::Read)
+                .with_write_ratio(0.5)
+                .with_total(1024)],
+            Kernel::StreamTriad => vec![TrafficSpec::stream(base, 3 * m, 256, Dir::Read)
+                .with_write_ratio(0.34)
+                .with_total(1536)],
             Kernel::MatmulTile => vec![
                 // Tile load: sequential reads with light compute.
                 TrafficSpec {
@@ -116,17 +112,18 @@ impl Kernel {
                     ..TrafficSpec::stream(base, 4 * m, 128, Dir::Read)
                 }
                 .with_total(512),
-                TrafficSpec { think: 15, ..TrafficSpec::stream(base + 4 * m, m, 128, Dir::Write) }
-                    .with_total(256),
-            ],
-            Kernel::FftStride => vec![
                 TrafficSpec {
-                    pattern: AddressPattern::Strided { stride: 32_768 },
-                    ..TrafficSpec::stream(base, 8 * m, 64, Dir::Read)
+                    think: 15,
+                    ..TrafficSpec::stream(base + 4 * m, m, 128, Dir::Write)
                 }
-                .with_write_ratio(0.5)
-                .with_total(1024),
+                .with_total(256),
             ],
+            Kernel::FftStride => vec![TrafficSpec {
+                pattern: AddressPattern::Strided { stride: 32_768 },
+                ..TrafficSpec::stream(base, 8 * m, 64, Dir::Read)
+            }
+            .with_write_ratio(0.5)
+            .with_total(1024)],
             Kernel::ImagePipeline => vec![
                 TrafficSpec::stream(base, 2 * m, 512, Dir::Read).with_total(256),
                 // Compute-dominated middle phase.
@@ -243,6 +240,16 @@ impl TrafficSource for KernelSource {
     fn on_complete(&mut self, response: &Response, now: Cycle) {
         if let Some(cur) = self.current.as_mut() {
             cur.on_complete(response, now);
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        match &self.current {
+            None => None,
+            // An exhausted phase advances (and re-seeds) on the next
+            // pull; poll so the phase transition is not skipped over.
+            Some(cur) if cur.is_done() => Some(now),
+            Some(cur) => cur.next_activity(now),
         }
     }
 

@@ -6,9 +6,9 @@
 //! optional on/off burst shaping. [`SpecSource`] turns a spec into a
 //! deterministic [`TrafficSource`].
 
+use fgqos_sim::axi::Response;
 use fgqos_sim::axi::{Dir, BEAT_BYTES, MAX_BURST_BEATS};
 use fgqos_sim::master::{PendingRequest, TrafficSource};
-use fgqos_sim::axi::Response;
 use fgqos_sim::time::Cycle;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -129,7 +129,9 @@ impl TrafficSpec {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if self.txn_bytes == 0 || !self.txn_bytes.is_multiple_of(BEAT_BYTES) {
-            return Err(format!("txn_bytes must be a positive multiple of {BEAT_BYTES}"));
+            return Err(format!(
+                "txn_bytes must be a positive multiple of {BEAT_BYTES}"
+            ));
         }
         if self.txn_bytes / BEAT_BYTES > MAX_BURST_BEATS as u64 {
             return Err("txn_bytes exceeds one maximum burst".into());
@@ -244,12 +246,27 @@ impl TrafficSource for SpecSource {
         let addr = self.next_addr();
         let dir = self.next_dir();
         self.issued += 1;
-        Some(PendingRequest { addr, beats: self.spec.beats(), dir, not_before })
+        Some(PendingRequest {
+            addr,
+            beats: self.spec.beats(),
+            dir,
+            not_before,
+        })
     }
 
     fn on_complete(&mut self, response: &Response, _now: Cycle) {
         if self.spec.think > 0 {
             self.next_ready = self.next_ready.max(response.completed_at + self.spec.think);
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Mirrors the `not_before` the next pull would compute, so a
+        // master that skips straight here stages a bit-identical request.
+        if self.issued >= self.spec.total {
+            None
+        } else {
+            Some(self.align_to_burst(self.next_ready.max(now)))
         }
     }
 
@@ -268,10 +285,14 @@ mod tests {
 
     #[test]
     fn sequential_addresses_advance_and_wrap() {
-        let spec = TrafficSpec { footprint: 512, ..base_spec() };
+        let spec = TrafficSpec {
+            footprint: 512,
+            ..base_spec()
+        };
         let mut s = SpecSource::new(spec, 1);
-        let addrs: Vec<u64> =
-            (0..3).map(|_| s.next_request(Cycle::ZERO).unwrap().addr).collect();
+        let addrs: Vec<u64> = (0..3)
+            .map(|_| s.next_request(Cycle::ZERO).unwrap().addr)
+            .collect();
         assert_eq!(addrs, [0x1000, 0x1100, 0x1000]);
     }
 
@@ -315,18 +336,27 @@ mod tests {
                 writes += 1;
             }
         }
-        assert!((350..=650).contains(&writes), "write mix off: {writes}/1000");
+        assert!(
+            (350..=650).contains(&writes),
+            "write mix off: {writes}/1000"
+        );
     }
 
     #[test]
     fn burst_shaping_defers_into_on_phase() {
-        let spec = base_spec().with_burst(BurstShape { on_cycles: 100, off_cycles: 900 });
+        let spec = base_spec().with_burst(BurstShape {
+            on_cycles: 100,
+            off_cycles: 900,
+        });
         let mut s = SpecSource::new(spec, 1);
         // At cycle 50 (on-phase): immediate.
         assert_eq!(s.next_request(Cycle::new(50)).unwrap().not_before.get(), 50);
         // At cycle 500 (off-phase): deferred to cycle 1000.
         let mut s2 = SpecSource::new(spec, 1);
-        assert_eq!(s2.next_request(Cycle::new(500)).unwrap().not_before.get(), 1_000);
+        assert_eq!(
+            s2.next_request(Cycle::new(500)).unwrap().not_before.get(),
+            1_000
+        );
     }
 
     #[test]
@@ -342,7 +372,10 @@ mod tests {
 
     #[test]
     fn gap_spaces_generation() {
-        let spec = TrafficSpec { gap: 100, ..base_spec() };
+        let spec = TrafficSpec {
+            gap: 100,
+            ..base_spec()
+        };
         let mut s = SpecSource::new(spec, 1);
         let a = s.next_request(Cycle::new(10)).unwrap();
         let b = s.next_request(Cycle::new(10)).unwrap();
@@ -352,20 +385,45 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_specs() {
-        assert!(TrafficSpec { txn_bytes: 100, ..base_spec() }.validate().is_err());
-        assert!(TrafficSpec { txn_bytes: 8192, ..base_spec() }.validate().is_err());
-        assert!(TrafficSpec { footprint: 64, ..base_spec() }.validate().is_err());
-        assert!(
-            TrafficSpec { burst: Some(BurstShape { on_cycles: 0, off_cycles: 5 }), ..base_spec() }
-                .validate()
-                .is_err()
-        );
+        assert!(TrafficSpec {
+            txn_bytes: 100,
+            ..base_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficSpec {
+            txn_bytes: 8192,
+            ..base_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficSpec {
+            footprint: 64,
+            ..base_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficSpec {
+            burst: Some(BurstShape {
+                on_cycles: 0,
+                off_cycles: 5
+            }),
+            ..base_spec()
+        }
+        .validate()
+        .is_err());
         assert!(base_spec().validate().is_ok());
     }
 
     #[test]
     #[should_panic(expected = "invalid TrafficSpec")]
     fn constructor_panics_on_invalid() {
-        let _ = SpecSource::new(TrafficSpec { txn_bytes: 0, ..base_spec() }, 1);
+        let _ = SpecSource::new(
+            TrafficSpec {
+                txn_bytes: 0,
+                ..base_spec()
+            },
+            1,
+        );
     }
 }

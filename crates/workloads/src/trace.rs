@@ -56,7 +56,11 @@ impl TraceRecord {
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {:#x} {} {}", self.delta_cycles, self.addr, self.bytes, self.dir)
+        write!(
+            f,
+            "{} {:#x} {} {}",
+            self.delta_cycles, self.addr, self.bytes, self.dir
+        )
     }
 }
 
@@ -79,15 +83,23 @@ impl Error for ParseTraceError {}
 
 impl From<io::Error> for ParseTraceError {
     fn from(e: io::Error) -> Self {
-        ParseTraceError { line: 0, message: e.to_string() }
+        ParseTraceError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
 fn parse_u64(token: &str) -> Result<u64, String> {
-    if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+    if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
         u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
     } else {
-        token.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+        token
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
     }
 }
 
@@ -112,12 +124,18 @@ pub fn parse_trace(reader: impl BufRead) -> Result<Vec<TraceRecord>, ParseTraceE
                 message: format!("missing {what}"),
             })
         };
-        let delta = parse_u64(next("delta")?)
-            .map_err(|m| ParseTraceError { line: line_no, message: m })?;
-        let addr = parse_u64(next("addr")?)
-            .map_err(|m| ParseTraceError { line: line_no, message: m })?;
-        let bytes = parse_u64(next("bytes")?)
-            .map_err(|m| ParseTraceError { line: line_no, message: m })?;
+        let delta = parse_u64(next("delta")?).map_err(|m| ParseTraceError {
+            line: line_no,
+            message: m,
+        })?;
+        let addr = parse_u64(next("addr")?).map_err(|m| ParseTraceError {
+            line: line_no,
+            message: m,
+        })?;
+        let bytes = parse_u64(next("bytes")?).map_err(|m| ParseTraceError {
+            line: line_no,
+            message: m,
+        })?;
         let dir = match next("dir")? {
             "R" | "r" => Dir::Read,
             "W" | "w" => Dir::Write,
@@ -128,8 +146,16 @@ pub fn parse_trace(reader: impl BufRead) -> Result<Vec<TraceRecord>, ParseTraceE
                 })
             }
         };
-        let rec = TraceRecord { delta_cycles: delta, addr, bytes, dir };
-        rec.validate().map_err(|m| ParseTraceError { line: line_no, message: m })?;
+        let rec = TraceRecord {
+            delta_cycles: delta,
+            addr,
+            bytes,
+            dir,
+        };
+        rec.validate().map_err(|m| ParseTraceError {
+            line: line_no,
+            message: m,
+        })?;
         out.push(rec);
     }
     Ok(out)
@@ -212,7 +238,13 @@ impl TraceSource {
                 panic!("invalid trace record {i}: {e}");
             }
         }
-        TraceSource { records, loops, idx: 0, done_loops: 0, next_ready: Cycle::ZERO }
+        TraceSource {
+            records,
+            loops,
+            idx: 0,
+            done_loops: 0,
+            next_ready: Cycle::ZERO,
+        }
     }
 
     /// A synthetic trace captured from `spec` (convenience for tests and
@@ -258,6 +290,16 @@ impl TrafficSource for TraceSource {
 
     fn on_complete(&mut self, _response: &Response, _now: Cycle) {}
 
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Mirrors the `not_before` of the next record so a deferred pull
+        // stages the same request naive stepping would.
+        if self.done_loops >= self.loops {
+            None
+        } else {
+            Some((self.next_ready + self.records[self.idx].delta_cycles).max(now))
+        }
+    }
+
     fn is_done(&self) -> bool {
         self.done_loops >= self.loops
     }
@@ -280,7 +322,15 @@ mod tests {
     fn parse_roundtrip() {
         let recs = parse_trace(SAMPLE.as_bytes()).expect("parses");
         assert_eq!(recs.len(), 3);
-        assert_eq!(recs[0], TraceRecord { delta_cycles: 0, addr: 0x1000, bytes: 256, dir: Dir::Read });
+        assert_eq!(
+            recs[0],
+            TraceRecord {
+                delta_cycles: 0,
+                addr: 0x1000,
+                bytes: 256,
+                dir: Dir::Read
+            }
+        );
         assert_eq!(recs[2].dir, Dir::Write);
 
         let mut buf = Vec::new();
@@ -302,9 +352,24 @@ mod tests {
     #[test]
     fn replay_paces_by_deltas() {
         let recs = vec![
-            TraceRecord { delta_cycles: 0, addr: 0, bytes: 64, dir: Dir::Read },
-            TraceRecord { delta_cycles: 100, addr: 64, bytes: 64, dir: Dir::Read },
-            TraceRecord { delta_cycles: 50, addr: 128, bytes: 64, dir: Dir::Write },
+            TraceRecord {
+                delta_cycles: 0,
+                addr: 0,
+                bytes: 64,
+                dir: Dir::Read,
+            },
+            TraceRecord {
+                delta_cycles: 100,
+                addr: 64,
+                bytes: 64,
+                dir: Dir::Read,
+            },
+            TraceRecord {
+                delta_cycles: 50,
+                addr: 128,
+                bytes: 64,
+                dir: Dir::Write,
+            },
         ];
         let mut src = TraceSource::new(recs);
         let a = src.next_request(Cycle::ZERO).unwrap();
@@ -319,7 +384,12 @@ mod tests {
 
     #[test]
     fn looping_replays_whole_trace() {
-        let recs = vec![TraceRecord { delta_cycles: 10, addr: 0, bytes: 64, dir: Dir::Read }];
+        let recs = vec![TraceRecord {
+            delta_cycles: 10,
+            addr: 0,
+            bytes: 64,
+            dir: Dir::Read,
+        }];
         let mut src = TraceSource::with_loops(recs, 3);
         assert_eq!(src.total_txns(), 3);
         let mut n = 0;

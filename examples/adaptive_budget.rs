@@ -45,11 +45,21 @@ fn main() {
     );
 
     let mut builder = SocBuilder::new(SocConfig::default())
-        .master_full("task", SpecSource::new(critical, 1), MasterKind::Cpu, crit_monitor, 1)
+        .master_full(
+            "task",
+            SpecSource::new(critical, 1),
+            MasterKind::Cpu,
+            crit_monitor,
+            1,
+        )
         .controller(controller);
     for (i, reg) in regulators.into_iter().enumerate() {
-        let spec = TrafficSpec::stream((1 + i as u64) << 28, 16 << 20, 512, Dir::Write)
-            .with_burst(BurstShape { on_cycles: 500_000, off_cycles: 500_000 });
+        let spec = TrafficSpec::stream((1 + i as u64) << 28, 16 << 20, 512, Dir::Write).with_burst(
+            BurstShape {
+                on_cycles: 500_000,
+                off_cycles: 500_000,
+            },
+        );
         builder = builder.gated_master(
             format!("accel{i}"),
             SpecSource::new(spec, 100 + i as u64),

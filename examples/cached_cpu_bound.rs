@@ -71,10 +71,15 @@ fn main() {
     };
     let bound = model.critical_delay_bound().expect("bound converges");
     println!("analytical per-miss delay bound: {bound} cycles");
-    println!("worst-case regulated utilization: {:.2}", model.regulated_utilization());
+    println!(
+        "worst-case regulated utilization: {:.2}",
+        model.regulated_utilization()
+    );
 
     let cpu = soc.master_id("cpu").expect("cpu");
-    let done = soc.run_until_done(cpu, 2_000_000_000).expect("cpu finishes");
+    let done = soc
+        .run_until_done(cpu, 2_000_000_000)
+        .expect("cpu finishes");
     let st = soc.master_stats(cpu);
     println!("\ncpu finished at {done}");
     println!(

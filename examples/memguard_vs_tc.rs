@@ -77,12 +77,21 @@ fn main() {
     let tc = run(true);
 
     println!("scheme        p50    p99    max   accel bandwidth");
-    println!("memguard    {:>5}  {:>5}  {:>5}   {}", mg.p50, mg.p99, mg.max, mg.accel);
-    println!("tc-regulator{:>5}  {:>5}  {:>5}   {}", tc.p50, tc.p99, tc.max, tc.accel);
+    println!(
+        "memguard    {:>5}  {:>5}  {:>5}   {}",
+        mg.p50, mg.p99, mg.max, mg.accel
+    );
+    println!(
+        "tc-regulator{:>5}  {:>5}  {:>5}   {}",
+        tc.p50, tc.p99, tc.max, tc.accel
+    );
 
     // Same average accelerator bandwidth (within 25 %)...
     let ratio = mg.accel.bytes_per_s() / tc.accel.bytes_per_s();
-    assert!((0.75..=1.35).contains(&ratio), "average bandwidths diverged: ratio {ratio:.2}");
+    assert!(
+        (0.75..=1.35).contains(&ratio),
+        "average bandwidths diverged: ratio {ratio:.2}"
+    );
     // ...but the coarse scheme has a much worse critical tail.
     assert!(
         mg.p99 > tc.p99,

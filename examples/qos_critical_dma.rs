@@ -18,7 +18,10 @@ const TARGET_GIBS: f64 = 1.0;
 fn build_and_run(regulated: bool) -> (Bandwidth, Bandwidth) {
     // Critical DMA: steady 1 KiB bursts paced to ~1.25 GiB/s demand.
     let critical = TrafficSpec::stream(0, 8 << 20, 1024, Dir::Read);
-    let critical = TrafficSpec { gap: 760, ..critical };
+    let critical = TrafficSpec {
+        gap: 760,
+        ..critical
+    };
 
     let mut builder = SocBuilder::new(SocConfig::default()).master_full(
         "camera",

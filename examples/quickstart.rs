@@ -59,5 +59,8 @@ fn main() {
         "regulator telemetry: {} windows, {} total bytes, {} stall cycles, max overshoot {} B",
         t.windows, t.total_bytes, t.stall_cycles, t.max_overshoot,
     );
-    assert_eq!(t.max_overshoot, 0, "conservative regulation never exceeds the budget");
+    assert_eq!(
+        t.max_overshoot, 0,
+        "conservative regulation never exceeds the budget"
+    );
 }

@@ -1,0 +1,370 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry access, so the
+//! workspace vendors the subset of criterion's API its benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `Throughput`, `bench_with_input`, and
+//! `Bencher::iter`/`iter_batched`.
+//!
+//! Statistics are deliberately simple: each benchmark takes
+//! `sample_size` wall-clock samples and reports the minimum, median and
+//! mean time per iteration (the minimum is the least noisy estimator on
+//! a busy machine). Results are printed to stdout in a stable
+//! machine-greppable format:
+//!
+//! ```text
+//! bench: <name>  median <t> ns/iter  min <t> ns/iter  [thrpt <n> Melem/s]
+//! ```
+//!
+//! Running with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) executes every routine once and skips measurement.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup product to batch per measured chunk. The shim always
+/// measures one routine invocation per setup call, so this is a no-op
+/// knob kept for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+}
+
+fn summarize(mut per_iter_ns: Vec<f64>) -> Sample {
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min_ns = per_iter_ns[0];
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    Sample {
+        median_ns,
+        min_ns,
+        mean_ns,
+    }
+}
+
+impl Bencher<'_> {
+    /// Benchmarks `routine` called back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~2 ms per sample?
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        while cal_start.elapsed() < Duration::from_micros(500) {
+            black_box(routine());
+            cal_iters += 1;
+        }
+        let per_iter = cal_start.elapsed().as_nanos() as f64 / cal_iters as f64;
+        let iters = ((2e6 / per_iter).ceil() as u64).clamp(1, 10_000_000);
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        *self.result = Some(summarize(samples));
+    }
+
+    /// Benchmarks `routine` on fresh input from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        *self.result = Some(summarize(samples));
+    }
+}
+
+/// Top-level benchmark harness state.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) {
+                return;
+            }
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.test_mode,
+            result: &mut result,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("bench: {name}  ok (test mode)");
+            return;
+        }
+        match result {
+            Some(s) => {
+                let thrpt = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  thrpt {:.3} Melem/s", n as f64 * 1e3 / s.median_ns)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!(
+                            "  thrpt {:.3} MiB/s",
+                            n as f64 * 1e9 / s.median_ns / (1 << 20) as f64
+                        )
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "bench: {name}  median {:.1} ns/iter  min {:.1} ns/iter  mean {:.1} ns/iter{thrpt}",
+                    s.median_ns, s.min_ns, s.mean_ns
+                );
+            }
+            None => println!("bench: {name}  (no measurement recorded)"),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let t = self.throughput;
+        self.criterion.run_one(&name, t, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        let t = self.throughput;
+        self.criterion.run_one(&name, t, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            filter: None,
+            test_mode: false,
+        }
+    }
+
+    #[test]
+    fn iter_records_a_sample() {
+        let mut c = quiet();
+        let mut ran = 0u64;
+        c.bench_function("smoke_iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = quiet();
+        let mut setups = 0u64;
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 64]
+                },
+                |v| black_box(v.len()),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quiet();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter_batched(|| n, |x| black_box(x * 2), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("zzz".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            ran = true;
+            b.iter(|| black_box(1))
+        });
+        assert!(!ran, "filtered bench must not run");
+    }
+}

@@ -55,7 +55,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     let scenario_path = scenario_path.ok_or_else(|| usage().to_string())?;
-    Ok(Args { scenario_path, cycles, until_done, quiet, histogram })
+    Ok(Args {
+        scenario_path,
+        cycles,
+        until_done,
+        quiet,
+        histogram,
+    })
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -180,7 +186,13 @@ mod tests {
     #[test]
     fn parses_all_options() {
         let a = args(&[
-            "s.fgq", "--cycles", "500", "--until-done", "cpu", "--quiet", "--histogram",
+            "s.fgq",
+            "--cycles",
+            "500",
+            "--until-done",
+            "cpu",
+            "--quiet",
+            "--histogram",
         ])
         .expect("parses");
         assert_eq!(a.cycles, 500);

@@ -58,10 +58,10 @@ use fgqos_core::fabric::{QosFabric, QosFabricBuilder};
 use fgqos_core::policy::ReclaimConfig;
 use fgqos_sim::axi::Dir;
 use fgqos_sim::gate::OpenGate;
+use fgqos_sim::interconnect::{Arbitration, XbarConfig};
 use fgqos_sim::master::MasterKind;
 use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
 use fgqos_sim::time::Freq;
-use fgqos_sim::interconnect::{Arbitration, XbarConfig};
 use fgqos_workloads::kernels::Kernel;
 use fgqos_workloads::spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
 use std::error::Error;
@@ -85,7 +85,10 @@ impl fmt::Display for ParseScenarioError {
 impl Error for ParseScenarioError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseScenarioError {
-    ParseScenarioError { line, message: message.into() }
+    ParseScenarioError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses `128`, `0x80`, `4K`, `16M`, `1G`.
@@ -229,9 +232,12 @@ impl MasterDraft {
     }
 
     fn finish(self) -> Result<MasterSpec, ParseScenarioError> {
-        let kind = self
-            .kind
-            .ok_or_else(|| err(self.declared_at, format!("master {:?} missing kind", self.name)))?;
+        let kind = self.kind.ok_or_else(|| {
+            err(
+                self.declared_at,
+                format!("master {:?} missing kind", self.name),
+            )
+        })?;
         let workload = match self.kernel {
             Some((kernel, iterations)) => Workload::Kernel(kernel, iterations),
             None => {
@@ -286,26 +292,25 @@ impl ScenarioSpec {
         let mut reclaim: Option<ReclaimSpec> = None;
         let mut section = Section::Top;
 
-        let close =
-            |section: &mut Section,
-             masters: &mut Vec<MasterSpec>,
-             reclaim: &mut Option<ReclaimSpec>,
-             xbar: &mut XbarConfig|
-             -> Result<(), ParseScenarioError> {
-                match std::mem::replace(section, Section::Top) {
-                    Section::Top => {}
-                    Section::Master(d) => {
-                        let m = d.finish()?;
-                        if masters.iter().any(|x| x.name == m.name) {
-                            return Err(err(0, format!("duplicate master name {:?}", m.name)));
-                        }
-                        masters.push(m);
+        let close = |section: &mut Section,
+                     masters: &mut Vec<MasterSpec>,
+                     reclaim: &mut Option<ReclaimSpec>,
+                     xbar: &mut XbarConfig|
+         -> Result<(), ParseScenarioError> {
+            match std::mem::replace(section, Section::Top) {
+                Section::Top => {}
+                Section::Master(d) => {
+                    let m = d.finish()?;
+                    if masters.iter().any(|x| x.name == m.name) {
+                        return Err(err(0, format!("duplicate master name {:?}", m.name)));
                     }
-                    Section::Reclaim(cfg) => *reclaim = Some(ReclaimSpec { config: cfg }),
-                    Section::Xbar(cfg) => *xbar = cfg,
+                    masters.push(m);
                 }
-                Ok(())
-            };
+                Section::Reclaim(cfg) => *reclaim = Some(ReclaimSpec { config: cfg }),
+                Section::Xbar(cfg) => *xbar = cfg,
+            }
+            Ok(())
+        };
 
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -358,9 +363,7 @@ impl ScenarioSpec {
                         d.kind = Some(match value {
                             "cpu" => MasterKind::Cpu,
                             "accel" => MasterKind::Accelerator,
-                            other => {
-                                return Err(err(line_no, format!("unknown kind {other:?}")))
-                            }
+                            other => return Err(err(line_no, format!("unknown kind {other:?}"))),
                         })
                     }
                     "role" => {
@@ -368,9 +371,7 @@ impl ScenarioSpec {
                             "critical" => Role::Critical,
                             "best-effort" => Role::BestEffort,
                             "unmanaged" => Role::Unmanaged,
-                            other => {
-                                return Err(err(line_no, format!("unknown role {other:?}")))
-                            }
+                            other => return Err(err(line_no, format!("unknown role {other:?}"))),
                         }
                     }
                     "burst" => {
@@ -383,9 +384,9 @@ impl ScenarioSpec {
                         });
                     }
                     "workload" => {
-                        let spec = value
-                            .strip_prefix("kernel:")
-                            .ok_or_else(|| err(line_no, "workload must be kernel:<name>[:<iters>]"))?;
+                        let spec = value.strip_prefix("kernel:").ok_or_else(|| {
+                            err(line_no, "workload must be kernel:<name>[:<iters>]")
+                        })?;
                         let (name, iters) = match spec.split_once(':') {
                             Some((n, i)) => (n, parse_size(i, line_no)?),
                             None => (spec, 1),
@@ -402,7 +403,9 @@ impl ScenarioSpec {
                         } else if value == "random" {
                             AddressPattern::Random
                         } else if let Some(stride) = value.strip_prefix("strided:") {
-                            AddressPattern::Strided { stride: parse_size(stride, line_no)? }
+                            AddressPattern::Strided {
+                                stride: parse_size(stride, line_no)?,
+                            }
                         } else {
                             return Err(err(line_no, format!("unknown pattern {value:?}")));
                         }
@@ -438,10 +441,7 @@ impl ScenarioSpec {
                             "priority" => Arbitration::FixedPriority,
                             "weighted" => Arbitration::WeightedRoundRobin,
                             other => {
-                                return Err(err(
-                                    line_no,
-                                    format!("unknown arbitration {other:?}"),
-                                ))
+                                return Err(err(line_no, format!("unknown arbitration {other:?}")))
                             }
                         }
                     }
@@ -480,12 +480,21 @@ impl ScenarioSpec {
         if !xbar.weights.is_empty() && xbar.weights.len() != masters.len() {
             return Err(err(0, "xbar weights must list one weight per master"));
         }
-        Ok(ScenarioSpec { freq, xbar, masters, reclaim })
+        Ok(ScenarioSpec {
+            freq,
+            xbar,
+            masters,
+            reclaim,
+        })
     }
 
     /// Builds the SoC and its QoS fabric.
     pub fn build(&self) -> (Soc, QosFabric) {
-        let cfg = SocConfig { freq: self.freq, xbar: self.xbar.clone(), ..SocConfig::default() };
+        let cfg = SocConfig {
+            freq: self.freq,
+            xbar: self.xbar.clone(),
+            ..SocConfig::default()
+        };
         let mut fabric = QosFabricBuilder::new();
         let mut builder = SocBuilder::new(cfg);
         for m in &self.masters {
@@ -575,7 +584,10 @@ seed 9
         assert_eq!(spec_of(dma).base, 0x4000_0000);
         let rogue = &s.masters[2];
         assert_eq!(rogue.role, Role::Unmanaged);
-        assert!(matches!(spec_of(rogue).pattern, AddressPattern::Strided { stride: 65_536 }));
+        assert!(matches!(
+            spec_of(rogue).pattern,
+            AddressPattern::Strided { stride: 65_536 }
+        ));
         assert_eq!(spec_of(rogue).write_ratio, 0.5);
     }
 
@@ -602,7 +614,10 @@ workload kernel:memcpy:2
         assert_eq!(s.xbar.weights, vec![1, 3]);
         assert_eq!(
             spec_of(&s.masters[0]).burst,
-            Some(BurstShape { on_cycles: 1_000, off_cycles: 9_000 })
+            Some(BurstShape {
+                on_cycles: 1_000,
+                off_cycles: 9_000
+            })
         );
         match &s.masters[1].workload {
             Workload::Kernel(k, iters) => {
@@ -613,7 +628,11 @@ workload kernel:memcpy:2
         }
         let (mut soc, _fabric) = s.build();
         soc.run(20_000);
-        assert!(soc.master_stats(fgqos_sim::axi::MasterId::new(1)).issued_txns > 0);
+        assert!(
+            soc.master_stats(fgqos_sim::axi::MasterId::new(1))
+                .issued_txns
+                > 0
+        );
     }
 
     #[test]
@@ -638,7 +657,10 @@ workload kernel:memcpy:2
         soc.run(200_000);
         assert!(fabric.driver("dma0").unwrap().telemetry().total_bytes > 0);
         assert!(fabric.driver("cpu").unwrap().telemetry().total_bytes > 0);
-        assert!(fabric.driver("rogue").is_none(), "unmanaged ports have no regulator");
+        assert!(
+            fabric.driver("rogue").is_none(),
+            "unmanaged ports have no regulator"
+        );
     }
 
     #[test]

@@ -20,8 +20,7 @@ struct Config {
 
 /// Runs the configuration and returns `(measured_max, bound)`.
 fn measure(cfg: &Config) -> (u64, u64) {
-    let critical =
-        TrafficSpec::latency_sensitive(0, 4 << 20, 256, cfg.think).with_total(2_000);
+    let critical = TrafficSpec::latency_sensitive(0, 4 << 20, 256, cfg.think).with_total(2_000);
     let (crit_monitor, _d) = TcRegulator::monitor_only(1_000);
     let mut builder = SocBuilder::new(SocConfig::default()).master_full(
         "critical",
@@ -48,7 +47,8 @@ fn measure(cfg: &Config) -> (u64, u64) {
     }
     let mut soc = builder.build();
     let critical_id = soc.master_id("critical").expect("critical");
-    soc.run_until_done(critical_id, u64::MAX / 2).expect("critical finishes");
+    soc.run_until_done(critical_id, u64::MAX / 2)
+        .expect("critical finishes");
     let measured = soc.master_stats(critical_id).latency.max();
 
     let model = SystemModel {
@@ -72,11 +72,51 @@ fn measure(cfg: &Config) -> (u64, u64) {
 #[test]
 fn measured_latency_never_exceeds_bound() {
     let configs = [
-        Config { ports: 1, period: 1_000, budget: 1_024, txn_bytes: 512, outstanding: 8, think: 100, seed: 1 },
-        Config { ports: 4, period: 1_000, budget: 1_024, txn_bytes: 512, outstanding: 8, think: 100, seed: 2 },
-        Config { ports: 6, period: 1_000, budget: 2_048, txn_bytes: 1_024, outstanding: 8, think: 50, seed: 3 },
-        Config { ports: 3, period: 5_000, budget: 4_096, txn_bytes: 256, outstanding: 4, think: 200, seed: 4 },
-        Config { ports: 2, period: 500, budget: 512, txn_bytes: 512, outstanding: 2, think: 500, seed: 5 },
+        Config {
+            ports: 1,
+            period: 1_000,
+            budget: 1_024,
+            txn_bytes: 512,
+            outstanding: 8,
+            think: 100,
+            seed: 1,
+        },
+        Config {
+            ports: 4,
+            period: 1_000,
+            budget: 1_024,
+            txn_bytes: 512,
+            outstanding: 8,
+            think: 100,
+            seed: 2,
+        },
+        Config {
+            ports: 6,
+            period: 1_000,
+            budget: 2_048,
+            txn_bytes: 1_024,
+            outstanding: 8,
+            think: 50,
+            seed: 3,
+        },
+        Config {
+            ports: 3,
+            period: 5_000,
+            budget: 4_096,
+            txn_bytes: 256,
+            outstanding: 4,
+            think: 200,
+            seed: 4,
+        },
+        Config {
+            ports: 2,
+            period: 500,
+            budget: 512,
+            txn_bytes: 512,
+            outstanding: 2,
+            think: 500,
+            seed: 5,
+        },
     ];
     for (i, cfg) in configs.iter().enumerate() {
         let (measured, bound) = measure(cfg);

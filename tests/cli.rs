@@ -14,7 +14,11 @@ fn runs_demo_scenario() {
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("simulated 200000 cycles"));
     for name in ["cpu", "dma0", "dma1", "rogue"] {
@@ -27,7 +31,14 @@ fn runs_demo_scenario() {
 #[test]
 fn until_done_mode() {
     let out = fgqos()
-        .args(["scenarios/demo.fgq", "--until-done", "rogue", "--cycles", "500000", "--quiet"])
+        .args([
+            "scenarios/demo.fgq",
+            "--until-done",
+            "rogue",
+            "--cycles",
+            "500000",
+            "--quiet",
+        ])
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .expect("binary runs");
@@ -35,19 +46,28 @@ fn until_done_mode() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     // The rogue master's source is unbounded, so it cannot finish within
     // the cap: the CLI must report that rather than hang.
-    assert!(stdout.contains("did not finish"), "unexpected output: {stdout}");
+    assert!(
+        stdout.contains("did not finish"),
+        "unexpected output: {stdout}"
+    );
 }
 
 #[test]
 fn rejects_missing_file() {
-    let out = fgqos().arg("/does/not/exist.fgq").output().expect("binary runs");
+    let out = fgqos()
+        .arg("/does/not/exist.fgq")
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
 
 #[test]
 fn rejects_bad_flags() {
-    let out = fgqos().args(["x.fgq", "--bogus"]).output().expect("binary runs");
+    let out = fgqos()
+        .args(["x.fgq", "--bogus"])
+        .output()
+        .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
 }
@@ -77,16 +97,29 @@ fn runs_kernel_scenario_until_done() {
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("finished at"), "kernel should finish: {stdout}");
+    assert!(
+        stdout.contains("finished at"),
+        "kernel should finish: {stdout}"
+    );
     assert!(stdout.contains("stencil"));
 }
 
 #[test]
 fn histogram_flag_prints_distributions() {
     let out = fgqos()
-        .args(["scenarios/demo.fgq", "--cycles", "100000", "--quiet", "--histogram"])
+        .args([
+            "scenarios/demo.fgq",
+            "--cycles",
+            "100000",
+            "--quiet",
+            "--histogram",
+        ])
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .expect("binary runs");

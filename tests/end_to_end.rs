@@ -9,7 +9,10 @@ use fgqos::workloads::prelude::*;
 
 fn no_refresh() -> SocConfig {
     SocConfig {
-        dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
         ..SocConfig::default()
     }
 }
@@ -36,7 +39,9 @@ fn isolation(txns: u64) -> u64 {
             1,
         )
         .build();
-    soc.run_until_done(MasterId::new(0), u64::MAX / 2).expect("isolation completes").get()
+    soc.run_until_done(MasterId::new(0), u64::MAX / 2)
+        .expect("isolation completes")
+        .get()
 }
 
 #[test]
@@ -66,15 +71,23 @@ fn regulation_restores_critical_performance() {
             };
         }
         let mut soc = b.build();
-        soc.run_until_done(MasterId::new(0), u64::MAX / 2).expect("completes").get()
+        soc.run_until_done(MasterId::new(0), u64::MAX / 2)
+            .expect("completes")
+            .get()
     };
 
     let unreg = contended(false);
     let reg = contended(true);
     let sd_unreg = unreg as f64 / iso as f64;
     let sd_reg = reg as f64 / iso as f64;
-    assert!(sd_unreg > 3.0, "unregulated slowdown too small: {sd_unreg:.2}");
-    assert!(sd_reg < sd_unreg / 2.0, "regulation gained too little: {sd_reg:.2} vs {sd_unreg:.2}");
+    assert!(
+        sd_unreg > 3.0,
+        "unregulated slowdown too small: {sd_unreg:.2}"
+    );
+    assert!(
+        sd_reg < sd_unreg / 2.0,
+        "regulation gained too little: {sd_reg:.2} vs {sd_unreg:.2}"
+    );
 }
 
 #[test]
@@ -89,8 +102,7 @@ fn dram_bytes_match_master_bytes_across_schemes() {
             1,
         );
         for i in 0..3u64 {
-            let spec = TrafficSpec::stream((1 + i) << 28, 1 << 20, 512, Dir::Read)
-                .with_total(200);
+            let spec = TrafficSpec::stream((1 + i) << 28, 1 << 20, 512, Dir::Read).with_total(200);
             let src = SpecSource::new(spec, i);
             b = match tag {
                 0 => b.master(format!("m{i}"), src, MasterKind::Accelerator),
@@ -174,7 +186,10 @@ fn regulated_bandwidth_tracks_configured_budget() {
     let measured = soc.master_bandwidth(MasterId::new(0)).bytes_per_s();
     let configured = driver.configured_bandwidth(soc.freq()).bytes_per_s();
     let err = (measured - configured).abs() / configured;
-    assert!(err < 0.05, "measured {measured:.3e} vs configured {configured:.3e}");
+    assert!(
+        err < 0.05,
+        "measured {measured:.3e} vs configured {configured:.3e}"
+    );
     assert_eq!(driver.telemetry().max_overshoot, 0);
 }
 
@@ -188,17 +203,16 @@ fn kernel_workloads_run_under_regulation() {
             ..RegulatorConfig::default()
         });
         let mut soc = SocBuilder::new(no_refresh())
-            .gated_master(
-                "kern",
-                kernel.source(0, 1, 3),
-                MasterKind::Accelerator,
-                reg,
-            )
+            .gated_master("kern", kernel.source(0, 1, 3), MasterKind::Accelerator, reg)
             .build();
         let done = soc.run_until_done(MasterId::new(0), 100_000_000);
         assert!(done.is_some(), "{kernel} did not finish under regulation");
         let st = soc.master_stats(MasterId::new(0));
-        assert_eq!(st.bytes_completed, kernel.bytes_per_iteration(), "{kernel} bytes");
+        assert_eq!(
+            st.bytes_completed,
+            kernel.bytes_per_iteration(),
+            "{kernel} bytes"
+        );
     }
 }
 
@@ -229,7 +243,10 @@ fn static_partition_controller_programs_live_soc() {
     assert_eq!(driver.period_cycles(), 2_000);
     // ~0.5 GB/s: 1024 B per 2000 cycles.
     let measured = soc.master_bandwidth(MasterId::new(0)).bytes_per_s();
-    assert!((measured - 0.512e9).abs() / 0.512e9 < 0.1, "measured {measured:.3e}");
+    assert!(
+        (measured - 0.512e9).abs() / 0.512e9 < 0.1,
+        "measured {measured:.3e}"
+    );
 }
 
 #[test]
@@ -255,15 +272,24 @@ fn tdma_silences_interferers_outside_their_slot() {
     // alternating activity instead of exact zeroes.
     let even: u64 = windows.iter().step_by(2).sum();
     let odd: u64 = windows.iter().skip(1).step_by(2).sum();
-    assert!(odd > even * 4, "TDMA gating not visible: even {even}, odd {odd}");
+    assert!(
+        odd > even * 4,
+        "TDMA gating not visible: even {even}, odd {odd}"
+    );
 }
 
 #[test]
 fn fixed_priority_beats_round_robin_for_the_prioritized_port() {
     let latency_for = |arb: Arbitration| -> u64 {
         let cfg = SocConfig {
-            xbar: XbarConfig { arbitration: arb, ..XbarConfig::default() },
-            dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+            xbar: XbarConfig {
+                arbitration: arb,
+                ..XbarConfig::default()
+            },
+            dram: DramConfig {
+                t_refi: 0,
+                ..DramConfig::default()
+            },
             ..SocConfig::default()
         };
         let mut b = SocBuilder::new(cfg).master_full(
@@ -277,7 +303,8 @@ fn fixed_priority_beats_round_robin_for_the_prioritized_port() {
             b = b.master(format!("dma{i}"), greedy(i), MasterKind::Accelerator);
         }
         let mut soc = b.build();
-        soc.run_until_done(MasterId::new(0), u64::MAX / 2).expect("completes");
+        soc.run_until_done(MasterId::new(0), u64::MAX / 2)
+            .expect("completes");
         soc.master_stats(MasterId::new(0)).latency.percentile(0.99)
     };
     let rr = latency_for(Arbitration::RoundRobin);
@@ -316,7 +343,9 @@ fn cached_cpu_reduces_dram_traffic_and_interference_sensitivity() {
             b.master_full("cpu", accesses(), MasterKind::Cpu, OpenGate, 2)
         };
         let mut soc = b.build();
-        let t = soc.run_until_done(MasterId::new(0), u64::MAX / 2).expect("finishes");
+        let t = soc
+            .run_until_done(MasterId::new(0), u64::MAX / 2)
+            .expect("finishes");
         (t.get(), soc.dram_stats().bytes_completed)
     };
     let (_t_raw, bytes_raw) = run(false);
@@ -355,7 +384,10 @@ fn weighted_arbitration_shares_bandwidth_proportionally_in_soc() {
             weights: vec![3, 1],
             ..XbarConfig::default()
         },
-        dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
         ..SocConfig::default()
     };
     // Deep pipelining on both ports so the crossbar (not the
@@ -380,7 +412,10 @@ fn weighted_arbitration_shares_bandwidth_proportionally_in_soc() {
     let heavy = soc.master_stats(MasterId::new(0)).bytes_completed as f64;
     let light = soc.master_stats(MasterId::new(1)).bytes_completed as f64;
     let ratio = heavy / light;
-    assert!((2.5..=3.5).contains(&ratio), "3:1 weights gave ratio {ratio:.2}");
+    assert!(
+        (2.5..=3.5).contains(&ratio),
+        "3:1 weights gave ratio {ratio:.2}"
+    );
 }
 
 #[test]
@@ -402,7 +437,10 @@ fn leaky_bucket_rate_holds_in_full_soc() {
         .build();
     soc.run(2_000_000);
     let rate = soc.master_bandwidth(MasterId::new(0)).bytes_per_s();
-    assert!((rate - 2e9).abs() / 2e9 < 0.05, "bucket rate off: {rate:.3e}");
+    assert!(
+        (rate - 2e9).abs() / 2e9 < 0.05,
+        "bucket rate off: {rate:.3e}"
+    );
 }
 
 #[test]
@@ -476,6 +514,10 @@ fn irq_driven_backoff_policy() {
     soc.run(100_000);
     // The greedy master exhausts every window: interrupts fired and the
     // budget walked down to the floor.
-    assert!(*fired.borrow() >= 4, "interrupts fired {} times", *fired.borrow());
+    assert!(
+        *fired.borrow() >= 4,
+        "interrupts fired {} times",
+        *fired.borrow()
+    );
     assert_eq!(driver.budget_bytes(), 512);
 }

@@ -1,0 +1,412 @@
+//! Equivalence properties for the next-event fast-forward core.
+//!
+//! Every test builds the *same* SoC twice — one forced into naive
+//! cycle-by-cycle stepping (`Soc::set_naive`), one using next-event
+//! fast-forward — runs both, and requires bit-identical results:
+//! completion cycles, per-master statistics (including full latency
+//! histograms and stall accounting) and DRAM statistics. Scenarios mix
+//! ungated and gated masters across every gate family, every traffic
+//! source family, refresh on/off, and software policy controllers.
+
+use fgqos::baselines::prelude::*;
+use fgqos::core::prelude::*;
+use fgqos::prelude::*;
+use fgqos::sim::axi::{Dir, MasterId};
+use fgqos::sim::master::TrafficSource;
+use fgqos::sim::stats::LatencyStats;
+use fgqos::sim::system::Soc;
+use fgqos::workloads::prelude::*;
+use proptest::prelude::*;
+
+/// One randomly drawn master: a gate family, a source family and two
+/// free parameters that shape both.
+#[derive(Debug, Clone, Copy)]
+struct MasterSpec {
+    gate_sel: u8,
+    src_sel: u8,
+    seed: u64,
+    p1: u64,
+    p2: u64,
+}
+
+fn master_specs() -> impl Strategy<Value = Vec<MasterSpec>> {
+    prop::collection::vec(
+        (0u8..5, 0u8..5, 0u64..1_000, 0u64..10_000, 0u64..10_000).prop_map(
+            |(gate_sel, src_sel, seed, p1, p2)| MasterSpec {
+                gate_sel,
+                src_sel,
+                seed,
+                p1,
+                p2,
+            },
+        ),
+        1..4,
+    )
+}
+
+fn make_source(i: usize, m: MasterSpec) -> Box<dyn TrafficSource> {
+    let base = (i as u64) << 28;
+    match m.src_sel {
+        // Greedy sequential stream with a small gap.
+        0 => {
+            let spec = TrafficSpec {
+                gap: m.p1 % 64,
+                ..TrafficSpec::stream(base, 1 << 20, 256, Dir::Read)
+            }
+            .with_total(200);
+            Box::new(SpecSource::new(spec, m.seed))
+        }
+        // On/off shaped stream with a write mix.
+        1 => {
+            let spec = TrafficSpec::stream(base, 1 << 20, 128, Dir::Read)
+                .with_write_ratio(0.3)
+                .with_burst(BurstShape {
+                    on_cycles: 50 + m.p1 % 200,
+                    off_cycles: 1 + m.p2 % 400,
+                })
+                .with_total(150);
+            Box::new(SpecSource::new(spec, m.seed))
+        }
+        // Closed-loop latency-sensitive random reader.
+        2 => {
+            let spec =
+                TrafficSpec::latency_sensitive(base, 1 << 20, 64, 10 + m.p1 % 300).with_total(120);
+            Box::new(SpecSource::new(spec, m.seed))
+        }
+        // Captured trace replayed twice.
+        3 => {
+            let spec = TrafficSpec {
+                gap: m.p1 % 100,
+                ..TrafficSpec::stream(base, 1 << 20, 256, Dir::Read)
+            }
+            .with_total(60);
+            let records = TraceSource::from_spec(spec, m.seed, 60).records().to_vec();
+            Box::new(TraceSource::with_loops(records, 2))
+        }
+        // One iteration of a benchmark kernel's phase model.
+        _ => {
+            let kernel = Kernel::all()[(m.p1 % 6) as usize];
+            Box::new(kernel.source(base, 1, m.seed))
+        }
+    }
+}
+
+fn add_master(b: SocBuilder, i: usize, m: MasterSpec) -> SocBuilder {
+    let name = format!("m{i}");
+    let kind = if m.src_sel == 2 {
+        MasterKind::Cpu
+    } else {
+        MasterKind::Accelerator
+    };
+    let src = make_source(i, m);
+    match m.gate_sel {
+        0 => b.master(name, src, kind),
+        1 => {
+            let (reg, _driver) = TcRegulator::create(RegulatorConfig {
+                period_cycles: 128 + (m.p1 % 2_000) as u32,
+                budget_bytes: 512 + (m.p2 % 8_000) as u32,
+                enabled: true,
+                ..RegulatorConfig::default()
+            });
+            b.gated_master(name, src, kind, reg)
+        }
+        2 => b.gated_master(
+            name,
+            src,
+            kind,
+            MemGuardGate::new(MemGuardConfig {
+                tick_cycles: 500 + m.p1 % 4_000,
+                budget_bytes: 256 + m.p2 % 4_000,
+                irq_latency_cycles: m.p1 % 300,
+            }),
+        ),
+        3 => {
+            let slot = 200 + m.p1 % 800;
+            let slots = 2 + (m.p2 % 3) as usize;
+            let mine = (m.p1 % slots as u64) as usize;
+            let guard = m.p2 % (slot / 4);
+            b.gated_master(
+                name,
+                src,
+                kind,
+                TdmaGate::new(TdmaSchedule::new(slot, slots), vec![mine], guard),
+            )
+        }
+        _ => b.gated_master(
+            name,
+            src,
+            kind,
+            OtRegulatorGate::new(OtRegulatorConfig {
+                max_outstanding: 1 + (m.p1 % 8) as usize,
+                txns_per_period: if m.p2.is_multiple_of(2) {
+                    1 + (m.p2 % 6) as u32
+                } else {
+                    0
+                },
+                period_cycles: 500 + m.p1 % 2_000,
+            }),
+        ),
+    }
+}
+
+fn build_soc(specs: &[MasterSpec], refresh: bool) -> Soc {
+    let cfg = SocConfig {
+        dram: DramConfig {
+            t_refi: if refresh {
+                DramConfig::default().t_refi
+            } else {
+                0
+            },
+            ..DramConfig::default()
+        },
+        ..SocConfig::default()
+    };
+    let mut b = SocBuilder::new(cfg);
+    for (i, &m) in specs.iter().enumerate() {
+        b = add_master(b, i, m);
+    }
+    b.build()
+}
+
+/// Full histogram snapshot: count, min, max and every non-empty bucket.
+type LatKey = (u64, u64, u64, Vec<(u64, u64)>);
+
+fn lat_key(l: &LatencyStats) -> LatKey {
+    (l.count(), l.min(), l.max(), l.nonzero_buckets().collect())
+}
+
+type MasterKey = (u64, u64, u64, u64, u64, LatKey, LatKey);
+type DramKey = (u64, u64, u64, u64, u64, u64, u64, LatKey);
+
+fn fingerprint(soc: &Soc) -> (Vec<MasterKey>, DramKey) {
+    let masters = (0..soc.master_count())
+        .map(|i| {
+            let st = soc.master_stats(MasterId::new(i));
+            (
+                st.issued_txns,
+                st.completed_txns,
+                st.bytes_completed,
+                st.gate_stall_cycles,
+                st.fifo_stall_cycles,
+                lat_key(&st.latency),
+                lat_key(&st.service_latency),
+            )
+        })
+        .collect();
+    let d = soc.dram_stats();
+    let dram = (
+        d.bytes_completed,
+        d.reads,
+        d.writes,
+        d.row_hits,
+        d.row_misses,
+        d.bus_busy_cycles,
+        d.refreshes,
+        lat_key(&d.queue_wait),
+    );
+    (masters, dram)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Mixed gated/ungated SoCs drain to the same completion cycle with
+    /// the same statistics under fast-forward and naive stepping.
+    #[test]
+    fn fast_forward_matches_naive_to_completion(
+        specs in master_specs(),
+        refresh in prop::bool::ANY,
+    ) {
+        let mut naive = build_soc(&specs, refresh);
+        naive.set_naive(true);
+        let mut fast = build_soc(&specs, refresh);
+        fast.set_naive(false);
+
+        let done_naive = naive.run_until_all_done(5_000_000);
+        let done_fast = fast.run_until_all_done(5_000_000);
+        prop_assert_eq!(done_naive, done_fast, "completion cycles diverge for {:?}", specs);
+        prop_assert!(done_naive.is_some(), "scenario deadlocked: {:?}", specs);
+        prop_assert_eq!(fingerprint(&naive), fingerprint(&fast), "stats diverge for {:?}", specs);
+    }
+
+    /// A fixed simulation horizon lands on the identical mid-flight
+    /// state: fast-forward must stop at the deadline, not overshoot it.
+    #[test]
+    fn fast_forward_matches_naive_at_fixed_horizon(
+        specs in master_specs(),
+        refresh in prop::bool::ANY,
+        horizon in 10_000u64..200_000,
+    ) {
+        let mut naive = build_soc(&specs, refresh);
+        naive.set_naive(true);
+        let mut fast = build_soc(&specs, refresh);
+
+        naive.run(horizon);
+        fast.run(horizon);
+        prop_assert_eq!(naive.now(), fast.now());
+        prop_assert_eq!(
+            fingerprint(&naive), fingerprint(&fast),
+            "stats diverge at horizon {} for {:?}", horizon, specs
+        );
+    }
+
+    /// `run_until_done` on a single master agrees cycle-for-cycle.
+    #[test]
+    fn run_until_done_matches_naive(
+        spec in (0u8..5, 0u8..5, 0u64..1_000, 0u64..10_000, 0u64..10_000).prop_map(
+            |(gate_sel, src_sel, seed, p1, p2)| MasterSpec { gate_sel, src_sel, seed, p1, p2 },
+        ),
+    ) {
+        let specs = [spec];
+        let mut naive = build_soc(&specs, false);
+        naive.set_naive(true);
+        let mut fast = build_soc(&specs, false);
+
+        let id = MasterId::new(0);
+        let a = naive.run_until_done(id, 5_000_000);
+        let b = fast.run_until_done(id, 5_000_000);
+        prop_assert_eq!(a, b, "run_until_done diverges for {:?}", spec);
+        prop_assert_eq!(fingerprint(&naive), fingerprint(&fast));
+    }
+}
+
+/// Builds the closed-loop stack: a critical reader with a monitor-only
+/// regulator, TC-regulated best-effort streams, a software policy
+/// reprogramming budgets each control period, and an IRQ dispatcher
+/// acknowledging exhaustion interrupts.
+fn build_policy_soc(seed: u64, control_period: u64, use_feedback: bool, irq_latency: u64) -> Soc {
+    let cfg = SocConfig {
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
+        ..SocConfig::default()
+    };
+    let (crit_reg, crit_driver) = TcRegulator::create(RegulatorConfig {
+        period_cycles: 1_000,
+        budget_bytes: u32::MAX,
+        enabled: true,
+        ..RegulatorConfig::default()
+    });
+    let crit_spec = TrafficSpec::latency_sensitive(0, 1 << 20, 64, 50 + seed % 200).with_total(150);
+    let mut b = SocBuilder::new(cfg).gated_master(
+        "critical",
+        SpecSource::new(crit_spec, seed),
+        MasterKind::Cpu,
+        crit_reg,
+    );
+
+    let mut be_drivers = Vec::new();
+    for i in 0..2u64 {
+        let (reg, driver) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 1_000,
+            budget_bytes: 2_048,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        let spec = TrafficSpec::stream((i + 1) << 28, 1 << 20, 256, Dir::Read).with_total(300);
+        b = b.gated_master(
+            format!("be{i}"),
+            SpecSource::new(spec, seed ^ (i + 1)),
+            MasterKind::Accelerator,
+            reg,
+        );
+        be_drivers.push(driver);
+    }
+
+    let mut irq = IrqDispatcher::new(irq_latency);
+    for d in &be_drivers {
+        irq.connect(d.clone(), Box::new(|d, _| d.clear_exhausted()));
+    }
+    b = b.controller(irq);
+
+    if use_feedback {
+        // Floor of one full burst: the conservative overshoot policy
+        // denies any burst larger than the whole budget, so a lower floor
+        // would starve the BE ports outright.
+        b = b.controller(FeedbackController::new(
+            crit_driver,
+            2_000,
+            be_drivers,
+            2_048,
+            256,
+            8_192,
+            256,
+            control_period,
+        ));
+    } else {
+        b = b.controller(ReclaimPolicy::new(
+            crit_driver,
+            be_drivers,
+            ReclaimConfig {
+                critical_reserved: 4_096,
+                be_base: 1_024,
+                control_period,
+                gain: 2,
+                busy_threshold: Some(2_048),
+            },
+        ));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full software stack — policies reprogramming budgets and the
+    /// IRQ dispatcher acknowledging exhaustion — is skip-safe.
+    #[test]
+    fn policy_controllers_match_naive(
+        seed in 0u64..1_000,
+        control_period in 2_000u64..20_000,
+        use_feedback in prop::bool::ANY,
+        irq_latency in 0u64..500,
+    ) {
+        let mut naive = build_policy_soc(seed, control_period, use_feedback, irq_latency);
+        naive.set_naive(true);
+        let mut fast = build_policy_soc(seed, control_period, use_feedback, irq_latency);
+
+        let a = naive.run_until_all_done(10_000_000);
+        let b = fast.run_until_all_done(10_000_000);
+        prop_assert_eq!(a, b, "completion cycles diverge (seed {seed})");
+        prop_assert!(a.is_some(), "policy scenario deadlocked");
+        prop_assert_eq!(fingerprint(&naive), fingerprint(&fast));
+    }
+
+    /// Two masters sharing one centralized budget stay equivalent — the
+    /// shared gate's wake is the aggregate window boundary.
+    #[test]
+    fn shared_budget_group_matches_naive(
+        seed in 0u64..1_000,
+        period in 200u64..4_000,
+        budget in 512u64..8_000,
+    ) {
+        let build = |naive: bool| {
+            let cfg = SocConfig {
+                dram: DramConfig { t_refi: 0, ..DramConfig::default() },
+                ..SocConfig::default()
+            };
+            let group = SharedRegulator::new(period, budget);
+            let mut b = SocBuilder::new(cfg);
+            for i in 0..2u64 {
+                let spec = TrafficSpec::stream(i << 28, 1 << 20, 256, Dir::Read).with_total(200);
+                b = b.gated_master(
+                    format!("m{i}"),
+                    SpecSource::new(spec, seed ^ i),
+                    MasterKind::Accelerator,
+                    group.port_gate(),
+                );
+            }
+            let mut soc = b.build();
+            soc.set_naive(naive);
+            soc
+        };
+        let mut naive = build(true);
+        let mut fast = build(false);
+        let a = naive.run_until_all_done(5_000_000);
+        let b = fast.run_until_all_done(5_000_000);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.is_some());
+        prop_assert_eq!(fingerprint(&naive), fingerprint(&fast));
+    }
+}

@@ -429,11 +429,7 @@ struct ChaosGate {
 }
 
 impl fgqos::sim::gate::PortGate for ChaosGate {
-    fn try_accept(
-        &mut self,
-        _request: &Request,
-        _now: Cycle,
-    ) -> fgqos::sim::gate::GateDecision {
+    fn try_accept(&mut self, _request: &Request, _now: Cycle) -> fgqos::sim::gate::GateDecision {
         self.rng_state = self
             .rng_state
             .wrapping_mul(6364136223846793005)
