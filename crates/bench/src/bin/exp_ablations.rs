@@ -22,6 +22,7 @@
 //! max per-window overshoot (bytes), best-effort GiB/s.
 
 use fgqos_baselines::qos400::{OtRegulatorConfig, OtRegulatorGate};
+use fgqos_bench::report::Report;
 use fgqos_bench::scenario::{Scenario, Scheme};
 use fgqos_bench::{sweep, table};
 use fgqos_core::bucket::{BucketConfig, LeakyBucketRegulator};
@@ -166,7 +167,8 @@ enum Variant {
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_ablations");
+    r.banner(
         "EXP-A",
         "design-choice ablations of the tightly-coupled regulator",
     );
@@ -293,14 +295,14 @@ fn main() {
         }
     });
 
-    table::context("isolation_cycles", iso);
-    table::context(
+    r.context("isolation_cycles", iso);
+    r.context(
         "unregulated slowdown",
         format!("{:.2}", results[0].1.slowdown),
     );
-    table::header(&["variant", "slowdown", "p99_lat", "overshoot_B", "be_gibs"]);
+    r.header(&["variant", "slowdown", "p99_lat", "overshoot_B", "be_gibs"]);
     for (name, o) in &results[1..] {
-        table::row(&[
+        r.row(vec![
             (*name).into(),
             table::f2(o.slowdown),
             table::int(o.p99),
@@ -308,4 +310,5 @@ fn main() {
             table::f2(o.be_gibs),
         ]);
     }
+    r.emit();
 }

@@ -16,6 +16,7 @@
 //! (measured uniformly from per-window completion records).
 
 use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
+use fgqos_bench::report::Report;
 use fgqos_bench::{sweep, table};
 use fgqos_core::bucket::{BucketConfig, LeakyBucketRegulator};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
@@ -100,13 +101,14 @@ fn measure(gate_kind: &str, set_point_mib: f64) -> (f64, u64) {
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_accuracy");
+    r.banner(
         "EXP-F2",
         "regulation accuracy: configured vs. measured bandwidth",
     );
-    table::context("tc window", format!("{TC_PERIOD} cycles (10 us)"));
-    table::context("memguard tick/irq", format!("{MG_TICK} / {MG_IRQ} cycles"));
-    table::header(&["scheme", "set_mibs", "meas_mibs", "err_pct", "overshoot_B"]);
+    r.context("tc window", format!("{TC_PERIOD} cycles (10 us)"));
+    r.context("memguard tick/irq", format!("{MG_TICK} / {MG_IRQ} cycles"));
+    r.header(&["scheme", "set_mibs", "meas_mibs", "err_pct", "overshoot_B"]);
     let points: Vec<(&str, f64)> = ["tc-regulator", "leaky-bucket", "memguard"]
         .into_iter()
         .flat_map(|scheme| {
@@ -126,6 +128,7 @@ fn main() {
         ]
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
+    r.emit();
 }

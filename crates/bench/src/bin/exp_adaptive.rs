@@ -19,6 +19,7 @@
 //! Printed columns: time (µs), critical bytes in the window, dma0 bytes
 //! in the window, commanded best-effort budget (bytes/window).
 
+use fgqos_bench::report::Report;
 use fgqos_bench::{sweep, table};
 use fgqos_core::driver::RegulatorDriver;
 use fgqos_core::policy::{FeedbackController, ReclaimConfig, ReclaimPolicy};
@@ -68,12 +69,12 @@ fn timeline_rows(crit: &[u64], be: &[u64], budgets: &[u32]) -> Vec<Vec<String>> 
         .collect()
 }
 
-fn print_section(banner: (&str, &str), rows: &[Vec<String>]) {
-    println!();
-    table::banner(banner.0, banner.1);
-    table::header(&["t_us", "crit_B", "dma0_B", "budget_B"]);
+fn push_section(r: &mut Report, banner: (&str, &str), rows: Vec<Vec<String>>) {
+    r.blank();
+    r.banner(banner.0, banner.1);
+    r.header(&["t_us", "crit_B", "dma0_B", "budget_B"]);
     for row in rows {
-        table::row(row);
+        r.row(row);
     }
 }
 
@@ -245,24 +246,30 @@ fn section_b_feedback() -> Vec<Vec<String>> {
 }
 
 fn main() {
-    table::banner("EXP-F5", "dynamic adaptation timelines (two policies)");
+    let mut r = Report::new("exp_adaptive");
+    r.banner("EXP-F5", "dynamic adaptation timelines (two policies)");
     // Both timelines simulate independently; rows come back in order.
-    let sections = sweep::run_parallel(vec![0u8, 1], |which| match which {
+    let mut sections = sweep::run_parallel(vec![0u8, 1], |which| match which {
         0 => section_a_reclaim(),
         _ => section_b_feedback(),
     });
-    print_section(
+    let section_b = sections.pop().expect("two sections");
+    let section_a = sections.pop().expect("two sections");
+    push_section(
+        &mut r,
         (
             "EXP-F5a",
             "reclaim timeline: bursty critical, greedy best-effort",
         ),
-        &sections[0],
+        section_a,
     );
-    print_section(
+    push_section(
+        &mut r,
         (
             "EXP-F5b",
             "AIMD feedback timeline: steady critical, bursty interference",
         ),
-        &sections[1],
+        section_b,
     );
+    r.emit();
 }

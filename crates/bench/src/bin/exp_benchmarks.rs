@@ -12,6 +12,7 @@
 //! Printed columns: kernel, isolation kilocycles, slowdown under each
 //! scheme, best-effort GiB/s under each regulated scheme.
 
+use fgqos_bench::report::Report;
 use fgqos_bench::scenario::{Built, Scenario, Scheme};
 use fgqos_bench::{sweep, table};
 use fgqos_workloads::kernels::Kernel;
@@ -29,17 +30,18 @@ fn be_gibs(built: &Built, cycles: u64, n: usize) -> f64 {
 }
 
 fn main() {
-    table::banner("EXP-T2", "kernel slowdown under interference, per scheme");
+    let mut r = Report::new("exp_benchmarks");
+    r.banner("EXP-T2", "kernel slowdown under interference, per scheme");
     let scenario = Scenario {
         interferer_txn_bytes: 512,
         critical_outstanding: 2,
         ..Scenario::default()
     };
     let n = scenario.interferers;
-    table::context("interferers", format!("{n} greedy 512 B write streams"));
-    table::context("memguard", "1 ms tick, 2 us irq, 1 MiB/tick per port");
-    table::context("tc-regulator", "1 us window, 1 KiB/window per port");
-    table::header(&[
+    r.context("interferers", format!("{n} greedy 512 B write streams"));
+    r.context("memguard", "1 ms tick, 2 us irq, 1 MiB/tick per port");
+    r.context("tc-regulator", "1 us window, 1 KiB/window per port");
+    r.header(&[
         "kernel",
         "iso_kcyc",
         "sd_unreg",
@@ -87,6 +89,7 @@ fn main() {
         ]
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
+    r.emit();
 }

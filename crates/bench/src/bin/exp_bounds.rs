@@ -10,6 +10,7 @@
 //! Printed columns: ports, period, budget per window, analytic
 //! utilization, observed max latency, bound, tightness (bound/observed).
 
+use fgqos_bench::report::Report;
 use fgqos_bench::{sweep, table};
 use fgqos_core::analysis::{PortModel, SystemModel};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
@@ -52,12 +53,13 @@ fn observe(ports: usize, period: u32, budget: u32, txn_bytes: u64, seed: u64) ->
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_bounds");
+    r.banner(
         "EXP-B",
         "analytical worst-case delay bound vs. observed worst case",
     );
-    table::context("critical", "256 B random closed-loop reads");
-    table::header(&[
+    r.context("critical", "256 B random closed-loop reads");
+    r.header(&[
         "ports",
         "period",
         "budget_B",
@@ -104,6 +106,7 @@ fn main() {
         ]
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
+    r.emit();
 }

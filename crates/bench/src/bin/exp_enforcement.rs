@@ -13,6 +13,7 @@
 //! (bytes), worst interval bytes, overshoot bytes, overshoot %.
 
 use fgqos_baselines::memguard::{MemGuardConfig, MemGuardGate};
+use fgqos_bench::report::Report;
 use fgqos_bench::{sweep, table};
 use fgqos_core::regulator::{OvershootPolicy, RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::{Dir, MasterId};
@@ -41,13 +42,14 @@ fn run_one(gate: impl PortGate + 'static, interval: u64, budget: u64) -> (u64, u
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_enforcement");
+    r.banner(
         "EXP-F6",
         "worst bytes past the budget per replenishment interval",
     );
-    table::context("master", "greedy 1 KiB write stream");
-    table::context("average budget", "2 GiB/s equivalent for every scheme");
-    table::header(&[
+    r.context("master", "greedy 1 KiB write stream");
+    r.context("average budget", "2 GiB/s equivalent for every scheme");
+    r.header(&[
         "scheme",
         "interval",
         "irq_lat",
@@ -124,6 +126,7 @@ fn main() {
         }
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
+    r.emit();
 }

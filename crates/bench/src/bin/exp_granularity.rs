@@ -15,6 +15,7 @@
 //! consecutive 10 µs windows in which the critical actor made <50 % of
 //! its isolation-rate progress), interferer achieved MiB/s.
 
+use fgqos_bench::report::Report;
 use fgqos_bench::scenario::{Scenario, Scheme};
 use fgqos_bench::{sweep, table};
 use fgqos_sim::time::{Bandwidth, Freq};
@@ -37,7 +38,8 @@ fn longest_starvation(windows: &[u64], threshold: u64) -> u64 {
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_granularity");
+    r.banner(
         "EXP-F3",
         "critical tail latency and starvation episodes vs. regulation period",
     );
@@ -53,13 +55,13 @@ fn main() {
     // Isolation progress rate per 10 us window.
     let iso_bytes = scenario.critical_txns * scenario.critical_txn_bytes;
     let iso_rate_per_window = iso_bytes * PROGRESS_WINDOW / iso;
-    table::context("interferers", "3 × 512 B greedy streams @ 1 GiB/s each");
-    table::context("isolation_cycles", iso);
-    table::context(
+    r.context("interferers", "3 × 512 B greedy streams @ 1 GiB/s each");
+    r.context("isolation_cycles", iso);
+    r.context(
         "starvation threshold",
         format!("{} B / 10 us", iso_rate_per_window / 2),
     );
-    table::header(&[
+    r.header(&[
         "period_cyc",
         "budget_B",
         "slowdown",
@@ -106,6 +108,7 @@ fn main() {
         ]
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
+    r.emit();
 }

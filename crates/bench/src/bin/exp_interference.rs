@@ -10,22 +10,24 @@
 //! completion cycles, slowdown vs. isolation, critical p50/p99 latency
 //! (cycles), aggregate DRAM bandwidth (GiB/s).
 
+use fgqos_bench::report::Report;
 use fgqos_bench::scenario::{Scenario, Scheme};
 use fgqos_bench::{sweep, table};
 use fgqos_sim::axi::Dir;
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_interference");
+    r.banner(
         "EXP-F1",
         "critical slowdown vs. number of unregulated interferers",
     );
     let base = Scenario::default();
-    table::context(
+    r.context(
         "critical",
         "256 B random closed-loop reads, think 100 cycles",
     );
-    table::context("interferer", "greedy 1 KiB sequential streams");
-    table::header(&[
+    r.context("interferer", "greedy 1 KiB sequential streams");
+    r.header(&[
         "interferers",
         "dir",
         "cycles",
@@ -61,6 +63,7 @@ fn main() {
         ]
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
+    r.emit();
 }

@@ -18,6 +18,7 @@
 //! Printed: per-BE achieved vs. target MiB/s for both placements and the
 //! worst relative target error.
 
+use fgqos_bench::report::Report;
 use fgqos_bench::{sweep, table};
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_core::shared::SharedRegulator;
@@ -62,18 +63,19 @@ fn build(shared: bool) -> Soc {
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_placement");
+    r.banner(
         "EXP-P",
         "per-port (tightly-coupled) vs shared-budget regulator placement",
     );
     let freq = Freq::default();
     let total: u64 = TARGETS.iter().sum();
-    table::context("aggregate budget", format!("{total} B / {PERIOD} cycles"));
-    table::context(
+    r.context("aggregate budget", format!("{total} B / {PERIOD} cycles"));
+    r.context(
         "targets",
         "dma0 gets 3/4 of the pool, dma1-3 split the rest",
     );
-    table::header(&[
+    r.header(&[
         "placement",
         "port",
         "target_mibs",
@@ -107,8 +109,9 @@ fn main() {
     );
     for (name, rows, worst) in sections {
         for row in rows {
-            table::row(&row);
+            r.row(row);
         }
-        println!("#   {name}: worst target error {worst:.1} %");
+        r.note(format!("{name}: worst target error {worst:.1} %"));
     }
+    r.emit();
 }

@@ -10,12 +10,14 @@
 //! Printed columns: ports, counter width, LUTs, FFs, BRAM36, and device
 //! utilization percentages.
 
+use fgqos_bench::report::Report;
 use fgqos_bench::{sweep, table};
 use fgqos_core::cost::{ResourceModel, Zu9egBudget};
 
 fn main() {
-    table::banner("EXP-T1", "regulator IP resource usage on the ZU9EG");
-    table::context(
+    let mut r = Report::new("exp_resources");
+    r.banner("EXP-T1", "regulator IP resource usage on the ZU9EG");
+    r.context(
         "device",
         format!(
             "{} LUT / {} FF / {} BRAM36",
@@ -24,7 +26,7 @@ fn main() {
             Zu9egBudget::BRAM36
         ),
     );
-    table::header(&[
+    r.header(&[
         "ports",
         "cnt_width",
         "luts",
@@ -59,21 +61,21 @@ fn main() {
         ]
     });
     for row in rows {
-        table::row(&row);
+        r.row(row);
     }
 
-    println!();
-    table::banner("EXP-T1b", "optional 4096-entry telemetry history buffer");
+    r.blank();
+    r.banner("EXP-T1b", "optional 4096-entry telemetry history buffer");
     let hist = ResourceModel {
         history_depth: 4096,
         ..ResourceModel::default()
     };
     let est = hist.for_ports(4);
     let (lut_pct, ff_pct, bram_pct) = Zu9egBudget::utilization(est);
-    table::header(&[
+    r.header(&[
         "ports", "luts", "ffs", "bram36", "lut_pct", "ff_pct", "bram_pct",
     ]);
-    table::row(&[
+    r.row(vec![
         table::int(4),
         table::int(est.luts),
         table::int(est.ffs),
@@ -82,4 +84,5 @@ fn main() {
         table::f3(ff_pct),
         table::f3(bram_pct),
     ]);
+    r.emit();
 }

@@ -25,6 +25,7 @@
 //! aggregate GiB/s, fraction of the unregulated best-effort throughput
 //! retained, bound verdict.
 
+use fgqos_bench::report::Report;
 use fgqos_bench::scenario::{Built, Scenario, Scheme};
 use fgqos_bench::{sweep, table};
 use fgqos_core::policy::ReclaimConfig;
@@ -56,8 +57,8 @@ fn gib_per_s(rate_bytes_per_cycle: f64) -> f64 {
     rate_bytes_per_cycle * 1e9 / (1024.0 * 1024.0 * 1024.0)
 }
 
-fn print_scheme(name: &str, slowdown: f64, rate: f64, unreg_rate: f64) {
-    table::row(&[
+fn push_scheme(r: &mut Report, name: &str, slowdown: f64, rate: f64, unreg_rate: f64) {
+    r.row(vec![
         name.into(),
         table::f2(slowdown),
         table::f2(gib_per_s(rate)),
@@ -67,7 +68,8 @@ fn print_scheme(name: &str, slowdown: f64, rate: f64, unreg_rate: f64) {
 }
 
 fn main() {
-    table::banner(
+    let mut r = Report::new("exp_utilization");
+    r.banner(
         "EXP-F4",
         "best-effort utilization under a 10% critical slowdown bound",
     );
@@ -88,12 +90,12 @@ fn main() {
     };
     let n = scenario.interferers;
     let iso = scenario.isolation_cycles();
-    table::context("interferers", n);
-    table::context(
+    r.context("interferers", n);
+    r.context(
         "critical",
         "500 us active / 500 us compute phases, think 1000",
     );
-    table::context("bound", "critical slowdown <= 1.10");
+    r.context("bound", "critical slowdown <= 1.10");
 
     // The whole scheme/budget grid runs as one parallel sweep; each point
     // reduces to (slowdown, best-effort rate) and the grid searches below
@@ -167,15 +169,21 @@ fn main() {
 
     let (unreg_slowdown, unreg_rate) = results[0];
     let (prem_slowdown, prem_rate) = results[1];
-    table::header(&[
+    r.header(&[
         "scheme",
         "slowdown",
         "be_gibs",
         "be_retained",
         "meets_bound",
     ]);
-    print_scheme("unregulated", unreg_slowdown, unreg_rate, unreg_rate);
-    print_scheme("prem-phase", prem_slowdown, prem_rate, unreg_rate);
+    push_scheme(
+        &mut r,
+        "unregulated",
+        unreg_slowdown,
+        unreg_rate,
+        unreg_rate,
+    );
+    push_scheme(&mut r, "prem-phase", prem_slowdown, prem_rate, unreg_rate);
 
     // MemGuard and tightly-coupled: largest grid point meeting the bound.
     let mut cursor = results[2..].iter().copied();
@@ -190,8 +198,8 @@ fn main() {
         best
     };
     match select(&mg) {
-        Some((sd, rate)) => print_scheme("memguard", sd, rate, unreg_rate),
-        None => table::row(&[
+        Some((sd, rate)) => push_scheme(&mut r, "memguard", sd, rate, unreg_rate),
+        None => r.row(vec![
             "memguard".into(),
             "-".into(),
             "-".into(),
@@ -202,8 +210,15 @@ fn main() {
     for name in ["tc-regulator", "tc+reclaim"] {
         let outcomes: Vec<(f64, f64)> = cursor.by_ref().take(tc_grid.len()).collect();
         match select(&outcomes) {
-            Some((sd, rate)) => print_scheme(name, sd, rate, unreg_rate),
-            None => table::row(&[name.into(), "-".into(), "-".into(), "-".into(), "no".into()]),
+            Some((sd, rate)) => push_scheme(&mut r, name, sd, rate, unreg_rate),
+            None => r.row(vec![
+                name.into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "no".into(),
+            ]),
         }
     }
+    r.emit();
 }

@@ -1,0 +1,232 @@
+//! Renders the experiment book from the JSON artifacts.
+//!
+//! Every `exp_*` binary writes a schema-versioned `results/<exp>.json`
+//! (see [`fgqos_bench::report`]). This binary turns those artifacts back
+//! into the two human-readable views, byte-identically and without
+//! re-running any simulation:
+//!
+//! * `results/<exp>.txt` — the exact stdout table of the recorded run;
+//! * the measured blocks of `EXPERIMENTS.md`, delimited by
+//!   `<!-- measured:begin <exp> -->` / `<!-- measured:end <exp> -->`
+//!   marker comments (long tables are truncated deterministically; the
+//!   artifact keeps every row).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fgqos-bench --bin render_book           # rewrite
+//! cargo run --release -p fgqos-bench --bin render_book -- --check # CI drift check
+//! ```
+//!
+//! `--check` rewrites nothing; it exits non-zero listing every file
+//! whose on-disk bytes differ from what the artifacts produce.
+
+use fgqos_bench::report::{Block, Report};
+use fgqos_sim::json::Value;
+use std::path::{Path, PathBuf};
+
+/// Data rows kept per table when rendering a measured block into
+/// `EXPERIMENTS.md`; the full table stays in the artifact and the
+/// rendered `results/<exp>.txt`.
+const BOOK_MAX_ROWS: usize = 12;
+
+fn workspace_root() -> PathBuf {
+    // crates/bench/ -> workspace root, independent of the cwd cargo ran in.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn results_dir(root: &Path) -> PathBuf {
+    std::env::var_os("FGQOS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("results"))
+}
+
+/// Renders the truncated measured block for `EXPERIMENTS.md`: the same
+/// line layout as the stdout table, but each run of consecutive data
+/// rows is capped at [`BOOK_MAX_ROWS`] with an elision note.
+fn render_measured(report: &Report) -> String {
+    let mut out = String::from("```text\n");
+    let mut run = 0usize; // consecutive Row blocks seen
+    let mut elided = 0usize;
+    let flush_elision = |out: &mut String, elided: &mut usize| {
+        if *elided > 0 {
+            out.push_str(&format!("  ... ({} more rows in the artifact)\n", *elided));
+            *elided = 0;
+        }
+    };
+    for block in report.blocks() {
+        match block {
+            Block::Row(_) => {
+                run += 1;
+                if run > BOOK_MAX_ROWS {
+                    elided += 1;
+                    continue;
+                }
+            }
+            _ => {
+                flush_elision(&mut out, &mut elided);
+                run = 0;
+            }
+        }
+        let mut one = Report::new(report.exp());
+        one_block(&mut one, block);
+        out.push_str(&one.render_text());
+    }
+    flush_elision(&mut out, &mut elided);
+    out.push_str("```\n");
+    out
+}
+
+fn one_block(r: &mut Report, block: &Block) {
+    match block {
+        Block::Banner { id, title } => r.banner(id, title),
+        Block::Context { key, value } => r.context(key, value),
+        Block::Note(text) => r.note(text.clone()),
+        Block::Header(cells) => {
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            r.header(&refs);
+        }
+        Block::Row(cells) => r.row(cells.clone()),
+        Block::Blank => r.blank(),
+    }
+}
+
+/// Replaces the interior of every `<!-- measured:begin <exp> -->` block
+/// for which an artifact exists. Markers without an artifact are left
+/// untouched (with a warning); malformed marker pairs are an error.
+fn splice_book(book: &str, reports: &[Report]) -> Result<String, String> {
+    let mut out = book.to_string();
+    for report in reports {
+        let begin = format!("<!-- measured:begin {} -->", report.exp());
+        let end = format!("<!-- measured:end {} -->", report.exp());
+        let Some(b) = out.find(&begin) else {
+            eprintln!(
+                "warning: EXPERIMENTS.md has no measured block for {}",
+                report.exp()
+            );
+            continue;
+        };
+        let interior_start = b + begin.len();
+        let Some(rel_e) = out[interior_start..].find(&end) else {
+            return Err(format!("unterminated measured block for {}", report.exp()));
+        };
+        let interior_end = interior_start + rel_e;
+        let replacement = format!("\n{}", render_measured(report));
+        out.replace_range(interior_start..interior_end, &replacement);
+    }
+    Ok(out)
+}
+
+/// One output file of the render: destination and expected bytes.
+struct Rendered {
+    path: PathBuf,
+    content: String,
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let root = workspace_root();
+    let dir = results_dir(&root);
+
+    // Load every artifact, sorted by file name for deterministic order.
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "error: no *.json artifacts in {} — run the exp_* binaries first",
+            dir.display()
+        );
+        std::process::exit(2);
+    }
+
+    let mut reports = Vec::new();
+    for name in &names {
+        let path = dir.join(name);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let doc = match Value::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {} is not valid JSON: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match Report::from_json(&doc) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Planned outputs: one txt per artifact + the spliced book.
+    let mut outputs: Vec<Rendered> = reports
+        .iter()
+        .map(|r| Rendered {
+            path: dir.join(format!("{}.txt", r.exp())),
+            content: r.render_text(),
+        })
+        .collect();
+    let book_path = root.join("EXPERIMENTS.md");
+    let book = match std::fs::read_to_string(&book_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", book_path.display());
+            std::process::exit(2);
+        }
+    };
+    match splice_book(&book, &reports) {
+        Ok(spliced) => outputs.push(Rendered {
+            path: book_path,
+            content: spliced,
+        }),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if check {
+        let mut drifted = Vec::new();
+        for o in &outputs {
+            let on_disk = std::fs::read_to_string(&o.path).unwrap_or_default();
+            if on_disk != o.content {
+                drifted.push(o.path.display().to_string());
+            }
+        }
+        if drifted.is_empty() {
+            println!("render_book: {} files up to date", outputs.len());
+        } else {
+            eprintln!("render_book: drift detected in:");
+            for d in &drifted {
+                eprintln!("  {d}");
+            }
+            eprintln!("run `cargo run --release -p fgqos-bench --bin render_book` to refresh");
+            std::process::exit(1);
+        }
+    } else {
+        for o in &outputs {
+            if let Err(e) = std::fs::write(&o.path, &o.content) {
+                eprintln!("error: cannot write {}: {e}", o.path.display());
+                std::process::exit(2);
+            }
+        }
+        println!("render_book: wrote {} files", outputs.len());
+    }
+}

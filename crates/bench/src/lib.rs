@@ -23,6 +23,7 @@
 //! [`sweep::run_parallel`], so wall-clock scales with the machine while
 //! row order stays deterministic.
 
+pub mod report;
 pub mod scenario;
 pub mod sweep;
 pub mod table;

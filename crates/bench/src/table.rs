@@ -18,16 +18,26 @@ pub fn context(key: &str, value: impl std::fmt::Display) {
 /// Column widths used by [`header`]/[`row`].
 const COL: usize = 14;
 
+/// Formats a header row (no trailing newline).
+pub fn format_header(cols: &[&str]) -> String {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>COL$}")).collect();
+    line.join(" ")
+}
+
+/// Formats a data row (no trailing newline).
+pub fn format_row(cells: &[String]) -> String {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>COL$}")).collect();
+    line.join(" ")
+}
+
 /// Prints a header row.
 pub fn header(cols: &[&str]) {
-    let line: Vec<String> = cols.iter().map(|c| format!("{c:>COL$}")).collect();
-    println!("{}", line.join(" "));
+    println!("{}", format_header(cols));
 }
 
 /// Prints a data row.
 pub fn row(cells: &[String]) {
-    let line: Vec<String> = cells.iter().map(|c| format!("{c:>COL$}")).collect();
-    println!("{}", line.join(" "));
+    println!("{}", format_row(cells));
 }
 
 /// Formats a float with 2 decimals.

@@ -57,6 +57,8 @@
 //! assert!(telemetry.total_bytes <= 101 * 1_000); // ≈ budget × windows
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod bucket;
 pub mod cost;
@@ -75,7 +77,7 @@ pub use cost::{ResourceEstimate, ResourceModel, Zu9egBudget};
 pub use driver::{RegulatorDriver, RegulatorTelemetry};
 pub use fabric::{PortRole, QosFabric, QosFabricBuilder};
 pub use irq::{IrqDispatcher, IrqHandler};
-pub use monitor::WindowMonitor;
+pub use monitor::{WindowLog, WindowMonitor, WindowRecord};
 pub use policy::{FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition};
 pub use regfile::{Reg, RegFile};
 pub use regulator::{ChargePolicy, OvershootPolicy, RegulatorConfig, SplitBudgets, TcRegulator};

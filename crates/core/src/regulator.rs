@@ -174,6 +174,25 @@ impl TcRegulator {
         self.monitor.win_bytes()
     }
 
+    /// Starts recording every closed window into a bounded
+    /// [`WindowLog`](crate::monitor::WindowLog) of `capacity` windows
+    /// (budget, granted bytes, overshoot — the paper's auditable
+    /// per-window telemetry).
+    pub fn enable_window_log(&mut self, capacity: usize) {
+        self.monitor.enable_log(capacity);
+    }
+
+    /// The per-window log, if [`TcRegulator::enable_window_log`] was
+    /// called.
+    pub fn window_log(&self) -> Option<&crate::monitor::WindowLog> {
+        self.monitor.log()
+    }
+
+    /// Shared access to the underlying monitor (telemetry snapshots).
+    pub fn monitor(&self) -> &WindowMonitor {
+        &self.monitor
+    }
+
     fn enabled(&self) -> bool {
         self.regs.read(Reg::Ctrl) & CTRL_ENABLE != 0
     }
@@ -261,6 +280,30 @@ impl PortGate for TcRegulator {
 
     fn label(&self) -> &'static str {
         "tc-regulator"
+    }
+
+    fn collect_metrics(&self, prefix: &str, registry: &mut fgqos_sim::metrics::MetricsRegistry) {
+        registry.gauge(format!("{prefix}.budget_bytes"), self.budget as f64);
+        registry.gauge(
+            format!("{prefix}.period_cycles"),
+            self.monitor.period() as f64,
+        );
+        registry.counter(format!("{prefix}.enabled"), u64::from(self.enabled()));
+        registry.counter(format!("{prefix}.stall_cycles"), self.stall_cycles);
+        registry.counter(format!("{prefix}.windows"), self.monitor.windows());
+        registry.counter(format!("{prefix}.total_bytes"), self.monitor.total_bytes());
+        registry.counter(format!("{prefix}.window_bytes"), self.monitor.win_bytes());
+        registry.counter(
+            format!("{prefix}.max_overshoot"),
+            self.regs.read(Reg::MaxOvershoot) as u64,
+        );
+        if let Some(log) = self.monitor.log() {
+            registry.counter(
+                format!("{prefix}.window_log_len"),
+                log.records().len() as u64,
+            );
+            registry.counter(format!("{prefix}.window_log_dropped"), log.dropped());
+        }
     }
 }
 
@@ -552,6 +595,29 @@ mod tests {
         assert!(r
             .try_accept(&req_dir(1, 512, Dir::Read), Cycle::new(100))
             .is_accept());
+    }
+
+    #[test]
+    fn window_log_and_metrics_exposed() {
+        use fgqos_sim::metrics::{MetricValue, MetricsRegistry};
+        let (mut r, _d) = regulator(100, 128);
+        r.enable_window_log(4);
+        r.on_cycle(Cycle::ZERO);
+        assert!(r.try_accept(&req(0, 128), Cycle::ZERO).is_accept());
+        let _ = r.try_accept(&req(1, 128), Cycle::new(1)); // denied
+        r.on_cycle(Cycle::new(100));
+        let log = r.window_log().unwrap();
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].bytes, 128);
+        assert_eq!(log.records()[0].budget, 128);
+
+        let mut reg = MetricsRegistry::new();
+        r.collect_metrics("p", &mut reg);
+        assert_eq!(reg.get("p.stall_cycles"), Some(&MetricValue::Counter(1)));
+        assert_eq!(reg.get("p.windows"), Some(&MetricValue::Counter(1)));
+        assert_eq!(reg.get("p.enabled"), Some(&MetricValue::Counter(1)));
+        assert_eq!(reg.get("p.budget_bytes"), Some(&MetricValue::Gauge(128.0)));
+        assert_eq!(reg.get("p.window_log_len"), Some(&MetricValue::Counter(1)));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! schemes directly comparable.
 
 use crate::axi::{Request, Response};
+use crate::metrics::MetricsRegistry;
 use crate::time::Cycle;
 
 /// Outcome of presenting a request to a gate.
@@ -87,6 +88,15 @@ pub trait PortGate {
     fn label(&self) -> &'static str {
         "gate"
     }
+
+    /// Registers this gate's telemetry into `registry` under `prefix`
+    /// (e.g. `soc.master.dma0.gate`).
+    ///
+    /// Called only when a caller snapshots metrics (pull-based, see
+    /// [`crate::metrics`]); the default registers nothing, so stateless
+    /// gates cost nothing. Regulators should expose their configured
+    /// budget/period and accumulated counters here with stable names.
+    fn collect_metrics(&self, _prefix: &str, _registry: &mut MetricsRegistry) {}
 }
 
 impl PortGate for Box<dyn PortGate> {
@@ -112,6 +122,10 @@ impl PortGate for Box<dyn PortGate> {
 
     fn label(&self) -> &'static str {
         self.as_ref().label()
+    }
+
+    fn collect_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        self.as_ref().collect_metrics(prefix, registry);
     }
 }
 

@@ -26,6 +26,17 @@ pub enum Arbitration {
     WeightedRoundRobin,
 }
 
+impl Arbitration {
+    /// Stable lower-case name used in metric exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arbitration::RoundRobin => "round_robin",
+            Arbitration::FixedPriority => "fixed_priority",
+            Arbitration::WeightedRoundRobin => "weighted_round_robin",
+        }
+    }
+}
+
 /// Crossbar parameters.
 #[derive(Debug, Clone)]
 pub struct XbarConfig {
@@ -93,6 +104,11 @@ impl Crossbar {
     /// Number of master ports.
     pub fn port_count(&self) -> usize {
         self.ports.len()
+    }
+
+    /// The configuration this crossbar was built with.
+    pub fn config(&self) -> &XbarConfig {
+        &self.cfg
     }
 
     /// Whether `master`'s ingress FIFO can admit another request.

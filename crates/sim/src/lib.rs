@@ -47,13 +47,25 @@
 //! let stats = soc.master_stats(MasterId::new(0));
 //! assert!(stats.completed_txns > 0);
 //! ```
+//!
+//! ## Observability
+//!
+//! Every run can be inspected without instrumenting the hot path:
+//! [`metrics`] pulls a named snapshot of all component counters,
+//! [`stats`] records per-window time series, and [`trace`] captures
+//! per-event logs exportable to Chrome/Perfetto. See
+//! `docs/observability.md` for the naming scheme and walkthroughs.
+
+#![warn(missing_docs)]
 
 pub mod axi;
 pub mod cpu;
 pub mod dram;
 pub mod gate;
 pub mod interconnect;
+pub mod json;
 pub mod master;
+pub mod metrics;
 pub mod stats;
 pub mod system;
 pub mod time;
@@ -67,9 +79,11 @@ pub use interconnect::{Arbitration, XbarConfig};
 pub use master::{
     Master, MasterKind, MasterStats, PendingRequest, SequentialSource, TrafficSource,
 };
-pub use stats::{BandwidthMeter, LatencyStats, WindowRecorder};
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use stats::{BandwidthMeter, LatencyStats, WindowLatency, WindowRecorder};
 pub use system::{Controller, Soc, SocBuilder, SocConfig};
 pub use time::{Bandwidth, Cycle, Freq};
+pub use trace::{ChromeTraceBuilder, Trace, TraceEvent, TracingGate};
 
 /// Commonly used items, intended for glob import in examples and tests.
 pub mod prelude {
@@ -81,7 +95,9 @@ pub mod prelude {
     pub use crate::master::{
         MasterKind, MasterStats, PendingRequest, SequentialSource, TrafficSource,
     };
+    pub use crate::metrics::{MetricValue, MetricsRegistry};
     pub use crate::stats::{BandwidthMeter, LatencyStats};
     pub use crate::system::{Controller, Soc, SocBuilder, SocConfig};
     pub use crate::time::{Bandwidth, Cycle, Freq};
+    pub use crate::trace::{Trace, TracingGate};
 }

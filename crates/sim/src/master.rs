@@ -372,6 +372,11 @@ impl Master {
         self.stats.window = Some(WindowRecorder::new(window_cycles));
     }
 
+    /// Enables per-window byte *and* latency (p50/p99) recording.
+    pub fn record_windows_with_latency(&mut self, window_cycles: u64) {
+        self.stats.window = Some(WindowRecorder::new(window_cycles).with_latency());
+    }
+
     /// `true` when the source is exhausted and no transaction is staged or
     /// in flight.
     pub fn is_done(&self) -> bool {
@@ -499,13 +504,18 @@ impl Master {
             .record(response.service_latency());
         self.stats.meter.record(bytes);
         if let Some(w) = self.stats.window.as_mut() {
-            w.add(response.completed_at, bytes);
+            w.add_with_latency(response.completed_at, bytes, response.latency());
         }
         self.source.on_complete(response, now);
         self.gate.on_complete(response, now);
         // A completion may flip a capacity-based gate denial (e.g. an
         // in-flight cap): force one live retry before sleeping again.
         self.gate_dirty = true;
+    }
+
+    /// Shared access to the port gate (metrics snapshots).
+    pub fn gate(&self) -> &dyn PortGate {
+        self.gate.as_ref()
     }
 
     /// Mutable access to the port gate (used by tests and ablations).

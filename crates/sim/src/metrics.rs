@@ -1,0 +1,294 @@
+//! Structured metrics: a pull-based registry with stable hierarchical
+//! names and CSV/JSON export.
+//!
+//! # Design: zero cost when disabled
+//!
+//! The simulator's hot loop never touches this module. Components keep
+//! their existing plain counters ([`crate::stats`]); a
+//! [`MetricsRegistry`] is only materialized when a caller asks for a
+//! snapshot (e.g. [`Soc::collect_metrics`](crate::system::Soc::collect_metrics)),
+//! which *pulls* every counter, gauge and histogram out of the live
+//! components at that instant. Not collecting metrics therefore costs
+//! zero cycles and zero allocations — an invariant the observability
+//! proptests pin down (see `tests/observability.rs`).
+//!
+//! # Naming scheme
+//!
+//! Metric names are dot-separated hierarchical paths, stable across
+//! releases (documented in `docs/observability.md`):
+//!
+//! ```text
+//! soc.cycle                                   simulation time (counter)
+//! soc.master.<name>.bytes_completed           per-master counters
+//! soc.master.<name>.latency                   request latency (histogram)
+//! soc.master.<name>.gate.<metric>             gate/regulator telemetry
+//! soc.xbar.<metric>                           crossbar configuration
+//! soc.dram.<metric>                           DRAM controller counters
+//! ```
+//!
+//! Components below the SoC expose their metrics through
+//! [`PortGate::collect_metrics`](crate::gate::PortGate::collect_metrics)
+//! (regulators) or are walked directly by the SoC snapshot.
+
+use crate::json::Value;
+use crate::stats::LatencyStats;
+
+/// Point-in-time summary of a [`LatencyStats`] histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl From<&LatencyStats> for HistogramSnapshot {
+    fn from(s: &LatencyStats) -> Self {
+        HistogramSnapshot {
+            count: s.count(),
+            mean: s.mean(),
+            min: s.min(),
+            max: s.max(),
+            p50: s.percentile(0.50),
+            p90: s.percentile(0.90),
+            p99: s.percentile(0.99),
+        }
+    }
+}
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count (bytes, transactions, stall cycles, ...).
+    Counter(u64),
+    /// Instantaneous measurement (bandwidth, configured budget, ...).
+    Gauge(f64),
+    /// Static descriptive text (component labels, schemes).
+    Text(String),
+    /// Distribution summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// Schema identifier written into every metrics JSON export.
+pub const METRICS_SCHEMA: &str = "fgqos.metrics";
+/// Schema version written into every metrics JSON export.
+pub const METRICS_VERSION: u64 = 1;
+
+/// An ordered collection of named metrics.
+///
+/// Names are hierarchical dot-paths (see the module docs). Registration
+/// order is preserved so exports are deterministic; re-registering a
+/// name overwrites the previous value.
+///
+/// ```
+/// use fgqos_sim::metrics::{MetricsRegistry, MetricValue};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter("soc.master.dma0.bytes_completed", 4096);
+/// reg.gauge("soc.master.dma0.bandwidth_bytes_per_s", 1.6e9);
+/// assert_eq!(
+///     reg.get("soc.master.dma0.bytes_completed"),
+///     Some(&MetricValue::Counter(4096))
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn insert(&mut self, name: String, value: MetricValue) {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Registers a monotonic counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.insert(name.into(), MetricValue::Counter(value));
+    }
+
+    /// Registers an instantaneous gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.insert(name.into(), MetricValue::Gauge(value));
+    }
+
+    /// Registers a static text attribute.
+    pub fn text(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.insert(name.into(), MetricValue::Text(value.into()));
+    }
+
+    /// Registers a histogram snapshot taken from live [`LatencyStats`].
+    pub fn histogram(&mut self, name: impl Into<String>, stats: &LatencyStats) {
+        self.insert(name.into(), MetricValue::Histogram(stats.into()));
+    }
+
+    /// Looks up a metric by its full name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// All metrics in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the registry as a schema-versioned JSON document:
+    /// `{"schema": "fgqos.metrics", "version": 1, "metrics": {...}}`,
+    /// with histograms expanded into objects.
+    pub fn to_json(&self) -> Value {
+        let mut metrics = Value::obj();
+        for (name, value) in &self.entries {
+            let v = match value {
+                MetricValue::Counter(c) => Value::from(*c),
+                MetricValue::Gauge(g) => Value::from(*g),
+                MetricValue::Text(t) => Value::str(t.clone()),
+                MetricValue::Histogram(h) => {
+                    let mut obj = Value::obj();
+                    obj.set("count", Value::from(h.count));
+                    obj.set("mean", Value::from(h.mean));
+                    obj.set("min", Value::from(h.min));
+                    obj.set("max", Value::from(h.max));
+                    obj.set("p50", Value::from(h.p50));
+                    obj.set("p90", Value::from(h.p90));
+                    obj.set("p99", Value::from(h.p99));
+                    obj
+                }
+            };
+            metrics.set(name.clone(), v);
+        }
+        let mut doc = Value::obj();
+        doc.set("schema", Value::str(METRICS_SCHEMA));
+        doc.set("version", Value::from(METRICS_VERSION));
+        doc.set("metrics", metrics);
+        doc
+    }
+
+    /// Serializes the registry as CSV with a schema-version comment line.
+    ///
+    /// Histograms are flattened to one row per summary statistic
+    /// (`<name>.count`, `<name>.mean`, ... `<name>.p99`) so the output
+    /// stays strictly `name,type,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {METRICS_SCHEMA} v{METRICS_VERSION}\nname,type,value\n");
+        let mut push = |name: &str, kind: &str, value: String| {
+            out.push_str(name);
+            out.push(',');
+            out.push_str(kind);
+            out.push(',');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => push(name, "counter", c.to_string()),
+                MetricValue::Gauge(g) => push(name, "gauge", format!("{g}")),
+                MetricValue::Text(t) => push(name, "text", t.clone()),
+                MetricValue::Histogram(h) => {
+                    push(&format!("{name}.count"), "histogram", h.count.to_string());
+                    push(&format!("{name}.mean"), "histogram", format!("{}", h.mean));
+                    push(&format!("{name}.min"), "histogram", h.min.to_string());
+                    push(&format!("{name}.max"), "histogram", h.max.to_string());
+                    push(&format!("{name}.p50"), "histogram", h.p50.to_string());
+                    push(&format!("{name}.p90"), "histogram", h.p90.to_string());
+                    push(&format!("{name}.p99"), "histogram", h.p99.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_overwrites_and_preserves_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b.second", 1);
+        reg.counter("a.first", 2);
+        reg.counter("b.second", 3);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["b.second", "a.first"]);
+        assert_eq!(reg.get("b.second"), Some(&MetricValue::Counter(3)));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_stats() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("lat", &s);
+        let Some(MetricValue::Histogram(h)) = reg.get("lat") else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.p50, s.percentile(0.5));
+    }
+
+    #[test]
+    fn json_export_is_schema_versioned() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("soc.cycle", 1000);
+        reg.text("soc.master.a.gate.kind", "tc");
+        let doc = reg.to_json();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(METRICS_VERSION));
+        let m = doc.get("metrics").unwrap();
+        assert_eq!(m.get("soc.cycle").unwrap().as_u64(), Some(1000));
+        assert_eq!(
+            m.get("soc.master.a.gate.kind").unwrap().as_str(),
+            Some("tc")
+        );
+    }
+
+    #[test]
+    fn csv_export_flattens_histograms() {
+        let mut s = LatencyStats::new();
+        s.record(10);
+        let mut reg = MetricsRegistry::new();
+        reg.counter("c", 5);
+        reg.histogram("h", &s);
+        let csv = reg.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("# fgqos.metrics v1"));
+        assert_eq!(lines.next(), Some("name,type,value"));
+        assert_eq!(lines.next(), Some("c,counter,5"));
+        assert!(csv.contains("h.count,histogram,1"));
+        assert!(csv.contains("h.p99,histogram,10"));
+    }
+}

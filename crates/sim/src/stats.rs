@@ -222,6 +222,17 @@ impl LatencyStats {
             .map(|(i, &c)| (Self::bucket_value(i), c))
     }
 
+    /// Resets the distribution in place without reallocating the bucket
+    /// array (used by per-window latency recording, which reuses one
+    /// scratch histogram per window).
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Merges another distribution into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -252,6 +263,23 @@ pub struct WindowRecorder {
     current_window: u64,
     current_value: u64,
     windows: Vec<u64>,
+    /// Scratch histogram for the current window; `Some` enables per-window
+    /// latency summaries (see [`WindowRecorder::with_latency`]).
+    lat_scratch: Option<LatencyStats>,
+    lat_windows: Vec<WindowLatency>,
+}
+
+/// Per-window latency summary produced by a [`WindowRecorder`] in latency
+/// mode (one entry per closed window, aligned with
+/// [`WindowRecorder::windows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowLatency {
+    /// Samples recorded within the window.
+    pub count: u64,
+    /// Approximate median latency within the window (0 if idle).
+    pub p50: u64,
+    /// Approximate 99th-percentile latency within the window (0 if idle).
+    pub p99: u64,
 }
 
 impl WindowRecorder {
@@ -267,7 +295,23 @@ impl WindowRecorder {
             current_window: 0,
             current_value: 0,
             windows: Vec::new(),
+            lat_scratch: None,
+            lat_windows: Vec::new(),
         }
+    }
+
+    /// Enables per-window latency summaries: each closed window also
+    /// records a [`WindowLatency`] (p50/p99/count) computed from the
+    /// samples passed to [`WindowRecorder::add_with_latency`]. Costs one
+    /// reusable scratch histogram; byte recording is unaffected.
+    pub fn with_latency(mut self) -> Self {
+        self.lat_scratch = Some(LatencyStats::new());
+        self
+    }
+
+    /// `true` when per-window latency summaries are enabled.
+    pub fn records_latency(&self) -> bool {
+        self.lat_scratch.is_some()
     }
 
     /// Window length in cycles.
@@ -275,17 +319,39 @@ impl WindowRecorder {
         self.window_cycles
     }
 
+    fn roll_to(&mut self, target_window: u64) {
+        while self.current_window < target_window {
+            self.windows.push(self.current_value);
+            self.current_value = 0;
+            if let Some(scratch) = &mut self.lat_scratch {
+                self.lat_windows.push(WindowLatency {
+                    count: scratch.count(),
+                    p50: scratch.percentile(0.50),
+                    p99: scratch.percentile(0.99),
+                });
+                scratch.clear();
+            }
+            self.current_window += 1;
+        }
+    }
+
     /// Adds `value` at time `now`, closing any windows that elapsed since
     /// the previous call (they record their accumulated value; fully idle
     /// windows record zero).
     pub fn add(&mut self, now: Cycle, value: u64) {
-        let w = now.get() / self.window_cycles;
-        while self.current_window < w {
-            self.windows.push(self.current_value);
-            self.current_value = 0;
-            self.current_window += 1;
-        }
+        self.roll_to(now.get() / self.window_cycles);
         self.current_value += value;
+    }
+
+    /// Like [`WindowRecorder::add`], additionally feeding one `latency`
+    /// sample into the current window's summary when latency mode is
+    /// enabled (the sample is ignored otherwise).
+    pub fn add_with_latency(&mut self, now: Cycle, value: u64, latency: u64) {
+        self.roll_to(now.get() / self.window_cycles);
+        self.current_value += value;
+        if let Some(scratch) = &mut self.lat_scratch {
+            scratch.record(latency);
+        }
     }
 
     /// Flushes all windows up to (but not including) the one containing
@@ -297,6 +363,12 @@ impl WindowRecorder {
     /// The closed windows recorded so far.
     pub fn windows(&self) -> &[u64] {
         &self.windows
+    }
+
+    /// Per-window latency summaries (empty unless latency mode is on;
+    /// otherwise aligned one-to-one with [`WindowRecorder::windows`]).
+    pub fn latency_windows(&self) -> &[WindowLatency] {
+        &self.lat_windows
     }
 
     /// Largest closed-window value, or 0 if none.
@@ -432,5 +504,49 @@ mod tests {
     #[should_panic(expected = "window length")]
     fn window_recorder_zero_window() {
         let _ = WindowRecorder::new(0);
+    }
+
+    #[test]
+    fn latency_clear_resets_in_place() {
+        let mut s = LatencyStats::new();
+        for v in [5u64, 50, 500] {
+            s.record(v);
+        }
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.nonzero_buckets().count(), 0);
+        s.record(7);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn window_recorder_latency_mode() {
+        let mut r = WindowRecorder::new(10).with_latency();
+        assert!(r.records_latency());
+        r.add_with_latency(Cycle::new(1), 64, 100);
+        r.add_with_latency(Cycle::new(2), 64, 200);
+        r.add_with_latency(Cycle::new(15), 32, 9); // window 0 closes
+        r.finish(Cycle::new(20)); // window 1 closes
+        assert_eq!(r.windows(), &[128, 32]);
+        let lw = r.latency_windows();
+        assert_eq!(lw.len(), 2);
+        assert_eq!(lw[0].count, 2);
+        assert!(lw[0].p50 >= 100 && lw[0].p99 <= 200);
+        assert_eq!(lw[1].count, 1);
+        assert_eq!(lw[1].p99, 9);
+    }
+
+    #[test]
+    fn window_recorder_latency_disabled_ignores_samples() {
+        let mut r = WindowRecorder::new(10);
+        r.add_with_latency(Cycle::new(0), 1, 999);
+        r.finish(Cycle::new(20));
+        assert_eq!(r.windows(), &[1, 0]);
+        assert!(r.latency_windows().is_empty());
+        assert!(!r.records_latency());
     }
 }

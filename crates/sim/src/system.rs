@@ -5,7 +5,9 @@ use crate::dram::{DramConfig, DramController, DramStats};
 use crate::gate::{OpenGate, PortGate};
 use crate::interconnect::{Crossbar, XbarConfig};
 use crate::master::{Master, MasterKind, MasterStats, TrafficSource};
+use crate::metrics::MetricsRegistry;
 use crate::time::{Bandwidth, Cycle, Freq};
+use crate::trace::{ChromeTraceBuilder, Trace};
 
 /// Top-level SoC parameters.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +66,7 @@ pub struct SocBuilder {
     masters: Vec<Master>,
     controllers: Vec<Box<dyn Controller>>,
     window_cycles: Option<u64>,
+    window_latency: bool,
 }
 
 impl SocBuilder {
@@ -74,6 +77,7 @@ impl SocBuilder {
             masters: Vec::new(),
             controllers: Vec::new(),
             window_cycles: None,
+            window_latency: false,
         }
     }
 
@@ -142,6 +146,15 @@ impl SocBuilder {
         self
     }
 
+    /// Enables per-window byte *and* latency (p50/p99) recording on every
+    /// master — the per-window schema exported by
+    /// [`Soc::window_series_csv`].
+    pub fn record_windows_with_latency(mut self, window_cycles: u64) -> Self {
+        self.window_cycles = Some(window_cycles);
+        self.window_latency = true;
+        self
+    }
+
     /// Finalizes the SoC.
     ///
     /// # Panics
@@ -152,7 +165,11 @@ impl SocBuilder {
         let mut masters = self.masters;
         if let Some(w) = self.window_cycles {
             for m in &mut masters {
-                m.record_windows(w);
+                if self.window_latency {
+                    m.record_windows_with_latency(w);
+                } else {
+                    m.record_windows(w);
+                }
             }
         }
         let xbar = Crossbar::new(self.cfg.xbar.clone(), masters.len());
@@ -380,6 +397,132 @@ impl Soc {
     /// Panics if `id` is out of range.
     pub fn master_mut(&mut self, id: MasterId) -> &mut Master {
         &mut self.masters[id.index()]
+    }
+
+    /// Registration name of one master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn master_name(&self, id: MasterId) -> &str {
+        self.masters[id.index()].name()
+    }
+
+    /// Pulls a point-in-time [`MetricsRegistry`] snapshot of every
+    /// component: per-master counters/histograms, each port gate's
+    /// telemetry (via [`PortGate::collect_metrics`]), crossbar
+    /// configuration and DRAM counters.
+    ///
+    /// Collection is pull-based: the simulation loop never touches the
+    /// registry, so *not* calling this method costs nothing (the
+    /// zero-cost-when-disabled invariant, see [`crate::metrics`]).
+    pub fn collect_metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("soc.cycle", self.cycle.get());
+        reg.gauge("soc.freq_hz", self.freq.hz() as f64);
+        for m in &self.masters {
+            let p = format!("soc.master.{}", m.name());
+            let st = m.stats();
+            reg.counter(format!("{p}.issued_txns"), st.issued_txns);
+            reg.counter(format!("{p}.completed_txns"), st.completed_txns);
+            reg.counter(format!("{p}.bytes_completed"), st.bytes_completed);
+            reg.counter(format!("{p}.gate_stall_cycles"), st.gate_stall_cycles);
+            reg.counter(format!("{p}.fifo_stall_cycles"), st.fifo_stall_cycles);
+            reg.gauge(
+                format!("{p}.bandwidth_bytes_per_s"),
+                st.meter.bandwidth(self.cycle, self.freq).bytes_per_s(),
+            );
+            reg.histogram(format!("{p}.latency"), &st.latency);
+            reg.histogram(format!("{p}.service_latency"), &st.service_latency);
+            let gp = format!("{p}.gate");
+            reg.text(format!("{gp}.kind"), m.gate().label());
+            m.gate().collect_metrics(&gp, &mut reg);
+        }
+        reg.gauge("soc.xbar.ports", self.xbar.port_count() as f64);
+        reg.gauge(
+            "soc.xbar.port_fifo_depth",
+            self.xbar.config().port_fifo_depth as f64,
+        );
+        reg.text(
+            "soc.xbar.arbitration",
+            self.xbar.config().arbitration.label(),
+        );
+        let d = self.dram.stats();
+        reg.counter("soc.dram.bytes_completed", d.bytes_completed);
+        reg.counter("soc.dram.reads", d.reads);
+        reg.counter("soc.dram.writes", d.writes);
+        reg.counter("soc.dram.row_hits", d.row_hits);
+        reg.counter("soc.dram.row_misses", d.row_misses);
+        reg.counter("soc.dram.bus_busy_cycles", d.bus_busy_cycles);
+        reg.counter("soc.dram.refreshes", d.refreshes);
+        reg.gauge("soc.dram.row_hit_ratio", d.row_hit_ratio());
+        reg.histogram("soc.dram.queue_wait", &d.queue_wait);
+        reg
+    }
+
+    /// Exports every master's per-window series as CSV with a
+    /// schema-version comment line (`fgqos.window-series` v1).
+    ///
+    /// Columns: `master,window,start_cycle,bytes,lat_count,p50_lat,p99_lat`;
+    /// the three latency columns are empty unless the run used
+    /// [`SocBuilder::record_windows_with_latency`]. Masters without window
+    /// recording contribute no rows.
+    pub fn window_series_csv(&self) -> String {
+        let mut out = String::from(
+            "# fgqos.window-series v1\nmaster,window,start_cycle,bytes,lat_count,p50_lat,p99_lat\n",
+        );
+        use std::fmt::Write as _;
+        for m in &self.masters {
+            let Some(w) = m.stats().window.as_ref() else {
+                continue;
+            };
+            let lat = w.latency_windows();
+            for (i, &bytes) in w.windows().iter().enumerate() {
+                let start = i as u64 * w.window_cycles();
+                match lat.get(i) {
+                    Some(l) => {
+                        let _ = writeln!(
+                            out,
+                            "{},{},{},{},{},{},{}",
+                            m.name(),
+                            i,
+                            start,
+                            bytes,
+                            l.count,
+                            l.p50,
+                            l.p99
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{},{},{},{},,,", m.name(), i, start, bytes);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a captured [`Trace`] plus this SoC's window series as a
+    /// Chrome trace-event JSON document (see [`ChromeTraceBuilder`]):
+    /// master names become thread names, transactions become duration
+    /// slices, gate decisions instant events and per-window byte series
+    /// counter tracks.
+    pub fn chrome_trace(&self, trace: &Trace) -> String {
+        let mut b = ChromeTraceBuilder::new(self.freq);
+        for m in &self.masters {
+            b.thread_name(m.id().index(), m.name());
+        }
+        b.add_trace(trace);
+        for m in &self.masters {
+            if let Some(w) = m.stats().window.as_ref() {
+                b.add_counter_track(
+                    &format!("window_bytes/{}", m.name()),
+                    w.window_cycles(),
+                    w.windows(),
+                );
+            }
+        }
+        b.finish().to_pretty()
     }
 }
 

@@ -195,7 +195,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Element-count bound for [`vec`]: a fixed size or a half-open /
+    /// Element-count bound for [`vec()`]: a fixed size or a half-open /
     /// inclusive range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
