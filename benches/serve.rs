@@ -1,0 +1,66 @@
+//! Round-trip benchmarks of the `fgqos-serve` service: submit→result
+//! latency over loopback TCP with a real simulator-backed executor,
+//! cached vs uncached. Medians feed `BENCH_serve.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgqos::runner::serve_executor;
+use fgqos::serve::client::{Client, SubmitOptions};
+use fgqos::serve::server::{start, ServeConfig};
+use std::time::Duration;
+
+const CYCLES: u64 = 20_000;
+
+fn scenario(tag: u64) -> String {
+    format!(
+        "# bench {tag}\nclock_mhz 1000\n\n[master cpu]\nkind cpu\nrole critical\npattern seq\nfootprint 1M\ntxn 256\ntotal 500\n\n[master dma]\nkind accel\nrole best-effort\nperiod 1000\nbudget 2K\npattern seq\nbase 0x40000000\nfootprint 4M\ntxn 512\n"
+    )
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let server = start(
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+        serve_executor(),
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let opts = SubmitOptions::default();
+    let timeout = Duration::from_secs(30);
+
+    let mut g = c.benchmark_group("serve_roundtrip");
+    g.sample_size(10);
+    // Fresh scenario text per iteration: every submit misses the cache
+    // and pays a full simulation.
+    let mut tag = 0u64;
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            tag += 1;
+            client
+                .submit_and_wait(&scenario(tag), CYCLES, &opts, timeout)
+                .expect("roundtrip")
+        });
+    });
+    // One warmed entry hit over and over: measures protocol + cache
+    // overhead alone.
+    let warmed = scenario(u64::MAX);
+    client
+        .submit_and_wait(&warmed, CYCLES, &opts, timeout)
+        .expect("warm the cache");
+    g.bench_function("cached", |b| {
+        b.iter(|| {
+            client
+                .submit_and_wait(&warmed, CYCLES, &opts, timeout)
+                .expect("roundtrip")
+        });
+    });
+    g.finish();
+
+    client.shutdown().expect("graceful shutdown");
+    server.join();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

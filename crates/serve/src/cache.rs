@@ -1,0 +1,170 @@
+//! Content-addressed in-memory result cache.
+//!
+//! Jobs are addressed by a hash of their [`JobSpec`] — the scenario
+//! text, cycle budget and options — so resubmitting the same job
+//! returns the *same* [`Report`](fgqos_bench::report::Report) JSON
+//! document without re-simulating. The cached value is the shared
+//! `Arc<Value>` the worker produced: responses built from a hit
+//! serialize byte-identically to the fresh run (pinned by the
+//! integration tests).
+//!
+//! The cache never evicts; a long-running deployment is expected to
+//! bound it operationally (restart, or a future LRU satellite). Entries
+//! store the full canonical key alongside the hash, so a 64-bit
+//! collision degrades to a miss instead of serving a wrong result.
+
+use crate::protocol::JobSpec;
+use fgqos_sim::json::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit hash, the workspace's content-address function.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical cache key of a job: a stable serialization of the spec
+/// plus its FNV-1a hash.
+pub fn job_key(spec: &JobSpec) -> (u64, String) {
+    let key = format!(
+        "cycles={}\u{0}until_done={}\u{0}{}",
+        spec.cycles,
+        spec.until_done.as_deref().unwrap_or(""),
+        spec.scenario
+    );
+    (fnv64(key.as_bytes()), key)
+}
+
+struct Entry {
+    key: String,
+    report: Arc<Value>,
+}
+
+/// Thread-safe content-addressed store of finished job reports.
+#[derive(Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a finished report, counting the hit or miss.
+    pub fn get(&self, hash: u64, key: &str) -> Option<Arc<Value>> {
+        let entries = self.entries.lock().expect("cache poisoned");
+        match entries.get(&hash) {
+            Some(e) if e.key == key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.report))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a finished report under its content address.
+    pub fn insert(&self, hash: u64, key: String, report: Arc<Value>) {
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        entries.entry(hash).or_insert(Entry { key, report });
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str, cycles: u64) -> JobSpec {
+        JobSpec {
+            scenario: text.to_string(),
+            cycles,
+            until_done: None,
+        }
+    }
+
+    #[test]
+    fn key_separates_every_field() {
+        let a = job_key(&spec("s", 100)).0;
+        assert_ne!(a, job_key(&spec("s", 101)).0, "cycles must matter");
+        assert_ne!(a, job_key(&spec("t", 100)).0, "scenario must matter");
+        let mut with_done = spec("s", 100);
+        with_done.until_done = Some("cpu".into());
+        assert_ne!(a, job_key(&with_done).0, "until_done must matter");
+        assert_eq!(a, job_key(&spec("s", 100)).0, "equal specs collide");
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = ResultCache::new();
+        let (hash, key) = job_key(&spec("s", 100));
+        assert!(cache.get(hash, &key).is_none());
+        cache.insert(hash, key.clone(), Arc::new(Value::from(1u64)));
+        let hit = cache.get(hash, &key).expect("cached");
+        assert_eq!(hit.as_u64(), Some(1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hash_collision_degrades_to_miss() {
+        let cache = ResultCache::new();
+        cache.insert(42, "key-a".into(), Arc::new(Value::from(1u64)));
+        assert!(
+            cache.get(42, "key-b").is_none(),
+            "same hash, different key must miss"
+        );
+    }
+
+    #[test]
+    fn cached_value_is_shared_not_copied() {
+        let cache = ResultCache::new();
+        let report = Arc::new(Value::str("report"));
+        cache.insert(7, "k".into(), Arc::clone(&report));
+        let a = cache.get(7, "k").unwrap();
+        assert!(Arc::ptr_eq(&a, &report), "hits return the stored Arc");
+    }
+}

@@ -1,0 +1,227 @@
+//! A small blocking client for the `fgqos.serve` protocol.
+//!
+//! This is what `fgqos submit` and the integration tests use: one TCP
+//! connection, synchronous request/response, polling for results. It
+//! has no async machinery on purpose — the protocol is strictly
+//! one-response-per-request, so a `BufReader` over the socket is all
+//! the state a client needs.
+
+use crate::protocol::{MetricsFormat, SERVE_SCHEMA};
+use fgqos_sim::json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read or write).
+    Io(std::io::Error),
+    /// The server's response was missing, unparsable, or off-schema.
+    Protocol(String),
+    /// The server denied the submission at admission control.
+    Denied(String),
+    /// The job finished in a non-`done` state (`failed` / `expired`).
+    Job(String),
+    /// The result did not arrive within the caller's wait budget.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Denied(m) => write!(f, "denied: {m}"),
+            ClientError::Job(m) => write!(f, "job error: {m}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the result"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The `submit` acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// `true` when the job was answered from the result cache.
+    pub cached: bool,
+}
+
+/// Options attached to a submission (admission principal, deadline).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// `--until-done <master>`: stop when this master's queue drains.
+    pub until_done: Option<String>,
+    /// Admission-control principal; the server defaults to the peer ip.
+    pub client: Option<String>,
+    /// Queue deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A blocking connection to a `fgqos serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        // Frames are small and strictly request/response: Nagle only
+        // adds latency here.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw request frame and reads the matching response.
+    ///
+    /// Schema and version are checked; `ok` is not — callers decide how
+    /// to treat application-level errors.
+    pub fn request(&mut self, request: &Value) -> Result<Value, ClientError> {
+        self.writer.write_all(request.to_compact().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a response arrived".into(),
+            ));
+        }
+        let doc = Value::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparsable response: {e}")))?;
+        if doc.get("schema").and_then(Value::as_str) != Some(SERVE_SCHEMA) {
+            return Err(ClientError::Protocol(
+                "response missing serve schema".into(),
+            ));
+        }
+        Ok(doc)
+    }
+
+    fn expect_ok(doc: Value) -> Result<Value, ClientError> {
+        if doc.get("ok") == Some(&Value::Bool(true)) {
+            return Ok(doc);
+        }
+        let message = doc
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string();
+        if doc.get("denied") == Some(&Value::Bool(true)) {
+            Err(ClientError::Denied(message))
+        } else {
+            Err(ClientError::Job(message))
+        }
+    }
+
+    /// Submits a scenario for execution.
+    pub fn submit(
+        &mut self,
+        scenario: &str,
+        cycles: u64,
+        opts: &SubmitOptions,
+    ) -> Result<SubmitAck, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("submit"));
+        req.set("scenario", Value::str(scenario));
+        req.set("cycles", Value::from(cycles));
+        if let Some(u) = &opts.until_done {
+            req.set("until_done", Value::str(u.clone()));
+        }
+        if let Some(c) = &opts.client {
+            req.set("client", Value::str(c.clone()));
+        }
+        if let Some(d) = opts.deadline_ms {
+            req.set("deadline_ms", Value::from(d));
+        }
+        let doc = Self::expect_ok(self.request(&req)?)?;
+        let job = doc
+            .get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit ack missing 'job'".into()))?;
+        let cached = doc.get("cached") == Some(&Value::Bool(true));
+        Ok(SubmitAck { job, cached })
+    }
+
+    /// Fetches a job's result response once (no waiting).
+    pub fn result(&mut self, job: u64) -> Result<Value, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("result"));
+        req.set("job", Value::from(job));
+        self.request(&req)
+    }
+
+    /// Polls until the job's `Report` JSON document is available.
+    ///
+    /// Returns the embedded `"report"` value. Fails fast on `failed` /
+    /// `expired` jobs; gives up after `timeout`.
+    pub fn wait_report(&mut self, job: u64, timeout: Duration) -> Result<Value, ClientError> {
+        let give_up = Instant::now() + timeout;
+        loop {
+            let doc = Self::expect_ok(self.result(job)?)?;
+            match doc.get("state").and_then(Value::as_str) {
+                Some("done") => {
+                    return doc
+                        .get("report")
+                        .cloned()
+                        .ok_or_else(|| ClientError::Protocol("done job missing report".into()));
+                }
+                Some("queued") | Some("running") => {}
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected job state {other:?}"
+                    )))
+                }
+            }
+            if Instant::now() >= give_up {
+                return Err(ClientError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Submits and waits for the report in one call.
+    pub fn submit_and_wait(
+        &mut self,
+        scenario: &str,
+        cycles: u64,
+        opts: &SubmitOptions,
+        timeout: Duration,
+    ) -> Result<(SubmitAck, Value), ClientError> {
+        let ack = self.submit(scenario, cycles, opts)?;
+        let report = self.wait_report(ack.job, timeout)?;
+        Ok((ack, report))
+    }
+
+    /// Fetches the server's metrics registry export.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<Value, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("metrics"));
+        req.set(
+            "format",
+            Value::str(match format {
+                MetricsFormat::Json => "json",
+                MetricsFormat::Csv => "csv",
+            }),
+        );
+        Self::expect_ok(self.request(&req)?)
+    }
+
+    /// Requests a graceful drain-and-stop; returns the drain summary
+    /// response once the server is quiescent.
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("shutdown"));
+        Self::expect_ok(self.request(&req)?)
+    }
+}

@@ -1,0 +1,49 @@
+//! `fgqos-serve` — a long-running scenario-execution service.
+//!
+//! The one-shot `fgqos <scenario-file>` CLI pays full process startup per
+//! run and shares nothing between requests. This crate turns the same
+//! execution path into a std-only TCP service:
+//!
+//! * [`protocol`] — a framed, newline-delimited JSON protocol
+//!   (`submit` / `status` / `result` / `metrics` / `shutdown`), with
+//!   versioned `fgqos.serve v1` responses carrying the same
+//!   [`fgqos_bench::report::Report`] document the `exp_*` binaries emit.
+//! * [`pool`] — a job queue + worker pool on the
+//!   `fgqos_bench::sweep` threading model (FIFO order-stable,
+//!   `FGQOS_SERVE_THREADS` override), with per-job deadlines and a
+//!   graceful drain on shutdown.
+//! * [`cache`] — a content-addressed in-memory result cache keyed by a
+//!   hash of (scenario text, cycles, options): resubmitting a job
+//!   returns byte-identical cached JSON without re-simulating.
+//! * [`admission`] — per-client admission control built from our own
+//!   [`fgqos_core::bucket::LeakyBucketRegulator`]: the paper's
+//!   window/budget regulation applied to the server's own ingress, so a
+//!   flooding client is back-pressured (429-style `deny` responses)
+//!   while other clients' latency stays bounded.
+//! * [`server`] / [`client`] — the TCP service and a small blocking
+//!   client used by `fgqos submit`.
+//!
+//! The crate is deliberately *executor-agnostic*: scenario parsing lives
+//! in the umbrella `fgqos` crate (which depends on this one), so the
+//! server takes the execution function as an injected [`Executor`]. The
+//! umbrella's `fgqos::runner::serve_executor()` supplies the real
+//! simulator-backed one; tests inject stubs.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+use fgqos_bench::report::Report;
+use std::sync::Arc;
+
+/// Executes one scenario job into a [`Report`].
+///
+/// Implementations must be pure functions of the [`protocol::JobSpec`]:
+/// the result cache assumes two jobs with equal specs produce
+/// byte-identical reports.
+pub type Executor = Arc<dyn Fn(&protocol::JobSpec) -> Result<Report, String> + Send + Sync>;

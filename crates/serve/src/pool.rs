@@ -1,0 +1,578 @@
+//! Job queue + worker pool.
+//!
+//! Same threading model as `fgqos_bench::sweep`: plain `std` threads
+//! over a mutex-protected FIFO queue, no external dependencies. The
+//! queue is strictly order-stable — with one worker
+//! (`FGQOS_SERVE_THREADS=1`) jobs execute exactly in submission order —
+//! and because a `Soc` is `!Send`, each worker builds its simulator
+//! locally inside the injected [`Executor`], exactly as sweep workers
+//! do.
+//!
+//! Lifecycle of a job: `queued → running → done | failed`, or
+//! `queued → expired` when its deadline passes before a worker picks it
+//! up. Shutdown is a *graceful drain*: no new submissions are accepted,
+//! every already-queued job still executes, and
+//! [`ServeCore::drain`] returns only when the queue is empty and all
+//! workers are idle.
+
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::cache::{job_key, ResultCache};
+use crate::protocol::JobSpec;
+use crate::Executor;
+use fgqos_sim::json::Value;
+use fgqos_sim::metrics::MetricsRegistry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Lifecycle state of a submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the FIFO queue.
+    Queued,
+    /// Currently executing on a worker.
+    Running,
+    /// Finished; the report is available.
+    Done,
+    /// The executor reported an error.
+    Failed(String),
+    /// The deadline passed before a worker picked the job up.
+    Expired,
+}
+
+impl JobState {
+    /// The protocol's wire name for this state.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Expired => "expired",
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    hash: u64,
+    key: String,
+    deadline: Option<Instant>,
+}
+
+struct JobEntry {
+    state: JobState,
+    report: Option<Arc<Value>>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<QueuedJob>,
+    jobs: HashMap<u64, JobEntry>,
+    next_job: u64,
+    draining: bool,
+    busy_workers: usize,
+    live_workers: usize,
+    submitted: u64,
+    executed: u64,
+    failed: u64,
+    expired: u64,
+}
+
+/// Counters returned by [`ServeCore::drain`], embedded in the
+/// `shutdown` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs accepted over the server's lifetime (cache hits included).
+    pub submitted: u64,
+    /// Jobs actually executed by a worker.
+    pub executed: u64,
+    /// Jobs whose executor returned an error.
+    pub failed: u64,
+    /// Jobs that expired in the queue.
+    pub expired: u64,
+}
+
+/// Number of pool workers: `FGQOS_SERVE_THREADS` override, else the
+/// machine's available parallelism.
+pub fn worker_count() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    std::env::var("FGQOS_SERVE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw)
+}
+
+/// Shared state of a running service: queue, jobs, cache, admission and
+/// telemetry. Connection handlers and workers all operate on an
+/// `Arc<ServeCore>`.
+pub struct ServeCore {
+    state: Mutex<PoolState>,
+    wakeup: Condvar,
+    /// The content-addressed result cache.
+    pub cache: ResultCache,
+    /// The per-client ingress regulator bank.
+    pub admission: AdmissionControl,
+    workers: usize,
+    started: Instant,
+    busy_nanos: AtomicU64,
+    frames: AtomicU64,
+    malformed: AtomicU64,
+    oversized: AtomicU64,
+}
+
+impl ServeCore {
+    /// Creates the shared state for a pool of `workers` threads.
+    pub fn new(workers: usize, admission: AdmissionConfig) -> Self {
+        ServeCore {
+            state: Mutex::new(PoolState::default()),
+            wakeup: Condvar::new(),
+            cache: ResultCache::new(),
+            admission: AdmissionControl::new(admission),
+            workers,
+            started: Instant::now(),
+            busy_nanos: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers this core was sized for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Counts one received frame (any op).
+    pub fn count_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one unparsable frame.
+    pub fn count_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one over-limit frame.
+    pub fn count_oversized(&self) {
+        self.oversized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accepts a job: returns its id plus the cached report when the
+    /// spec is a cache hit (such jobs are born `Done` and never queue).
+    /// `Err` when the server is draining.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        deadline: Option<Instant>,
+    ) -> Result<(u64, Option<Arc<Value>>), String> {
+        let (hash, key) = job_key(&spec);
+        let cached = self.cache.get(hash, &key);
+        let mut st = self.state.lock().expect("pool poisoned");
+        if st.draining {
+            return Err("server is shutting down".into());
+        }
+        let id = st.next_job + 1;
+        st.next_job = id;
+        st.submitted += 1;
+        match cached {
+            Some(report) => {
+                st.jobs.insert(
+                    id,
+                    JobEntry {
+                        state: JobState::Done,
+                        report: Some(Arc::clone(&report)),
+                    },
+                );
+                Ok((id, Some(report)))
+            }
+            None => {
+                st.jobs.insert(
+                    id,
+                    JobEntry {
+                        state: JobState::Queued,
+                        report: None,
+                    },
+                );
+                st.queue.push_back(QueuedJob {
+                    id,
+                    spec,
+                    hash,
+                    key,
+                    deadline,
+                });
+                self.wakeup.notify_one();
+                Ok((id, None))
+            }
+        }
+    }
+
+    /// A job's state plus, while queued, its 0-based queue position.
+    pub fn status(&self, id: u64) -> Option<(JobState, Option<usize>)> {
+        let st = self.state.lock().expect("pool poisoned");
+        let entry = st.jobs.get(&id)?;
+        let position = match entry.state {
+            JobState::Queued => st.queue.iter().position(|j| j.id == id),
+            _ => None,
+        };
+        Some((entry.state.clone(), position))
+    }
+
+    /// A finished job's report (`None` until it is done).
+    pub fn result(&self, id: u64) -> Option<(JobState, Option<Arc<Value>>)> {
+        let st = self.state.lock().expect("pool poisoned");
+        let entry = st.jobs.get(&id)?;
+        Some((entry.state.clone(), entry.report.clone()))
+    }
+
+    /// Worker thread body: pop, check deadline, execute, publish.
+    /// Returns when the core is draining and the queue is empty.
+    pub fn worker_loop(&self, executor: Executor) {
+        {
+            let mut st = self.state.lock().expect("pool poisoned");
+            st.live_workers += 1;
+        }
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("pool poisoned");
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        st.busy_workers += 1;
+                        break Some(job);
+                    }
+                    if st.draining {
+                        break None;
+                    }
+                    st = self.wakeup.wait(st).expect("pool poisoned");
+                }
+            };
+            let Some(job) = job else {
+                let mut st = self.state.lock().expect("pool poisoned");
+                st.live_workers -= 1;
+                self.wakeup.notify_all();
+                return;
+            };
+            if job.deadline.is_some_and(|d| Instant::now() > d) {
+                let mut st = self.state.lock().expect("pool poisoned");
+                if let Some(entry) = st.jobs.get_mut(&job.id) {
+                    entry.state = JobState::Expired;
+                }
+                st.expired += 1;
+                st.busy_workers -= 1;
+                self.wakeup.notify_all();
+                continue;
+            }
+            {
+                let mut st = self.state.lock().expect("pool poisoned");
+                if let Some(entry) = st.jobs.get_mut(&job.id) {
+                    entry.state = JobState::Running;
+                }
+            }
+            let t0 = Instant::now();
+            let outcome = executor(&job.spec);
+            self.busy_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let mut st = self.state.lock().expect("pool poisoned");
+            match outcome {
+                Ok(report) => {
+                    let report = Arc::new(report.to_json());
+                    self.cache.insert(job.hash, job.key, Arc::clone(&report));
+                    if let Some(entry) = st.jobs.get_mut(&job.id) {
+                        entry.state = JobState::Done;
+                        entry.report = Some(report);
+                    }
+                    st.executed += 1;
+                }
+                Err(e) => {
+                    if let Some(entry) = st.jobs.get_mut(&job.id) {
+                        entry.state = JobState::Failed(e);
+                    }
+                    st.failed += 1;
+                }
+            }
+            st.busy_workers -= 1;
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// Graceful drain: refuse new submissions, execute everything
+    /// already queued, and return once every worker is idle or exited.
+    /// Idempotent; concurrent callers all block until the drain ends.
+    pub fn drain(&self) -> DrainSummary {
+        let mut st = self.state.lock().expect("pool poisoned");
+        st.draining = true;
+        self.wakeup.notify_all();
+        while !st.queue.is_empty() || st.busy_workers > 0 || st.live_workers > 0 {
+            st = self.wakeup.wait(st).expect("pool poisoned");
+        }
+        DrainSummary {
+            submitted: st.submitted,
+            executed: st.executed,
+            failed: st.failed,
+            expired: st.expired,
+        }
+    }
+
+    /// `true` once [`drain`](Self::drain) has started.
+    pub fn draining(&self) -> bool {
+        self.state.lock().expect("pool poisoned").draining
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().expect("pool poisoned").queue.len()
+    }
+
+    /// Snapshot of the service's metrics under stable `serve.*` names,
+    /// exportable through the standard
+    /// [`MetricsRegistry`] JSON/CSV exporters.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let (queue_depth, submitted, executed, failed, expired, busy) = {
+            let st = self.state.lock().expect("pool poisoned");
+            (
+                st.queue.len(),
+                st.submitted,
+                st.executed,
+                st.failed,
+                st.expired,
+                st.busy_workers,
+            )
+        };
+        let mut reg = MetricsRegistry::new();
+        reg.counter("serve.frames", self.frames.load(Ordering::Relaxed));
+        reg.counter(
+            "serve.frames.malformed",
+            self.malformed.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            "serve.frames.oversized",
+            self.oversized.load(Ordering::Relaxed),
+        );
+        reg.gauge("serve.queue_depth", queue_depth as f64);
+        reg.counter("serve.jobs.submitted", submitted);
+        reg.counter("serve.jobs.executed", executed);
+        reg.counter("serve.jobs.failed", failed);
+        reg.counter("serve.jobs.expired", expired);
+        reg.counter("serve.cache.entries", self.cache.len() as u64);
+        reg.counter("serve.cache.hits", self.cache.hits());
+        reg.counter("serve.cache.misses", self.cache.misses());
+        reg.gauge("serve.cache.hit_rate", self.cache.hit_rate());
+        reg.gauge("serve.workers", self.workers as f64);
+        reg.gauge("serve.workers.busy", busy as f64);
+        let elapsed = self.started.elapsed().as_nanos() as f64;
+        let busy_ratio = if elapsed > 0.0 {
+            self.busy_nanos.load(Ordering::Relaxed) as f64 / (elapsed * self.workers.max(1) as f64)
+        } else {
+            0.0
+        };
+        reg.gauge("serve.workers.busy_ratio", busy_ratio);
+        for (client, accepted, denied) in self.admission.snapshot() {
+            reg.counter(format!("serve.client.{client}.accepted"), accepted);
+            reg.counter(format!("serve.client.{client}.denied"), denied);
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgqos_bench::report::Report;
+    use std::time::Duration;
+
+    fn spec(tag: &str) -> JobSpec {
+        JobSpec {
+            scenario: format!("# {tag}\n[master a]\nkind cpu\n"),
+            cycles: 1_000,
+            until_done: None,
+        }
+    }
+
+    /// An executor that renders the spec's scenario into a one-row
+    /// report after an optional sleep.
+    fn stub(delay: Duration) -> Executor {
+        Arc::new(move |spec: &JobSpec| {
+            std::thread::sleep(delay);
+            let mut r = Report::new("stub");
+            r.note(format!(
+                "cycles={} len={}",
+                spec.cycles,
+                spec.scenario.len()
+            ));
+            Ok(r)
+        })
+    }
+
+    fn start(core: &Arc<ServeCore>, n: usize, exec: Executor) -> Vec<std::thread::JoinHandle<()>> {
+        (0..n)
+            .map(|_| {
+                let core = Arc::clone(core);
+                let exec = Arc::clone(&exec);
+                std::thread::spawn(move || core.worker_loop(exec))
+            })
+            .collect()
+    }
+
+    fn wait_done(core: &ServeCore, id: u64) -> (JobState, Option<Arc<Value>>) {
+        for _ in 0..2_000 {
+            let (state, report) = core.result(id).expect("job exists");
+            if !matches!(state, JobState::Queued | JobState::Running) {
+                return (state, report);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn executes_and_caches() {
+        let core = Arc::new(ServeCore::new(2, AdmissionConfig::default()));
+        let workers = start(&core, 2, stub(Duration::ZERO));
+        let (id, cached) = core.submit(spec("a"), None).unwrap();
+        assert!(cached.is_none(), "first submission is a miss");
+        let (state, fresh) = wait_done(&core, id);
+        assert_eq!(state, JobState::Done);
+        let fresh = fresh.expect("report present");
+        // Resubmission: born done, byte-identical shared report.
+        let (id2, hit) = core.submit(spec("a"), None).unwrap();
+        let hit = hit.expect("second submission hits the cache");
+        assert!(Arc::ptr_eq(&hit, &fresh));
+        assert_eq!(core.result(id2).unwrap().0, JobState::Done);
+        assert_eq!(core.cache.hits(), 1);
+        let summary = core.drain();
+        assert_eq!(summary.submitted, 2);
+        assert_eq!(summary.executed, 1, "the cache hit did not re-execute");
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_worker_executes_in_submission_order() {
+        let core = Arc::new(ServeCore::new(1, AdmissionConfig::default()));
+        let order: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&order);
+        let exec: Executor = Arc::new(move |spec: &JobSpec| {
+            seen.lock().unwrap().push(spec.cycles);
+            Ok(Report::new("stub"))
+        });
+        let workers = start(&core, 1, exec);
+        for cycles in [10, 20, 30, 40] {
+            let mut s = spec("order");
+            s.cycles = cycles; // distinct specs: no cache interference
+            core.submit(s, None).unwrap();
+        }
+        core.drain();
+        assert_eq!(*order.lock().unwrap(), vec![10, 20, 30, 40]);
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn deadline_expires_queued_jobs_unexecuted() {
+        let core = Arc::new(ServeCore::new(1, AdmissionConfig::default()));
+        let workers = start(&core, 1, stub(Duration::from_millis(60)));
+        // Job 1 occupies the single worker for 60 ms; job 2's deadline
+        // passes while it waits in the queue.
+        let (slow, _) = core.submit(spec("slow"), None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let (doomed, _) = core.submit(spec("doomed"), Some(deadline)).unwrap();
+        assert_eq!(wait_done(&core, slow).0, JobState::Done);
+        assert_eq!(wait_done(&core, doomed).0, JobState::Expired);
+        let summary = core.drain();
+        assert_eq!(summary.expired, 1);
+        assert_eq!(summary.executed, 1);
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn drain_finishes_the_whole_queue_first() {
+        let core = Arc::new(ServeCore::new(1, AdmissionConfig::default()));
+        let workers = start(&core, 1, stub(Duration::from_millis(10)));
+        let ids: Vec<u64> = (0..5)
+            .map(|i| {
+                let mut s = spec("drain");
+                s.cycles = 1_000 + i;
+                core.submit(s, None).unwrap().0
+            })
+            .collect();
+        let summary = core.drain();
+        assert_eq!(summary.executed, 5, "drain ran every queued job");
+        for id in ids {
+            assert_eq!(core.result(id).unwrap().0, JobState::Done);
+        }
+        assert!(
+            core.submit(spec("late"), None).is_err(),
+            "submissions after drain are refused"
+        );
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn failed_jobs_report_the_error() {
+        let core = Arc::new(ServeCore::new(1, AdmissionConfig::default()));
+        let exec: Executor = Arc::new(|_spec: &JobSpec| Err("boom".to_string()));
+        let workers = start(&core, 1, exec);
+        let (id, _) = core.submit(spec("fail"), None).unwrap();
+        let (state, report) = wait_done(&core, id);
+        assert_eq!(state, JobState::Failed("boom".into()));
+        assert!(report.is_none());
+        assert_eq!(core.drain().failed, 1);
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_has_the_documented_names() {
+        let core = Arc::new(ServeCore::new(3, AdmissionConfig::default()));
+        core.admission.admit("alice", 128);
+        core.count_frame();
+        core.count_malformed();
+        let reg = core.metrics();
+        for name in [
+            "serve.frames",
+            "serve.frames.malformed",
+            "serve.frames.oversized",
+            "serve.queue_depth",
+            "serve.jobs.submitted",
+            "serve.jobs.executed",
+            "serve.jobs.failed",
+            "serve.jobs.expired",
+            "serve.cache.entries",
+            "serve.cache.hits",
+            "serve.cache.misses",
+            "serve.cache.hit_rate",
+            "serve.workers",
+            "serve.workers.busy",
+            "serve.workers.busy_ratio",
+            "serve.client.alice.accepted",
+            "serve.client.alice.denied",
+        ] {
+            assert!(reg.get(name).is_some(), "missing metric {name}");
+        }
+    }
+
+    #[test]
+    fn status_reports_queue_position() {
+        let core = Arc::new(ServeCore::new(1, AdmissionConfig::default()));
+        // No workers: everything stays queued.
+        let (a, _) = core.submit(spec("a"), None).unwrap();
+        let mut s = spec("b");
+        s.cycles = 2_000;
+        let (b, _) = core.submit(s, None).unwrap();
+        assert_eq!(core.status(a).unwrap(), (JobState::Queued, Some(0)));
+        assert_eq!(core.status(b).unwrap(), (JobState::Queued, Some(1)));
+        assert!(core.status(999).is_none());
+    }
+}

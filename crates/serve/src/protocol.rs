@@ -1,0 +1,389 @@
+//! The `fgqos.serve v1` wire protocol.
+//!
+//! Frames are newline-delimited JSON: one request object per line, one
+//! response object per line, in order. Both sides reuse
+//! [`fgqos_sim::json`] for parsing and serialization — no external
+//! dependencies, and responses are byte-deterministic (insertion-order
+//! keys, compact layout).
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op":"submit","scenario":"<text>","cycles":200000,"until_done":"cpu",
+//!  "client":"alice","deadline_ms":5000}
+//! {"op":"status","job":1}
+//! {"op":"result","job":1}
+//! {"op":"metrics","format":"json"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Only `op` (and `scenario` / `job` where shown) is required; the other
+//! fields default. `client` names the admission-control principal
+//! (defaulting to the peer address), `deadline_ms` bounds how long the
+//! job may sit in the queue before it expires unexecuted.
+//!
+//! # Responses
+//!
+//! Every response carries `{"schema":"fgqos.serve","version":1,
+//! "ok":<bool>,"op":"<request op>"}` plus op-specific fields. A `result`
+//! response for a finished job embeds the full
+//! [`fgqos_bench::report::Report`] JSON document under `"report"` — the
+//! same schema the `exp_*` binaries write to `results/`.
+
+use fgqos_sim::json::Value;
+use std::io::BufRead;
+
+/// Schema identifier carried by every response.
+pub const SERVE_SCHEMA: &str = "fgqos.serve";
+/// Protocol version carried by every response.
+pub const SERVE_VERSION: u64 = 1;
+/// Default cap on a single request frame, in bytes (newline included).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 * 1024;
+
+/// What to execute: the cacheable identity of a job.
+///
+/// Two submissions with equal `JobSpec`s are the same job as far as the
+/// result cache is concerned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// Scenario file text (the same format `fgqos <file>` reads).
+    pub scenario: String,
+    /// Cycle budget for the run.
+    pub cycles: u64,
+    /// Optional `--until-done` master name.
+    pub until_done: Option<String>,
+}
+
+/// Requested metrics export format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// `fgqos.metrics` JSON document (the default).
+    Json,
+    /// Flattened CSV, as a string field.
+    Csv,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a scenario-execution job.
+    Submit {
+        /// The job identity (scenario text, cycles, options).
+        spec: JobSpec,
+        /// Admission-control principal; defaults to the peer address.
+        client: Option<String>,
+        /// Queue deadline in milliseconds from submission.
+        deadline_ms: Option<u64>,
+    },
+    /// Query a job's lifecycle state.
+    Status {
+        /// Job id returned by `submit`.
+        job: u64,
+    },
+    /// Fetch a job's result (the embedded `Report`) once done.
+    Result {
+        /// Job id returned by `submit`.
+        job: u64,
+    },
+    /// Export the server's metrics registry.
+    Metrics {
+        /// Export format.
+        format: MetricsFormat,
+    },
+    /// Stop accepting work, drain the queue, reply, then exit.
+    Shutdown,
+}
+
+/// Error from [`read_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The line exceeded the frame cap. The oversized line has been
+    /// consumed from the stream; the connection may continue.
+    TooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { limit } => {
+                write!(f, "frame exceeds {limit} bytes")
+            }
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one newline-terminated frame, enforcing the byte cap.
+///
+/// Returns `Ok(None)` on a clean end of stream. An oversized line is
+/// consumed in full (up to the next newline or EOF) before
+/// [`FrameError::TooLarge`] is returned, so the caller can report the
+/// error and keep serving the connection.
+pub fn read_frame<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> Result<Option<String>, FrameError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = reader.fill_buf().map_err(FrameError::Io)?;
+        if available.is_empty() {
+            return match (overflowed, buf.is_empty()) {
+                (true, _) => Err(FrameError::TooLarge { limit: max_bytes }),
+                (false, true) => Ok(None),
+                (false, false) => Ok(Some(String::from_utf8_lossy(&buf).into_owned())),
+            };
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(available.len());
+        if !overflowed {
+            if buf.len() + take > max_bytes {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&available[..take]);
+            }
+        }
+        let consumed = match newline {
+            Some(pos) => pos + 1,
+            None => available.len(),
+        };
+        reader.consume(consumed);
+        if newline.is_some() {
+            return if overflowed {
+                Err(FrameError::TooLarge { limit: max_bytes })
+            } else {
+                Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+            };
+        }
+    }
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("'{key}' must be a non-negative integer"))
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("'{key}' must be a string")),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(other) => other
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+    }
+}
+
+/// Parses one request frame.
+///
+/// The error string is ready to embed in an `ok:false` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Value::parse(line).map_err(|e| format!("malformed frame: {e}"))?;
+    if doc.as_obj().is_none() {
+        return Err("malformed frame: request must be a JSON object".into());
+    }
+    let op = doc
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("malformed frame: missing string 'op'")?;
+    match op {
+        "submit" => {
+            let scenario = doc
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("submit needs a string 'scenario'")?
+                .to_string();
+            let cycles = opt_u64(&doc, "cycles")?.unwrap_or(1_000_000);
+            Ok(Request::Submit {
+                spec: JobSpec {
+                    scenario,
+                    cycles,
+                    until_done: opt_str(&doc, "until_done")?,
+                },
+                client: opt_str(&doc, "client")?,
+                deadline_ms: opt_u64(&doc, "deadline_ms")?,
+            })
+        }
+        "status" => Ok(Request::Status {
+            job: req_u64(&doc, "job")?,
+        }),
+        "result" => Ok(Request::Result {
+            job: req_u64(&doc, "job")?,
+        }),
+        "metrics" => {
+            let format = match doc.get("format").and_then(Value::as_str) {
+                None | Some("json") => MetricsFormat::Json,
+                Some("csv") => MetricsFormat::Csv,
+                Some(other) => return Err(format!("unknown metrics format {other:?}")),
+            };
+            Ok(Request::Metrics { format })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Starts a response object: schema, version, `ok`, and the request op.
+pub fn response_head(op: &str, ok: bool) -> Value {
+    let mut v = Value::obj();
+    v.set("schema", Value::str(SERVE_SCHEMA));
+    v.set("version", Value::from(SERVE_VERSION));
+    v.set("ok", Value::from(ok));
+    v.set("op", Value::str(op));
+    v
+}
+
+/// Builds an `ok:false` response with an error message.
+pub fn error_response(op: &str, error: impl Into<String>) -> Value {
+    let mut v = response_head(op, false);
+    v.set("error", Value::str(error.into()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_submit_with_defaults() {
+        let r = parse_request(r#"{"op":"submit","scenario":"[master a]\nkind cpu\n"}"#).unwrap();
+        let Request::Submit {
+            spec,
+            client,
+            deadline_ms,
+        } = r
+        else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.cycles, 1_000_000);
+        assert!(spec.until_done.is_none());
+        assert!(client.is_none());
+        assert!(deadline_ms.is_none());
+        assert!(spec.scenario.contains("[master a]"));
+    }
+
+    #[test]
+    fn parses_submit_with_all_fields() {
+        let r = parse_request(
+            r#"{"op":"submit","scenario":"s","cycles":5000,"until_done":"cpu","client":"alice","deadline_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Submit {
+            spec,
+            client,
+            deadline_ms,
+        } = r
+        else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.cycles, 5_000);
+        assert_eq!(spec.until_done.as_deref(), Some("cpu"));
+        assert_eq!(client.as_deref(), Some("alice"));
+        assert_eq!(deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"status","job":7}"#).unwrap(),
+            Request::Status { job: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"result","job":7}"#).unwrap(),
+            Request::Result { job: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"csv"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Csv
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        assert!(parse_request("not json").unwrap_err().contains("malformed"));
+        assert!(parse_request("[1,2]").unwrap_err().contains("object"));
+        assert!(parse_request("{}").unwrap_err().contains("op"));
+        assert!(parse_request(r#"{"op":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse_request(r#"{"op":"submit"}"#)
+            .unwrap_err()
+            .contains("scenario"));
+        assert!(parse_request(r#"{"op":"result"}"#)
+            .unwrap_err()
+            .contains("job"));
+        assert!(
+            parse_request(r#"{"op":"submit","scenario":"s","cycles":"x"}"#)
+                .unwrap_err()
+                .contains("cycles")
+        );
+    }
+
+    #[test]
+    fn read_frame_splits_lines_and_handles_eof() {
+        let mut r = BufReader::new("{\"a\":1}\n{\"b\":2}\nlast".as_bytes());
+        assert_eq!(
+            read_frame(&mut r, 64).unwrap().as_deref(),
+            Some("{\"a\":1}")
+        );
+        assert_eq!(
+            read_frame(&mut r, 64).unwrap().as_deref(),
+            Some("{\"b\":2}")
+        );
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some("last"));
+        assert!(read_frame(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_but_resynchronizes() {
+        let big = "x".repeat(100);
+        let input = format!("{big}\nok\n");
+        let mut r = BufReader::with_capacity(8, input.as_bytes());
+        match read_frame(&mut r, 32) {
+            Err(FrameError::TooLarge { limit: 32 }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The oversized line was consumed; the next frame parses fine.
+        assert_eq!(read_frame(&mut r, 32).unwrap().as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn response_head_is_schema_versioned() {
+        let v = response_head("submit", true);
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SERVE_SCHEMA));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(SERVE_VERSION));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let e = error_response("status", "nope");
+        assert_eq!(e.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(e.get("error").unwrap().as_str(), Some("nope"));
+    }
+}

@@ -1,0 +1,441 @@
+//! The TCP server: accept loop, per-connection protocol handlers, and
+//! lifecycle plumbing around [`ServeCore`].
+//!
+//! One thread accepts connections, one detached thread serves each
+//! connection, and [`worker_count`]-many pool workers execute jobs. A
+//! `shutdown` request drains the pool (every queued job still runs),
+//! answers with the drain summary, and only then stops the accept loop —
+//! so a client that observes the shutdown response knows the server is
+//! quiescent.
+
+use crate::admission::AdmissionConfig;
+use crate::pool::{worker_count, JobState, ServeCore};
+use crate::protocol::{
+    error_response, parse_request, read_frame, response_head, FrameError, MetricsFormat, Request,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::Executor;
+use fgqos_sim::json::Value;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration; every field has a usable default.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address. Port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means [`worker_count`] (env override included).
+    pub threads: usize,
+    /// Per-frame byte cap on the wire.
+    pub max_frame_bytes: usize,
+    /// Ingress regulation applied per client.
+    pub admission: AdmissionConfig,
+    /// Queue deadline applied to jobs that don't set their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            admission: AdmissionConfig::default(),
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// send a `shutdown` request (or use
+/// [`Client::shutdown`](crate::client::Client::shutdown)) and then
+/// [`join`](Self::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    core: Arc<ServeCore>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the real port when 0 was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared core, for in-process inspection (tests, benches).
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// Waits for the accept loop and every worker to exit. Returns
+    /// immediately useful only after a `shutdown` request was served.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds the listener, starts the worker pool and the accept loop.
+pub fn start(cfg: ServeConfig, executor: Executor) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let threads = if cfg.threads > 0 {
+        cfg.threads
+    } else {
+        worker_count()
+    };
+    let core = Arc::new(ServeCore::new(threads, cfg.admission));
+    let workers = (0..threads)
+        .map(|_| {
+            let core = Arc::clone(&core);
+            let executor = Arc::clone(&executor);
+            std::thread::spawn(move || core.worker_loop(executor))
+        })
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        let max_frame = cfg.max_frame_bytes;
+        let default_deadline_ms = cfg.default_deadline_ms;
+        std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let core = Arc::clone(&core);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    handle_connection(core, stream, max_frame, default_deadline_ms, stop, addr);
+                });
+            }
+        })
+    };
+    Ok(ServerHandle {
+        addr,
+        core,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn send(writer: &mut TcpStream, response: &Value) -> io::Result<()> {
+    writer.write_all(response.to_compact().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_connection(
+    core: Arc<ServeCore>,
+    stream: TcpStream,
+    max_frame: usize,
+    default_deadline_ms: Option<u64>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let line = match read_frame(&mut reader, max_frame) {
+            Ok(None) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge { limit }) => {
+                core.count_frame();
+                core.count_oversized();
+                let resp = error_response("error", format!("frame exceeds {limit} bytes"));
+                if send(&mut writer, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(Some(line)) => line,
+        };
+        core.count_frame();
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                core.count_malformed();
+                if send(&mut writer, &error_response("error", message)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let shutting_down = matches!(request, Request::Shutdown);
+        let response = dispatch(&core, request, &line, &peer, default_deadline_ms);
+        if send(&mut writer, &response).is_err() && !shutting_down {
+            return;
+        }
+        if shutting_down {
+            // The drain already completed inside dispatch; now stop the
+            // accept loop. A self-connection unblocks its accept() call.
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    core: &ServeCore,
+    request: Request,
+    line: &str,
+    peer: &str,
+    default_deadline_ms: Option<u64>,
+) -> Value {
+    match request {
+        Request::Submit {
+            spec,
+            client,
+            deadline_ms,
+        } => {
+            let principal = client.unwrap_or_else(|| format!("peer:{peer}"));
+            // Charge the frame (newline included) to the client's bucket.
+            if !core.admission.admit(&principal, line.len() as u64 + 1) {
+                let mut resp = error_response(
+                    "submit",
+                    format!("admission denied: client {principal:?} is over its ingress budget"),
+                );
+                resp.set("denied", Value::Bool(true));
+                return resp;
+            }
+            let deadline = deadline_ms
+                .or(default_deadline_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            match core.submit(spec, deadline) {
+                Err(message) => error_response("submit", message),
+                Ok((job, cached)) => {
+                    let mut resp = response_head("submit", true);
+                    resp.set("job", Value::from(job));
+                    resp.set("cached", Value::Bool(cached.is_some()));
+                    resp.set(
+                        "state",
+                        Value::str(if cached.is_some() { "done" } else { "queued" }),
+                    );
+                    resp
+                }
+            }
+        }
+        Request::Status { job } => match core.status(job) {
+            None => error_response("status", format!("unknown job {job}")),
+            Some((state, position)) => {
+                let mut resp = response_head("status", true);
+                resp.set("job", Value::from(job));
+                resp.set("state", Value::str(state.wire_name()));
+                if let Some(pos) = position {
+                    resp.set("position", Value::from(pos as u64));
+                }
+                if let JobState::Failed(message) = state {
+                    resp.set("error", Value::str(message));
+                }
+                resp
+            }
+        },
+        Request::Result { job } => match core.result(job) {
+            None => error_response("result", format!("unknown job {job}")),
+            Some((state, report)) => match state {
+                JobState::Done => {
+                    let mut resp = response_head("result", true);
+                    resp.set("job", Value::from(job));
+                    resp.set("state", Value::str("done"));
+                    // The report is embedded verbatim: a cached job's
+                    // response is byte-identical to the fresh run's.
+                    let report = report.expect("done jobs carry a report");
+                    resp.set("report", (*report).clone());
+                    resp
+                }
+                JobState::Failed(message) => {
+                    let mut resp = error_response("result", message);
+                    resp.set("job", Value::from(job));
+                    resp.set("state", Value::str("failed"));
+                    resp
+                }
+                JobState::Expired => {
+                    let mut resp = error_response("result", "deadline expired before execution");
+                    resp.set("job", Value::from(job));
+                    resp.set("state", Value::str("expired"));
+                    resp
+                }
+                pending => {
+                    let mut resp = response_head("result", true);
+                    resp.set("job", Value::from(job));
+                    resp.set("state", Value::str(pending.wire_name()));
+                    resp
+                }
+            },
+        },
+        Request::Metrics { format } => {
+            let registry = core.metrics();
+            let mut resp = response_head("metrics", true);
+            match format {
+                MetricsFormat::Json => resp.set("metrics", registry.to_json()),
+                MetricsFormat::Csv => resp.set("csv", Value::str(registry.to_csv())),
+            };
+            resp
+        }
+        Request::Shutdown => {
+            let summary = core.drain();
+            let mut resp = response_head("shutdown", true);
+            resp.set("submitted", Value::from(summary.submitted));
+            resp.set("executed", Value::from(summary.executed));
+            resp.set("failed", Value::from(summary.failed));
+            resp.set("expired", Value::from(summary.expired));
+            resp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::JobSpec;
+    use fgqos_bench::report::Report;
+    use std::io::BufRead;
+
+    fn stub_executor() -> Executor {
+        Arc::new(|spec: &JobSpec| {
+            let mut r = Report::new("stub");
+            r.note(format!("cycles={}", spec.cycles));
+            Ok(r)
+        })
+    }
+
+    fn test_server() -> ServerHandle {
+        start(
+            ServeConfig {
+                threads: 2,
+                ..ServeConfig::default()
+            },
+            stub_executor(),
+        )
+        .expect("bind loopback")
+    }
+
+    struct Wire {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Wire {
+        fn connect(addr: SocketAddr) -> Wire {
+            let writer = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(writer.try_clone().expect("clone"));
+            Wire { reader, writer }
+        }
+
+        fn roundtrip(&mut self, frame: &str) -> Value {
+            self.writer
+                .write_all(format!("{frame}\n").as_bytes())
+                .expect("write");
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read");
+            Value::parse(line.trim_end()).expect("response parses")
+        }
+    }
+
+    fn shutdown(wire: &mut Wire, server: ServerHandle) {
+        let resp = wire.roundtrip(r#"{"op":"shutdown"}"#);
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+        server.join();
+    }
+
+    #[test]
+    fn submit_then_result_roundtrip() {
+        let server = test_server();
+        let mut wire = Wire::connect(server.addr());
+        let ack = wire.roundtrip(r#"{"op":"submit","scenario":"s","cycles":123}"#);
+        assert_eq!(ack.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(ack.get("cached"), Some(&Value::Bool(false)));
+        let job = ack.get("job").unwrap().as_u64().unwrap();
+        let report = loop {
+            let resp = wire.roundtrip(&format!(r#"{{"op":"result","job":{job}}}"#));
+            assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+            if resp.get("state").unwrap().as_str() == Some("done") {
+                break resp.get("report").unwrap().clone();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let report = Report::from_json(&report).expect("valid report document");
+        assert!(report.render_text().contains("cycles=123"));
+        shutdown(&mut wire, server);
+    }
+
+    #[test]
+    fn malformed_and_unknown_frames_keep_the_connection_alive() {
+        let server = test_server();
+        let mut wire = Wire::connect(server.addr());
+        let resp = wire.roundtrip("this is not json");
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        let resp = wire.roundtrip(r#"{"op":"frobnicate"}"#);
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        let resp = wire.roundtrip(r#"{"op":"status","job":99}"#);
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown job"));
+        // The connection still works for real traffic afterwards.
+        let ack = wire.roundtrip(r#"{"op":"submit","scenario":"s"}"#);
+        assert_eq!(ack.get("ok"), Some(&Value::Bool(true)));
+        shutdown(&mut wire, server);
+    }
+
+    #[test]
+    fn metrics_export_has_both_formats() {
+        let server = test_server();
+        let mut wire = Wire::connect(server.addr());
+        wire.roundtrip(r#"{"op":"submit","scenario":"s"}"#);
+        let json = wire.roundtrip(r#"{"op":"metrics"}"#);
+        let metrics = json.get("metrics").expect("metrics document");
+        assert!(metrics
+            .get("metrics")
+            .unwrap()
+            .get("serve.jobs.submitted")
+            .is_some());
+        let csv = wire.roundtrip(r#"{"op":"metrics","format":"csv"}"#);
+        assert!(csv
+            .get("csv")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("serve.frames"));
+        shutdown(&mut wire, server);
+    }
+
+    #[test]
+    fn shutdown_drains_and_reports_counters() {
+        let server = test_server();
+        let mut wire = Wire::connect(server.addr());
+        for i in 0..4 {
+            let ack = wire.roundtrip(&format!(r#"{{"op":"submit","scenario":"s","cycles":{i}}}"#));
+            assert_eq!(ack.get("ok"), Some(&Value::Bool(true)));
+        }
+        let addr = server.addr();
+        let resp = wire.roundtrip(r#"{"op":"shutdown"}"#);
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(resp.get("submitted").unwrap().as_u64(), Some(4));
+        assert_eq!(resp.get("executed").unwrap().as_u64(), Some(4));
+        server.join();
+        // New connections are refused once the listener is down.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

@@ -1,49 +1,129 @@
-//! `fgqos` — run a declarative scenario file and report QoS statistics.
+//! `fgqos` — run, check, serve and submit declarative QoS scenarios.
 //!
 //! ```text
-//! Usage: fgqos <scenario-file> [options]
+//! Usage:
+//!   fgqos <scenario-file> [run options]      simulate a scenario locally
+//!   fgqos check <scenario-file>              parse + validate, run nothing
+//!   fgqos serve [serve options]              start the execution service
+//!   fgqos submit <scenario-file> [options]   run a scenario via a server
+//!   fgqos shutdown [--addr HOST:PORT]        drain and stop a server
 //!
-//! Options:
+//! Run options:
 //!   --cycles N        run for N cycles (default 1000000)
 //!   --until-done NAME run until master NAME finishes (fallback: --cycles cap)
+//!   --json            print the structured report document instead of text
 //!   --histogram       print each master's latency distribution
 //!   --quiet           suppress the per-port fabric report
+//!
+//! Serve options:
+//!   --addr HOST:PORT  listen address (default 127.0.0.1:7171)
+//!   --threads N       worker threads (default: FGQOS_SERVE_THREADS or cores)
+//!   --max-frame N     per-request byte cap (default 262144)
+//!   --admit-budget N  per-client ingress budget, bytes/period (default 1 MiB)
+//!   --admit-period-ms N  ingress budget period (default 1000)
+//!   --admit-depth N   per-client burst allowance, bytes (default 2 MiB)
+//!   --deadline-ms N   default queue deadline for submitted jobs
+//!
+//! Submit options:
+//!   --addr HOST:PORT  server address (default 127.0.0.1:7171)
+//!   --cycles N / --until-done NAME   as for a local run
+//!   --client NAME     admission-control principal (default: peer address)
+//!   --deadline-ms N   queue deadline for this job
+//!   --timeout-ms N    how long to wait for the result (default 60000)
+//!
+//! Exit status: 0 on success (including `--help`), 1 on runtime errors
+//! (unreadable or invalid scenarios, server failures), 2 on usage errors.
 //! ```
 
+use fgqos::runner::{scenario_report, serve_executor, RunError, RunOptions};
 use fgqos::scenario::ScenarioSpec;
+use fgqos::serve::admission::AdmissionConfig;
+use fgqos::serve::client::{Client, ClientError, SubmitOptions};
+use fgqos::serve::protocol::DEFAULT_MAX_FRAME_BYTES;
+use fgqos::serve::server::{start, ServeConfig};
 use fgqos::sim::axi::MasterId;
 use std::process::ExitCode;
+use std::time::Duration;
 
-struct Args {
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+struct RunArgs {
     scenario_path: String,
     cycles: u64,
     until_done: Option<String>,
+    json: bool,
     quiet: bool,
     histogram: bool,
 }
 
-fn usage() -> &'static str {
-    "usage: fgqos <scenario-file> [--cycles N] [--until-done NAME] [--histogram] [--quiet]"
+struct ServeArgs {
+    addr: String,
+    threads: usize,
+    max_frame_bytes: usize,
+    admission: AdmissionConfig,
+    default_deadline_ms: Option<u64>,
 }
 
-fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+struct SubmitArgs {
+    scenario_path: String,
+    addr: String,
+    cycles: u64,
+    until_done: Option<String>,
+    client: Option<String>,
+    deadline_ms: Option<u64>,
+    timeout_ms: u64,
+}
+
+enum Cmd {
+    Help,
+    Run(RunArgs),
+    Check { scenario_path: String },
+    Serve(ServeArgs),
+    Submit(SubmitArgs),
+    Shutdown { addr: String },
+}
+
+fn usage() -> &'static str {
+    "usage: fgqos <scenario-file> [--cycles N] [--until-done NAME] [--json] [--histogram] [--quiet]
+       fgqos check <scenario-file>
+       fgqos serve [--addr HOST:PORT] [--threads N] [--max-frame N]
+                   [--admit-budget N] [--admit-period-ms N] [--admit-depth N] [--deadline-ms N]
+       fgqos submit <scenario-file> [--addr HOST:PORT] [--cycles N] [--until-done NAME]
+                    [--client NAME] [--deadline-ms N] [--timeout-ms N]
+       fgqos shutdown [--addr HOST:PORT]"
+}
+
+fn value_of(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    argv.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn num_of<T: std::str::FromStr>(
+    argv: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value_of(argv, flag)?
+        .parse()
+        .map_err(|e| format!("bad {flag} value: {e}"))
+}
+
+fn parse_run(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut scenario_path = None;
     let mut cycles = 1_000_000u64;
     let mut until_done = None;
+    let mut json = false;
     let mut quiet = false;
     let mut histogram = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--cycles" => {
-                let v = argv.next().ok_or("--cycles needs a value")?;
-                cycles = v.parse().map_err(|e| format!("bad --cycles value: {e}"))?;
-            }
-            "--until-done" => {
-                until_done = Some(argv.next().ok_or("--until-done needs a master name")?);
-            }
+            "--cycles" => cycles = num_of(&mut argv, "--cycles")?,
+            "--until-done" => until_done = Some(value_of(&mut argv, "--until-done")?),
+            "--json" => json = true,
             "--quiet" => quiet = true,
             "--histogram" => histogram = true,
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--help" | "-h" => return Ok(Cmd::Help),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}\n{}", usage()));
             }
@@ -55,21 +135,143 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     let scenario_path = scenario_path.ok_or_else(|| usage().to_string())?;
-    Ok(Args {
+    Ok(Cmd::Run(RunArgs {
         scenario_path,
         cycles,
         until_done,
+        json,
         quiet,
         histogram,
-    })
+    }))
 }
 
-fn run(args: Args) -> Result<(), String> {
+fn parse_check(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut scenario_path = None;
+    for arg in argv.by_ref() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()));
+            }
+            other => {
+                if scenario_path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one scenario file given\n{}", usage()));
+                }
+            }
+        }
+    }
+    let scenario_path = scenario_path.ok_or("check needs a scenario file".to_string())?;
+    Ok(Cmd::Check { scenario_path })
+}
+
+fn parse_serve(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut args = ServeArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        threads: 0,
+        max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        admission: AdmissionConfig::default(),
+        default_deadline_ms: None,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = value_of(&mut argv, "--addr")?,
+            "--threads" => args.threads = num_of(&mut argv, "--threads")?,
+            "--max-frame" => args.max_frame_bytes = num_of(&mut argv, "--max-frame")?,
+            "--admit-budget" => args.admission.budget_bytes = num_of(&mut argv, "--admit-budget")?,
+            "--admit-period-ms" => {
+                // The ingress regulator runs at 1 cycle = 1 µs.
+                let ms: u32 = num_of(&mut argv, "--admit-period-ms")?;
+                args.admission.period_cycles = ms.saturating_mul(1_000).max(1);
+            }
+            "--admit-depth" => args.admission.depth_bytes = num_of(&mut argv, "--admit-depth")?,
+            "--deadline-ms" => args.default_deadline_ms = Some(num_of(&mut argv, "--deadline-ms")?),
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other => return Err(format!("unknown serve option {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Cmd::Serve(args))
+}
+
+fn parse_submit(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut scenario_path = None;
+    let mut args = SubmitArgs {
+        scenario_path: String::new(),
+        addr: DEFAULT_ADDR.to_string(),
+        cycles: 1_000_000,
+        until_done: None,
+        client: None,
+        deadline_ms: None,
+        timeout_ms: 60_000,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = value_of(&mut argv, "--addr")?,
+            "--cycles" => args.cycles = num_of(&mut argv, "--cycles")?,
+            "--until-done" => args.until_done = Some(value_of(&mut argv, "--until-done")?),
+            "--client" => args.client = Some(value_of(&mut argv, "--client")?),
+            "--deadline-ms" => args.deadline_ms = Some(num_of(&mut argv, "--deadline-ms")?),
+            "--timeout-ms" => args.timeout_ms = num_of(&mut argv, "--timeout-ms")?,
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown submit option {other:?}\n{}", usage()));
+            }
+            other => {
+                if scenario_path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one scenario file given\n{}", usage()));
+                }
+            }
+        }
+    }
+    args.scenario_path = scenario_path.ok_or("submit needs a scenario file".to_string())?;
+    Ok(Cmd::Submit(args))
+}
+
+fn parse_shutdown(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => addr = value_of(&mut argv, "--addr")?,
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other => return Err(format!("unknown shutdown option {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Cmd::Shutdown { addr })
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    match argv.next() {
+        None => Err(usage().to_string()),
+        Some(first) => match first.as_str() {
+            "--help" | "-h" => Ok(Cmd::Help),
+            "check" => parse_check(argv),
+            "serve" => parse_serve(argv),
+            "submit" => parse_submit(argv),
+            "shutdown" => parse_shutdown(argv),
+            _ => parse_run(std::iter::once(first).chain(argv)),
+        },
+    }
+}
+
+fn run(args: RunArgs) -> Result<(), String> {
     let text = std::fs::read_to_string(&args.scenario_path)
         .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
-    let spec = ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
-    let (mut soc, fabric) = spec.build();
+    let opts = RunOptions {
+        cycles: args.cycles,
+        until_done: args.until_done.clone(),
+    };
+    if args.json {
+        let report = scenario_report(&text, &opts).map_err(|e| match e {
+            RunError::Parse(p) => p.diagnostic(&args.scenario_path),
+            RunError::Run(m) => m,
+        })?;
+        println!("{}", report.to_json().to_pretty());
+        return Ok(());
+    }
 
+    // The classic text path keeps its historical layout (and the
+    // --histogram / --quiet extras the report document doesn't carry).
+    let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(&args.scenario_path))?;
+    let (mut soc, fabric) = spec.build();
     let ran = match &args.until_done {
         Some(name) => {
             let id = soc
@@ -150,15 +352,119 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(path))?;
+    println!(
+        "{path}: ok ({} master{}{})",
+        spec.masters.len(),
+        if spec.masters.len() == 1 { "" } else { "s" },
+        if spec.reclaim.is_some() {
+            ", reclaim policy"
+        } else {
+            ""
+        },
+    );
+    Ok(())
+}
+
+fn serve(args: ServeArgs) -> Result<(), String> {
+    let handle = start(
+        ServeConfig {
+            addr: args.addr,
+            threads: args.threads,
+            max_frame_bytes: args.max_frame_bytes,
+            admission: args.admission,
+            default_deadline_ms: args.default_deadline_ms,
+        },
+        serve_executor(),
+    )
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    // Scripts (and CI) parse this line for the bound port.
+    println!("listening on {}", handle.addr());
+    handle.join();
+    println!("server drained and stopped");
+    Ok(())
+}
+
+fn submit(args: SubmitArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.scenario_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    let opts = SubmitOptions {
+        until_done: args.until_done.clone(),
+        client: args.client.clone(),
+        deadline_ms: args.deadline_ms,
+    };
+    let (ack, report) = client
+        .submit_and_wait(
+            &text,
+            args.cycles,
+            &opts,
+            Duration::from_millis(args.timeout_ms),
+        )
+        .map_err(|e| match e {
+            ClientError::Denied(m) => format!("server denied the submission: {m}"),
+            other => other.to_string(),
+        })?;
+    eprintln!(
+        "job {} {}",
+        ack.job,
+        if ack.cached {
+            "(cache hit)"
+        } else {
+            "(executed)"
+        }
+    );
+    // Exactly the document `fgqos <file> --json` prints, so the two
+    // paths diff byte-identically.
+    println!("{}", report.to_pretty());
+    Ok(())
+}
+
+fn shutdown(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let summary = client.shutdown().map_err(|e| e.to_string())?;
+    let stat = |k: &str| {
+        summary
+            .get(k)
+            .and_then(fgqos::sim::json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    println!(
+        "server drained: {} submitted, {} executed, {} failed, {} expired",
+        stat("submitted"),
+        stat("executed"),
+        stat("failed"),
+        stat("expired"),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
-        Ok(args) => match run(args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Ok(Cmd::Help) => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Ok(cmd) => {
+            let outcome = match cmd {
+                Cmd::Help => unreachable!("handled above"),
+                Cmd::Run(args) => run(args),
+                Cmd::Check { scenario_path } => check(&scenario_path),
+                Cmd::Serve(args) => serve(args),
+                Cmd::Submit(args) => submit(args),
+                Cmd::Shutdown { addr } => shutdown(&addr),
+            };
+            match outcome {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)
@@ -170,35 +476,85 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Result<Args, String> {
+    fn args(list: &[&str]) -> Result<Cmd, String> {
         parse_args(list.iter().map(|s| s.to_string()))
     }
 
     #[test]
-    fn parses_defaults() {
-        let a = args(&["scen.fgq"]).expect("parses");
+    fn parses_run_defaults() {
+        let Ok(Cmd::Run(a)) = args(&["scen.fgq"]) else {
+            panic!("expected run");
+        };
         assert_eq!(a.scenario_path, "scen.fgq");
         assert_eq!(a.cycles, 1_000_000);
         assert!(a.until_done.is_none());
-        assert!(!a.quiet);
+        assert!(!a.json && !a.quiet && !a.histogram);
     }
 
     #[test]
-    fn parses_all_options() {
-        let a = args(&[
+    fn parses_all_run_options() {
+        let Ok(Cmd::Run(a)) = args(&[
             "s.fgq",
             "--cycles",
             "500",
             "--until-done",
             "cpu",
+            "--json",
             "--quiet",
             "--histogram",
-        ])
-        .expect("parses");
+        ]) else {
+            panic!("expected run");
+        };
         assert_eq!(a.cycles, 500);
         assert_eq!(a.until_done.as_deref(), Some("cpu"));
-        assert!(a.quiet);
-        assert!(a.histogram);
+        assert!(a.json && a.quiet && a.histogram);
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert!(matches!(args(&["--help"]), Ok(Cmd::Help)));
+        assert!(matches!(args(&["-h"]), Ok(Cmd::Help)));
+        assert!(matches!(args(&["serve", "--help"]), Ok(Cmd::Help)));
+        assert!(matches!(args(&["s.fgq", "-h"]), Ok(Cmd::Help)));
+    }
+
+    #[test]
+    fn parses_subcommands() {
+        assert!(matches!(
+            args(&["check", "s.fgq"]),
+            Ok(Cmd::Check { scenario_path }) if scenario_path == "s.fgq"
+        ));
+        let Ok(Cmd::Serve(s)) = args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "3",
+            "--admit-period-ms",
+            "50",
+        ]) else {
+            panic!("expected serve");
+        };
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!(s.threads, 3);
+        assert_eq!(s.admission.period_cycles, 50_000);
+        let Ok(Cmd::Submit(su)) = args(&[
+            "submit",
+            "s.fgq",
+            "--addr",
+            "127.0.0.1:9",
+            "--cycles",
+            "42",
+            "--client",
+            "ci",
+        ]) else {
+            panic!("expected submit");
+        };
+        assert_eq!(su.scenario_path, "s.fgq");
+        assert_eq!(su.addr, "127.0.0.1:9");
+        assert_eq!(su.cycles, 42);
+        assert_eq!(su.client.as_deref(), Some("ci"));
+        assert!(matches!(args(&["shutdown"]), Ok(Cmd::Shutdown { .. })));
     }
 
     #[test]
@@ -208,14 +564,18 @@ mod tests {
         assert!(args(&["a", "--cycles"]).is_err());
         assert!(args(&["a", "--cycles", "xyz"]).is_err());
         assert!(args(&["a", "--frobnicate"]).is_err());
+        assert!(args(&["check"]).is_err());
+        assert!(args(&["serve", "--bogus"]).is_err());
+        assert!(args(&["submit"]).is_err());
     }
 
     #[test]
     fn run_reports_missing_file() {
-        let e = run(Args {
+        let e = run(RunArgs {
             scenario_path: "/nonexistent/scenario.fgq".into(),
             cycles: 10,
             until_done: None,
+            json: false,
             quiet: true,
             histogram: false,
         })

@@ -8,11 +8,17 @@
 //!   register file, driver and QoS policies
 //! * [`baselines`] — MemGuard, PREM/TDMA and unregulated baselines
 //! * [`workloads`] — synthetic traffic generators and benchmark kernels
+//! * [`bench`](mod@bench) — experiment harness: sweeps, tables, structured reports
+//! * [`serve`] — long-running scenario-execution service (job pool,
+//!   result cache, self-regulated admission control)
 
+pub mod runner;
 pub mod scenario;
 
 pub use fgqos_baselines as baselines;
+pub use fgqos_bench as bench;
 pub use fgqos_core as core;
+pub use fgqos_serve as serve;
 pub use fgqos_sim as sim;
 pub use fgqos_workloads as workloads;
 

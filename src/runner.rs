@@ -1,0 +1,233 @@
+//! Scenario execution into structured [`Report`] documents.
+//!
+//! The `fgqos` CLI historically rendered its results with ad-hoc
+//! `println!` calls. This module runs the same simulation but captures
+//! the outcome as a `fgqos.exp-report` document — the shared currency of
+//! the `exp_*` binaries, `fgqos --json`, and the `fgqos-serve` result
+//! cache (which requires byte-deterministic output for equal inputs).
+
+use crate::scenario::{ParseScenarioError, ScenarioSpec};
+use fgqos_bench::report::Report;
+use fgqos_serve::cache::fnv64;
+use fgqos_serve::protocol::JobSpec;
+use fgqos_serve::Executor;
+use fgqos_sim::axi::MasterId;
+use std::sync::Arc;
+
+/// How to run a scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Cycle budget (also the cap when `until_done` is set).
+    pub cycles: u64,
+    /// Stop as soon as this master's workload completes.
+    pub until_done: Option<String>,
+}
+
+/// Why a scenario run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The scenario text did not parse or validate.
+    Parse(ParseScenarioError),
+    /// The run itself was impossible (e.g. unknown `until_done` master).
+    Run(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Parse(e) => write!(f, "{e}"),
+            RunError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Runs `text` as a scenario and renders the outcome as a report.
+///
+/// The document is a pure function of `(text, opts)` — the simulator is
+/// deterministic and every rendered number comes from it — which is what
+/// lets `fgqos-serve` cache results content-addressed and still promise
+/// byte-identical responses.
+pub fn scenario_report(text: &str, opts: &RunOptions) -> Result<Report, RunError> {
+    let spec = ScenarioSpec::parse(text).map_err(RunError::Parse)?;
+    let (mut soc, fabric) = spec.build();
+
+    let mut report = Report::new("scenario");
+    report.banner(
+        "SCENARIO",
+        &format!("content {:016x}", fnv64(text.as_bytes())),
+    );
+    report.context("cycles", opts.cycles);
+
+    let ran = match &opts.until_done {
+        Some(name) => {
+            let id = soc
+                .master_id(name)
+                .ok_or_else(|| RunError::Run(format!("--until-done: no master named {name:?}")))?;
+            report.context("until_done", name);
+            match soc.run_until_done(id, opts.cycles) {
+                Some(t) => {
+                    report.context("finished_at", t);
+                    t.get()
+                }
+                None => {
+                    report.note(format!(
+                        "master {name:?} did not finish within {} cycles",
+                        opts.cycles
+                    ));
+                    soc.now().get()
+                }
+            }
+        }
+        None => {
+            soc.run(opts.cycles);
+            opts.cycles
+        }
+    };
+    report.context("simulated_cycles", ran);
+    report.context("clock", soc.freq());
+
+    report.header(&["master", "txns", "bytes", "bandwidth", "p50", "p99", "max"]);
+    for i in 0..soc.master_count() {
+        let id = MasterId::new(i);
+        let st = soc.master_stats(id);
+        report.row(vec![
+            spec.masters[i].name.clone(),
+            st.completed_txns.to_string(),
+            st.bytes_completed.to_string(),
+            format!("{}", soc.master_bandwidth(id)),
+            st.latency.percentile(0.50).to_string(),
+            st.latency.percentile(0.99).to_string(),
+            st.latency.max().to_string(),
+        ]);
+    }
+    report.blank();
+    let d = soc.dram_stats();
+    report.note(format!(
+        "dram: {} bytes, row-hit ratio {:.2}, bus utilization {:.2}, {} refreshes",
+        d.bytes_completed,
+        d.row_hit_ratio(),
+        d.bus_busy_cycles as f64 / ran.max(1) as f64,
+        d.refreshes,
+    ));
+    report.blank();
+    report.note("qos fabric:");
+    for line in fabric.report().lines() {
+        report.note(line);
+    }
+    Ok(report)
+}
+
+/// The simulator-backed [`Executor`] `fgqos serve` injects into
+/// `fgqos-serve` (which is deliberately ignorant of scenario parsing).
+pub fn serve_executor() -> Executor {
+    Arc::new(|job: &JobSpec| {
+        scenario_report(
+            &job.scenario,
+            &RunOptions {
+                cycles: job.cycles,
+                until_done: job.until_done.clone(),
+            },
+        )
+        .map_err(|e| e.to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCENARIO: &str = "\
+clock_mhz 1000
+
+[master cpu]
+kind cpu
+role critical
+pattern seq
+footprint 1M
+txn 256
+total 2000
+
+[master dma]
+kind accel
+role best-effort
+period 1000
+budget 2K
+pattern seq
+base 0x40000000
+footprint 4M
+txn 512
+";
+
+    #[test]
+    fn report_is_deterministic_for_equal_inputs() {
+        let opts = RunOptions {
+            cycles: 50_000,
+            until_done: None,
+        };
+        let a = scenario_report(SCENARIO, &opts).expect("runs");
+        let b = scenario_report(SCENARIO, &opts).expect("runs");
+        assert_eq!(
+            a.to_json().to_compact(),
+            b.to_json().to_compact(),
+            "equal inputs must serialize byte-identically"
+        );
+    }
+
+    #[test]
+    fn report_carries_the_cli_tables() {
+        let opts = RunOptions {
+            cycles: 50_000,
+            until_done: None,
+        };
+        let r = scenario_report(SCENARIO, &opts).expect("runs");
+        let text = r.render_text();
+        assert!(text.contains("cpu"), "master rows present");
+        assert!(text.contains("dram:"), "dram summary present");
+        assert!(text.contains("qos fabric:"), "fabric report present");
+    }
+
+    #[test]
+    fn until_done_unknown_master_is_a_run_error() {
+        let opts = RunOptions {
+            cycles: 1_000,
+            until_done: Some("ghost".into()),
+        };
+        match scenario_report(SCENARIO, &opts) {
+            Err(RunError::Run(m)) => assert!(m.contains("ghost")),
+            other => panic!("expected Run error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_with_line_numbers() {
+        match scenario_report("bogus line\n", &RunOptions::default()) {
+            Err(RunError::Parse(e)) => assert_eq!(e.line, 1),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn executor_matches_direct_calls() {
+        let exec = serve_executor();
+        let job = JobSpec {
+            scenario: SCENARIO.to_string(),
+            cycles: 50_000,
+            until_done: None,
+        };
+        let via_exec = exec(&job).expect("executes");
+        let direct = scenario_report(
+            SCENARIO,
+            &RunOptions {
+                cycles: 50_000,
+                until_done: None,
+            },
+        )
+        .expect("runs");
+        assert_eq!(
+            via_exec.to_json().to_compact(),
+            direct.to_json().to_compact()
+        );
+    }
+}

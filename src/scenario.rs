@@ -84,6 +84,19 @@ impl fmt::Display for ParseScenarioError {
 
 impl Error for ParseScenarioError {}
 
+impl ParseScenarioError {
+    /// Renders a compiler-style `file:line: message` diagnostic (the
+    /// form `fgqos check` prints). Errors without a meaningful line
+    /// (whole-file validation) render as `file: message`.
+    pub fn diagnostic(&self, file: &str) -> String {
+        if self.line > 0 {
+            format!("{file}:{}: {}", self.line, self.message)
+        } else {
+            format!("{file}: {}", self.message)
+        }
+    }
+}
+
 fn err(line: usize, message: impl Into<String>) -> ParseScenarioError {
     ParseScenarioError {
         line,
@@ -300,9 +313,13 @@ impl ScenarioSpec {
             match std::mem::replace(section, Section::Top) {
                 Section::Top => {}
                 Section::Master(d) => {
+                    let declared_at = d.declared_at;
                     let m = d.finish()?;
                     if masters.iter().any(|x| x.name == m.name) {
-                        return Err(err(0, format!("duplicate master name {:?}", m.name)));
+                        return Err(err(
+                            declared_at,
+                            format!("duplicate master name {:?}", m.name),
+                        ));
                     }
                     masters.push(m);
                 }
@@ -713,6 +730,20 @@ workload kernel:memcpy:2
         let text = "[master a]\nkind cpu\n[master a]\nkind cpu\n";
         let e = ScenarioSpec::parse(text).unwrap_err();
         assert!(e.message.contains("duplicate"));
+        assert_eq!(e.line, 3, "duplicate reported at its own declaration");
+    }
+
+    #[test]
+    fn diagnostic_renders_file_line_message() {
+        let e = ScenarioSpec::parse("clock_mhz 1000\nbogus").unwrap_err();
+        assert_eq!(
+            e.diagnostic("scen.fgq"),
+            "scen.fgq:2: expected `key value`, got \"bogus\""
+        );
+        // Whole-file errors have no line; the diagnostic omits it.
+        let e = ScenarioSpec::parse("clock_mhz 500\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.diagnostic("s.fgq").starts_with("s.fgq: "));
     }
 
     #[test]

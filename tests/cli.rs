@@ -58,8 +58,87 @@ fn rejects_missing_file() {
         .arg("/does/not/exist.fgq")
         .output()
         .expect("binary runs");
-    assert!(!out.status.success());
+    // Runtime failures (unreadable scenario) are exit 1, not the usage
+    // error code.
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn help_exits_zero_on_stdout() {
+    for flag in ["--help", "-h"] {
+        let out = fgqos().arg(flag).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: fgqos"), "{flag} prints usage");
+        assert!(stdout.contains("serve"), "usage lists the subcommands");
+        assert!(
+            out.stderr.is_empty(),
+            "{flag} must not write to stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn missing_arguments_exit_two() {
+    let out = fgqos().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn json_flag_prints_the_report_document() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--json"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"fgqos.exp-report\""));
+    assert!(stdout.contains("dma0"));
+}
+
+#[test]
+fn check_accepts_a_valid_scenario() {
+    let out = fgqos()
+        .args(["check", "scenarios/demo.fgq"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scenarios/demo.fgq: ok"));
+    assert!(stdout.contains("4 masters"));
+}
+
+#[test]
+fn check_prints_file_line_diagnostics() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("fgqos-cli-check-bad.fgq");
+    std::fs::write(&path, "clock_mhz 1000\nbogus line here\n").expect("write temp scenario");
+    let out = fgqos()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "invalid scenarios are exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let want = format!("{}:2: ", path.display());
+    assert!(
+        stderr.contains(&want),
+        "diagnostic must be file:line: message, got: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
