@@ -2,36 +2,11 @@
 //! throughput as the SoC grows, plus statistics hot paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
-use fgqos_sim::axi::Dir;
-use fgqos_sim::dram::DramConfig;
-use fgqos_sim::master::MasterKind;
+use fgqos_bench::scenarios::{greedy_soc, regulated_soc, REGULATED_CYCLES, SOC_CYCLES};
 use fgqos_sim::stats::LatencyStats;
-use fgqos_sim::system::{SocBuilder, SocConfig};
-use fgqos_workloads::spec::{SpecSource, TrafficSpec};
 
-const CYCLES: u64 = 100_000;
-const FF_CYCLES: u64 = 1_000_000;
-
-fn build_soc(masters: usize) -> fgqos_sim::system::Soc {
-    let cfg = SocConfig {
-        dram: DramConfig {
-            t_refi: 0,
-            ..DramConfig::default()
-        },
-        ..SocConfig::default()
-    };
-    let mut b = SocBuilder::new(cfg);
-    for i in 0..masters {
-        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
-        b = b.master(
-            format!("m{i}"),
-            SpecSource::new(spec, i as u64),
-            MasterKind::Accelerator,
-        );
-    }
-    b.build()
-}
+const CYCLES: u64 = SOC_CYCLES;
+const FF_CYCLES: u64 = REGULATED_CYCLES;
 
 fn bench_soc_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("soc_cycles");
@@ -39,43 +14,13 @@ fn bench_soc_throughput(c: &mut Criterion) {
     for masters in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(masters), &masters, |b, &m| {
             b.iter_batched(
-                || build_soc(m),
+                || greedy_soc(m),
                 |mut soc| soc.run(CYCLES),
                 criterion::BatchSize::LargeInput,
             );
         });
     }
     g.finish();
-}
-
-/// A tightly regulated SoC: every master spends most cycles gated, so
-/// the event-driven core has long dead stretches to skip. This is the
-/// exp_* harness's common case (budgets well below link rate).
-fn build_regulated_soc(masters: usize) -> fgqos_sim::system::Soc {
-    let cfg = SocConfig {
-        dram: DramConfig {
-            t_refi: 0,
-            ..DramConfig::default()
-        },
-        ..SocConfig::default()
-    };
-    let mut b = SocBuilder::new(cfg);
-    for i in 0..masters {
-        let (reg, _driver) = TcRegulator::create(RegulatorConfig {
-            period_cycles: 10_000,
-            budget_bytes: 2_048,
-            enabled: true,
-            ..RegulatorConfig::default()
-        });
-        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
-        b = b.gated_master(
-            format!("m{i}"),
-            SpecSource::new(spec, i as u64),
-            MasterKind::Accelerator,
-            reg,
-        );
-    }
-    b.build()
 }
 
 /// Simulated-cycles-per-wall-second of the fast-forward core vs. naive
@@ -87,7 +32,7 @@ fn bench_fast_forward(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(mode, 4), &naive, |b, &naive| {
             b.iter_batched(
                 || {
-                    let mut soc = build_regulated_soc(4);
+                    let mut soc = regulated_soc(4);
                     soc.set_naive(naive);
                     soc
                 },

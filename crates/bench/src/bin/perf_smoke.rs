@@ -1,0 +1,89 @@
+//! CI perf-smoke gate: quick throughput check of the two contended-path
+//! benchmark cases against the floors recorded in `BENCH_sim.json`.
+//!
+//! Runs the `soc_cycles/8` (greedy 8-master) and `regulated_cycles/fast`
+//! (4 regulated masters) scenarios inline — best-of-N wall-clock, no
+//! Criterion — and fails if either falls below
+//! `threshold × recorded floor`. The threshold defaults to 0.7 (a drop
+//! of more than 30 % fails) and is tunable via `FGQOS_PERF_THRESHOLD`
+//! so noisy runners can widen the gate without editing the workflow.
+//!
+//! ```text
+//! cargo run --release -p fgqos-bench --bin perf_smoke
+//! FGQOS_PERF_THRESHOLD=0.5 cargo run --release -p fgqos-bench --bin perf_smoke
+//! ```
+//!
+//! The scenarios come from [`fgqos_bench::scenarios`] — the same builders
+//! the Criterion benches measure — so the floor comparison is
+//! apples-to-apples with `BENCH_sim.json`.
+
+use fgqos_bench::scenarios::{greedy_soc, regulated_soc, REGULATED_CYCLES, SOC_CYCLES};
+use fgqos_sim::json::Value;
+use fgqos_sim::system::Soc;
+use std::path::Path;
+use std::time::Instant;
+
+/// Best-of-`reps` throughput in Melem/s (simulated cycles per wall-µs).
+fn measure(build: impl Fn() -> Soc, cycles: u64, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut soc = build();
+        let t0 = Instant::now();
+        soc.run(cycles);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    cycles as f64 / best / 1e6
+}
+
+/// The latest recorded floors: `BENCH_sim.json` is append-only, so the
+/// newest entry holding both micro numbers wins.
+fn floors(doc: &Value) -> Option<(f64, f64)> {
+    let entry = doc.get("calendar_arena")?;
+    let m8 = entry
+        .get("soc_cycles_melem_per_s")?
+        .get("masters_8")?
+        .as_f64()?;
+    let reg = entry
+        .get("regulated_cycles_melem_per_s")?
+        .get("fast")?
+        .as_f64()?;
+    Some((m8, reg))
+}
+
+fn main() {
+    let threshold: f64 = std::env::var("FGQOS_PERF_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.7);
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("BENCH_sim.json"))
+        .expect("BENCH_sim.json not found at workspace root");
+    let doc = Value::parse(&text).expect("BENCH_sim.json is not valid JSON");
+    let (floor_m8, floor_reg) = floors(&doc).expect("BENCH_sim.json missing calendar_arena floors");
+
+    let m8 = measure(|| greedy_soc(8), SOC_CYCLES, 5);
+    let reg = measure(|| regulated_soc(4), REGULATED_CYCLES, 5);
+
+    let mut failed = false;
+    for (name, got, floor) in [
+        ("soc_cycles/8", m8, floor_m8),
+        ("regulated_cycles/fast", reg, floor_reg),
+    ] {
+        let min = floor * threshold;
+        let ok = got >= min;
+        failed |= !ok;
+        println!(
+            "perf_smoke: {name:<22} {got:9.1} Melem/s  floor {floor:8.1}  min {min:8.1}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    if failed {
+        eprintln!(
+            "perf_smoke: throughput below {:.0}% of the BENCH_sim.json floor \
+             (override with FGQOS_PERF_THRESHOLD)",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

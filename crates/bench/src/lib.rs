@@ -25,5 +25,6 @@
 
 pub mod report;
 pub mod scenario;
+pub mod scenarios;
 pub mod sweep;
 pub mod table;

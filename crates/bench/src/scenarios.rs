@@ -1,0 +1,72 @@
+//! Canonical benchmark SoCs shared by the Criterion micro-benchmarks
+//! (`benches/simulator.rs`) and the CI perf-smoke gate (`bin/perf_smoke`).
+//!
+//! Keeping these builders in one place guarantees the smoke test measures
+//! *exactly* the configurations whose throughput is recorded in
+//! `BENCH_sim.json` — a floor check against a different SoC would be
+//! meaningless.
+
+use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
+use fgqos_sim::axi::Dir;
+use fgqos_sim::dram::DramConfig;
+use fgqos_sim::master::MasterKind;
+use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
+use fgqos_workloads::spec::{SpecSource, TrafficSpec};
+
+/// Cycle horizon of the `soc_cycles` Criterion group.
+pub const SOC_CYCLES: u64 = 100_000;
+
+/// Cycle horizon of the `regulated_cycles` Criterion group.
+pub const REGULATED_CYCLES: u64 = 1_000_000;
+
+/// Unregulated greedy streaming SoC: `masters` accelerator ports each
+/// replaying a sequential read stream over an 8 MiB footprint.
+pub fn greedy_soc(masters: usize) -> Soc {
+    let cfg = SocConfig {
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
+        ..SocConfig::default()
+    };
+    let mut b = SocBuilder::new(cfg);
+    for i in 0..masters {
+        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
+        b = b.master(
+            format!("m{i}"),
+            SpecSource::new(spec, i as u64),
+            MasterKind::Accelerator,
+        );
+    }
+    b.build()
+}
+
+/// Tightly regulated SoC: every master spends most cycles gated by a
+/// TC-regulator budget far below link rate, so the event-driven core has
+/// long dead stretches to skip. This is the exp_* harness's common case.
+pub fn regulated_soc(masters: usize) -> Soc {
+    let cfg = SocConfig {
+        dram: DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        },
+        ..SocConfig::default()
+    };
+    let mut b = SocBuilder::new(cfg);
+    for i in 0..masters {
+        let (reg, _driver) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 10_000,
+            budget_bytes: 2_048,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        let spec = TrafficSpec::stream((i as u64) << 28, 8 << 20, 512, Dir::Read);
+        b = b.gated_master(
+            format!("m{i}"),
+            SpecSource::new(spec, i as u64),
+            MasterKind::Accelerator,
+            reg,
+        );
+    }
+    b.build()
+}

@@ -165,8 +165,17 @@ impl Client {
     ///
     /// Returns the embedded `"report"` value. Fails fast on `failed` /
     /// `expired` jobs; gives up after `timeout`.
+    ///
+    /// Polling backs off adaptively: most scenario runs finish in well
+    /// under a millisecond, so the first re-poll comes after ~100 µs and
+    /// the interval doubles up to a 5 ms ceiling. Short jobs no longer
+    /// pay a fixed 5 ms latency floor, while long jobs converge to the
+    /// old polling rate instead of hammering the server.
     pub fn wait_report(&mut self, job: u64, timeout: Duration) -> Result<Value, ClientError> {
+        const FIRST_POLL: Duration = Duration::from_micros(100);
+        const MAX_POLL: Duration = Duration::from_millis(5);
         let give_up = Instant::now() + timeout;
+        let mut backoff = FIRST_POLL;
         loop {
             let doc = Self::expect_ok(self.result(job)?)?;
             match doc.get("state").and_then(Value::as_str) {
@@ -186,7 +195,8 @@ impl Client {
             if Instant::now() >= give_up {
                 return Err(ClientError::Timeout);
             }
-            std::thread::sleep(Duration::from_millis(5));
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(MAX_POLL);
         }
     }
 

@@ -1,0 +1,322 @@
+//! Hierarchical event calendar: a timing wheel over near cycles plus a
+//! sorted heap for far wakes.
+//!
+//! The fast-path simulation loop (see [`crate::system::Soc`]) keeps one
+//! calendar token per schedulable component — each master (which folds in
+//! its gate's window edges and its source's issue points), the DRAM
+//! controller (bank timing, bus drain, refresh) and every software
+//! controller. A token's *wake* is the earliest cycle at which ticking
+//! that component could change simulation state; the calendar answers
+//! "which cycle executes next?" and "who is due now?" without scanning
+//! every component.
+//!
+//! Near wakes (within [`NEAR_SLOTS`] cycles of the cursor) land in a
+//! circular slot array indexed by `cycle % NEAR_SLOTS`; far wakes go to a
+//! min-heap and migrate into the wheel as the cursor approaches. The
+//! `wake` array is authoritative: superseded wheel/heap entries are
+//! detected lazily (entry cycle ≠ current wake) and dropped when visited,
+//! so reschedules are O(1) instead of requiring removal.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Width of the timing wheel in cycles. Events scheduled further out than
+/// this from the cursor wait in the far heap. Sized to cover the common
+/// event horizon of the memory path (bank timings, burst drains, DRAM
+/// queue turnaround) so steady-state traffic never touches the heap.
+pub const NEAR_SLOTS: usize = 256;
+
+/// Wake cycle meaning "never".
+pub const NEVER: u64 = u64::MAX;
+
+/// A timing-wheel + far-heap event calendar over dense component tokens.
+///
+/// ```
+/// use fgqos_sim::calendar::{EventCalendar, NEVER};
+///
+/// let mut cal = EventCalendar::new(3, 0);
+/// cal.set(0, 5);
+/// cal.set(1, 5);
+/// cal.set(2, 100_000); // far future: heap
+/// assert_eq!(cal.next_due(0), Some(5));
+/// let mut due = Vec::new();
+/// cal.take_due(5, &mut due);
+/// assert_eq!(due, [0, 1]);
+/// assert_eq!(cal.wake_of(0), NEVER); // taken tokens must be rescheduled
+/// assert_eq!(cal.next_due(6), Some(100_000));
+/// ```
+#[derive(Debug)]
+pub struct EventCalendar {
+    /// Authoritative earliest-wake per token; `NEVER` = unscheduled.
+    wake: Vec<u64>,
+    /// Circular near-window slots of `(cycle, token)` entries.
+    near: Vec<Vec<(u64, u32)>>,
+    /// Far events, min-ordered by `(cycle, token)`.
+    far: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Cycle the wheel window starts at; slots cover
+    /// `[cursor, cursor + NEAR_SLOTS)`.
+    cursor: u64,
+}
+
+impl EventCalendar {
+    /// Creates a calendar for `tokens` components with all wakes at
+    /// `NEVER`, its wheel starting at cycle `start`.
+    pub fn new(tokens: usize, start: u64) -> Self {
+        EventCalendar {
+            wake: vec![NEVER; tokens],
+            near: (0..NEAR_SLOTS).map(|_| Vec::new()).collect(),
+            far: BinaryHeap::new(),
+            cursor: start,
+        }
+    }
+
+    /// The authoritative wake of `token` (`NEVER` when unscheduled).
+    #[inline]
+    pub fn wake_of(&self, token: u32) -> u64 {
+        self.wake[token as usize]
+    }
+
+    /// Schedules `token` at exactly `cycle`, superseding any previous
+    /// wake (earlier or later — stale entries are dropped lazily).
+    pub fn set(&mut self, token: u32, cycle: u64) {
+        if self.wake[token as usize] == cycle {
+            return; // already scheduled here; avoid duplicate entries
+        }
+        self.wake[token as usize] = cycle;
+        if cycle == NEVER {
+            return;
+        }
+        self.insert(cycle, token);
+    }
+
+    /// Schedules `token` at `cycle` only if that is earlier than its
+    /// current wake.
+    pub fn set_min(&mut self, token: u32, cycle: u64) {
+        if cycle < self.wake[token as usize] {
+            self.set(token, cycle);
+        }
+    }
+
+    /// Unschedules `token`.
+    pub fn clear(&mut self, token: u32) {
+        self.wake[token as usize] = NEVER;
+    }
+
+    fn insert(&mut self, cycle: u64, token: u32) {
+        debug_assert!(cycle >= self.cursor, "cannot schedule in the past");
+        if cycle - self.cursor < NEAR_SLOTS as u64 {
+            self.near[(cycle % NEAR_SLOTS as u64) as usize].push((cycle, token));
+        } else {
+            self.far.push(Reverse((cycle, token)));
+        }
+    }
+
+    /// Migrates far-heap entries that now fall inside the wheel window.
+    fn refill_near(&mut self) {
+        let horizon = self.cursor + NEAR_SLOTS as u64;
+        while let Some(&Reverse((cycle, token))) = self.far.peek() {
+            if self.wake[token as usize] != cycle {
+                self.far.pop(); // superseded
+                continue;
+            }
+            if cycle >= horizon {
+                break;
+            }
+            self.far.pop();
+            self.near[(cycle % NEAR_SLOTS as u64) as usize].push((cycle, token));
+        }
+    }
+
+    /// Earliest cycle `>= now` at which any token is due, or `None` when
+    /// nothing is scheduled. Advances the wheel cursor to `now`, pruning
+    /// stale entries as it scans.
+    pub fn next_due(&mut self, now: u64) -> Option<u64> {
+        debug_assert!(now >= self.cursor, "time cannot move backwards");
+        self.cursor = now;
+        self.refill_near();
+        // Scan the wheel window slot by slot for the earliest live entry.
+        let mut best: Option<u64> = None;
+        for offset in 0..NEAR_SLOTS as u64 {
+            let cycle_at = now + offset;
+            let slot = &mut self.near[(cycle_at % NEAR_SLOTS as u64) as usize];
+            if slot.is_empty() {
+                continue;
+            }
+            let wake = &self.wake;
+            slot.retain(|&(c, t)| c >= now && wake[t as usize] == c);
+            if let Some(c) = slot
+                .iter()
+                .map(|&(c, _)| c)
+                .filter(|&c| c.wrapping_sub(now) < NEAR_SLOTS as u64)
+                .min()
+            {
+                best = Some(best.map_or(c, |b| b.min(c)));
+                if c == cycle_at {
+                    // Nothing in later slots can beat an exact hit here.
+                    break;
+                }
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+        // Wheel empty: the answer lives in the far heap (if anywhere).
+        while let Some(&Reverse((cycle, token))) = self.far.peek() {
+            if self.wake[token as usize] != cycle {
+                self.far.pop();
+                continue;
+            }
+            return Some(cycle);
+        }
+        None
+    }
+
+    /// Collects every token due at exactly `now` into `out` (ascending
+    /// token order) and marks them taken (`wake = NEVER`): the caller
+    /// ticks them and re-schedules from their fresh `next_activity`.
+    pub fn take_due(&mut self, now: u64, out: &mut Vec<u32>) {
+        out.clear();
+        debug_assert!(now >= self.cursor, "time cannot move backwards");
+        self.cursor = now;
+        self.refill_near();
+        let slot = &mut self.near[(now % NEAR_SLOTS as u64) as usize];
+        let wake = &mut self.wake;
+        slot.retain(|&(c, t)| {
+            if c == now && wake[t as usize] == now {
+                wake[t as usize] = NEVER;
+                out.push(t);
+                false
+            } else {
+                c > now && wake[t as usize] == c
+            }
+        });
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn due_at(cal: &mut EventCalendar, now: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        cal.take_due(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn near_and_far_scheduling() {
+        let mut cal = EventCalendar::new(4, 0);
+        cal.set(0, 3);
+        cal.set(1, 300); // beyond the wheel: far heap
+        cal.set(2, 70_000);
+        assert_eq!(cal.next_due(0), Some(3));
+        assert_eq!(due_at(&mut cal, 3), [0]);
+        assert_eq!(cal.next_due(4), Some(300));
+        assert_eq!(due_at(&mut cal, 300), [1]);
+        assert_eq!(cal.next_due(301), Some(70_000));
+        assert_eq!(due_at(&mut cal, 70_000), [2]);
+        assert_eq!(cal.next_due(70_001), None);
+    }
+
+    #[test]
+    fn reschedule_supersedes_lazily() {
+        let mut cal = EventCalendar::new(2, 0);
+        cal.set(0, 10);
+        cal.set(0, 5); // earlier
+        assert_eq!(cal.next_due(0), Some(5));
+        assert_eq!(due_at(&mut cal, 5), [0]);
+        // The stale entry at 10 must not resurface.
+        assert_eq!(cal.next_due(6), None);
+
+        cal.set(1, 20);
+        cal.set(1, 40); // later: old entry at 20 is stale
+        assert_eq!(cal.next_due(6), Some(40));
+        assert!(due_at(&mut cal, 20).is_empty());
+        assert_eq!(due_at(&mut cal, 40), [1]);
+    }
+
+    #[test]
+    fn set_min_keeps_earlier_wake() {
+        let mut cal = EventCalendar::new(1, 0);
+        cal.set(0, 8);
+        cal.set_min(0, 12); // no-op
+        assert_eq!(cal.wake_of(0), 8);
+        cal.set_min(0, 4);
+        assert_eq!(cal.next_due(0), Some(4));
+    }
+
+    #[test]
+    fn duplicate_set_same_cycle_fires_once() {
+        let mut cal = EventCalendar::new(1, 0);
+        cal.set(0, 7);
+        cal.set(0, 7);
+        assert_eq!(due_at(&mut cal, 7), [0]);
+        assert_eq!(cal.next_due(8), None);
+    }
+
+    #[test]
+    fn clear_unschedules() {
+        let mut cal = EventCalendar::new(2, 0);
+        cal.set(0, 9);
+        cal.set(1, 500);
+        cal.clear(0);
+        cal.clear(1);
+        assert_eq!(cal.next_due(0), None);
+        assert!(due_at(&mut cal, 9).is_empty());
+    }
+
+    #[test]
+    fn take_due_returns_tokens_sorted() {
+        let mut cal = EventCalendar::new(5, 0);
+        for t in [4u32, 1, 3, 0] {
+            cal.set(t, 11);
+        }
+        assert_eq!(due_at(&mut cal, 11), [0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn wheel_wraparound_does_not_alias() {
+        let mut cal = EventCalendar::new(2, 0);
+        // Two wakes NEAR_SLOTS apart share a slot index.
+        cal.set(0, 10);
+        cal.set(1, 10 + NEAR_SLOTS as u64);
+        assert_eq!(cal.next_due(0), Some(10));
+        assert_eq!(due_at(&mut cal, 10), [0]);
+        assert_eq!(cal.next_due(11), Some(10 + NEAR_SLOTS as u64));
+        assert_eq!(due_at(&mut cal, 10 + NEAR_SLOTS as u64), [1]);
+    }
+
+    #[test]
+    fn far_events_migrate_into_wheel() {
+        let mut cal = EventCalendar::new(1, 0);
+        cal.set(0, 1_000);
+        // Cursor moves close enough that the wake enters the wheel.
+        assert_eq!(cal.next_due(900), Some(1_000));
+        assert_eq!(due_at(&mut cal, 1_000), [0]);
+    }
+
+    #[test]
+    fn dense_steady_state() {
+        // Simulates the contended regime: one token rescheduled every few
+        // cycles for a long stretch, interleaved with a periodic far wake.
+        let mut cal = EventCalendar::new(2, 0);
+        let mut now = 0;
+        cal.set(1, 10_000);
+        let mut fired = 0;
+        while now < 12_000 {
+            cal.set(0, now + 3);
+            let next = cal.next_due(now + 1).unwrap();
+            let mut due = Vec::new();
+            cal.take_due(next, &mut due);
+            for t in due {
+                if t == 1 {
+                    fired += 1;
+                    assert_eq!(next, 10_000);
+                }
+            }
+            now = next;
+        }
+        assert_eq!(fired, 1);
+    }
+}

@@ -17,7 +17,8 @@
 //! so that hit-first reordering cannot starve older requests indefinitely
 //! (as in real controllers).
 
-use crate::axi::{Dir, Request, Response};
+use crate::arena::{TxnArena, TxnId};
+use crate::axi::{Dir, Response};
 use crate::stats::LatencyStats;
 use crate::time::Cycle;
 use std::collections::VecDeque;
@@ -126,15 +127,21 @@ struct BankState {
     ready_at: Cycle,
 }
 
+/// A queued transaction: the arena handle plus copies of the fields the
+/// scheduler reads every selection round, so FR-FCFS scans dense local
+/// data instead of chasing arena columns per candidate.
 #[derive(Debug, Clone, Copy)]
 struct Queued {
-    request: Request,
+    txn: TxnId,
+    addr: u64,
+    beats: u16,
+    dir: Dir,
     arrived: Cycle,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct InService {
-    request: Request,
+    txn: TxnId,
     complete_at: Cycle,
 }
 
@@ -243,15 +250,19 @@ impl DramController {
         self.queue.len()
     }
 
-    /// Admits a request into the shared queue.
+    /// Admits a transaction into the shared queue, copying the fields the
+    /// scheduler needs from `arena`.
     ///
     /// # Panics
     ///
     /// Panics if the queue is full; callers must check [`Self::has_space`].
-    pub fn enqueue(&mut self, request: Request, now: Cycle) {
+    pub fn enqueue(&mut self, txn: TxnId, arena: &TxnArena, now: Cycle) {
         assert!(self.has_space(), "DRAM queue overflow");
         self.queue.push_back(Queued {
-            request,
+            txn,
+            addr: arena.addr(txn),
+            beats: arena.beats(txn),
+            dir: arena.dir(txn),
             arrived: now,
         });
     }
@@ -273,7 +284,7 @@ impl DramController {
         let mut hit: Option<usize> = None;
         for (i, q) in self.queue.iter().enumerate() {
             if let Some(d) = eligible_dir {
-                if q.request.dir != d {
+                if q.dir != d {
                     continue;
                 }
             }
@@ -281,7 +292,7 @@ impl DramController {
                 oldest = Some(i);
             }
             if hit.is_none() {
-                let (bank, row) = self.cfg.map(q.request.addr);
+                let (bank, row) = self.cfg.map(q.addr);
                 if self.banks[bank].open_row == Some(row) {
                     hit = Some(i);
                 }
@@ -309,11 +320,7 @@ impl DramController {
         if !self.cfg.read_priority {
             return None;
         }
-        let writes = self
-            .queue
-            .iter()
-            .filter(|q| q.request.dir == Dir::Write)
-            .count();
+        let writes = self.queue.iter().filter(|q| q.dir == Dir::Write).count();
         let reads = self.queue.len() - writes;
         let cap = self.cfg.queue_capacity;
         if self.draining_writes {
@@ -335,22 +342,24 @@ impl DramController {
     }
 
     /// Advances the controller by one cycle; returns transactions that
-    /// completed this cycle. The returned slice borrows an internal
-    /// buffer that is overwritten by the next call.
-    pub fn tick(&mut self, now: Cycle) -> &[Response] {
+    /// completed this cycle (their arena slots are released). The returned
+    /// slice borrows an internal buffer that is overwritten by the next
+    /// call.
+    pub fn tick(&mut self, now: Cycle, arena: &mut TxnArena) -> &[Response] {
         // 1. Collect completions.
         self.completed_buf.clear();
         let mut i = 0;
         while i < self.in_service.len() {
             if self.in_service[i].complete_at <= now {
                 let s = self.in_service.swap_remove(i);
-                self.stats.bytes_completed += s.request.bytes();
-                match s.request.dir {
+                let request = arena.take(s.txn);
+                self.stats.bytes_completed += request.bytes();
+                match request.dir {
                     Dir::Read => self.stats.reads += 1,
                     Dir::Write => self.stats.writes += 1,
                 }
                 self.completed_buf.push(Response {
-                    request: s.request,
+                    request,
                     completed_at: s.complete_at,
                 });
             } else {
@@ -412,7 +421,7 @@ impl DramController {
         self.stats
             .queue_wait
             .record(now.saturating_since(q.arrived));
-        let (bank_idx, row) = self.cfg.map(q.request.addr);
+        let (bank_idx, row) = self.cfg.map(q.addr);
         let bank = &mut self.banks[bank_idx];
         let bank_ready = bank.ready_at.max(now);
         let (access, hit) = match bank.open_row {
@@ -425,14 +434,14 @@ impl DramController {
         } else {
             self.stats.row_misses += 1;
         }
-        let beats = q.request.beats as u64;
+        let beats = q.beats as u64;
         // Bus turnaround when the transfer direction changes.
-        let turnaround = match (self.last_dir, q.request.dir) {
+        let turnaround = match (self.last_dir, q.dir) {
             (Some(Dir::Write), Dir::Read) => self.cfg.t_wtr,
             (Some(Dir::Read), Dir::Write) => self.cfg.t_rtw,
             _ => 0,
         };
-        self.last_dir = Some(q.request.dir);
+        self.last_dir = Some(q.dir);
         let data_start = (bank_ready + access).max(self.bus_free_at + turnaround);
         let data_end = data_start + beats;
         self.bus_free_at = data_end;
@@ -440,7 +449,7 @@ impl DramController {
         bank.open_row = Some(row);
         self.stats.bus_busy_cycles += beats;
         self.in_service.push(InService {
-            request: q.request,
+            txn: q.txn,
             complete_at: data_end + self.cfg.transport_latency,
         });
     }
@@ -463,12 +472,21 @@ mod tests {
         }
     }
 
-    fn run_until_idle(d: &mut DramController, start: Cycle) -> (Vec<Response>, Cycle) {
+    fn enq(d: &mut DramController, a: &mut TxnArena, r: Request, now: Cycle) {
+        let id = a.alloc(&r);
+        d.enqueue(id, a, now);
+    }
+
+    fn run_until_idle(
+        d: &mut DramController,
+        a: &mut TxnArena,
+        start: Cycle,
+    ) -> (Vec<Response>, Cycle) {
         let mut now = start;
         let mut out = Vec::new();
         #[allow(clippy::explicit_counter_loop)]
         for _ in 0..1_000_000 {
-            out.extend(d.tick(now));
+            out.extend(d.tick(now, a));
             if d.is_idle() {
                 return (out, now);
             }
@@ -531,8 +549,9 @@ mod tests {
         let cfg = cfg_no_refresh();
         let (t_rcd, t_cl, transport) = (cfg.t_rcd, cfg.t_cl, cfg.transport_latency);
         let mut d = DramController::new(cfg);
-        d.enqueue(req(0, 0, 0, 4, Dir::Read), Cycle::ZERO);
-        let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
+        let mut a = TxnArena::new();
+        enq(&mut d, &mut a, req(0, 0, 0, 4, Dir::Read), Cycle::ZERO);
+        let (resps, _) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         assert_eq!(resps.len(), 1);
         // Closed bank: tRCD + tCL + 4 beats + transport.
         let expected = t_rcd + t_cl + 4 + transport;
@@ -545,10 +564,11 @@ mod tests {
     fn row_hit_is_faster_than_miss() {
         let cfg = cfg_no_refresh();
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         // Two requests to the same row: second is a hit.
-        d.enqueue(req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
-        d.enqueue(req(0, 1, 64, 1, Dir::Read), Cycle::ZERO);
-        let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 1, 64, 1, Dir::Read), Cycle::ZERO);
+        let (resps, _) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 1);
         let gap_same_row = resps[1].completed_at - resps[0].completed_at;
@@ -557,9 +577,14 @@ mod tests {
         let cfg = cfg_no_refresh();
         let stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
         let mut d2 = DramController::new(cfg);
-        d2.enqueue(req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
-        d2.enqueue(req(0, 1, stride, 1, Dir::Read), Cycle::ZERO);
-        let (resps2, _) = run_until_idle(&mut d2, Cycle::ZERO);
+        enq(&mut d2, &mut a, req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
+        enq(
+            &mut d2,
+            &mut a,
+            req(0, 1, stride, 1, Dir::Read),
+            Cycle::ZERO,
+        );
+        let (resps2, _) = run_until_idle(&mut d2, &mut a, Cycle::ZERO);
         assert_eq!(d2.stats().row_misses, 2);
         let gap_conflict = resps2[1].completed_at - resps2[0].completed_at;
         assert!(
@@ -574,15 +599,21 @@ mod tests {
         cfg.row_hit_cap = 2;
         let stride = cfg.row_bytes * cfg.banks as u64;
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         // Open row 0 of bank 0.
-        d.enqueue(req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
-        let (_, now) = run_until_idle(&mut d, Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
+        let (_, now) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         // Oldest request: a conflicting row. Younger requests: hits.
-        d.enqueue(req(1, 0, stride, 1, Dir::Read), now);
+        enq(&mut d, &mut a, req(1, 0, stride, 1, Dir::Read), now);
         for s in 0..4u64 {
-            d.enqueue(req(0, s + 1, 64 * (s + 1), 1, Dir::Read), now);
+            enq(
+                &mut d,
+                &mut a,
+                req(0, s + 1, 64 * (s + 1), 1, Dir::Read),
+                now,
+            );
         }
-        let (resps, _) = run_until_idle(&mut d, now);
+        let (resps, _) = run_until_idle(&mut d, &mut a, now);
         // With cap 2, exactly 2 hits bypass the old conflict request.
         let order: Vec<usize> = resps.iter().map(|r| r.request.master.index()).collect();
         assert_eq!(
@@ -597,9 +628,10 @@ mod tests {
         let mut cfg = cfg_no_refresh();
         cfg.queue_capacity = 2;
         let mut d = DramController::new(cfg);
-        d.enqueue(req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
+        let mut a = TxnArena::new();
+        enq(&mut d, &mut a, req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
         assert!(d.has_space());
-        d.enqueue(req(0, 1, 64, 1, Dir::Read), Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 1, 64, 1, Dir::Read), Cycle::ZERO);
         assert!(!d.has_space());
     }
 
@@ -609,8 +641,9 @@ mod tests {
         let mut cfg = cfg_no_refresh();
         cfg.queue_capacity = 1;
         let mut d = DramController::new(cfg);
-        d.enqueue(req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
-        d.enqueue(req(0, 1, 64, 1, Dir::Read), Cycle::ZERO);
+        let mut a = TxnArena::new();
+        enq(&mut d, &mut a, req(0, 0, 0, 1, Dir::Read), Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 1, 64, 1, Dir::Read), Cycle::ZERO);
     }
 
     #[test]
@@ -619,15 +652,16 @@ mod tests {
         cfg.t_refi = 100;
         cfg.t_rfc = 50;
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         // Let a refresh happen, then observe the delay it imposes.
         let mut now = Cycle::ZERO;
         for _ in 0..105 {
-            d.tick(now);
+            d.tick(now, &mut a);
             now += 1;
         }
         assert_eq!(d.stats().refreshes, 1);
-        d.enqueue(req(0, 0, 0, 1, Dir::Read), now);
-        let (resps, _) = run_until_idle(&mut d, now);
+        enq(&mut d, &mut a, req(0, 0, 0, 1, Dir::Read), now);
+        let (resps, _) = run_until_idle(&mut d, &mut a, now);
         // Request issued at cycle 105 must wait until refresh end (150).
         assert!(
             resps[0].completed_at.get() >= 150,
@@ -641,10 +675,11 @@ mod tests {
         let mut cfg = cfg_no_refresh();
         cfg.read_priority = true;
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         // An older write and a younger read to different banks.
-        d.enqueue(req(0, 0, 0, 4, Dir::Write), Cycle::ZERO);
-        d.enqueue(req(1, 0, 2048, 4, Dir::Read), Cycle::ZERO);
-        let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 0, 0, 4, Dir::Write), Cycle::ZERO);
+        enq(&mut d, &mut a, req(1, 0, 2048, 4, Dir::Read), Cycle::ZERO);
+        let (resps, _) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         assert_eq!(
             resps[0].request.dir,
             Dir::Read,
@@ -659,12 +694,23 @@ mod tests {
         cfg.read_priority = true;
         cfg.queue_capacity = 8;
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         // Fill 6/8 slots with writes (>= 3/4 watermark) plus one read.
         for s in 0..6u64 {
-            d.enqueue(req(0, s, s * 4096, 4, Dir::Write), Cycle::ZERO);
+            enq(
+                &mut d,
+                &mut a,
+                req(0, s, s * 4096, 4, Dir::Write),
+                Cycle::ZERO,
+            );
         }
-        d.enqueue(req(1, 0, 1 << 20, 4, Dir::Read), Cycle::ZERO);
-        let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
+        enq(
+            &mut d,
+            &mut a,
+            req(1, 0, 1 << 20, 4, Dir::Read),
+            Cycle::ZERO,
+        );
+        let (resps, _) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         // Drain mode: writes are served down to the low watermark before
         // the read gets the bus.
         let read_pos = resps
@@ -682,9 +728,10 @@ mod tests {
         let cfg = cfg_no_refresh();
         assert!(!cfg.read_priority);
         let mut d = DramController::new(cfg);
-        d.enqueue(req(0, 0, 0, 4, Dir::Write), Cycle::ZERO);
-        d.enqueue(req(1, 0, 2048, 4, Dir::Read), Cycle::ZERO);
-        let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
+        let mut a = TxnArena::new();
+        enq(&mut d, &mut a, req(0, 0, 0, 4, Dir::Write), Cycle::ZERO);
+        enq(&mut d, &mut a, req(1, 0, 2048, 4, Dir::Read), Cycle::ZERO);
+        let (resps, _) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         assert_eq!(
             resps[0].request.dir,
             Dir::Write,
@@ -696,11 +743,12 @@ mod tests {
     fn bus_serializes_bursts() {
         let cfg = cfg_no_refresh();
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         // Two max-locality requests to different banks: bank prep overlaps
         // but data beats serialize on the bus.
-        d.enqueue(req(0, 0, 0, 64, Dir::Read), Cycle::ZERO);
-        d.enqueue(req(1, 0, 2048, 64, Dir::Read), Cycle::ZERO);
-        let (resps, _) = run_until_idle(&mut d, Cycle::ZERO);
+        enq(&mut d, &mut a, req(0, 0, 0, 64, Dir::Read), Cycle::ZERO);
+        enq(&mut d, &mut a, req(1, 0, 2048, 64, Dir::Read), Cycle::ZERO);
+        let (resps, _) = run_until_idle(&mut d, &mut a, Cycle::ZERO);
         let delta = resps[1].completed_at - resps[0].completed_at;
         assert!(
             delta >= 64,
@@ -715,6 +763,7 @@ mod tests {
         // 1 beat/cycle.
         let cfg = cfg_no_refresh();
         let mut d = DramController::new(cfg);
+        let mut a = TxnArena::new();
         let mut now = Cycle::ZERO;
         let mut addr = 0u64;
         let mut sent = 0;
@@ -722,11 +771,11 @@ mod tests {
         let mut completed = 0;
         while completed < total {
             if sent < total && d.has_space() {
-                d.enqueue(req(0, sent, addr, 128, Dir::Read), now);
+                enq(&mut d, &mut a, req(0, sent, addr, 128, Dir::Read), now);
                 addr += 128 * crate::axi::BEAT_BYTES;
                 sent += 1;
             }
-            completed += d.tick(now).len() as u64;
+            completed += d.tick(now, &mut a).len() as u64;
             now += 1;
         }
         let beats = 200 * 128;

@@ -4,7 +4,8 @@
 //! owns an ingress FIFO; one request per cycle is forwarded to the DRAM
 //! controller, selected by round-robin or fixed-priority arbitration.
 
-use crate::axi::{MasterId, Request};
+use crate::arena::{TxnArena, TxnId};
+use crate::axi::MasterId;
 use crate::dram::DramController;
 use crate::time::Cycle;
 use std::collections::VecDeque;
@@ -60,10 +61,16 @@ impl Default for XbarConfig {
 }
 
 /// The crossbar: per-port FIFOs plus an arbiter towards the DRAM queue.
+///
+/// Port FIFOs hold [`TxnId`] handles into the SoC's transaction arena,
+/// so a queued transaction is one machine word and forwarding copies no
+/// payload.
 #[derive(Debug)]
 pub struct Crossbar {
     cfg: XbarConfig,
-    ports: Vec<VecDeque<Request>>,
+    ports: Vec<VecDeque<TxnId>>,
+    // Total entries across all port FIFOs, so backlog checks are O(1).
+    queued: usize,
     rr_next: usize,
     weights: Vec<u32>,
     swrr_credit: Vec<i64>,
@@ -94,6 +101,7 @@ impl Crossbar {
         Crossbar {
             cfg,
             ports: (0..ports).map(|_| VecDeque::new()).collect(),
+            queued: 0,
             rr_next: 0,
             swrr_credit: vec![0; ports],
             swrr_scratch: Vec::with_capacity(ports),
@@ -122,15 +130,22 @@ impl Crossbar {
         self.ports[master.index()].len()
     }
 
-    /// Pushes a request into its master's ingress FIFO.
+    /// Total entries queued across all port FIFOs.
+    #[inline]
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Pushes a transaction handle into `master`'s ingress FIFO.
     ///
     /// # Panics
     ///
     /// Panics if the FIFO is full; callers must check [`Self::has_space`].
-    pub fn push(&mut self, request: Request) {
-        let port = &mut self.ports[request.master.index()];
+    pub fn push(&mut self, txn: TxnId, master: MasterId) {
+        let port = &mut self.ports[master.index()];
         assert!(port.len() < self.cfg.port_fifo_depth, "port FIFO overflow");
-        port.push_back(request);
+        port.push_back(txn);
+        self.queued += 1;
     }
 
     /// Smooth weighted round-robin: every backlogged port gains its
@@ -165,7 +180,7 @@ impl Crossbar {
     /// activity every cycle; an empty one only moves when a master pushes
     /// (which executes a cycle anyway).
     pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
-        if self.ports.iter().any(|p| !p.is_empty()) {
+        if self.queued > 0 {
             Some(now)
         } else {
             None
@@ -173,10 +188,16 @@ impl Crossbar {
     }
 
     /// One arbitration round: forwards at most one request into the DRAM
-    /// queue if it has space.
-    pub fn tick(&mut self, now: Cycle, dram: &mut DramController) {
+    /// queue if it has space. Returns the port index that forwarded, so
+    /// the event loop can wake the master whose FIFO gained a slot.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramController,
+        arena: &TxnArena,
+    ) -> Option<usize> {
         if !dram.has_space() {
-            return;
+            return None;
         }
         let n = self.ports.len();
         let winner = match self.cfg.arbitration {
@@ -187,30 +208,34 @@ impl Crossbar {
             Arbitration::WeightedRoundRobin => self.swrr_pick(),
         };
         if let Some(p) = winner {
-            let req = self.ports[p].pop_front().expect("winner port non-empty");
-            dram.enqueue(req, now);
+            let txn = self.ports[p].pop_front().expect("winner port non-empty");
+            self.queued -= 1;
+            dram.enqueue(txn, arena, now);
             if matches!(self.cfg.arbitration, Arbitration::RoundRobin) {
                 self.rr_next = (p + 1) % n;
             }
         }
+        winner
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::axi::Dir;
+    use crate::axi::{Dir, Request};
     use crate::dram::DramConfig;
 
-    fn req(master: usize, serial: u64) -> Request {
-        Request::new(
+    fn push(x: &mut Crossbar, a: &mut TxnArena, master: usize, serial: u64) {
+        let r = Request::new(
             MasterId::new(master),
             serial,
             serial * 4096,
             1,
             Dir::Read,
             Cycle::ZERO,
-        )
+        );
+        let id = a.alloc(&r);
+        x.push(id, MasterId::new(master));
     }
 
     fn dram() -> DramController {
@@ -229,13 +254,15 @@ mod tests {
             },
             2,
         );
+        let mut a = TxnArena::new();
         let m0 = MasterId::new(0);
         assert!(x.has_space(m0));
-        x.push(req(0, 0));
-        x.push(req(0, 1));
+        push(&mut x, &mut a, 0, 0);
+        push(&mut x, &mut a, 0, 1);
         assert!(!x.has_space(m0));
         assert!(x.has_space(MasterId::new(1)));
         assert_eq!(x.port_len(m0), 2);
+        assert_eq!(x.queued(), 2);
     }
 
     #[test]
@@ -248,31 +275,33 @@ mod tests {
             },
             1,
         );
-        x.push(req(0, 0));
-        x.push(req(0, 1));
+        let mut a = TxnArena::new();
+        push(&mut x, &mut a, 0, 0);
+        push(&mut x, &mut a, 0, 1);
     }
 
     #[test]
     fn round_robin_alternates() {
         let mut x = Crossbar::new(XbarConfig::default(), 3);
         let mut d = dram();
+        let mut a = TxnArena::new();
         for s in 0..2 {
             for m in 0..3 {
-                x.push(req(m, s));
+                push(&mut x, &mut a, m, s);
             }
         }
         // Drain 6 requests; round robin must rotate 0,1,2,0,1,2.
-        let mut order = Vec::new();
         for t in 0..6 {
             let before = d.queue_len();
-            x.tick(Cycle::new(t), &mut d);
+            let popped = x.tick(Cycle::new(t), &mut d, &a);
             assert_eq!(d.queue_len(), before + 1);
-            order.push(t);
+            assert_eq!(popped, Some((t % 3) as usize));
         }
         // All ports drained evenly.
         for m in 0..3 {
             assert_eq!(x.port_len(MasterId::new(m)), 0);
         }
+        assert_eq!(x.queued(), 0);
     }
 
     #[test]
@@ -285,11 +314,12 @@ mod tests {
             2,
         );
         let mut d = dram();
-        x.push(req(1, 0));
-        x.push(req(0, 0));
-        x.push(req(0, 1));
-        x.tick(Cycle::ZERO, &mut d);
-        x.tick(Cycle::new(1), &mut d);
+        let mut a = TxnArena::new();
+        push(&mut x, &mut a, 1, 0);
+        push(&mut x, &mut a, 0, 0);
+        push(&mut x, &mut a, 0, 1);
+        x.tick(Cycle::ZERO, &mut d, &a);
+        x.tick(Cycle::new(1), &mut d, &a);
         // Port 0 should have been fully drained before port 1 moves.
         assert_eq!(x.port_len(MasterId::new(0)), 0);
         assert_eq!(x.port_len(MasterId::new(1)), 1);
@@ -310,15 +340,16 @@ mod tests {
             queue_capacity: 1_000,
             ..DramConfig::default()
         });
+        let mut a = TxnArena::new();
         for s in 0..48u64 {
-            x.push(req(0, s));
+            push(&mut x, &mut a, 0, s);
         }
         for s in 0..16u64 {
-            x.push(req(1, s));
+            push(&mut x, &mut a, 1, s);
         }
         // 32 grants: 3:1 split means port 0 gets 24, port 1 gets 8.
         for t in 0..32u64 {
-            x.tick(Cycle::new(t), &mut d);
+            x.tick(Cycle::new(t), &mut d, &a);
         }
         assert_eq!(x.port_len(MasterId::new(0)), 48 - 24);
         assert_eq!(x.port_len(MasterId::new(1)), 16 - 8);
@@ -340,11 +371,12 @@ mod tests {
             queue_capacity: 1_000,
             ..DramConfig::default()
         });
+        let mut a = TxnArena::new();
         for s in 0..8u64 {
-            x.push(req(0, s));
+            push(&mut x, &mut a, 0, s);
         }
         for t in 0..8u64 {
-            x.tick(Cycle::new(t), &mut d);
+            x.tick(Cycle::new(t), &mut d, &a);
         }
         assert_eq!(x.port_len(MasterId::new(0)), 0);
     }
@@ -370,15 +402,16 @@ mod tests {
             ..DramConfig::default()
         });
         let mut x = Crossbar::new(XbarConfig::default(), 1);
-        x.push(req(0, 0));
-        x.push(req(0, 1));
-        x.tick(Cycle::ZERO, &mut d);
+        let mut a = TxnArena::new();
+        push(&mut x, &mut a, 0, 0);
+        push(&mut x, &mut a, 0, 1);
+        x.tick(Cycle::ZERO, &mut d, &a);
         assert_eq!(d.queue_len(), 1);
         // DRAM queue full (nothing scheduled at cycle 0 tick already done):
         // second tick must not move the request.
         let before = x.port_len(MasterId::new(0));
         if !d.has_space() {
-            x.tick(Cycle::new(1), &mut d);
+            assert_eq!(x.tick(Cycle::new(1), &mut d, &a), None);
             assert_eq!(x.port_len(MasterId::new(0)), before);
         }
     }

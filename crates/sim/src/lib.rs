@@ -58,7 +58,9 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod axi;
+pub mod calendar;
 pub mod cpu;
 pub mod dram;
 pub mod gate;
@@ -71,7 +73,9 @@ pub mod system;
 pub mod time;
 pub mod trace;
 
+pub use arena::{TxnArena, TxnId};
 pub use axi::{Dir, MasterId, Request, Response, BEAT_BYTES, MAX_BURST_BEATS};
+pub use calendar::EventCalendar;
 pub use cpu::{Cache, CacheConfig, CacheOutcome, CacheStats, CachedSource};
 pub use dram::{DramConfig, DramController, DramStats};
 pub use gate::{GateDecision, OpenGate, PortGate};

@@ -6,6 +6,7 @@
 //! CPU-like latency-sensitive actors and DMA-like accelerators differ only
 //! in their source pattern and outstanding limit.
 
+use crate::arena::TxnArena;
 use crate::axi::{Dir, MasterId, Request, Response, BEAT_BYTES, MAX_BURST_BEATS};
 use crate::gate::{GateDecision, PortGate};
 use crate::interconnect::Crossbar;
@@ -293,6 +294,22 @@ pub struct Master {
     // opened reports the window's *end*, not its start — so the wake for
     // a denied retry must be captured while the denial is in force.
     retry_at: Option<Cycle>,
+    // Whether the most recent tick ended stalled on interconnect FIFO
+    // space. While true, every naive cycle would burn one fifo-stall
+    // cycle without consulting the gate; the event loop replicates that
+    // over skipped spans in `catch_up` and wakes the master when the
+    // crossbar pops from its port.
+    fifo_blocked: bool,
+    // A naive master pulls from its source on the first cycle its staged
+    // slot is free — *before* any completion delivered later that same
+    // span can shift the source's arrival schedule (`on_complete`). The
+    // pull must therefore run at that exact cycle, not be deferred to
+    // `source.next_activity`: this flag forces a wake on the cycle after
+    // a push (and at reset) so the pull lands where naive's would.
+    pull_pending: bool,
+    // Last cycle `tick` ran; `catch_up` replicates the per-cycle stall
+    // accounting of the cycles skipped since.
+    last_tick: Cycle,
     stats: MasterStats,
 }
 
@@ -338,6 +355,9 @@ impl Master {
             last_denied: false,
             gate_dirty: false,
             retry_at: None,
+            fifo_blocked: false,
+            pull_pending: true,
+            last_tick: Cycle::ZERO,
             stats: MasterStats::default(),
         }
     }
@@ -385,27 +405,36 @@ impl Master {
 
     /// Advances this master by one cycle: pulls from the source, applies
     /// the gate, and pushes at most one request into the crossbar.
-    pub fn tick(&mut self, now: Cycle, xbar: &mut Crossbar) {
+    /// Accepted requests are parked in `arena` and enter the crossbar as
+    /// [`crate::arena::TxnId`] handles.
+    pub fn tick(&mut self, now: Cycle, xbar: &mut Crossbar, arena: &mut TxnArena) {
+        self.last_tick = now;
         self.gate.on_cycle(now);
 
-        if self.staged.is_none() && self.in_flight < self.max_outstanding && !self.source.is_done()
-        {
-            if let Some(p) = self.source.next_request(now) {
-                self.staged = Some((p, None));
+        if self.staged.is_none() {
+            self.pull_pending = false;
+            if self.in_flight < self.max_outstanding && !self.source.is_done() {
+                if let Some(p) = self.source.next_request(now) {
+                    self.staged = Some((p, None));
+                }
             }
         }
 
         let Some((pending, first_attempt)) = self.staged.as_mut() else {
+            self.fifo_blocked = false;
             return;
         };
         if now < pending.not_before || self.in_flight >= self.max_outstanding {
+            self.fifo_blocked = false;
             return;
         }
         let first = *first_attempt.get_or_insert(now);
         if !xbar.has_space(self.id) {
             self.stats.fifo_stall_cycles += 1;
+            self.fifo_blocked = true;
             return;
         }
+        self.fifo_blocked = false;
         let mut request = Request::new(
             self.id,
             self.serial,
@@ -418,12 +447,15 @@ impl Master {
         self.gate_dirty = false;
         match self.gate.try_accept(&request, now) {
             GateDecision::Accept => {
-                xbar.push(request);
+                xbar.push(arena.alloc(&request), self.id);
                 self.serial += 1;
                 self.in_flight += 1;
                 self.stats.issued_txns += 1;
                 self.staged = None;
                 self.last_denied = false;
+                // Naive pulls the next request on the very next cycle;
+                // wake then so the pull precedes any later completion.
+                self.pull_pending = true;
             }
             GateDecision::Deny => {
                 self.stats.gate_stall_cycles += 1;
@@ -436,8 +468,9 @@ impl Master {
     }
 
     /// Earliest cycle `>= now` at which ticking this master could change
-    /// any state, assuming no response is delivered in between (the DRAM
-    /// controller wakes the SoC for every completion).
+    /// any state, assuming no response is delivered and no crossbar pop
+    /// frees its ingress FIFO in between (the event loop wakes the
+    /// master for both).
     pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         // Gate-internal schedules (window rolls, telemetry registers)
         // must run at their naive cycles even when the master itself has
@@ -446,16 +479,24 @@ impl Master {
         let own = if let Some((pending, _)) = &self.staged {
             if now < pending.not_before {
                 Some(pending.not_before)
-            } else if self.in_flight >= self.max_outstanding {
-                None // unblocked only by a completion
+            } else if self.in_flight >= self.max_outstanding || self.fifo_blocked {
+                // Unblocked only by a completion (outstanding cap) or a
+                // crossbar pop from this port (FIFO space) — both are
+                // executed cycles that explicitly wake this master.
+                None
             } else if self.last_denied && !self.gate_dirty {
                 // The denial can only flip at the gate's latched edge.
                 self.retry_at.map(|c| c.max(now))
             } else {
-                Some(now) // FIFO stall retry, or a denial a completion may have flipped
+                Some(now) // ready to attempt, or a denial a completion may have flipped
             }
         } else if self.in_flight >= self.max_outstanding || self.source.is_done() {
             None // draining: unblocked only by completions
+        } else if self.pull_pending {
+            // The post-push pull must run at its naive cycle (see the
+            // field comment): deferring it past a completion would let
+            // `on_complete` shift the source schedule under it.
+            Some(now)
         } else {
             self.source.next_activity(now)
         };
@@ -465,18 +506,36 @@ impl Master {
         }
     }
 
-    /// Replicates the per-cycle accounting of `cycles` skipped cycles.
+    /// Replicates the per-cycle stall accounting of every naive cycle in
+    /// `(last_tick, now)` — the cycles the event loop skipped for this
+    /// master. Called immediately before a wake tick at `now`, and once
+    /// more at run end (with `now` = final cycle) to flush the tail.
     ///
-    /// The only per-cycle side effect a no-op cycle has on a master is
-    /// the denied-retry stall accounting: a staged request whose gate
-    /// keeps denying burns one gate-stall cycle per cycle in naive
-    /// stepping (FIFO stalls never coincide with skips — a backlogged
-    /// crossbar reports activity every cycle).
-    pub(crate) fn on_skipped(&mut self, cycles: u64) {
-        if self.last_denied && self.staged.is_some() {
-            self.stats.gate_stall_cycles += cycles;
-            self.gate.on_denied_skip(cycles);
+    /// A skipped cycle has exactly one of three per-cycle effects in
+    /// naive stepping: a FIFO-blocked staged request burns a fifo-stall
+    /// cycle (the gate is never consulted behind a full FIFO), a
+    /// gate-denied staged request burns a gate-stall cycle plus the
+    /// gate's own per-denied-cycle accounting, or nothing (idle, draining
+    /// or waiting sleep states touch no counters).
+    pub(crate) fn catch_up(&mut self, now: Cycle) {
+        let span = now.get().saturating_sub(self.last_tick.get() + 1);
+        if span == 0 || self.staged.is_none() {
+            return;
         }
+        if self.fifo_blocked {
+            self.stats.fifo_stall_cycles += span;
+        } else if self.last_denied {
+            self.stats.gate_stall_cycles += span;
+            self.gate.on_denied_skip(span);
+        }
+    }
+
+    /// Flushes skipped-cycle accounting up to (but not including)
+    /// `final_cycle` and records it as caught up, so statistics read
+    /// between runs match naive stepping exactly.
+    pub(crate) fn finish_fast_run(&mut self, final_cycle: Cycle) {
+        self.catch_up(final_cycle);
+        self.last_tick = Cycle::new(final_cycle.get().saturating_sub(1)).max(self.last_tick);
     }
 
     /// Delivers a completion belonging to this master.
@@ -542,11 +601,12 @@ mod tests {
     }
 
     fn run(master: &mut Master, xbar: &mut Crossbar, dram: &mut DramController, cycles: u64) {
+        let mut arena = TxnArena::new();
         for t in 0..cycles {
             let now = Cycle::new(t);
-            master.tick(now, xbar);
-            xbar.tick(now, dram);
-            for r in dram.tick(now) {
+            master.tick(now, xbar, &mut arena);
+            xbar.tick(now, dram, &arena);
+            for r in dram.tick(now, &mut arena) {
                 master.on_response(r, now);
             }
             if master.is_done() && dram.is_idle() {
@@ -636,12 +696,13 @@ mod tests {
             Box::new(OpenGate),
             3,
         );
+        let mut arena = TxnArena::new();
         for t in 0..5_000u64 {
             let now = Cycle::new(t);
-            m.tick(now, &mut xbar);
+            m.tick(now, &mut xbar, &mut arena);
             assert!(m.in_flight() <= 3);
-            xbar.tick(now, &mut dram);
-            for r in dram.tick(now) {
+            xbar.tick(now, &mut dram, &arena);
+            for r in dram.tick(now, &mut arena) {
                 m.on_response(r, now);
             }
         }
@@ -661,11 +722,12 @@ mod tests {
             Box::new(OpenGate),
             1,
         );
+        let mut arena = TxnArena::new();
         for t in 0..20_000u64 {
             let now = Cycle::new(t);
-            m.tick(now, &mut xbar);
-            xbar.tick(now, &mut dram);
-            for r in dram.tick(now) {
+            m.tick(now, &mut xbar, &mut arena);
+            xbar.tick(now, &mut dram, &arena);
+            for r in dram.tick(now, &mut arena) {
                 m.on_response(r, now);
             }
         }

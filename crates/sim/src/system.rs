@@ -1,6 +1,24 @@
 //! SoC top level: wiring, builder and the cycle loop.
+//!
+//! Two interchangeable execution cores drive the same component models:
+//!
+//! * **Naive stepping** ([`Soc::step`] in a loop): every component ticks
+//!   every cycle. This is the reference semantics — simple, obviously
+//!   correct, O(masters × cycles).
+//! * **Event-calendar scheduling** (the default): a hierarchical
+//!   [`EventCalendar`] holds one wake token per master (folding gate
+//!   window edges and source issue points), one for the DRAM controller
+//!   (bank timings, completions, refresh), one for crossbar backlog and
+//!   one per software controller. Only cycles where some component can
+//!   change state are executed, and within an executed cycle only the
+//!   due components tick (in the naive phase order). Per-cycle stall
+//!   accounting over skipped spans is replicated lazily, so both cores
+//!   produce bit-identical statistics. `FGQOS_NAIVE=1` (or
+//!   [`Soc::set_naive`]) selects naive stepping for A/B verification.
 
+use crate::arena::TxnArena;
 use crate::axi::MasterId;
+use crate::calendar::{EventCalendar, NEVER};
 use crate::dram::{DramConfig, DramController, DramStats};
 use crate::gate::{OpenGate, PortGate};
 use crate::interconnect::{Crossbar, XbarConfig};
@@ -184,9 +202,21 @@ impl SocBuilder {
             xbar,
             dram,
             controllers: self.controllers,
+            arena: TxnArena::new(),
             naive,
         }
     }
+}
+
+/// Which condition ends an event-driven run early (mirrors the early
+/// returns of the naive loops exactly).
+enum StopWhen {
+    /// Run to the deadline unconditionally.
+    Never,
+    /// Stop when one master drains ([`Soc::run_until_done`]).
+    MasterDone(MasterId),
+    /// Stop when every master drains ([`Soc::run_until_all_done`]).
+    AllDone,
 }
 
 /// The simulated SoC: masters, crossbar, DRAM and software controllers.
@@ -197,6 +227,7 @@ pub struct Soc {
     xbar: Crossbar,
     dram: DramController,
     controllers: Vec<Box<dyn Controller>>,
+    arena: TxnArena,
     naive: bool,
 }
 
@@ -276,17 +307,18 @@ impl Soc {
         self.naive = naive;
     }
 
-    /// Advances the simulation by one cycle.
+    /// Advances the simulation by one cycle (the naive reference core:
+    /// every component ticks, in the canonical phase order).
     pub fn step(&mut self) {
         let now = self.cycle;
         for c in &mut self.controllers {
             c.on_cycle(now);
         }
         for m in &mut self.masters {
-            m.tick(now, &mut self.xbar);
+            m.tick(now, &mut self.xbar, &mut self.arena);
         }
-        self.xbar.tick(now, &mut self.dram);
-        let responses = self.dram.tick(now);
+        self.xbar.tick(now, &mut self.dram, &self.arena);
+        let responses = self.dram.tick(now, &mut self.arena);
         for response in responses {
             let idx = response.request.master.index();
             self.masters[idx].on_response(response, now);
@@ -318,34 +350,180 @@ impl Soc {
         wake
     }
 
-    /// Jumps over cycles in which no component can change state, up to
-    /// (but not past) `deadline`. Skipped cycles are global no-ops except
-    /// for per-cycle stall accounting, which is replicated exactly (see
-    /// [`PortGate::on_denied_skip`]).
-    fn fast_forward(&mut self, deadline: Cycle) {
-        if self.naive || self.cycle >= deadline {
-            return;
+    /// Builds a fresh event calendar from the current component states.
+    ///
+    /// Token layout: masters `0..n`, DRAM `n`, crossbar backlog `n + 1`,
+    /// controllers `n + 2 ..`. Rebuilt at every run entry so external
+    /// pokes between runs ([`Soc::master_mut`], [`Soc::set_naive`]) can
+    /// never leave a stale schedule behind.
+    fn build_calendar(&self) -> EventCalendar {
+        let n = self.masters.len();
+        let now = self.cycle;
+        let mut cal = EventCalendar::new(n + 2 + self.controllers.len(), now.get());
+        for (i, m) in self.masters.iter().enumerate() {
+            cal.set(i as u32, m.next_activity(now).map_or(NEVER, |c| c.get()));
         }
-        let target = match self.next_event() {
-            Some(wake) => wake.min(deadline),
-            None => deadline,
-        };
-        if target > self.cycle {
-            let skipped = target - self.cycle;
+        cal.set(
+            n as u32,
+            self.dram.next_activity(now).map_or(NEVER, |c| c.get()),
+        );
+        if self.xbar.queued() > 0 && self.dram.has_space() {
+            cal.set(n as u32 + 1, now.get());
+        }
+        for (i, c) in self.controllers.iter().enumerate() {
+            cal.set(
+                (n + 2 + i) as u32,
+                c.next_activity(now).map_or(NEVER, |cy| cy.get()),
+            );
+        }
+        cal
+    }
+
+    /// Executes simulation cycle `now` in the canonical phase order
+    /// (controllers → masters → crossbar → DRAM → response delivery),
+    /// ticking only the components in `due` plus any woken mid-cycle,
+    /// then re-arms the calendar. Every component's `next_activity`
+    /// contract guarantees that ticking a non-due component would be a
+    /// state no-op, so this is cycle-exact with naive stepping.
+    fn execute_cycle(&mut self, now: Cycle, cal: &mut EventCalendar, due: &[u32]) {
+        let n = self.masters.len();
+        let dram_tok = n as u32;
+        let ctrl_base = n as u32 + 2;
+        let next = now + 1;
+
+        // Phase 1: controllers. A controller acting this cycle may read
+        // gate telemetry and poke any master's gate live, so (a) lazy
+        // stall accounting must be flushed for every master first, and
+        // (b) every master is then ticked this cycle.
+        let ctrl_acted = due.iter().any(|&t| t >= ctrl_base);
+        if ctrl_acted {
             for m in &mut self.masters {
-                m.on_skipped(skipped);
+                m.catch_up(now);
             }
-            self.cycle = target;
+            for &t in due {
+                if t >= ctrl_base {
+                    self.controllers[(t - ctrl_base) as usize].on_cycle(now);
+                }
+            }
         }
+
+        // Phase 2: masters, in index order (the naive order).
+        if ctrl_acted {
+            for i in 0..n {
+                self.masters[i].tick(now, &mut self.xbar, &mut self.arena);
+                let wake = self.masters[i]
+                    .next_activity(next)
+                    .map_or(NEVER, |c| c.get());
+                cal.set(i as u32, wake);
+            }
+        } else {
+            for &t in due {
+                if (t as usize) < n {
+                    let m = &mut self.masters[t as usize];
+                    m.catch_up(now);
+                    m.tick(now, &mut self.xbar, &mut self.arena);
+                    let wake = m.next_activity(next).map_or(NEVER, |c| c.get());
+                    cal.set(t, wake);
+                }
+            }
+        }
+
+        // Phase 3: crossbar arbitration. Ticked whenever backlogged (the
+        // tick is a pure no-op when the DRAM queue is full, exactly as in
+        // naive stepping). A pop frees FIFO space the owning master can
+        // use from the next cycle on.
+        let mut popped = None;
+        if self.xbar.queued() > 0 {
+            popped = self.xbar.tick(now, &mut self.dram, &self.arena);
+            if let Some(p) = popped {
+                cal.set_min(p as u32, next.get());
+            }
+        }
+
+        // Phase 4: DRAM + response delivery. Ticked when scheduled (bank
+        // timing, completion, refresh) or when the crossbar just enqueued
+        // (naive would consider the new request this very cycle).
+        if popped.is_some() || due.contains(&dram_tok) {
+            let responses = self.dram.tick(now, &mut self.arena);
+            for response in responses {
+                let idx = response.request.master.index();
+                self.masters[idx].on_response(response, now);
+                cal.set_min(idx as u32, next.get());
+            }
+            let wake = self.dram.next_activity(next).map_or(NEVER, |c| c.get());
+            cal.set(dram_tok, wake);
+        }
+
+        // Re-arm the crossbar backlog token: a pending pop forces the
+        // next cycle to execute. Evaluated after the DRAM phase so queue
+        // space freed this cycle is visible.
+        if self.xbar.queued() > 0 && self.dram.has_space() {
+            cal.set(dram_tok + 1, next.get());
+        } else {
+            cal.set(dram_tok + 1, NEVER);
+        }
+
+        // Re-query every controller: a controller's wake may move as a
+        // consequence of this cycle's gate/master activity (e.g. a
+        // level-triggered IRQ asserting), not only of its own tick.
+        for (i, c) in self.controllers.iter().enumerate() {
+            cal.set(
+                ctrl_base + i as u32,
+                c.next_activity(next).map_or(NEVER, |cy| cy.get()),
+            );
+        }
+    }
+
+    /// Flushes lazy skipped-cycle stall accounting on every master, as if
+    /// each had ticked through `final_cycle - 1`.
+    fn flush_fast_stats(&mut self, final_cycle: Cycle) {
+        for m in &mut self.masters {
+            m.finish_fast_run(final_cycle);
+        }
+    }
+
+    /// Event-driven core: advances to `deadline`, executing only cycles
+    /// where some component is due. Returns `Some(stop cycle)` when
+    /// `stop` is satisfied after an executed cycle (`guard_post` demands
+    /// the stop cycle lie strictly before the deadline, matching
+    /// [`Soc::run_until_all_done`]'s naive loop); `None` at the deadline.
+    fn run_fast(&mut self, deadline: Cycle, stop: StopWhen, guard_post: bool) -> Option<Cycle> {
+        let mut cal = self.build_calendar();
+        let mut due = Vec::new();
+        while self.cycle < deadline {
+            let next_exec = cal.next_due(self.cycle.get()).unwrap_or(NEVER);
+            if next_exec >= deadline.get() {
+                break;
+            }
+            let now = Cycle::new(next_exec);
+            cal.take_due(next_exec, &mut due);
+            self.execute_cycle(now, &mut cal, &due);
+            self.cycle = now + 1;
+            let stopped = match stop {
+                StopWhen::Never => false,
+                StopWhen::MasterDone(id) => self.master_done(id),
+                StopWhen::AllDone => self.masters.iter().all(Master::is_done),
+            };
+            if stopped && (!guard_post || self.cycle < deadline) {
+                self.flush_fast_stats(self.cycle);
+                return Some(self.cycle);
+            }
+        }
+        self.flush_fast_stats(deadline);
+        self.cycle = deadline;
+        None
     }
 
     /// Runs for `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
         let deadline = self.cycle + cycles;
-        while self.cycle < deadline {
-            self.step();
-            self.fast_forward(deadline);
+        if self.naive {
+            while self.cycle < deadline {
+                self.step();
+            }
+            return;
         }
+        self.run_fast(deadline, StopWhen::Never, false);
     }
 
     /// Runs until master `id` finishes its workload, up to `max_cycles`.
@@ -353,22 +531,32 @@ impl Soc {
     /// Returns the completion time, or `None` on timeout.
     pub fn run_until_done(&mut self, id: MasterId, max_cycles: u64) -> Option<Cycle> {
         let deadline = self.cycle + max_cycles;
-        while self.cycle < deadline {
-            if self.master_done(id) {
-                return Some(self.cycle);
+        if self.naive {
+            while self.cycle < deadline {
+                if self.master_done(id) {
+                    return Some(self.cycle);
+                }
+                self.step();
+                if self.master_done(id) {
+                    return Some(self.cycle);
+                }
             }
-            self.step();
-            // Completion is re-checked before fast-forwarding so the
-            // reported cycle matches naive stepping's top-of-loop check.
-            if self.master_done(id) {
-                return Some(self.cycle);
-            }
-            self.fast_forward(deadline);
+            return if self.master_done(id) {
+                Some(self.cycle)
+            } else {
+                None
+            };
         }
+        // Completion state only changes at executed cycles, so checking
+        // at entry and after each executed cycle matches naive stepping's
+        // per-cycle checks exactly.
         if self.master_done(id) {
-            Some(self.cycle)
-        } else {
-            None
+            return Some(self.cycle);
+        }
+        match self.run_fast(deadline, StopWhen::MasterDone(id), false) {
+            Some(c) => Some(c),
+            None if self.master_done(id) => Some(self.cycle),
+            None => None,
         }
     }
 
@@ -377,17 +565,22 @@ impl Soc {
     /// Returns the completion time, or `None` on timeout.
     pub fn run_until_all_done(&mut self, max_cycles: u64) -> Option<Cycle> {
         let deadline = self.cycle + max_cycles;
-        while self.cycle < deadline {
-            if self.masters.iter().all(Master::is_done) {
-                return Some(self.cycle);
+        if self.naive {
+            while self.cycle < deadline {
+                if self.masters.iter().all(Master::is_done) {
+                    return Some(self.cycle);
+                }
+                self.step();
+                if self.cycle < deadline && self.masters.iter().all(Master::is_done) {
+                    return Some(self.cycle);
+                }
             }
-            self.step();
-            if self.cycle < deadline && self.masters.iter().all(Master::is_done) {
-                return Some(self.cycle);
-            }
-            self.fast_forward(deadline);
+            return None;
         }
-        None
+        if self.cycle < deadline && self.masters.iter().all(Master::is_done) {
+            return Some(self.cycle);
+        }
+        self.run_fast(deadline, StopWhen::AllDone, true)
     }
 
     /// Mutable access to one master (tests, ablation hooks).
