@@ -3,9 +3,10 @@
 //! cached vs uncached. Medians feed `BENCH_serve.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fgqos::runner::serve_executor;
+use fgqos::runner::{serve_batch_executor, serve_executor};
 use fgqos::serve::client::{Client, SubmitOptions};
-use fgqos::serve::server::{start, ServeConfig};
+use fgqos::serve::protocol::{BatchPoint, BatchSpec};
+use fgqos::serve::server::{start_with, ServeConfig};
 use std::time::Duration;
 
 const CYCLES: u64 = 20_000;
@@ -17,12 +18,13 @@ fn scenario(tag: u64) -> String {
 }
 
 fn bench_roundtrip(c: &mut Criterion) {
-    let server = start(
+    let server = start_with(
         ServeConfig {
             threads: 2,
             ..ServeConfig::default()
         },
         serve_executor(),
+        serve_batch_executor(),
     )
     .expect("bind loopback");
     let addr = server.addr();
@@ -54,6 +56,55 @@ fn bench_roundtrip(c: &mut Criterion) {
             client
                 .submit_and_wait(&warmed, CYCLES, &opts, timeout)
                 .expect("roundtrip")
+        });
+    });
+    g.finish();
+
+    // Warm-start sweep slices (protocol v2): one 8-point submit_batch
+    // against the same 8 points pushed as single-point batches. Both
+    // variants pay the identical per-point divergent tail; the batch
+    // amortizes the scenario's warm-up + quiesce + snapshot across the
+    // slice while the sequential client re-simulates the prefix 8x.
+    const WARMUP: u64 = 100_000;
+    let points: Vec<BatchPoint> = (0..8)
+        .map(|i| BatchPoint {
+            period: 1_000,
+            budget: 512 << i,
+        })
+        .collect();
+    let batch_spec = |tag: u64, points: Vec<BatchPoint>| BatchSpec {
+        scenario: scenario(tag),
+        cycles: CYCLES,
+        until_done: None,
+        warmup: WARMUP,
+        points,
+    };
+    let mut g = c.benchmark_group("serve_batch");
+    g.sample_size(10);
+    // Fresh scenario text per iteration keeps every point a cache miss.
+    let mut tag = 1_000_000u64;
+    g.bench_function("batch8", |b| {
+        b.iter(|| {
+            tag += 1;
+            let ack = client
+                .submit_batch(&batch_spec(tag, points.clone()), &opts)
+                .expect("submit batch");
+            for job in ack.jobs {
+                client.wait_report(job, timeout).expect("batched point");
+            }
+        });
+    });
+    g.bench_function("sequential8", |b| {
+        b.iter(|| {
+            tag += 1;
+            for p in &points {
+                let ack = client
+                    .submit_batch(&batch_spec(tag, vec![*p]), &opts)
+                    .expect("submit point");
+                client
+                    .wait_report(ack.jobs[0], timeout)
+                    .expect("sequential point");
+            }
         });
     });
     g.finish();

@@ -21,6 +21,7 @@
 use fgqos_sim::axi::Request;
 use fgqos_sim::gate::{GateDecision, PortGate};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 
 /// MemGuard parameters.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +63,7 @@ impl Default for MemGuardConfig {
 /// assert!(gate.try_accept(&r, Cycle::ZERO).is_accept()); // crosses the budget
 /// assert!(!gate.try_accept(&r, Cycle::new(1)).is_accept()); // throttled until the tick
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemGuardGate {
     cfg: MemGuardConfig,
     tick_start: Cycle,
@@ -172,6 +173,29 @@ impl PortGate for MemGuardGate {
 
     fn label(&self) -> &'static str {
         "memguard"
+    }
+
+    fn fork_gate(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("memguard");
+        h.write_u64(self.cfg.tick_cycles);
+        h.write_u64(self.cfg.budget_bytes);
+        h.write_u64(self.cfg.irq_latency_cycles);
+        h.write_u64(self.tick_start.get());
+        h.write_u64(self.bytes_in_tick);
+        match self.overflow_at {
+            None => h.write_bool(false),
+            Some(t) => {
+                h.write_bool(true);
+                h.write_u64(t.get());
+            }
+        }
+        h.write_u64(self.total_bytes);
+        h.write_u64(self.stall_cycles);
+        h.write_u64(self.max_tick_bytes);
     }
 }
 

@@ -15,6 +15,7 @@
 use fgqos_sim::axi::{Request, Response};
 use fgqos_sim::gate::{GateDecision, PortGate};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 
 /// Configuration of an [`OtRegulatorGate`].
 #[derive(Debug, Clone, Copy)]
@@ -56,7 +57,7 @@ impl Default for OtRegulatorConfig {
 /// // One transaction in flight: the cap denies the next.
 /// assert!(!gate.try_accept(&r, Cycle::new(1)).is_accept());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OtRegulatorGate {
     cfg: OtRegulatorConfig,
     in_flight: usize,
@@ -162,6 +163,22 @@ impl PortGate for OtRegulatorGate {
 
     fn label(&self) -> &'static str {
         "qos400-ot"
+    }
+
+    fn fork_gate(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("qos400-ot");
+        h.write_usize(self.cfg.max_outstanding);
+        h.write_u32(self.cfg.txns_per_period);
+        h.write_u64(self.cfg.period_cycles);
+        h.write_usize(self.in_flight);
+        h.write_u64(self.window_start.get());
+        h.write_u32(self.window_txns);
+        h.write_u64(self.stall_cycles);
+        h.write_u64(self.accepted);
     }
 }
 

@@ -16,6 +16,7 @@
 use fgqos_sim::axi::Request;
 use fgqos_sim::gate::{GateDecision, PortGate};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 
 /// A static TDMA schedule shared by all ports of a system.
 #[derive(Debug, Clone)]
@@ -152,6 +153,23 @@ impl PortGate for TdmaGate {
 
     fn label(&self) -> &'static str {
         "tdma"
+    }
+
+    fn fork_gate(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("tdma");
+        h.write_u64(self.schedule.slot_cycles);
+        h.write_usize(self.schedule.num_slots);
+        h.write_usize(self.my_slots.len());
+        for &s in &self.my_slots {
+            h.write_usize(s);
+        }
+        h.write_u64(self.guard_cycles);
+        h.write_u64(self.stall_cycles);
+        h.write_u64(self.accepted);
     }
 }
 

@@ -1,9 +1,12 @@
-//! CI perf-smoke gate: quick throughput check of the two contended-path
+//! CI perf-smoke gate: quick throughput check of the contended-path
 //! benchmark cases against the floors recorded in `BENCH_sim.json`.
 //!
 //! Runs the `soc_cycles/8` (greedy 8-master) and `regulated_cycles/fast`
 //! (4 regulated masters) scenarios inline — best-of-N wall-clock, no
-//! Criterion — and fails if either falls below
+//! Criterion — plus the `warm_start` case: fork the shared boundary
+//! snapshot and run the divergent tail, the inner loop of every
+//! `--warm-start` sweep (the snapshot is captured once, outside the
+//! timed region). Fails if any case falls below
 //! `threshold × recorded floor`. The threshold defaults to 0.7 (a drop
 //! of more than 30 % fails) and is tunable via `FGQOS_PERF_THRESHOLD`
 //! so noisy runners can widen the gate without editing the workflow.
@@ -17,7 +20,10 @@
 //! the Criterion benches measure — so the floor comparison is
 //! apples-to-apples with `BENCH_sim.json`.
 
-use fgqos_bench::scenarios::{greedy_soc, regulated_soc, REGULATED_CYCLES, SOC_CYCLES};
+use fgqos_bench::scenarios::{
+    greedy_soc, regulated_soc, warm_start_snapshot, REGULATED_CYCLES, SOC_CYCLES,
+    WARM_START_TAIL_CYCLES,
+};
 use fgqos_sim::json::Value;
 use fgqos_sim::system::Soc;
 use std::path::Path;
@@ -36,8 +42,8 @@ fn measure(build: impl Fn() -> Soc, cycles: u64, reps: usize) -> f64 {
 }
 
 /// The latest recorded floors: `BENCH_sim.json` is append-only, so the
-/// newest entry holding both micro numbers wins.
-fn floors(doc: &Value) -> Option<(f64, f64)> {
+/// newest entry holding each micro number wins.
+fn floors(doc: &Value) -> Option<(f64, f64, f64)> {
     let entry = doc.get("calendar_arena")?;
     let m8 = entry
         .get("soc_cycles_melem_per_s")?
@@ -47,7 +53,11 @@ fn floors(doc: &Value) -> Option<(f64, f64)> {
         .get("regulated_cycles_melem_per_s")?
         .get("fast")?
         .as_f64()?;
-    Some((m8, reg))
+    let warm = doc
+        .get("snapshot_warm_start")?
+        .get("fork_tail_melem_per_s")?
+        .as_f64()?;
+    Some((m8, reg, warm))
 }
 
 fn main() {
@@ -60,15 +70,21 @@ fn main() {
     let text = std::fs::read_to_string(root.join("BENCH_sim.json"))
         .expect("BENCH_sim.json not found at workspace root");
     let doc = Value::parse(&text).expect("BENCH_sim.json is not valid JSON");
-    let (floor_m8, floor_reg) = floors(&doc).expect("BENCH_sim.json missing calendar_arena floors");
+    let (floor_m8, floor_reg, floor_warm) =
+        floors(&doc).expect("BENCH_sim.json missing calendar_arena / snapshot_warm_start floors");
 
     let m8 = measure(|| greedy_soc(8), SOC_CYCLES, 5);
     let reg = measure(|| regulated_soc(4), REGULATED_CYCLES, 5);
+    // The boundary snapshot is captured once, outside the timed region:
+    // the case gates the fork + divergent-tail cost only.
+    let snap = warm_start_snapshot();
+    let warm = measure(|| snap.fork(), WARM_START_TAIL_CYCLES, 5);
 
     let mut failed = false;
     for (name, got, floor) in [
         ("soc_cycles/8", m8, floor_m8),
         ("regulated_cycles/fast", reg, floor_reg),
+        ("warm_start", warm, floor_warm),
     ] {
         let min = floor * threshold;
         let ok = got >= min;

@@ -15,6 +15,7 @@ use fgqos_sim::axi::{Dir, MasterId};
 use fgqos_sim::dram::DramConfig;
 use fgqos_sim::master::{MasterKind, TrafficSource};
 use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
+use fgqos_sim::time::Cycle;
 use fgqos_workloads::spec::{BurstShape, SpecSource, TrafficSpec};
 
 /// The arbitration scheme applied to the interferers.
@@ -92,6 +93,10 @@ pub struct Scenario {
     pub critical_burst: Option<BurstShape>,
     /// Outstanding-transaction limit of the critical actor.
     pub critical_outstanding: usize,
+    /// Cycle at which the critical actor launches (0 = immediately).
+    /// Warm-start sweeps delay the launch past a shared interferer
+    /// warm-up phase so every measured sample lands after the boundary.
+    pub critical_start: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -107,6 +112,7 @@ impl Default for Scenario {
             critical_think: 100,
             critical_burst: None,
             critical_outstanding: 1,
+            critical_start: 0,
             seed: 1,
         }
     }
@@ -161,7 +167,8 @@ impl Scenario {
     /// Builds the co-run system under `scheme` with the default critical
     /// traffic (see [`Scenario::critical_spec`]).
     pub fn build(&self, scheme: Scheme) -> Built {
-        let source = SpecSource::new(self.critical_spec(), self.seed);
+        let source = SpecSource::new(self.critical_spec(), self.seed)
+            .with_start(Cycle::new(self.critical_start));
         self.build_with_critical(source, scheme)
     }
 

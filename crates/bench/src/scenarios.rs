@@ -10,6 +10,7 @@ use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::Dir;
 use fgqos_sim::dram::DramConfig;
 use fgqos_sim::master::MasterKind;
+use fgqos_sim::snapshot::SocSnapshot;
 use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
 use fgqos_workloads::spec::{SpecSource, TrafficSpec};
 
@@ -69,4 +70,23 @@ pub fn regulated_soc(masters: usize) -> Soc {
         );
     }
     b.build()
+}
+
+/// Warm-up cycles run before the boundary of [`warm_start_snapshot`].
+pub const WARM_START_PREFIX_CYCLES: u64 = 1_000_000;
+
+/// Cycle horizon of the forked tail in the `warm_start` perf case.
+pub const WARM_START_TAIL_CYCLES: u64 = 1_000_000;
+
+/// Quiesced boundary snapshot of the regulated 4-master SoC after a
+/// warmed-up prefix run. The `warm_start` perf case measures the sweep
+/// inner loop — fork this snapshot, run the divergent tail — so the
+/// prefix cost stays outside the timed region, exactly as it does in a
+/// `--warm-start` experiment sweep.
+pub fn warm_start_snapshot() -> SocSnapshot {
+    let mut soc = regulated_soc(4);
+    soc.run(WARM_START_PREFIX_CYCLES);
+    soc.quiesce_point(100_000)
+        .expect("tightly regulated masters quiesce within ten windows");
+    soc.snapshot().expect("every benchmark component forks")
 }

@@ -9,6 +9,7 @@ use crate::regfile::{
     Reg, RegFile, CTRL_ENABLE, CTRL_RESET_STATS, CTRL_SPLIT_RW, STATUS_EXHAUSTED, STATUS_THROTTLED,
 };
 use fgqos_sim::time::{Bandwidth, Freq};
+use fgqos_sim::ForkCtx;
 use std::sync::Arc;
 
 /// Snapshot of a port's telemetry, decoded from the register file.
@@ -67,6 +68,16 @@ impl RegulatorDriver {
     /// The underlying register block (raw access for tests/debug).
     pub fn regfile(&self) -> &Arc<RegFile> {
         &self.regs
+    }
+
+    /// Rebinds this driver to the register block `ctx` maps its block to
+    /// — the software-side counterpart of a snapshot fork. Pass the same
+    /// `ctx` used to fork the Soc (in any order) and the returned driver
+    /// talks to the forked gate's MMIO, not the original's.
+    pub fn forked(&self, ctx: &mut ForkCtx) -> RegulatorDriver {
+        RegulatorDriver {
+            regs: ctx.fork_arc(&self.regs),
+        }
     }
 
     /// Enables or disables regulation (monitoring always runs).

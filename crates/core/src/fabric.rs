@@ -36,6 +36,7 @@
 use crate::driver::RegulatorDriver;
 use crate::policy::{FeedbackController, ReclaimConfig, ReclaimPolicy};
 use crate::regulator::{RegulatorConfig, TcRegulator};
+use fgqos_sim::ForkCtx;
 use std::fmt::Write as _;
 
 /// Role of a port in the QoS partition.
@@ -256,6 +257,24 @@ impl QosFabric {
             step,
             control_period,
         )
+    }
+
+    /// Rebinds every port driver to the register blocks `ctx` maps them
+    /// to — the fabric-wide counterpart of
+    /// [`RegulatorDriver::forked`]. Pass the same `ctx` used to fork the
+    /// Soc and the returned fabric controls the forked gates.
+    pub fn fork_rebound(&self, ctx: &mut ForkCtx) -> QosFabric {
+        QosFabric {
+            ports: self
+                .ports
+                .iter()
+                .map(|p| PortEntry {
+                    name: p.name.clone(),
+                    role: p.role,
+                    driver: p.driver.forked(ctx),
+                })
+                .collect(),
+        }
     }
 
     /// Renders a one-line-per-port telemetry report.

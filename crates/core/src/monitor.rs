@@ -14,6 +14,7 @@ use crate::regfile::{Reg, RegFile};
 use fgqos_sim::axi::Dir;
 use fgqos_sim::json::Value;
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 use std::sync::Arc;
 
 /// Default capacity of a [`WindowLog`] (64 Ki windows ≈ 4 MiB).
@@ -323,6 +324,50 @@ impl WindowMonitor {
         );
         self.regs
             .write(Reg::WinTxns, self.win_txns.min(u32::MAX as u64) as u32);
+    }
+
+    /// Deep-copies the monitor for a snapshot fork, binding it to the
+    /// register block `ctx` maps this monitor's block to.
+    pub(crate) fn fork(&self, ctx: &mut ForkCtx) -> WindowMonitor {
+        WindowMonitor {
+            regs: ctx.fork_arc(&self.regs),
+            window_start: self.window_start,
+            period: self.period,
+            win_bytes: self.win_bytes,
+            win_rd_bytes: self.win_rd_bytes,
+            win_wr_bytes: self.win_wr_bytes,
+            win_txns: self.win_txns,
+            total_bytes: self.total_bytes,
+            total_txns: self.total_txns,
+            windows: self.windows,
+            max_overshoot: self.max_overshoot,
+            log: self.log.clone(),
+        }
+    }
+
+    /// Feeds the monitor state (latched period, open-window counters,
+    /// lifetime totals, log occupancy) into a snapshot fingerprint
+    /// stream. The register block itself is hashed by the owning gate.
+    pub(crate) fn snap(&self, h: &mut StateHasher) {
+        h.section("window-monitor");
+        h.write_u64(self.window_start.get());
+        h.write_u64(self.period);
+        h.write_u64(self.win_bytes);
+        h.write_u64(self.win_rd_bytes);
+        h.write_u64(self.win_wr_bytes);
+        h.write_u64(self.win_txns);
+        h.write_u64(self.total_bytes);
+        h.write_u64(self.total_txns);
+        h.write_u64(self.windows);
+        h.write_u64(self.max_overshoot);
+        match &self.log {
+            None => h.write_bool(false),
+            Some(log) => {
+                h.write_bool(true);
+                h.write_usize(log.records.len());
+                h.write_u64(log.dropped);
+            }
+        }
     }
 
     /// Clears all telemetry (including any window log's records) and

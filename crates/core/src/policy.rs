@@ -19,6 +19,7 @@
 use crate::driver::RegulatorDriver;
 use fgqos_sim::system::Controller;
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 
 /// One port assignment for [`StaticPartition`].
 #[derive(Debug, Clone)]
@@ -71,6 +72,31 @@ impl Controller for StaticPartition {
 
     fn label(&self) -> &'static str {
         "static-partition"
+    }
+
+    fn fork_ctrl(&self, ctx: &mut ForkCtx) -> Option<Box<dyn Controller>> {
+        Some(Box::new(StaticPartition {
+            ports: self
+                .ports
+                .iter()
+                .map(|p| PortBudget {
+                    driver: p.driver.forked(ctx),
+                    period_cycles: p.period_cycles,
+                    budget_bytes: p.budget_bytes,
+                })
+                .collect(),
+            programmed: self.programmed,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("static-partition");
+        h.write_usize(self.ports.len());
+        for p in &self.ports {
+            h.write_u32(p.period_cycles);
+            h.write_u32(p.budget_bytes);
+        }
+        h.write_bool(self.programmed);
     }
 }
 
@@ -189,6 +215,34 @@ impl Controller for ReclaimPolicy {
 
     fn label(&self) -> &'static str {
         "reclaim"
+    }
+
+    fn fork_ctrl(&self, ctx: &mut ForkCtx) -> Option<Box<dyn Controller>> {
+        Some(Box::new(ReclaimPolicy {
+            critical: self.critical.forked(ctx),
+            best_effort: self.best_effort.iter().map(|d| d.forked(ctx)).collect(),
+            cfg: self.cfg,
+            next_at: self.next_at,
+            last_crit_total: self.last_crit_total,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("reclaim");
+        h.write_usize(self.best_effort.len());
+        h.write_u64(self.cfg.critical_reserved);
+        h.write_u64(self.cfg.be_base);
+        h.write_u64(self.cfg.control_period);
+        h.write_u64(self.cfg.gain);
+        match self.cfg.busy_threshold {
+            None => h.write_bool(false),
+            Some(t) => {
+                h.write_bool(true);
+                h.write_u64(t);
+            }
+        }
+        h.write_u64(self.next_at);
+        h.write_u64(self.last_crit_total);
     }
 }
 
@@ -318,6 +372,36 @@ impl Controller for FeedbackController {
 
     fn label(&self) -> &'static str {
         "feedback-aimd"
+    }
+
+    fn fork_ctrl(&self, ctx: &mut ForkCtx) -> Option<Box<dyn Controller>> {
+        Some(Box::new(FeedbackController {
+            critical: self.critical.forked(ctx),
+            target_bytes_per_period: self.target_bytes_per_period,
+            best_effort: self.best_effort.iter().map(|d| d.forked(ctx)).collect(),
+            be_budget: self.be_budget,
+            min_budget: self.min_budget,
+            max_budget: self.max_budget,
+            step: self.step,
+            control_period: self.control_period,
+            next_at: self.next_at,
+            last_crit_total: self.last_crit_total,
+            adjustments: self.adjustments,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("feedback-aimd");
+        h.write_u64(self.target_bytes_per_period);
+        h.write_usize(self.best_effort.len());
+        h.write_u32(self.be_budget);
+        h.write_u32(self.min_budget);
+        h.write_u32(self.max_budget);
+        h.write_u32(self.step);
+        h.write_u64(self.control_period);
+        h.write_u64(self.next_at);
+        h.write_u64(self.last_crit_total);
+        h.write_u64(self.adjustments);
     }
 }
 

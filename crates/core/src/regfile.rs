@@ -15,6 +15,7 @@
 //! harnesses and QoS policies), exactly as MMIO is shared between fabric
 //! and host on the real chip.
 
+use fgqos_sim::{SharedFork, StateHasher};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -168,6 +169,26 @@ impl RegFile {
     pub fn write64(&self, lo: Reg, hi: Reg, value: u64) {
         self.write(lo, value as u32);
         self.write(hi, (value >> 32) as u32);
+    }
+
+    /// Feeds every register word, in offset order, into a snapshot
+    /// fingerprint stream.
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("regfile");
+        for reg in &self.regs {
+            h.write_u32(reg.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl SharedFork for RegFile {
+    /// Copies every register word into an independent block (used when a
+    /// snapshot fork remaps the MMIO shared between a gate and its
+    /// driver).
+    fn fork_value(&self) -> Self {
+        RegFile {
+            regs: std::array::from_fn(|i| AtomicU32::new(self.regs[i].load(Ordering::Relaxed))),
+        }
     }
 }
 

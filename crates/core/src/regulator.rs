@@ -25,6 +25,7 @@ use fgqos_sim::axi::Dir;
 use fgqos_sim::axi::{Request, Response};
 use fgqos_sim::gate::{GateDecision, PortGate};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 use std::sync::Arc;
 
 /// When accepted transactions are debited from the window budget.
@@ -280,6 +281,34 @@ impl PortGate for TcRegulator {
 
     fn label(&self) -> &'static str {
         "tc-regulator"
+    }
+
+    fn fork_gate(&self, ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        // The monitor forks against the same remapped register block, so
+        // gate and driver stay MMIO-coupled in the forked Soc.
+        let regs = ctx.fork_arc(&self.regs);
+        Some(Box::new(TcRegulator {
+            regs,
+            monitor: self.monitor.fork(ctx),
+            budget: self.budget,
+            budget_rd: self.budget_rd,
+            budget_wr: self.budget_wr,
+            charge: self.charge,
+            overshoot: self.overshoot,
+            stall_cycles: self.stall_cycles,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("tc-regulator");
+        self.regs.snap(h);
+        self.monitor.snap(h);
+        h.write_u64(self.budget);
+        h.write_u64(self.budget_rd);
+        h.write_u64(self.budget_wr);
+        h.write_bool(self.charge == ChargePolicy::Completion);
+        h.write_bool(self.overshoot == OvershootPolicy::FinalBurst);
+        h.write_u64(self.stall_cycles);
     }
 
     fn collect_metrics(&self, prefix: &str, registry: &mut fgqos_sim::metrics::MetricsRegistry) {

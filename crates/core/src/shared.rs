@@ -16,9 +16,10 @@
 use fgqos_sim::axi::Request;
 use fgqos_sim::gate::{GateDecision, PortGate};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 use std::sync::{Arc, Mutex};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupState {
     period: u64,
     budget: u64,
@@ -105,6 +106,15 @@ impl SharedRegulator {
     pub fn windows(&self) -> u64 {
         self.state.lock().expect("regulator lock").windows
     }
+
+    /// Rebinds this group handle to the group state `ctx` maps it to (the
+    /// snapshot-fork counterpart of cloning: member gates forked through
+    /// the same `ctx` share the rebound state).
+    pub fn forked(&self, ctx: &mut ForkCtx) -> SharedRegulator {
+        SharedRegulator {
+            state: ctx.fork_arc(&self.state),
+        }
+    }
 }
 
 /// One port's handle onto a [`SharedRegulator`] group budget.
@@ -163,6 +173,30 @@ impl PortGate for SharedBudgetGate {
 
     fn label(&self) -> &'static str {
         "shared-budget"
+    }
+
+    fn fork_gate(&self, ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        // All member gates of one group map to the same forked state, so
+        // the aggregate-budget topology survives the fork.
+        Some(Box::new(SharedBudgetGate {
+            state: ctx.fork_arc(&self.state),
+            stall_cycles: self.stall_cycles,
+            accepted_bytes: self.accepted_bytes,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("shared-budget");
+        let s = self.state.lock().expect("regulator lock");
+        h.write_u64(s.period);
+        h.write_u64(s.budget);
+        h.write_u64(s.window_start.get());
+        h.write_u64(s.used);
+        h.write_u64(s.windows);
+        h.write_u64(s.max_window_bytes);
+        drop(s);
+        h.write_u64(self.stall_cycles);
+        h.write_u64(self.accepted_bytes);
     }
 }
 

@@ -13,7 +13,7 @@
 //! store the full canonical key alongside the hash, so a 64-bit
 //! collision degrades to a miss instead of serving a wrong result.
 
-use crate::protocol::JobSpec;
+use crate::protocol::{BatchPoint, BatchSpec, JobSpec};
 use fgqos_sim::json::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +36,24 @@ pub fn job_key(spec: &JobSpec) -> (u64, String) {
         "cycles={}\u{0}until_done={}\u{0}{}",
         spec.cycles,
         spec.until_done.as_deref().unwrap_or(""),
+        spec.scenario
+    );
+    (fnv64(key.as_bytes()), key)
+}
+
+/// The canonical cache key of one batch point: the shared prefix
+/// identity (scenario, cycles, options, warm-up) plus the point's
+/// overrides. Two batches sharing a prefix reuse each other's point
+/// results, and resubmitting an identical batch is answered entirely
+/// from the cache.
+pub fn batch_point_key(spec: &BatchSpec, point: &BatchPoint) -> (u64, String) {
+    let key = format!(
+        "batch\u{0}cycles={}\u{0}until_done={}\u{0}warmup={}\u{0}period={}\u{0}budget={}\u{0}{}",
+        spec.cycles,
+        spec.until_done.as_deref().unwrap_or(""),
+        spec.warmup,
+        point.period,
+        point.budget,
         spec.scenario
     );
     (fnv64(key.as_bytes()), key)
@@ -134,6 +152,35 @@ mod tests {
         with_done.until_done = Some("cpu".into());
         assert_ne!(a, job_key(&with_done).0, "until_done must matter");
         assert_eq!(a, job_key(&spec("s", 100)).0, "equal specs collide");
+    }
+
+    #[test]
+    fn batch_point_key_separates_every_field() {
+        let base = BatchSpec {
+            scenario: "s".into(),
+            cycles: 100,
+            until_done: None,
+            warmup: 50,
+            points: Vec::new(),
+        };
+        let p = BatchPoint {
+            period: 10,
+            budget: 20,
+        };
+        let a = batch_point_key(&base, &p).0;
+        let mut warm = base.clone();
+        warm.warmup = 51;
+        assert_ne!(a, batch_point_key(&warm, &p).0, "warmup must matter");
+        let mut q = p;
+        q.period = 11;
+        assert_ne!(a, batch_point_key(&base, &q).0, "period must matter");
+        q = p;
+        q.budget = 21;
+        assert_ne!(a, batch_point_key(&base, &q).0, "budget must matter");
+        // A single-job key over the same scenario never aliases a batch
+        // point's key.
+        assert_ne!(a, job_key(&spec("s", 100)).0);
+        assert_eq!(a, batch_point_key(&base.clone(), &p).0);
     }
 
     #[test]

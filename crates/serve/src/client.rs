@@ -6,7 +6,7 @@
 //! one-response-per-request, so a `BufReader` over the socket is all
 //! the state a client needs.
 
-use crate::protocol::{MetricsFormat, SERVE_SCHEMA};
+use crate::protocol::{BatchSpec, MetricsFormat, SERVE_SCHEMA};
 use fgqos_sim::json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -65,6 +65,19 @@ pub struct SubmitOptions {
     pub client: Option<String>,
     /// Queue deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+}
+
+/// The `submit_batch` acknowledgement: one job per point, in point
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAck {
+    /// Server-assigned job ids, parallel to the submitted points.
+    pub jobs: Vec<u64>,
+    /// Per-point cache hits, parallel to `jobs`.
+    pub cached: Vec<bool>,
+    /// Worker lane the uncached remainder was pinned to (`None` when
+    /// the whole batch was answered from the cache).
+    pub lane: Option<usize>,
 }
 
 /// A blocking connection to a `fgqos serve` instance.
@@ -151,6 +164,59 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("submit ack missing 'job'".into()))?;
         let cached = doc.get("cached") == Some(&Value::Bool(true));
         Ok(SubmitAck { job, cached })
+    }
+
+    /// Submits a warm-start sweep slice (protocol v2).
+    ///
+    /// Every point gets its own job id; poll them with
+    /// [`wait_report`](Self::wait_report) like ordinary submissions.
+    pub fn submit_batch(
+        &mut self,
+        spec: &BatchSpec,
+        opts: &SubmitOptions,
+    ) -> Result<BatchAck, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("submit_batch"));
+        req.set("scenario", Value::str(spec.scenario.clone()));
+        req.set("cycles", Value::from(spec.cycles));
+        if let Some(u) = &spec.until_done {
+            req.set("until_done", Value::str(u.clone()));
+        }
+        req.set("warmup", Value::from(spec.warmup));
+        let mut points = Value::arr();
+        for p in &spec.points {
+            let mut point = Value::obj();
+            point.set("period", Value::from(p.period));
+            point.set("budget", Value::from(p.budget));
+            points.push(point);
+        }
+        req.set("points", points);
+        if let Some(c) = &opts.client {
+            req.set("client", Value::str(c.clone()));
+        }
+        if let Some(d) = opts.deadline_ms {
+            req.set("deadline_ms", Value::from(d));
+        }
+        let doc = Self::expect_ok(self.request(&req)?)?;
+        let jobs = doc
+            .get("jobs")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ClientError::Protocol("submit_batch ack missing 'jobs'".into()))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| ClientError::Protocol("non-integer job id".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let cached = doc
+            .get("cached")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ClientError::Protocol("submit_batch ack missing 'cached'".into()))?
+            .iter()
+            .map(|v| v == &Value::Bool(true))
+            .collect();
+        let lane = doc.get("lane").and_then(Value::as_u64).map(|l| l as usize);
+        Ok(BatchAck { jobs, cached, lane })
     }
 
     /// Fetches a job's result response once (no waiting).

@@ -5,13 +5,16 @@
 //! execution path into a std-only TCP service:
 //!
 //! * [`protocol`] — a framed, newline-delimited JSON protocol
-//!   (`submit` / `status` / `result` / `metrics` / `shutdown`), with
-//!   versioned `fgqos.serve v1` responses carrying the same
-//!   [`fgqos_bench::report::Report`] document the `exp_*` binaries emit.
+//!   (`submit` / `submit_batch` / `status` / `result` / `metrics` /
+//!   `shutdown`), with versioned `fgqos.serve v2` responses carrying the
+//!   same [`fgqos_bench::report::Report`] document the `exp_*` binaries
+//!   emit.
 //! * [`pool`] — a job queue + worker pool on the
 //!   `fgqos_bench::sweep` threading model (FIFO order-stable,
 //!   `FGQOS_SERVE_THREADS` override), with per-job deadlines and a
-//!   graceful drain on shutdown.
+//!   graceful drain on shutdown. Workers have stable lane identities:
+//!   a `submit_batch`'s uncached points are pinned to one lane so the
+//!   warm boundary snapshot is captured once and forked per point.
 //! * [`cache`] — a content-addressed in-memory result cache keyed by a
 //!   hash of (scenario text, cycles, options): resubmitting a job
 //!   returns byte-identical cached JSON without re-simulating.
@@ -47,3 +50,24 @@ use std::sync::Arc;
 /// the result cache assumes two jobs with equal specs produce
 /// byte-identical reports.
 pub type Executor = Arc<dyn Fn(&protocol::JobSpec) -> Result<Report, String> + Send + Sync>;
+
+/// Executes a warm-start batch: one report per point of the passed
+/// [`protocol::BatchSpec`], in point order.
+///
+/// The pool hands an executor only the *uncached* points of a
+/// submission, always on a single worker lane — the intended
+/// implementation (the umbrella's `fgqos::runner::serve_batch_executor`)
+/// warms the scenario once to a quiesced boundary, captures it as a
+/// `SocSnapshot`, and forks it per point. Like [`Executor`], the result
+/// must be a pure function of `(spec, point)` so the per-point cache
+/// stays byte-deterministic; a returned `Err` fails every point of the
+/// call.
+pub type BatchExecutor =
+    Arc<dyn Fn(&protocol::BatchSpec) -> Result<Vec<Report>, String> + Send + Sync>;
+
+/// A [`BatchExecutor`] for deployments without warm-start support: every
+/// `submit_batch` fails with a stable error message. This is what
+/// [`server::start`] installs; [`server::start_with`] takes a real one.
+pub fn unsupported_batch_executor() -> BatchExecutor {
+    Arc::new(|_spec| Err("this server has no batch executor installed".into()))
+}

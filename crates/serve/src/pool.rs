@@ -14,11 +14,17 @@
 //! every already-queued job still executes, and
 //! [`ServeCore::drain`] returns only when the queue is empty and all
 //! workers are idle.
+//!
+//! Workers carry stable **lane** indices (`0..workers`). Ordinary jobs
+//! are unpinned — any lane pops them — but a `submit_batch`'s uncached
+//! points travel as one queue entry pinned to a single lane, so the
+//! batch executor can capture the warm boundary snapshot once and fork
+//! it per point without the `!Send` simulator ever crossing a thread.
 
 use crate::admission::{AdmissionConfig, AdmissionControl};
-use crate::cache::{job_key, ResultCache};
-use crate::protocol::JobSpec;
-use crate::Executor;
+use crate::cache::{batch_point_key, job_key, ResultCache};
+use crate::protocol::{BatchSpec, JobSpec};
+use crate::{BatchExecutor, Executor};
 use fgqos_sim::json::Value;
 use fgqos_sim::metrics::MetricsRegistry;
 use std::collections::{HashMap, VecDeque};
@@ -54,11 +60,49 @@ impl JobState {
     }
 }
 
-struct QueuedJob {
+/// One uncached point of a queued batch: its job id, cache address and
+/// overrides.
+struct BatchPointJob {
     id: u64,
-    spec: JobSpec,
     hash: u64,
     key: String,
+    point: crate::protocol::BatchPoint,
+}
+
+enum Work {
+    Single {
+        id: u64,
+        spec: JobSpec,
+        hash: u64,
+        key: String,
+    },
+    Batch {
+        spec: BatchSpec,
+        points: Vec<BatchPointJob>,
+    },
+}
+
+impl Work {
+    /// Job ids this queue entry resolves (one for a single, one per
+    /// uncached point for a batch).
+    fn ids(&self) -> Vec<u64> {
+        match self {
+            Work::Single { id, .. } => vec![*id],
+            Work::Batch { points, .. } => points.iter().map(|p| p.id).collect(),
+        }
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        match self {
+            Work::Single { id: own, .. } => *own == id,
+            Work::Batch { points, .. } => points.iter().any(|p| p.id == id),
+        }
+    }
+}
+
+struct QueuedJob {
+    work: Work,
+    lane: Option<usize>,
     deadline: Option<Instant>,
 }
 
@@ -79,6 +123,8 @@ struct PoolState {
     executed: u64,
     failed: u64,
     expired: u64,
+    batches: u64,
+    lane_executed: Vec<u64>,
 }
 
 /// Counters returned by [`ServeCore::drain`], embedded in the
@@ -130,7 +176,10 @@ impl ServeCore {
     /// Creates the shared state for a pool of `workers` threads.
     pub fn new(workers: usize, admission: AdmissionConfig) -> Self {
         ServeCore {
-            state: Mutex::new(PoolState::default()),
+            state: Mutex::new(PoolState {
+                lane_executed: vec![0; workers],
+                ..PoolState::default()
+            }),
             wakeup: Condvar::new(),
             cache: ResultCache::new(),
             admission: AdmissionControl::new(admission),
@@ -200,10 +249,13 @@ impl ServeCore {
                     },
                 );
                 st.queue.push_back(QueuedJob {
-                    id,
-                    spec,
-                    hash,
-                    key,
+                    work: Work::Single {
+                        id,
+                        spec,
+                        hash,
+                        key,
+                    },
+                    lane: None,
                     deadline,
                 });
                 self.wakeup.notify_one();
@@ -212,12 +264,97 @@ impl ServeCore {
         }
     }
 
+    /// Accepts a warm-start batch: one job id per point, in point order,
+    /// with the cached points born `Done`. The uncached remainder is
+    /// enqueued as a single entry pinned to the least-loaded lane
+    /// (returned as the second element; `None` when the whole batch was
+    /// answered from the cache). `Err` when the server is draining.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_batch(
+        &self,
+        spec: BatchSpec,
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<(u64, Option<Arc<Value>>)>, Option<usize>), String> {
+        let addressed: Vec<(u64, String, Option<Arc<Value>>)> = spec
+            .points
+            .iter()
+            .map(|p| {
+                let (hash, key) = batch_point_key(&spec, p);
+                let cached = self.cache.get(hash, &key);
+                (hash, key, cached)
+            })
+            .collect();
+        let mut st = self.state.lock().expect("pool poisoned");
+        if st.draining {
+            return Err("server is shutting down".into());
+        }
+        st.batches += 1;
+        let mut acks = Vec::with_capacity(spec.points.len());
+        let mut pending: Vec<BatchPointJob> = Vec::new();
+        for (i, (hash, key, cached)) in addressed.into_iter().enumerate() {
+            let id = st.next_job + 1;
+            st.next_job = id;
+            st.submitted += 1;
+            match cached {
+                Some(report) => {
+                    st.jobs.insert(
+                        id,
+                        JobEntry {
+                            state: JobState::Done,
+                            report: Some(Arc::clone(&report)),
+                        },
+                    );
+                    acks.push((id, Some(report)));
+                }
+                None => {
+                    st.jobs.insert(
+                        id,
+                        JobEntry {
+                            state: JobState::Queued,
+                            report: None,
+                        },
+                    );
+                    pending.push(BatchPointJob {
+                        id,
+                        hash,
+                        key,
+                        point: spec.points[i],
+                    });
+                    acks.push((id, None));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return Ok((acks, None));
+        }
+        // Pin to the lane with the fewest queued pinned entries —
+        // deterministic given the queue state, lowest index on ties.
+        let mut depth = vec![0usize; self.workers.max(1)];
+        for j in &st.queue {
+            if let Some(lane) = j.lane {
+                depth[lane] += 1;
+            }
+        }
+        let lane = (0..depth.len()).min_by_key(|&l| depth[l]).unwrap_or(0);
+        st.queue.push_back(QueuedJob {
+            work: Work::Batch {
+                spec,
+                points: pending,
+            },
+            lane: Some(lane),
+            deadline,
+        });
+        // notify_all: only the pinned lane's worker can take this entry.
+        self.wakeup.notify_all();
+        Ok((acks, Some(lane)))
+    }
+
     /// A job's state plus, while queued, its 0-based queue position.
     pub fn status(&self, id: u64) -> Option<(JobState, Option<usize>)> {
         let st = self.state.lock().expect("pool poisoned");
         let entry = st.jobs.get(&id)?;
         let position = match entry.state {
-            JobState::Queued => st.queue.iter().position(|j| j.id == id),
+            JobState::Queued => st.queue.iter().position(|j| j.work.contains(id)),
             _ => None,
         };
         Some((entry.state.clone(), position))
@@ -230,9 +367,11 @@ impl ServeCore {
         Some((entry.state.clone(), entry.report.clone()))
     }
 
-    /// Worker thread body: pop, check deadline, execute, publish.
-    /// Returns when the core is draining and the queue is empty.
-    pub fn worker_loop(&self, executor: Executor) {
+    /// Worker thread body for the worker on `lane`: pop the first queue
+    /// entry this lane may take (unpinned, or pinned to it), check the
+    /// deadline, execute, publish. Returns when the core is draining and
+    /// no eligible work remains.
+    pub fn worker_loop(&self, lane: usize, executor: Executor, batch_executor: BatchExecutor) {
         {
             let mut st = self.state.lock().expect("pool poisoned");
             st.live_workers += 1;
@@ -241,7 +380,12 @@ impl ServeCore {
             let job = {
                 let mut st = self.state.lock().expect("pool poisoned");
                 loop {
-                    if let Some(job) = st.queue.pop_front() {
+                    let eligible = st
+                        .queue
+                        .iter()
+                        .position(|j| j.lane.is_none_or(|l| l == lane));
+                    if let Some(pos) = eligible {
+                        let job = st.queue.remove(pos).expect("position just found");
                         st.busy_workers += 1;
                         break Some(job);
                     }
@@ -259,42 +403,101 @@ impl ServeCore {
             };
             if job.deadline.is_some_and(|d| Instant::now() > d) {
                 let mut st = self.state.lock().expect("pool poisoned");
-                if let Some(entry) = st.jobs.get_mut(&job.id) {
-                    entry.state = JobState::Expired;
+                for id in job.work.ids() {
+                    if let Some(entry) = st.jobs.get_mut(&id) {
+                        entry.state = JobState::Expired;
+                    }
+                    st.expired += 1;
                 }
-                st.expired += 1;
                 st.busy_workers -= 1;
                 self.wakeup.notify_all();
                 continue;
             }
             {
                 let mut st = self.state.lock().expect("pool poisoned");
-                if let Some(entry) = st.jobs.get_mut(&job.id) {
-                    entry.state = JobState::Running;
+                for id in job.work.ids() {
+                    if let Some(entry) = st.jobs.get_mut(&id) {
+                        entry.state = JobState::Running;
+                    }
                 }
             }
             let t0 = Instant::now();
-            let outcome = executor(&job.spec);
-            self.busy_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            let mut st = self.state.lock().expect("pool poisoned");
-            match outcome {
-                Ok(report) => {
-                    let report = Arc::new(report.to_json());
-                    self.cache.insert(job.hash, job.key, Arc::clone(&report));
-                    if let Some(entry) = st.jobs.get_mut(&job.id) {
-                        entry.state = JobState::Done;
-                        entry.report = Some(report);
+            match job.work {
+                Work::Single {
+                    id,
+                    spec,
+                    hash,
+                    key,
+                } => {
+                    let outcome = executor(&spec);
+                    self.busy_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let mut st = self.state.lock().expect("pool poisoned");
+                    st.lane_executed[lane] += 1;
+                    match outcome {
+                        Ok(report) => {
+                            let report = Arc::new(report.to_json());
+                            self.cache.insert(hash, key, Arc::clone(&report));
+                            if let Some(entry) = st.jobs.get_mut(&id) {
+                                entry.state = JobState::Done;
+                                entry.report = Some(report);
+                            }
+                            st.executed += 1;
+                        }
+                        Err(e) => {
+                            if let Some(entry) = st.jobs.get_mut(&id) {
+                                entry.state = JobState::Failed(e);
+                            }
+                            st.failed += 1;
+                        }
                     }
-                    st.executed += 1;
                 }
-                Err(e) => {
-                    if let Some(entry) = st.jobs.get_mut(&job.id) {
-                        entry.state = JobState::Failed(e);
+                Work::Batch { spec, points } => {
+                    // Hand the executor only the uncached points, in
+                    // their original order.
+                    let run = BatchSpec {
+                        points: points.iter().map(|p| p.point).collect(),
+                        ..spec
+                    };
+                    let outcome = batch_executor(&run).and_then(|reports| {
+                        if reports.len() == points.len() {
+                            Ok(reports)
+                        } else {
+                            Err(format!(
+                                "batch executor returned {} reports for {} points",
+                                reports.len(),
+                                points.len()
+                            ))
+                        }
+                    });
+                    self.busy_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let mut st = self.state.lock().expect("pool poisoned");
+                    st.lane_executed[lane] += 1;
+                    match outcome {
+                        Ok(reports) => {
+                            for (p, report) in points.into_iter().zip(reports) {
+                                let report = Arc::new(report.to_json());
+                                self.cache.insert(p.hash, p.key, Arc::clone(&report));
+                                if let Some(entry) = st.jobs.get_mut(&p.id) {
+                                    entry.state = JobState::Done;
+                                    entry.report = Some(report);
+                                }
+                                st.executed += 1;
+                            }
+                        }
+                        Err(e) => {
+                            for p in points {
+                                if let Some(entry) = st.jobs.get_mut(&p.id) {
+                                    entry.state = JobState::Failed(e.clone());
+                                }
+                                st.failed += 1;
+                            }
+                        }
                     }
-                    st.failed += 1;
                 }
             }
+            let mut st = self.state.lock().expect("pool poisoned");
             st.busy_workers -= 1;
             self.wakeup.notify_all();
         }
@@ -332,8 +535,20 @@ impl ServeCore {
     /// exportable through the standard
     /// [`MetricsRegistry`] JSON/CSV exporters.
     pub fn metrics(&self) -> MetricsRegistry {
-        let (queue_depth, submitted, executed, failed, expired, busy) = {
+        let (queue_depth, submitted, executed, failed, expired, busy, batches, lanes) = {
             let st = self.state.lock().expect("pool poisoned");
+            let mut lanes: Vec<(u64, u64)> = st
+                .lane_executed
+                .iter()
+                .map(|&executed| (0u64, executed))
+                .collect();
+            for j in &st.queue {
+                if let Some(lane) = j.lane {
+                    if let Some(entry) = lanes.get_mut(lane) {
+                        entry.0 += 1;
+                    }
+                }
+            }
             (
                 st.queue.len(),
                 st.submitted,
@@ -341,6 +556,8 @@ impl ServeCore {
                 st.failed,
                 st.expired,
                 st.busy_workers,
+                st.batches,
+                lanes,
             )
         };
         let mut reg = MetricsRegistry::new();
@@ -362,8 +579,16 @@ impl ServeCore {
         reg.counter("serve.cache.hits", self.cache.hits());
         reg.counter("serve.cache.misses", self.cache.misses());
         reg.gauge("serve.cache.hit_rate", self.cache.hit_rate());
+        reg.counter("serve.jobs.batches", batches);
         reg.gauge("serve.workers", self.workers as f64);
         reg.gauge("serve.workers.busy", busy as f64);
+        for (lane, (pinned_depth, executed)) in lanes.iter().enumerate() {
+            reg.gauge(
+                format!("serve.lane.{lane}.queue_depth"),
+                *pinned_depth as f64,
+            );
+            reg.counter(format!("serve.lane.{lane}.executed"), *executed);
+        }
         let elapsed = self.started.elapsed().as_nanos() as f64;
         let busy_ratio = if elapsed > 0.0 {
             self.busy_nanos.load(Ordering::Relaxed) as f64 / (elapsed * self.workers.max(1) as f64)
@@ -409,11 +634,21 @@ mod tests {
     }
 
     fn start(core: &Arc<ServeCore>, n: usize, exec: Executor) -> Vec<std::thread::JoinHandle<()>> {
+        start_batch(core, n, exec, crate::unsupported_batch_executor())
+    }
+
+    fn start_batch(
+        core: &Arc<ServeCore>,
+        n: usize,
+        exec: Executor,
+        batch: crate::BatchExecutor,
+    ) -> Vec<std::thread::JoinHandle<()>> {
         (0..n)
-            .map(|_| {
+            .map(|lane| {
                 let core = Arc::clone(core);
                 let exec = Arc::clone(&exec);
-                std::thread::spawn(move || core.worker_loop(exec))
+                let batch = Arc::clone(&batch);
+                std::thread::spawn(move || core.worker_loop(lane, exec, batch))
             })
             .collect()
     }
@@ -553,13 +788,154 @@ mod tests {
             "serve.cache.hits",
             "serve.cache.misses",
             "serve.cache.hit_rate",
+            "serve.jobs.batches",
             "serve.workers",
             "serve.workers.busy",
             "serve.workers.busy_ratio",
+            "serve.lane.0.queue_depth",
+            "serve.lane.0.executed",
+            "serve.lane.2.queue_depth",
+            "serve.lane.2.executed",
             "serve.client.alice.accepted",
             "serve.client.alice.denied",
         ] {
             assert!(reg.get(name).is_some(), "missing metric {name}");
+        }
+    }
+
+    fn batch(tag: &str, points: &[(u64, u64)]) -> BatchSpec {
+        BatchSpec {
+            scenario: format!("# {tag}\n[master a]\nkind cpu\n"),
+            cycles: 1_000,
+            until_done: None,
+            warmup: 500,
+            points: points
+                .iter()
+                .map(|&(period, budget)| crate::protocol::BatchPoint { period, budget })
+                .collect(),
+        }
+    }
+
+    /// A batch executor that renders one row per point, tagged with the
+    /// point's knobs, and records which thread ran it.
+    fn batch_stub(ran_on: Arc<Mutex<Vec<std::thread::ThreadId>>>) -> crate::BatchExecutor {
+        Arc::new(move |spec: &BatchSpec| {
+            ran_on.lock().unwrap().push(std::thread::current().id());
+            Ok(spec
+                .points
+                .iter()
+                .map(|p| {
+                    let mut r = Report::new("batch-stub");
+                    r.note(format!("period={} budget={}", p.period, p.budget));
+                    r
+                })
+                .collect())
+        })
+    }
+
+    #[test]
+    fn batch_points_get_individual_jobs_and_cache_entries() {
+        let core = Arc::new(ServeCore::new(2, AdmissionConfig::default()));
+        let ran_on = Arc::new(Mutex::new(Vec::new()));
+        let workers = start_batch(
+            &core,
+            2,
+            stub(Duration::ZERO),
+            batch_stub(Arc::clone(&ran_on)),
+        );
+        let (acks, lane) = core
+            .submit_batch(batch("b", &[(100, 1), (200, 2)]), None)
+            .unwrap();
+        assert_eq!(acks.len(), 2);
+        assert!(lane.is_some(), "uncached batch is pinned to a lane");
+        for &(id, ref cached) in &acks {
+            assert!(cached.is_none(), "first submission misses");
+            let (state, report) = wait_done(&core, id);
+            assert_eq!(state, JobState::Done);
+            assert!(report.is_some());
+        }
+        // The whole batch executed in one executor call, on one thread.
+        assert_eq!(ran_on.lock().unwrap().len(), 1);
+        // Resubmission: every point is born done from the per-point cache.
+        let (acks2, lane2) = core
+            .submit_batch(batch("b", &[(100, 1), (200, 2)]), None)
+            .unwrap();
+        assert_eq!(lane2, None, "fully cached batch never queues");
+        for (id, cached) in acks2 {
+            assert!(cached.is_some());
+            assert_eq!(core.result(id).unwrap().0, JobState::Done);
+        }
+        // Partial overlap: only the new point misses and executes.
+        let (acks3, lane3) = core
+            .submit_batch(batch("b", &[(100, 1), (300, 3)]), None)
+            .unwrap();
+        assert!(lane3.is_some());
+        assert!(acks3[0].1.is_some(), "shared point is a hit");
+        assert!(acks3[1].1.is_none(), "new point is a miss");
+        assert_eq!(wait_done(&core, acks3[1].0).0, JobState::Done);
+        let summary = core.drain();
+        assert_eq!(summary.submitted, 6, "every point counts as a job");
+        assert_eq!(summary.executed, 3, "only misses executed");
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_stays_on_its_pinned_lane() {
+        let core = Arc::new(ServeCore::new(2, AdmissionConfig::default()));
+        // No workers yet: submissions queue up so lane choice is visible.
+        let (_, lane_a) = core.submit_batch(batch("a", &[(1, 1)]), None).unwrap();
+        let (_, lane_b) = core.submit_batch(batch("b", &[(2, 2)]), None).unwrap();
+        let (la, lb) = (lane_a.unwrap(), lane_b.unwrap());
+        assert_ne!(la, lb, "least-loaded placement spreads batches");
+        let reg = core.metrics();
+        use fgqos_sim::metrics::MetricValue;
+        for lane in [la, lb] {
+            assert_eq!(
+                reg.get(&format!("serve.lane.{lane}.queue_depth")),
+                Some(&MetricValue::Gauge(1.0))
+            );
+        }
+        let ran_on = Arc::new(Mutex::new(Vec::new()));
+        let workers = start_batch(
+            &core,
+            2,
+            stub(Duration::ZERO),
+            batch_stub(Arc::clone(&ran_on)),
+        );
+        core.drain();
+        assert_eq!(ran_on.lock().unwrap().len(), 2);
+        let reg = core.metrics();
+        for lane in 0..2 {
+            assert_eq!(
+                reg.get(&format!("serve.lane.{lane}.executed")),
+                Some(&MetricValue::Counter(1)),
+                "each lane executed its own batch"
+            );
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_executor_failure_fails_every_point() {
+        let core = Arc::new(ServeCore::new(1, AdmissionConfig::default()));
+        let failing: crate::BatchExecutor = Arc::new(|_spec| Err("snapshot refused".into()));
+        let workers = start_batch(&core, 1, stub(Duration::ZERO), failing);
+        let (acks, _) = core
+            .submit_batch(batch("f", &[(1, 1), (2, 2)]), None)
+            .unwrap();
+        for (id, _) in acks {
+            assert_eq!(
+                wait_done(&core, id).0,
+                JobState::Failed("snapshot refused".into())
+            );
+        }
+        assert_eq!(core.drain().failed, 2);
+        for w in workers {
+            w.join().unwrap();
         }
     }
 

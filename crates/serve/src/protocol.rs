@@ -1,4 +1,4 @@
-//! The `fgqos.serve v1` wire protocol.
+//! The `fgqos.serve v2` wire protocol.
 //!
 //! Frames are newline-delimited JSON: one request object per line, one
 //! response object per line, in order. Both sides reuse
@@ -11,32 +11,50 @@
 //! ```json
 //! {"op":"submit","scenario":"<text>","cycles":200000,"until_done":"cpu",
 //!  "client":"alice","deadline_ms":5000}
+//! {"op":"submit_batch","scenario":"<text>","cycles":200000,
+//!  "warmup":1000000,"points":[{"period":1000,"budget":2048}],
+//!  "client":"alice","deadline_ms":5000}
 //! {"op":"status","job":1}
 //! {"op":"result","job":1}
 //! {"op":"metrics","format":"json"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Only `op` (and `scenario` / `job` where shown) is required; the other
-//! fields default. `client` names the admission-control principal
-//! (defaulting to the peer address), `deadline_ms` bounds how long the
-//! job may sit in the queue before it expires unexecuted.
+//! Only `op` (and `scenario` / `job` / `points` where shown) is
+//! required; the other fields default. `client` names the
+//! admission-control principal (defaulting to the peer address),
+//! `deadline_ms` bounds how long the job may sit in the queue before it
+//! expires unexecuted.
+//!
+//! `submit_batch` (v2) is a warm-start sweep slice: one scenario warmed
+//! for `warmup` cycles to a quiesced boundary, then one divergent run
+//! per point with that point's best-effort `period`/`budget` programmed
+//! at the boundary. Every point gets its own job id (individually
+//! `status`-/`result`-addressable and result-cached); the uncached
+//! points execute together on a single worker lane so the boundary
+//! `SocSnapshot` is captured once and forked per point.
 //!
 //! # Responses
 //!
-//! Every response carries `{"schema":"fgqos.serve","version":1,
+//! Every response carries `{"schema":"fgqos.serve","version":2,
 //! "ok":<bool>,"op":"<request op>"}` plus op-specific fields. A `result`
 //! response for a finished job embeds the full
 //! [`fgqos_bench::report::Report`] JSON document under `"report"` — the
-//! same schema the `exp_*` binaries write to `results/`.
+//! same schema the `exp_*` binaries write to `results/`. A
+//! `submit_batch` acknowledgement carries `"jobs"` (one id per point, in
+//! point order), `"cached"` (parallel booleans) and `"lane"` (the worker
+//! lane the uncached remainder was pinned to, absent when everything was
+//! answered from the cache).
 
 use fgqos_sim::json::Value;
 use std::io::BufRead;
 
 /// Schema identifier carried by every response.
 pub const SERVE_SCHEMA: &str = "fgqos.serve";
-/// Protocol version carried by every response.
-pub const SERVE_VERSION: u64 = 1;
+/// Protocol version carried by every response. Version 2 added
+/// `submit_batch` and the per-lane metrics; all v1 requests are
+/// unchanged.
+pub const SERVE_VERSION: u64 = 2;
 /// Default cap on a single request frame, in bytes (newline included).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 * 1024;
 
@@ -52,6 +70,35 @@ pub struct JobSpec {
     pub cycles: u64,
     /// Optional `--until-done` master name.
     pub until_done: Option<String>,
+}
+
+/// One grid point of a batch: the regulator knobs programmed at the
+/// warm boundary before the point's divergent run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchPoint {
+    /// Replenishment period (cycles) programmed into every best-effort
+    /// regulator.
+    pub period: u64,
+    /// Per-window budget (bytes) programmed into every best-effort
+    /// regulator.
+    pub budget: u64,
+}
+
+/// A warm-start sweep slice: one shared scenario prefix, many divergent
+/// points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchSpec {
+    /// Scenario file text (the same format `fgqos <file>` reads).
+    pub scenario: String,
+    /// Cycle budget of each point's divergent run, measured from the
+    /// warm boundary.
+    pub cycles: u64,
+    /// Optional `--until-done` master name for the divergent runs.
+    pub until_done: Option<String>,
+    /// Shared warm-up cycles run before the boundary is captured.
+    pub warmup: u64,
+    /// The grid points, in submission order.
+    pub points: Vec<BatchPoint>,
 }
 
 /// Requested metrics export format.
@@ -70,6 +117,15 @@ pub enum Request {
     Submit {
         /// The job identity (scenario text, cycles, options).
         spec: JobSpec,
+        /// Admission-control principal; defaults to the peer address.
+        client: Option<String>,
+        /// Queue deadline in milliseconds from submission.
+        deadline_ms: Option<u64>,
+    },
+    /// Enqueue a warm-start sweep slice (protocol v2).
+    SubmitBatch {
+        /// The batch identity: shared prefix plus per-point overrides.
+        spec: BatchSpec,
         /// Admission-control principal; defaults to the peer address.
         client: Option<String>,
         /// Queue deadline in milliseconds from submission.
@@ -220,6 +276,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 deadline_ms: opt_u64(&doc, "deadline_ms")?,
             })
         }
+        "submit_batch" => {
+            let scenario = doc
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("submit_batch needs a string 'scenario'")?
+                .to_string();
+            let points = doc
+                .get("points")
+                .and_then(Value::as_arr)
+                .ok_or("submit_batch needs an array 'points'")?
+                .iter()
+                .map(|p| {
+                    Ok(BatchPoint {
+                        period: req_u64(p, "period")?,
+                        budget: req_u64(p, "budget")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if points.is_empty() {
+                return Err("submit_batch needs at least one point".into());
+            }
+            Ok(Request::SubmitBatch {
+                spec: BatchSpec {
+                    scenario,
+                    cycles: opt_u64(&doc, "cycles")?.unwrap_or(1_000_000),
+                    until_done: opt_str(&doc, "until_done")?,
+                    warmup: opt_u64(&doc, "warmup")?.unwrap_or(0),
+                    points,
+                },
+                client: opt_str(&doc, "client")?,
+                deadline_ms: opt_u64(&doc, "deadline_ms")?,
+            })
+        }
         "status" => Ok(Request::Status {
             job: req_u64(&doc, "job")?,
         }),
@@ -297,6 +386,50 @@ mod tests {
         assert_eq!(spec.until_done.as_deref(), Some("cpu"));
         assert_eq!(client.as_deref(), Some("alice"));
         assert_eq!(deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parses_submit_batch() {
+        let r = parse_request(
+            r#"{"op":"submit_batch","scenario":"s","cycles":9000,"warmup":50000,"until_done":"cpu","points":[{"period":1000,"budget":2048},{"period":100000,"budget":204800}]}"#,
+        )
+        .unwrap();
+        let Request::SubmitBatch { spec, .. } = r else {
+            panic!("expected submit_batch");
+        };
+        assert_eq!(spec.cycles, 9_000);
+        assert_eq!(spec.warmup, 50_000);
+        assert_eq!(spec.until_done.as_deref(), Some("cpu"));
+        assert_eq!(
+            spec.points,
+            vec![
+                BatchPoint {
+                    period: 1_000,
+                    budget: 2_048
+                },
+                BatchPoint {
+                    period: 100_000,
+                    budget: 204_800
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn submit_batch_rejects_bad_points() {
+        assert!(parse_request(r#"{"op":"submit_batch","scenario":"s"}"#)
+            .unwrap_err()
+            .contains("points"));
+        assert!(
+            parse_request(r#"{"op":"submit_batch","scenario":"s","points":[]}"#)
+                .unwrap_err()
+                .contains("at least one point")
+        );
+        assert!(
+            parse_request(r#"{"op":"submit_batch","scenario":"s","points":[{"period":5}]}"#)
+                .unwrap_err()
+                .contains("budget")
+        );
     }
 
     #[test]

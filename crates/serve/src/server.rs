@@ -14,7 +14,7 @@ use crate::protocol::{
     error_response, parse_request, read_frame, response_head, FrameError, MetricsFormat, Request,
     DEFAULT_MAX_FRAME_BYTES,
 };
-use crate::Executor;
+use crate::{unsupported_batch_executor, BatchExecutor, Executor};
 use fgqos_sim::json::Value;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -86,7 +86,18 @@ impl ServerHandle {
 }
 
 /// Binds the listener, starts the worker pool and the accept loop.
+/// `submit_batch` requests are refused with a stable error; use
+/// [`start_with`] to install a real batch executor.
 pub fn start(cfg: ServeConfig, executor: Executor) -> io::Result<ServerHandle> {
+    start_with(cfg, executor, unsupported_batch_executor())
+}
+
+/// [`start`], with a [`BatchExecutor`] serving `submit_batch` requests.
+pub fn start_with(
+    cfg: ServeConfig,
+    executor: Executor,
+    batch_executor: BatchExecutor,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let threads = if cfg.threads > 0 {
@@ -96,10 +107,11 @@ pub fn start(cfg: ServeConfig, executor: Executor) -> io::Result<ServerHandle> {
     };
     let core = Arc::new(ServeCore::new(threads, cfg.admission));
     let workers = (0..threads)
-        .map(|_| {
+        .map(|lane| {
             let core = Arc::clone(&core);
             let executor = Arc::clone(&executor);
-            std::thread::spawn(move || core.worker_loop(executor))
+            let batch_executor = Arc::clone(&batch_executor);
+            std::thread::spawn(move || core.worker_loop(lane, executor, batch_executor))
         })
         .collect();
     let stop = Arc::new(AtomicBool::new(false));
@@ -230,6 +242,46 @@ fn dispatch(
                         "state",
                         Value::str(if cached.is_some() { "done" } else { "queued" }),
                     );
+                    resp
+                }
+            }
+        }
+        Request::SubmitBatch {
+            spec,
+            client,
+            deadline_ms,
+        } => {
+            let principal = client.unwrap_or_else(|| format!("peer:{peer}"));
+            // The whole frame — base scenario plus every point — is
+            // charged to the client's bucket in one admission decision:
+            // a sweep slice competes for ingress like the equivalent
+            // sequence of single submissions would.
+            if !core.admission.admit(&principal, line.len() as u64 + 1) {
+                let mut resp = error_response(
+                    "submit_batch",
+                    format!("admission denied: client {principal:?} is over its ingress budget"),
+                );
+                resp.set("denied", Value::Bool(true));
+                return resp;
+            }
+            let deadline = deadline_ms
+                .or(default_deadline_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            match core.submit_batch(spec, deadline) {
+                Err(message) => error_response("submit_batch", message),
+                Ok((acks, lane)) => {
+                    let mut resp = response_head("submit_batch", true);
+                    let mut jobs = Value::arr();
+                    let mut cached = Value::arr();
+                    for (id, hit) in &acks {
+                        jobs.push(Value::from(*id));
+                        cached.push(Value::Bool(hit.is_some()));
+                    }
+                    resp.set("jobs", jobs);
+                    resp.set("cached", cached);
+                    if let Some(lane) = lane {
+                        resp.set("lane", Value::from(lane as u64));
+                    }
                     resp
                 }
             }

@@ -46,7 +46,7 @@ impl TxnId {
 /// assert_eq!(arena.take(id), req);
 /// assert_eq!(arena.live(), 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TxnArena {
     master: Vec<MasterId>,
     serial: Vec<u64>,
@@ -155,6 +155,25 @@ impl TxnArena {
         );
         req.accepted_at = self.accepted_at[i];
         req
+    }
+
+    /// Feeds the arena's slot-recycling state into a snapshot
+    /// fingerprint.
+    ///
+    /// At a quiesced boundary no transaction is live, but the generation
+    /// counters and free-list order still determine which `TxnId`s
+    /// future allocations receive, so they are architectural state: two
+    /// arenas that differ here diverge on the very next `alloc`.
+    pub fn snap(&self, h: &mut fgqos_snap::StateHasher) {
+        h.section("arena");
+        h.write_usize(self.live);
+        h.write_usize(self.gen.len());
+        for &g in &self.gen {
+            h.write_u32(g);
+        }
+        for &f in &self.free {
+            h.write_u32(f);
+        }
     }
 
     /// Reconstructs the [`Request`] and releases the slot for reuse.

@@ -297,6 +297,61 @@ mod tests {
     }
 
     #[test]
+    fn wake_exactly_on_wheel_boundary_waits_in_far_heap() {
+        let mut cal = EventCalendar::new(3, 0);
+        // With the cursor at 0 the wheel covers [0, NEAR_SLOTS): the last
+        // in-window cycle is NEAR_SLOTS-1, and a wake at exactly
+        // NEAR_SLOTS is the first far cycle. Both map to adjacent slots,
+        // and the boundary one must not be visible a full lap early.
+        let edge = NEAR_SLOTS as u64;
+        cal.set(0, edge - 1);
+        cal.set(1, edge);
+        cal.set(2, edge); // two tokens sharing the boundary cycle
+        assert_eq!(cal.next_due(0), Some(edge - 1));
+        assert_eq!(due_at(&mut cal, edge - 1), [0]);
+        // Advancing one cycle pulls the window forward; the boundary
+        // wakes migrate out of the heap and fire exactly once.
+        assert_eq!(cal.next_due(edge), Some(edge));
+        assert_eq!(due_at(&mut cal, edge), [1, 2]);
+        assert_eq!(cal.next_due(edge + 1), None);
+    }
+
+    #[test]
+    fn boundary_reschedule_across_the_window_edge() {
+        let mut cal = EventCalendar::new(1, 0);
+        // Push a token back and forth across the window edge: the final
+        // wake is authoritative, the superseded entries (one in the
+        // wheel, one in the heap) must both be dropped lazily.
+        let edge = NEAR_SLOTS as u64;
+        cal.set(0, edge - 1); // wheel
+        cal.set(0, edge + 5); // heap — supersedes the wheel entry
+        cal.set(0, edge - 2); // wheel again — supersedes the heap entry
+        assert_eq!(cal.next_due(0), Some(edge - 2));
+        assert_eq!(due_at(&mut cal, edge - 2), [0]);
+        assert!(due_at(&mut cal, edge - 1).is_empty());
+        assert_eq!(cal.next_due(edge), None);
+        assert!(due_at(&mut cal, edge + 5).is_empty());
+    }
+
+    #[test]
+    fn far_promotion_into_wrapped_slot() {
+        let mut cal = EventCalendar::new(2, 0);
+        cal.set(0, 300); // far from cursor 0
+        cal.set(1, 2_000); // stays far
+
+        // At cursor 200 the window is [200, 456): cycle 300 is promoted
+        // into slot 300 % 256 = 44, numerically *behind* the cursor's own
+        // slot (200 % 256 = 200) — the wrapped half of the wheel. The
+        // scan must still find it at the right cycle.
+        assert_eq!(cal.next_due(200), Some(300));
+        assert_eq!(due_at(&mut cal, 300), [0]);
+        // And the wrapped entry must not resurface a lap later.
+        assert_eq!(cal.next_due(301), Some(2_000));
+        assert_eq!(due_at(&mut cal, 2_000), [1]);
+        assert_eq!(cal.next_due(2_001), None);
+    }
+
+    #[test]
     fn dense_steady_state() {
         // Simulates the contended regime: one token rescheduled every few
         // cycles for a long stretch, interleaved with a periodic far wake.

@@ -12,6 +12,7 @@
 use crate::axi::{Dir, Response, BEAT_BYTES};
 use crate::master::{PendingRequest, TrafficSource};
 use crate::time::Cycle;
+use fgqos_snap::{ForkCtx, StateHasher};
 use std::collections::VecDeque;
 
 /// Geometry and timing of a [`Cache`].
@@ -190,6 +191,28 @@ impl Cache {
         addr - addr % self.cfg.line_bytes
     }
 
+    /// Feeds the full cache state (geometry, every line, LRU clock,
+    /// counters) into a snapshot fingerprint stream.
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("cache");
+        h.write_u64(self.cfg.size_bytes);
+        h.write_u64(self.cfg.line_bytes);
+        h.write_usize(self.cfg.ways);
+        h.write_u64(self.cfg.hit_latency);
+        h.write_u64(self.tick);
+        h.write_u64(self.stats.hits);
+        h.write_u64(self.stats.misses);
+        h.write_u64(self.stats.writebacks);
+        for set in &self.sets {
+            for line in set {
+                h.write_u64(line.tag);
+                h.write_bool(line.valid);
+                h.write_bool(line.dirty);
+                h.write_u64(line.lru);
+            }
+        }
+    }
+
     /// Performs one access; `is_write` marks the line dirty on hit or
     /// fill (write-allocate).
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
@@ -237,6 +260,7 @@ impl Cache {
 /// loads vs. stores). The wrapper models a blocking in-order core: hits
 /// advance a local time cursor by the hit latency, the miss under
 /// service blocks the core until its fill returns.
+#[derive(Clone)]
 pub struct CachedSource<S> {
     inner: S,
     cache: Cache,
@@ -281,7 +305,7 @@ impl<S: TrafficSource> CachedSource<S> {
     }
 }
 
-impl<S: TrafficSource> TrafficSource for CachedSource<S> {
+impl<S: TrafficSource + Clone + 'static> TrafficSource for CachedSource<S> {
     fn next_request(&mut self, now: Cycle) -> Option<PendingRequest> {
         if let Some(p) = self.queue.pop_front() {
             return Some(p);
@@ -336,6 +360,25 @@ impl<S: TrafficSource> TrafficSource for CachedSource<S> {
             // happens once the cursor is reached.
             Some(self.cursor.max(now))
         }
+    }
+
+    fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("cached-source");
+        self.inner.snap_state(h);
+        self.cache.snap(h);
+        h.write_u64(self.cursor.get());
+        h.write_usize(self.queue.len());
+        for p in &self.queue {
+            h.write_u64(p.addr);
+            h.write_u16(p.beats);
+            h.write_bool(p.dir == Dir::Write);
+            h.write_u64(p.not_before.get());
+        }
+        h.write_u64(self.accesses_done);
     }
 }
 

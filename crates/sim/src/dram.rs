@@ -181,7 +181,7 @@ impl DramStats {
 
 /// The DRAM controller: shared queue, per-bank row state, FR-FCFS
 /// scheduler, shared data bus.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DramController {
     cfg: DramConfig,
     queue: VecDeque<Queued>,
@@ -457,6 +457,55 @@ impl DramController {
     /// True when no request is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.in_service.is_empty()
+    }
+
+    /// Feeds the controller's architectural state — queue, bank rows,
+    /// bus/turnaround state, refresh schedule and statistics — into a
+    /// snapshot fingerprint.
+    pub fn snap(&self, h: &mut fgqos_snap::StateHasher) {
+        h.section("dram");
+        h.write_usize(self.queue.len());
+        for q in &self.queue {
+            h.write_usize(q.txn.index());
+            h.write_u64(q.addr);
+            h.write_u16(q.beats);
+            h.write_bool(q.dir == Dir::Write);
+            h.write_u64(q.arrived.get());
+        }
+        for b in &self.banks {
+            match b.open_row {
+                Some(r) => {
+                    h.write_bool(true);
+                    h.write_u64(r);
+                }
+                None => h.write_bool(false),
+            }
+            h.write_u64(b.ready_at.get());
+        }
+        h.write_u64(self.bus_free_at.get());
+        match self.last_dir {
+            Some(d) => {
+                h.write_bool(true);
+                h.write_bool(d == Dir::Write);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_usize(self.in_service.len());
+        for s in &self.in_service {
+            h.write_usize(s.txn.index());
+            h.write_u64(s.complete_at.get());
+        }
+        h.write_u64(self.next_refresh.get());
+        h.write_u32(self.hit_streak);
+        h.write_bool(self.draining_writes);
+        h.write_u64(self.stats.bytes_completed);
+        h.write_u64(self.stats.reads);
+        h.write_u64(self.stats.writes);
+        h.write_u64(self.stats.row_hits);
+        h.write_u64(self.stats.row_misses);
+        h.write_u64(self.stats.bus_busy_cycles);
+        h.write_u64(self.stats.refreshes);
+        self.stats.queue_wait.snap(h);
     }
 }
 

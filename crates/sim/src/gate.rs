@@ -14,6 +14,7 @@
 use crate::axi::{Request, Response};
 use crate::metrics::MetricsRegistry;
 use crate::time::Cycle;
+use fgqos_snap::{ForkCtx, StateHasher};
 
 /// Outcome of presenting a request to a gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,27 @@ pub trait PortGate {
     /// gates cost nothing. Regulators should expose their configured
     /// budget/period and accumulated counters here with stable names.
     fn collect_metrics(&self, _prefix: &str, _registry: &mut MetricsRegistry) {}
+
+    /// Deep-copies this gate for a forked run, remapping shared handles
+    /// (register files, aggregate budget state) through `ctx`.
+    ///
+    /// Returning `None` — the default — declares the gate unforkable and
+    /// makes [`Soc::snapshot`](crate::system::Soc::snapshot) fail with
+    /// [`fgqos_snap::SnapshotError::Unforkable`]. Forkable gates must
+    /// copy *every* field that influences future decisions, so a forked
+    /// run is bit-identical to continuing the original.
+    fn fork_gate(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        None
+    }
+
+    /// Feeds this gate's architectural state into a snapshot fingerprint.
+    ///
+    /// The default writes only the label, which is sufficient for
+    /// stateless gates; stateful gates must hash every field covered by
+    /// [`PortGate::fork_gate`].
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section(self.label());
+    }
 }
 
 impl PortGate for Box<dyn PortGate> {
@@ -127,6 +149,14 @@ impl PortGate for Box<dyn PortGate> {
     fn collect_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         self.as_ref().collect_metrics(prefix, registry);
     }
+
+    fn fork_gate(&self, ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        self.as_ref().fork_gate(ctx)
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        self.as_ref().snap_state(h);
+    }
 }
 
 /// A gate that admits everything: the unregulated baseline.
@@ -154,6 +184,10 @@ impl PortGate for OpenGate {
 
     fn label(&self) -> &'static str {
         "open"
+    }
+
+    fn fork_gate(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
+        Some(Box::new(*self))
     }
 }
 

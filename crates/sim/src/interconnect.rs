@@ -65,7 +65,7 @@ impl Default for XbarConfig {
 /// Port FIFOs hold [`TxnId`] handles into the SoC's transaction arena,
 /// so a queued transaction is one machine word and forwarding copies no
 /// payload.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Crossbar {
     cfg: XbarConfig,
     ports: Vec<VecDeque<TxnId>>,
@@ -184,6 +184,30 @@ impl Crossbar {
             Some(now)
         } else {
             None
+        }
+    }
+
+    /// Feeds the crossbar's architectural state — FIFO contents,
+    /// arbitration cursor and weighted-round-robin credit — into a
+    /// snapshot fingerprint.
+    pub fn snap(&self, h: &mut fgqos_snap::StateHasher) {
+        h.section("xbar");
+        h.write_str(self.cfg.arbitration.label());
+        h.write_usize(self.cfg.port_fifo_depth);
+        h.write_usize(self.ports.len());
+        for port in &self.ports {
+            h.write_usize(port.len());
+            for id in port {
+                h.write_usize(id.index());
+            }
+        }
+        h.write_usize(self.queued);
+        h.write_usize(self.rr_next);
+        for &w in &self.weights {
+            h.write_u32(w);
+        }
+        for &c in &self.swrr_credit {
+            h.write_u64(c as u64);
         }
     }
 

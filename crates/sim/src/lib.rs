@@ -68,6 +68,7 @@ pub mod interconnect;
 pub mod json;
 pub mod master;
 pub mod metrics;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 pub mod time;
@@ -84,10 +85,15 @@ pub use master::{
     Master, MasterKind, MasterStats, PendingRequest, SequentialSource, TrafficSource,
 };
 pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use snapshot::{SocSnapshot, SNAPSHOT_VERSION};
 pub use stats::{BandwidthMeter, LatencyStats, WindowLatency, WindowRecorder};
 pub use system::{Controller, Soc, SocBuilder, SocConfig};
 pub use time::{Bandwidth, Cycle, Freq};
 pub use trace::{ChromeTraceBuilder, Trace, TraceEvent, TracingGate};
+
+// Snapshot building blocks, re-exported so downstream crates implement the
+// fork/snap seams without depending on `fgqos-snap` directly.
+pub use fgqos_snap::{CowVec, ForkCtx, SharedFork, SnapshotError, StateHasher};
 
 /// Commonly used items, intended for glob import in examples and tests.
 pub mod prelude {
@@ -100,6 +106,7 @@ pub mod prelude {
         MasterKind, MasterStats, PendingRequest, SequentialSource, TrafficSource,
     };
     pub use crate::metrics::{MetricValue, MetricsRegistry};
+    pub use crate::snapshot::{SocSnapshot, SNAPSHOT_VERSION};
     pub use crate::stats::{BandwidthMeter, LatencyStats};
     pub use crate::system::{Controller, Soc, SocBuilder, SocConfig};
     pub use crate::time::{Bandwidth, Cycle, Freq};

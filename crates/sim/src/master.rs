@@ -12,6 +12,7 @@ use crate::gate::{GateDecision, PortGate};
 use crate::interconnect::Crossbar;
 use crate::stats::{BandwidthMeter, LatencyStats, WindowRecorder};
 use crate::time::Cycle;
+use fgqos_snap::{ForkCtx, SnapshotError, StateHasher};
 use std::fmt;
 
 /// Broad class of a master, fixing sensible defaults.
@@ -77,6 +78,21 @@ pub trait TrafficSource {
     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         Some(now)
     }
+
+    /// Deep-copies this source for a forked run, remapping shared
+    /// handles through `ctx`. Returning `None` — the default — declares
+    /// the source unforkable and makes
+    /// [`Soc::snapshot`](crate::system::Soc::snapshot) fail.
+    fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        None
+    }
+
+    /// Feeds this source's architectural state into a snapshot
+    /// fingerprint. Stateful sources must hash every field that
+    /// influences the remaining request stream.
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("source");
+    }
 }
 
 impl TrafficSource for Box<dyn TrafficSource> {
@@ -94,6 +110,14 @@ impl TrafficSource for Box<dyn TrafficSource> {
 
     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         self.as_ref().next_activity(now)
+    }
+
+    fn fork_source(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        self.as_ref().fork_source(ctx)
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        self.as_ref().snap_state(h);
     }
 }
 
@@ -200,6 +224,18 @@ impl SequentialSource {
         self
     }
 
+    /// Delays the first request until `cycle`: the source sleeps (its
+    /// `next_activity` reports `cycle` while idle) and the first
+    /// request's `not_before` is at least `cycle`.
+    ///
+    /// Warm-start sweeps use this to keep a measured master idle through
+    /// the shared warm-up phase, so the quiesce point can be taken
+    /// before it issues its first transaction.
+    pub fn with_start(mut self, cycle: u64) -> Self {
+        self.next_ready = Cycle::new(cycle);
+        self
+    }
+
     /// Transactions generated so far.
     pub fn issued(&self) -> u64 {
         self.issued
@@ -247,10 +283,28 @@ impl TrafficSource for SequentialSource {
             Some(self.next_ready.max(now))
         }
     }
+
+    fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("seq-source");
+        h.write_u64(self.base);
+        h.write_u64(self.next_addr);
+        h.write_u16(self.beats);
+        h.write_bool(self.dir == Dir::Write);
+        h.write_u64(self.total_txns);
+        h.write_u64(self.issued);
+        h.write_u64(self.gap);
+        h.write_u64(self.think_time);
+        h.write_u64(self.footprint);
+        h.write_u64(self.next_ready.get());
+    }
 }
 
 /// Per-master measurement record.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MasterStats {
     /// Requests accepted into the interconnect.
     pub issued_txns: u64,
@@ -270,6 +324,28 @@ pub struct MasterStats {
     pub meter: BandwidthMeter,
     /// Optional per-window byte series for timeline figures.
     pub window: Option<WindowRecorder>,
+}
+
+impl MasterStats {
+    /// Feeds the record into a snapshot fingerprint.
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("stats");
+        h.write_u64(self.issued_txns);
+        h.write_u64(self.completed_txns);
+        h.write_u64(self.bytes_completed);
+        self.latency.snap(h);
+        self.service_latency.snap(h);
+        h.write_u64(self.gate_stall_cycles);
+        h.write_u64(self.fifo_stall_cycles);
+        self.meter.snap(h);
+        match &self.window {
+            Some(w) => {
+                h.write_bool(true);
+                w.snap(h);
+            }
+            None => h.write_bool(false),
+        }
+    }
 }
 
 /// One master port: source + gate + issue state machine.
@@ -570,6 +646,94 @@ impl Master {
         // A completion may flip a capacity-based gate denial (e.g. an
         // in-flight cap): force one live retry before sleeping again.
         self.gate_dirty = true;
+    }
+
+    /// Deep-copies this master for a forked run, remapping shared
+    /// handles through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Unforkable`] when the source or gate
+    /// does not implement forking.
+    pub(crate) fn fork(&self, ctx: &mut ForkCtx) -> Result<Master, SnapshotError> {
+        let source = self
+            .source
+            .fork_source(ctx)
+            .ok_or_else(|| SnapshotError::Unforkable {
+                label: format!("{}.source", self.name),
+            })?;
+        let gate = self
+            .gate
+            .fork_gate(ctx)
+            .ok_or_else(|| SnapshotError::Unforkable {
+                label: format!("{}.{}", self.name, self.gate.label()),
+            })?;
+        Ok(Master {
+            id: self.id,
+            name: self.name.clone(),
+            kind: self.kind,
+            source,
+            gate,
+            max_outstanding: self.max_outstanding,
+            staged: self.staged,
+            in_flight: self.in_flight,
+            serial: self.serial,
+            last_denied: self.last_denied,
+            gate_dirty: self.gate_dirty,
+            retry_at: self.retry_at,
+            fifo_blocked: self.fifo_blocked,
+            pull_pending: self.pull_pending,
+            last_tick: self.last_tick,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Feeds the master's full state — issue state machine, fast-forward
+    /// bookkeeping, source, gate and statistics — into a snapshot
+    /// fingerprint.
+    pub(crate) fn snap(&self, h: &mut StateHasher) {
+        h.section("master");
+        h.write_usize(self.id.index());
+        h.write_str(&self.name);
+        h.write_u8(match self.kind {
+            MasterKind::Cpu => 0,
+            MasterKind::Accelerator => 1,
+        });
+        h.write_usize(self.max_outstanding);
+        match &self.staged {
+            Some((p, first)) => {
+                h.write_bool(true);
+                h.write_u64(p.addr);
+                h.write_u16(p.beats);
+                h.write_bool(p.dir == Dir::Write);
+                h.write_u64(p.not_before.get());
+                match first {
+                    Some(c) => {
+                        h.write_bool(true);
+                        h.write_u64(c.get());
+                    }
+                    None => h.write_bool(false),
+                }
+            }
+            None => h.write_bool(false),
+        }
+        h.write_usize(self.in_flight);
+        h.write_u64(self.serial);
+        h.write_bool(self.last_denied);
+        h.write_bool(self.gate_dirty);
+        match self.retry_at {
+            Some(c) => {
+                h.write_bool(true);
+                h.write_u64(c.get());
+            }
+            None => h.write_bool(false),
+        }
+        h.write_bool(self.fifo_blocked);
+        h.write_bool(self.pull_pending);
+        h.write_u64(self.last_tick.get());
+        self.source.snap_state(h);
+        self.gate.snap_state(h);
+        self.stats.snap(h);
     }
 
     /// Shared access to the port gate (metrics snapshots).

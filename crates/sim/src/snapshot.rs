@@ -1,0 +1,347 @@
+//! Quiesced-boundary snapshot and deterministic fork of a [`Soc`].
+//!
+//! A [`SocSnapshot`] captures a Soc at a **quiesced boundary** — no
+//! transaction in flight anywhere on the memory path — which is exactly
+//! the state from which no calendar, crossbar-FIFO, DRAM-queue or
+//! in-service state needs to be serialised: the event calendar is
+//! rebuilt from component `next_activity` contracts at every run entry,
+//! and an empty transaction arena implies every queue between master and
+//! DRAM is drained. What remains is per-component architectural state
+//! (sources, gates, bank rows, statistics), which every component knows
+//! how to deep-copy (`fork_*`) and hash (`snap_state`).
+//!
+//! **Fingerprint.** [`Soc::fingerprint`] folds the full architectural
+//! state through a byte-stable FNV-1a stream ([`fgqos_snap::StateHasher`])
+//! prefixed by [`SNAPSHOT_VERSION`]. Two Socs with equal fingerprints
+//! behave identically for the rest of the run (same future requests,
+//! same decisions, same reports); the fork-vs-cold proptest in
+//! `tests/snapshot.rs` is the evidence.
+//!
+//! **Forking.** [`SocSnapshot::fork`] produces an independent Soc that
+//! continues from the boundary. Shared handles (regulator register
+//! files, aggregate budget state) are remapped through a
+//! [`fgqos_snap::ForkCtx`] so sharing topology is preserved; external
+//! driver handles can join the same context via
+//! [`SocSnapshot::fork_with`] plus the driver-side rebinding helpers
+//! (e.g. `RegulatorDriver::forked` in `fgqos-core`). Large stat arrays
+//! are copy-on-write, so N forks share one warm-up history until they
+//! write.
+//!
+//! **Versioning.** [`SNAPSHOT_VERSION`] is bumped whenever the hash
+//! stream's encoding or component order changes, so fingerprints from
+//! different stream layouts can never collide silently.
+
+use crate::system::Soc;
+use crate::time::Cycle;
+use fgqos_snap::{ForkCtx, SnapshotError, StateHasher};
+
+/// Version of the snapshot fingerprint stream. Bumped whenever the
+/// encoding or the component traversal order changes; folded into every
+/// fingerprint, so fingerprints from different versions never compare
+/// equal.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl Soc {
+    /// FNV-1a 64 fingerprint over the full architectural state: current
+    /// cycle, every master (issue state machine, source, gate,
+    /// statistics), crossbar, DRAM controller, controllers and the
+    /// transaction arena, prefixed by [`SNAPSHOT_VERSION`].
+    ///
+    /// Callable at any cycle (not only quiesced boundaries); two Socs
+    /// with equal fingerprints and equal in-flight state behave
+    /// identically from here on.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StateHasher::new();
+        self.snap(&mut h);
+        h.finish()
+    }
+
+    /// Feeds the full architectural state into `h` (the fingerprint
+    /// stream; see [`Soc::fingerprint`]).
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("fgqos.soc-snapshot");
+        h.write_u32(SNAPSHOT_VERSION);
+        h.write_u64(self.freq.hz());
+        h.write_u64(self.cycle.get());
+        h.write_bool(self.naive);
+        h.write_usize(self.masters.len());
+        for m in &self.masters {
+            m.snap(h);
+        }
+        self.xbar.snap(h);
+        self.dram.snap(h);
+        h.write_usize(self.controllers.len());
+        for c in &self.controllers {
+            c.snap_state(h);
+        }
+        self.arena.snap(h);
+    }
+
+    /// Deep-copies this Soc, remapping shared handles through `ctx`.
+    ///
+    /// External driver handles bound to this Soc (e.g. a
+    /// `RegulatorDriver` holding the same register file as a gate) can
+    /// be rebound to the copy by passing the same `ctx` to their
+    /// `forked` helpers, in any order relative to this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Unforkable`] when any source, gate or
+    /// controller does not implement forking (interrupt dispatchers and
+    /// tracing gates are the stock examples).
+    pub fn fork_with(&self, ctx: &mut ForkCtx) -> Result<Soc, SnapshotError> {
+        let mut masters = Vec::with_capacity(self.masters.len());
+        for m in &self.masters {
+            masters.push(m.fork(ctx)?);
+        }
+        let mut controllers = Vec::with_capacity(self.controllers.len());
+        for c in &self.controllers {
+            controllers.push(c.fork_ctrl(ctx).ok_or_else(|| SnapshotError::Unforkable {
+                label: c.label().to_string(),
+            })?);
+        }
+        Ok(Soc {
+            freq: self.freq,
+            cycle: self.cycle,
+            masters,
+            xbar: self.xbar.clone(),
+            dram: self.dram.clone(),
+            controllers,
+            arena: self.arena.clone(),
+            naive: self.naive,
+        })
+    }
+
+    /// Captures this Soc into a versioned snapshot, consuming it.
+    ///
+    /// The Soc must be at a quiesced boundary (see [`Soc::is_quiesced`]
+    /// and [`Soc::quiesce_point`]). Forkability of every component is
+    /// validated by a probe fork at capture time, so the per-point
+    /// [`SocSnapshot::fork`] calls cannot fail later.
+    ///
+    /// Consuming the Soc keeps its shared handles alive unchanged, which
+    /// is what lets external drivers rebind to forks: the `ForkCtx` maps
+    /// *original* handle pointers, and the originals live inside the
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotQuiesced`] when transactions are in flight;
+    /// [`SnapshotError::Unforkable`] when a component cannot be forked.
+    pub fn snapshot(self) -> Result<SocSnapshot, SnapshotError> {
+        if !self.is_quiesced() {
+            return Err(SnapshotError::NotQuiesced {
+                live_txns: self.arena.live(),
+            });
+        }
+        // Probe fork: surfaces Unforkable now instead of per point.
+        let mut probe = ForkCtx::new();
+        self.fork_with(&mut probe)?;
+        let fingerprint = self.fingerprint();
+        Ok(SocSnapshot {
+            soc: self,
+            fingerprint,
+        })
+    }
+
+    /// Reconstructs a runnable Soc from a snapshot (a fresh fork; the
+    /// snapshot remains usable for further forks).
+    pub fn restore(snapshot: &SocSnapshot) -> Soc {
+        snapshot.fork()
+    }
+}
+
+/// A [`Soc`] captured at a quiesced boundary, ready to fork N divergent
+/// runs.
+///
+/// ```
+/// use fgqos_sim::prelude::*;
+///
+/// let mut soc = SocBuilder::new(SocConfig::default())
+///     .master("dma", SequentialSource::reads(0, 1024, 64), MasterKind::Accelerator)
+///     .build();
+/// soc.run(5_000);
+/// let at = soc.quiesce_point(1_000_000).expect("drains");
+/// let snap = soc.snapshot().expect("quiesced and forkable");
+/// assert_eq!(snap.cycle(), at);
+///
+/// // Two forks diverge independently but start bit-identical.
+/// let mut a = snap.fork();
+/// let mut b = snap.fork();
+/// assert_eq!(a.fingerprint(), snap.fingerprint());
+/// a.run(10_000);
+/// b.run(20_000);
+/// ```
+pub struct SocSnapshot {
+    soc: Soc,
+    fingerprint: u64,
+}
+
+impl std::fmt::Debug for SocSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocSnapshot")
+            .field("version", &SNAPSHOT_VERSION)
+            .field("cycle", &self.soc.now())
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint))
+            .finish()
+    }
+}
+
+impl SocSnapshot {
+    /// The fingerprint stream version this snapshot was captured under.
+    pub fn version(&self) -> u32 {
+        SNAPSHOT_VERSION
+    }
+
+    /// Fingerprint of the captured state (see [`Soc::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The boundary cycle the snapshot was captured at.
+    pub fn cycle(&self) -> Cycle {
+        self.soc.now()
+    }
+
+    /// Forks an independent Soc continuing from the captured boundary.
+    ///
+    /// Use when no external driver handles need rebinding; otherwise see
+    /// [`SocSnapshot::fork_with`].
+    pub fn fork(&self) -> Soc {
+        let mut ctx = ForkCtx::new();
+        self.fork_with(&mut ctx)
+    }
+
+    /// Forks an independent Soc, remapping shared handles through `ctx`
+    /// so external driver handles can be rebound to the same fork (pass
+    /// the same `ctx` to the drivers' `forked` helpers).
+    pub fn fork_with(&self, ctx: &mut ForkCtx) -> Soc {
+        self.soc
+            .fork_with(ctx)
+            .expect("forkability was validated at capture")
+    }
+
+    /// Recomputes the captured state's fingerprint and compares it with
+    /// the one recorded at capture (a self-check for tests and debug
+    /// assertions; snapshots are immutable, so this can only fail on a
+    /// hashing bug).
+    pub fn verify(&self) -> bool {
+        self.soc.fingerprint() == self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axi::MasterId;
+    use crate::dram::DramConfig;
+    use crate::master::{MasterKind, SequentialSource};
+    use crate::system::{SocBuilder, SocConfig};
+
+    fn cfg() -> SocConfig {
+        SocConfig {
+            dram: DramConfig {
+                t_refi: 0,
+                ..DramConfig::default()
+            },
+            ..SocConfig::default()
+        }
+    }
+
+    fn two_master_soc() -> Soc {
+        SocBuilder::new(cfg())
+            .master(
+                "dma",
+                SequentialSource::reads(0, 1024, 400).with_gap(500),
+                MasterKind::Accelerator,
+            )
+            .master(
+                "cpu",
+                SequentialSource::reads(1 << 24, 256, 400).with_think_time(300),
+                MasterKind::Cpu,
+            )
+            .build()
+    }
+
+    #[test]
+    fn quiesce_point_reaches_empty_pipeline() {
+        let mut soc = two_master_soc();
+        soc.run(10_000);
+        let at = soc
+            .quiesce_point(10_000_000)
+            .expect("gapped traffic drains");
+        assert!(soc.is_quiesced());
+        assert_eq!(soc.now(), at);
+    }
+
+    #[test]
+    fn snapshot_rejects_in_flight_state() {
+        let mut soc = SocBuilder::new(cfg())
+            .master(
+                "dma",
+                SequentialSource::reads(0, 4096, u64::MAX),
+                MasterKind::Accelerator,
+            )
+            .build();
+        soc.run(5_000);
+        assert!(!soc.is_quiesced(), "saturated soc must have live txns");
+        match soc.snapshot() {
+            Err(SnapshotError::NotQuiesced { live_txns }) => assert!(live_txns > 0),
+            other => panic!("expected NotQuiesced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fork_continues_bit_identical_to_original() {
+        let mut soc = two_master_soc();
+        soc.run(20_000);
+        soc.quiesce_point(10_000_000).expect("drains");
+        let baseline = soc.fingerprint();
+        let snap = soc.snapshot().expect("quiesced");
+        assert_eq!(snap.fingerprint(), baseline);
+        assert!(snap.verify());
+
+        let mut a = snap.fork();
+        let mut b = Soc::restore(&snap);
+        assert_eq!(a.fingerprint(), baseline);
+        a.run(50_000);
+        b.run(50_000);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "forks must not diverge");
+        assert_ne!(a.fingerprint(), baseline, "runs must make progress");
+        assert_eq!(
+            a.master_stats(MasterId::new(0)).completed_txns,
+            b.master_stats(MasterId::new(0)).completed_txns
+        );
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut soc = two_master_soc();
+        soc.run(20_000);
+        soc.quiesce_point(10_000_000).expect("drains");
+        let snap = soc.snapshot().expect("quiesced");
+        let mut a = snap.fork();
+        let b = snap.fork();
+        let b_before = b.fingerprint();
+        a.run(100_000);
+        assert_eq!(
+            b.fingerprint(),
+            b_before,
+            "running a fork must not touch another"
+        );
+    }
+
+    #[test]
+    fn quiesce_point_times_out_under_saturation() {
+        let mut soc = SocBuilder::new(cfg())
+            .master(
+                "dma",
+                SequentialSource::reads(0, 4096, u64::MAX),
+                MasterKind::Accelerator,
+            )
+            .build();
+        soc.run(5_000);
+        // An unregulated streaming master keeps the pipeline full.
+        assert_eq!(soc.quiesce_point(50_000), None);
+    }
+}

@@ -6,6 +6,7 @@
 //! attached to every master for arbitrarily long runs.
 
 use crate::time::{Bandwidth, Cycle, Freq};
+use fgqos_snap::{CowVec, StateHasher};
 
 /// Accumulates transferred bytes over an interval and converts the count
 /// into a [`Bandwidth`].
@@ -66,6 +67,14 @@ impl BandwidthMeter {
         self.txns = 0;
         self.start = now;
     }
+
+    /// Feeds the meter's state into a snapshot fingerprint.
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("meter");
+        h.write_u64(self.bytes);
+        h.write_u64(self.txns);
+        h.write_u64(self.start.get());
+    }
 }
 
 /// Number of log2 magnitude groups in [`LatencyStats`].
@@ -90,7 +99,9 @@ const SUBS: usize = 16;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LatencyStats {
-    buckets: Vec<u64>,
+    // Copy-on-write so forked runs share the warm-up histogram until
+    // their first sample (see `fgqos_snap::CowVec`).
+    buckets: CowVec<u64>,
     count: u64,
     sum: u128,
     min: u64,
@@ -107,7 +118,7 @@ impl LatencyStats {
     /// Creates an empty distribution.
     pub fn new() -> Self {
         LatencyStats {
-            buckets: vec![0; GROUPS * SUBS],
+            buckets: CowVec::new(vec![0; GROUPS * SUBS]),
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -226,7 +237,7 @@ impl LatencyStats {
     /// array (used by per-window latency recording, which reuses one
     /// scratch histogram per window).
     pub fn clear(&mut self) {
-        self.buckets.fill(0);
+        self.buckets.make_mut().fill(0);
         self.count = 0;
         self.sum = 0;
         self.min = u64::MAX;
@@ -235,13 +246,27 @@ impl LatencyStats {
 
     /// Merges another distribution into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+        for (a, b) in self.buckets.make_mut().iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Feeds the distribution's state into a snapshot fingerprint
+    /// (summary fields plus the non-empty buckets as index/count pairs).
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("latency");
+        h.write_u64(self.count);
+        h.write_u128(self.sum);
+        h.write_u64(self.min);
+        h.write_u64(self.max);
+        for (i, &c) in self.buckets.iter().enumerate().filter(|(_, &c)| c > 0) {
+            h.write_usize(i);
+            h.write_u64(c);
+        }
     }
 }
 
@@ -262,11 +287,13 @@ pub struct WindowRecorder {
     window_cycles: u64,
     current_window: u64,
     current_value: u64,
-    windows: Vec<u64>,
+    // Copy-on-write so forked runs share the warm-up series until they
+    // close their first window.
+    windows: CowVec<u64>,
     /// Scratch histogram for the current window; `Some` enables per-window
     /// latency summaries (see [`WindowRecorder::with_latency`]).
     lat_scratch: Option<LatencyStats>,
-    lat_windows: Vec<WindowLatency>,
+    lat_windows: CowVec<WindowLatency>,
 }
 
 /// Per-window latency summary produced by a [`WindowRecorder`] in latency
@@ -294,9 +321,9 @@ impl WindowRecorder {
             window_cycles,
             current_window: 0,
             current_value: 0,
-            windows: Vec::new(),
+            windows: CowVec::default(),
             lat_scratch: None,
-            lat_windows: Vec::new(),
+            lat_windows: CowVec::default(),
         }
     }
 
@@ -374,6 +401,31 @@ impl WindowRecorder {
     /// Largest closed-window value, or 0 if none.
     pub fn max_window(&self) -> u64 {
         self.windows.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Feeds the recorder's state into a snapshot fingerprint.
+    pub fn snap(&self, h: &mut StateHasher) {
+        h.section("window-recorder");
+        h.write_u64(self.window_cycles);
+        h.write_u64(self.current_window);
+        h.write_u64(self.current_value);
+        h.write_usize(self.windows.len());
+        for &w in self.windows.iter() {
+            h.write_u64(w);
+        }
+        match &self.lat_scratch {
+            Some(s) => {
+                h.write_bool(true);
+                s.snap(h);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_usize(self.lat_windows.len());
+        for lw in self.lat_windows.iter() {
+            h.write_u64(lw.count);
+            h.write_u64(lw.p50);
+            h.write_u64(lw.p99);
+        }
     }
 }
 

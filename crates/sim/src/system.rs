@@ -26,6 +26,7 @@ use crate::master::{Master, MasterKind, MasterStats, TrafficSource};
 use crate::metrics::MetricsRegistry;
 use crate::time::{Bandwidth, Cycle, Freq};
 use crate::trace::{ChromeTraceBuilder, Trace};
+use fgqos_snap::{ForkCtx, StateHasher};
 
 /// Top-level SoC parameters.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +65,20 @@ pub trait Controller {
     /// Short label for reports.
     fn label(&self) -> &'static str {
         "controller"
+    }
+
+    /// Deep-copies this controller for a forked run, remapping shared
+    /// handles (driver register files) through `ctx`. Returning `None` —
+    /// the default — declares the controller unforkable and makes
+    /// [`Soc::snapshot`] fail.
+    fn fork_ctrl(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn Controller>> {
+        None
+    }
+
+    /// Feeds this controller's architectural state into a snapshot
+    /// fingerprint; the default writes only the label.
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section(self.label());
     }
 }
 
@@ -217,18 +232,22 @@ enum StopWhen {
     MasterDone(MasterId),
     /// Stop when every master drains ([`Soc::run_until_all_done`]).
     AllDone,
+    /// Stop at the first quiesced boundary ([`Soc::quiesce_point`]).
+    Quiesced,
 }
 
 /// The simulated SoC: masters, crossbar, DRAM and software controllers.
+// Fields are crate-visible for the snapshot/fork module (snapshot.rs),
+// which reassembles a Soc field by field.
 pub struct Soc {
-    freq: Freq,
-    cycle: Cycle,
-    masters: Vec<Master>,
-    xbar: Crossbar,
-    dram: DramController,
-    controllers: Vec<Box<dyn Controller>>,
-    arena: TxnArena,
-    naive: bool,
+    pub(crate) freq: Freq,
+    pub(crate) cycle: Cycle,
+    pub(crate) masters: Vec<Master>,
+    pub(crate) xbar: Crossbar,
+    pub(crate) dram: DramController,
+    pub(crate) controllers: Vec<Box<dyn Controller>>,
+    pub(crate) arena: TxnArena,
+    pub(crate) naive: bool,
 }
 
 impl std::fmt::Debug for Soc {
@@ -503,6 +522,7 @@ impl Soc {
                 StopWhen::Never => false,
                 StopWhen::MasterDone(id) => self.master_done(id),
                 StopWhen::AllDone => self.masters.iter().all(Master::is_done),
+                StopWhen::Quiesced => self.arena.live() == 0,
             };
             if stopped && (!guard_post || self.cycle < deadline) {
                 self.flush_fast_stats(self.cycle);
@@ -581,6 +601,51 @@ impl Soc {
             return Some(self.cycle);
         }
         self.run_fast(deadline, StopWhen::AllDone, true)
+    }
+
+    /// `true` when the SoC is at a quiesced boundary: no transaction is
+    /// in flight anywhere on the memory path (staged-but-unissued
+    /// requests are master-local state and are captured by a snapshot).
+    ///
+    /// Every in-flight transaction — crossbar FIFO entry, DRAM queue
+    /// entry or in-service access — holds a live arena slot, so an empty
+    /// arena implies the whole pipeline is drained.
+    pub fn is_quiesced(&self) -> bool {
+        self.arena.live() == 0
+    }
+
+    /// Advances the simulation to the next quiesced boundary, up to
+    /// `max_cycles` from now.
+    ///
+    /// Returns the boundary cycle (which may be the current cycle if the
+    /// SoC is already quiesced), or `None` when no quiesced boundary was
+    /// reached within the budget — e.g. under unregulated saturation,
+    /// where the pipeline never empties. Both execution cores stop at
+    /// the identical boundary: the arena can only drain at an executed
+    /// cycle, and executed cycles coincide by construction.
+    pub fn quiesce_point(&mut self, max_cycles: u64) -> Option<Cycle> {
+        let deadline = self.cycle + max_cycles;
+        if self.naive {
+            while self.cycle < deadline {
+                if self.is_quiesced() {
+                    return Some(self.cycle);
+                }
+                self.step();
+            }
+            return if self.is_quiesced() {
+                Some(self.cycle)
+            } else {
+                None
+            };
+        }
+        if self.is_quiesced() {
+            return Some(self.cycle);
+        }
+        match self.run_fast(deadline, StopWhen::Quiesced, false) {
+            Some(c) => Some(c),
+            None if self.is_quiesced() => Some(self.cycle),
+            None => None,
+        }
     }
 
     /// Mutable access to one master (tests, ablation hooks).

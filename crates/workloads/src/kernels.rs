@@ -13,6 +13,7 @@ use crate::spec::{AddressPattern, SpecSource, TrafficSpec};
 use fgqos_sim::axi::{Dir, Response};
 use fgqos_sim::master::{PendingRequest, TrafficSource};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 use std::fmt;
 
 /// A benchmark kernel with a fixed memory-phase model.
@@ -156,7 +157,7 @@ impl fmt::Display for Kernel {
 }
 
 /// Replays a phase sequence as a [`TrafficSource`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KernelSource {
     phases: Vec<TrafficSpec>,
     iterations: u64,
@@ -255,6 +256,26 @@ impl TrafficSource for KernelSource {
 
     fn is_done(&self) -> bool {
         self.current.is_none()
+    }
+
+    fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("kernel-source");
+        h.write_usize(self.phases.len());
+        h.write_u64(self.iterations);
+        h.write_u64(self.seed);
+        h.write_u64(self.iter);
+        h.write_usize(self.phase);
+        match &self.current {
+            Some(cur) => {
+                h.write_bool(true);
+                cur.snap_state(h);
+            }
+            None => h.write_bool(false),
+        }
     }
 }
 

@@ -10,6 +10,7 @@ use fgqos_sim::axi::Response;
 use fgqos_sim::axi::{Dir, BEAT_BYTES, MAX_BURST_BEATS};
 use fgqos_sim::master::{PendingRequest, TrafficSource};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -185,6 +186,16 @@ impl SpecSource {
         }
     }
 
+    /// Delays the first request until `start`: the source is completely
+    /// silent before it (its `next_activity` contract reflects the
+    /// delay, so the event calendar skips the silent stretch). Used by
+    /// warm-start experiments to launch a critical kernel only after a
+    /// shared warm-up phase has reached steady state.
+    pub fn with_start(mut self, start: Cycle) -> Self {
+        self.next_ready = self.next_ready.max(start);
+        self
+    }
+
     /// The spec driving this source.
     pub fn spec(&self) -> &TrafficSpec {
         &self.spec
@@ -272,6 +283,45 @@ impl TrafficSource for SpecSource {
 
     fn is_done(&self) -> bool {
         self.issued >= self.spec.total
+    }
+
+    fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("spec-source");
+        let s = &self.spec;
+        h.write_u64(s.base);
+        h.write_u64(s.footprint);
+        h.write_u64(s.txn_bytes);
+        h.write_bool(s.dir == Dir::Write);
+        h.write_f64(s.write_ratio);
+        match s.pattern {
+            AddressPattern::Sequential => h.write_u8(0),
+            AddressPattern::Strided { stride } => {
+                h.write_u8(1);
+                h.write_u64(stride);
+            }
+            AddressPattern::Random => h.write_u8(2),
+        }
+        h.write_u64(s.gap);
+        h.write_u64(s.think);
+        h.write_u64(s.total);
+        match s.burst {
+            None => h.write_bool(false),
+            Some(b) => {
+                h.write_bool(true);
+                h.write_u64(b.on_cycles);
+                h.write_u64(b.off_cycles);
+            }
+        }
+        for w in self.rng.state() {
+            h.write_u64(w);
+        }
+        h.write_u64(self.cursor);
+        h.write_u64(self.issued);
+        h.write_u64(self.next_ready.get());
     }
 }
 
@@ -368,6 +418,18 @@ mod tests {
         assert!(s.next_request(Cycle::ZERO).is_none());
         assert!(s.is_done());
         assert_eq!(s.issued(), 2);
+    }
+
+    #[test]
+    fn with_start_delays_first_request() {
+        let spec = base_spec().with_total(3);
+        let mut s = SpecSource::new(spec, 1).with_start(Cycle::new(5_000));
+        assert_eq!(s.next_activity(Cycle::ZERO), Some(Cycle::new(5_000)));
+        let first = s.next_request(Cycle::new(10)).unwrap();
+        assert_eq!(first.not_before.get(), 5_000);
+        // Subsequent requests follow normally.
+        let second = s.next_request(Cycle::new(5_000)).unwrap();
+        assert_eq!(second.not_before.get(), 5_000);
     }
 
     #[test]

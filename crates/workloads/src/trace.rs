@@ -20,6 +20,7 @@ use crate::spec::TrafficSpec;
 use fgqos_sim::axi::{Dir, Response, BEAT_BYTES, MAX_BURST_BEATS};
 use fgqos_sim::master::{PendingRequest, TrafficSource};
 use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, StateHasher};
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -302,6 +303,25 @@ impl TrafficSource for TraceSource {
 
     fn is_done(&self) -> bool {
         self.done_loops >= self.loops
+    }
+
+    fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("trace-source");
+        h.write_usize(self.records.len());
+        for r in &self.records {
+            h.write_u64(r.delta_cycles);
+            h.write_u64(r.addr);
+            h.write_u64(r.bytes);
+            h.write_bool(r.dir == Dir::Write);
+        }
+        h.write_u64(self.loops);
+        h.write_usize(self.idx);
+        h.write_u64(self.done_loops);
+        h.write_u64(self.next_ready.get());
     }
 }
 

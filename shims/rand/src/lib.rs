@@ -96,6 +96,14 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words (exposed so deterministic
+        /// simulators can fold the generator state into snapshots).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;

@@ -35,12 +35,12 @@
 //! (unreadable or invalid scenarios, server failures), 2 on usage errors.
 //! ```
 
-use fgqos::runner::{scenario_report, serve_executor, RunError, RunOptions};
+use fgqos::runner::{scenario_report, serve_batch_executor, serve_executor, RunError, RunOptions};
 use fgqos::scenario::ScenarioSpec;
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
 use fgqos::serve::protocol::DEFAULT_MAX_FRAME_BYTES;
-use fgqos::serve::server::{start, ServeConfig};
+use fgqos::serve::server::{start_with, ServeConfig};
 use fgqos::sim::axi::MasterId;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -369,7 +369,7 @@ fn check(path: &str) -> Result<(), String> {
 }
 
 fn serve(args: ServeArgs) -> Result<(), String> {
-    let handle = start(
+    let handle = start_with(
         ServeConfig {
             addr: args.addr,
             threads: args.threads,
@@ -378,6 +378,7 @@ fn serve(args: ServeArgs) -> Result<(), String> {
             default_deadline_ms: args.default_deadline_ms,
         },
         serve_executor(),
+        serve_batch_executor(),
     )
     .map_err(|e| format!("cannot start server: {e}"))?;
     // Scripts (and CI) parse this line for the bound port.

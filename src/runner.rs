@@ -8,10 +8,13 @@
 
 use crate::scenario::{ParseScenarioError, ScenarioSpec};
 use fgqos_bench::report::Report;
+use fgqos_core::fabric::QosFabric;
 use fgqos_serve::cache::fnv64;
-use fgqos_serve::protocol::JobSpec;
-use fgqos_serve::Executor;
+use fgqos_serve::protocol::{BatchPoint, BatchSpec, JobSpec};
+use fgqos_serve::{BatchExecutor, Executor};
 use fgqos_sim::axi::MasterId;
+use fgqos_sim::system::Soc;
+use fgqos_sim::ForkCtx;
 use std::sync::Arc;
 
 /// How to run a scenario.
@@ -87,7 +90,13 @@ pub fn scenario_report(text: &str, opts: &RunOptions) -> Result<Report, RunError
     };
     report.context("simulated_cycles", ran);
     report.context("clock", soc.freq());
+    stats_tables(&mut report, &spec, &soc, &fabric, ran);
+    Ok(report)
+}
 
+/// The shared result body: per-master table, DRAM summary and the QoS
+/// fabric report. `ran` normalizes bus utilization.
+fn stats_tables(report: &mut Report, spec: &ScenarioSpec, soc: &Soc, fabric: &QosFabric, ran: u64) {
     report.header(&["master", "txns", "bytes", "bandwidth", "p50", "p99", "max"]);
     for i in 0..soc.master_count() {
         let id = MasterId::new(i);
@@ -116,6 +125,120 @@ pub fn scenario_report(text: &str, opts: &RunOptions) -> Result<Report, RunError
     for line in fabric.report().lines() {
         report.note(line);
     }
+}
+
+/// Slack appended to a batch's `warmup` while searching for a quiesced
+/// boundary; when no gap opens in this range the batch falls back to
+/// per-point cold runs of the identical schedule.
+const BATCH_QUIESCE_SLACK: u64 = 100_000;
+
+/// Runs a warm-start batch: one report per point, in point order.
+///
+/// The scenario is built once and warmed for `spec.warmup` cycles, then
+/// advanced to the first quiesced boundary within a fixed slack
+/// (`BATCH_QUIESCE_SLACK`). From there every point forks the boundary
+/// [`SocSnapshot`](fgqos_sim::snapshot::SocSnapshot), programs its
+/// `period`/`budget` into every best-effort regulator and runs the
+/// divergent tail (`spec.cycles`, or `until_done` capped by it). When no
+/// quiesced boundary opens — a scenario that keeps the pipeline
+/// saturated through the slack window — each point instead replays the
+/// identical schedule cold, so the result is the same pure function of
+/// `(spec, point)` either way; only the wall-clock differs.
+pub fn batch_reports(spec: &BatchSpec) -> Result<Vec<Report>, RunError> {
+    let parsed = ScenarioSpec::parse(&spec.scenario).map_err(RunError::Parse)?;
+    // Resolve `until_done` before simulating anything: an unknown
+    // master fails the batch up front, not per point.
+    if let Some(name) = &spec.until_done {
+        let (probe, _) = parsed.build();
+        if probe.master_id(name).is_none() {
+            return Err(RunError::Run(format!(
+                "--until-done: no master named {name:?}"
+            )));
+        }
+    }
+    let (mut soc, fabric) = parsed.build();
+    soc.run(spec.warmup);
+    if soc.quiesce_point(BATCH_QUIESCE_SLACK).is_some() {
+        let snap = soc
+            .snapshot()
+            .map_err(|e| RunError::Run(format!("boundary snapshot failed: {e}")))?;
+        spec.points
+            .iter()
+            .map(|point| {
+                let mut ctx = ForkCtx::new();
+                let mut fork = snap.fork_with(&mut ctx);
+                let fabric = fabric.fork_rebound(&mut ctx);
+                point_report(&parsed, &mut fork, &fabric, spec, point)
+            })
+            .collect()
+    } else {
+        // Cold fallback: the failed quiesce search above advanced the
+        // warm SoC to warmup + slack; each cold replay runs the same
+        // schedule so boundary and results stay deterministic.
+        spec.points
+            .iter()
+            .map(|point| {
+                let (mut soc, fabric) = parsed.build();
+                soc.run(spec.warmup);
+                let _ = soc.quiesce_point(BATCH_QUIESCE_SLACK);
+                point_report(&parsed, &mut soc, &fabric, spec, point)
+            })
+            .collect()
+    }
+}
+
+/// Programs one point's knobs at the boundary and renders its divergent
+/// run, mirroring [`scenario_report`]'s document shape.
+fn point_report(
+    parsed: &ScenarioSpec,
+    soc: &mut Soc,
+    fabric: &QosFabric,
+    spec: &BatchSpec,
+    point: &BatchPoint,
+) -> Result<Report, RunError> {
+    fabric.set_best_effort_budgets(
+        point.period.min(u32::MAX as u64) as u32,
+        point.budget.min(u32::MAX as u64) as u32,
+    );
+    let boundary = soc.now().get();
+    let mut report = Report::new("scenario-point");
+    report.banner(
+        "SCENARIO-POINT",
+        &format!("content {:016x}", fnv64(spec.scenario.as_bytes())),
+    );
+    report.context("cycles", spec.cycles);
+    report.context("warmup", spec.warmup);
+    report.context("boundary", boundary);
+    report.context("period", point.period);
+    report.context("budget", point.budget);
+    let ran = match &spec.until_done {
+        Some(name) => {
+            let id = soc
+                .master_id(name)
+                .ok_or_else(|| RunError::Run(format!("--until-done: no master named {name:?}")))?;
+            report.context("until_done", name);
+            match soc.run_until_done(id, spec.cycles) {
+                Some(t) => {
+                    report.context("finished_at", t);
+                    t.get()
+                }
+                None => {
+                    report.note(format!(
+                        "master {name:?} did not finish within {} cycles of the boundary",
+                        spec.cycles
+                    ));
+                    soc.now().get()
+                }
+            }
+        }
+        None => {
+            soc.run(spec.cycles);
+            soc.now().get()
+        }
+    };
+    report.context("simulated_cycles", ran);
+    report.context("clock", soc.freq());
+    stats_tables(&mut report, parsed, soc, fabric, ran);
     Ok(report)
 }
 
@@ -132,6 +255,13 @@ pub fn serve_executor() -> Executor {
         )
         .map_err(|e| e.to_string())
     })
+}
+
+/// The simulator-backed [`BatchExecutor`] behind `submit_batch`: the
+/// warm-start path of [`batch_reports`], injected next to
+/// [`serve_executor`].
+pub fn serve_batch_executor() -> BatchExecutor {
+    Arc::new(|spec: &BatchSpec| batch_reports(spec).map_err(|e| e.to_string()))
 }
 
 #[cfg(test)]
@@ -205,6 +335,72 @@ txn 512
         match scenario_report("bogus line\n", &RunOptions::default()) {
             Err(RunError::Parse(e)) => assert_eq!(e.line, 1),
             other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    fn batch(points: Vec<BatchPoint>) -> BatchSpec {
+        BatchSpec {
+            scenario: SCENARIO.to_string(),
+            cycles: 20_000,
+            until_done: None,
+            warmup: 30_000,
+            points,
+        }
+    }
+
+    #[test]
+    fn batch_reports_are_pure_and_point_sensitive() {
+        let spec = batch(vec![
+            BatchPoint {
+                period: 1_000,
+                budget: 512,
+            },
+            BatchPoint {
+                period: 1_000,
+                budget: 8_192,
+            },
+        ]);
+        let a = batch_reports(&spec).expect("runs");
+        let b = batch_reports(&spec).expect("runs");
+        assert_eq!(a.len(), 2, "one report per point");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.to_json().to_compact(),
+                y.to_json().to_compact(),
+                "equal (spec, point) must serialize byte-identically"
+            );
+        }
+        assert_ne!(
+            a[0].to_json().to_compact(),
+            a[1].to_json().to_compact(),
+            "the budget knob must change the divergent tail"
+        );
+    }
+
+    #[test]
+    fn batch_until_done_unknown_master_fails_up_front() {
+        let mut spec = batch(vec![BatchPoint {
+            period: 1_000,
+            budget: 2_048,
+        }]);
+        spec.until_done = Some("ghost".into());
+        match batch_reports(&spec) {
+            Err(RunError::Run(m)) => assert!(m.contains("ghost")),
+            other => panic!("expected Run error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_executor_matches_direct_calls() {
+        let spec = batch(vec![BatchPoint {
+            period: 2_000,
+            budget: 1_024,
+        }]);
+        let via_exec = serve_batch_executor()(&spec).expect("executes");
+        let direct = batch_reports(&spec).expect("runs");
+        assert_eq!(via_exec.len(), direct.len());
+        for (x, y) in via_exec.iter().zip(&direct) {
+            assert_eq!(x.to_json().to_compact(), y.to_json().to_compact());
         }
     }
 

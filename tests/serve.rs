@@ -4,11 +4,13 @@
 //! the admission-control isolation guarantee from the paper's
 //! window/budget regulation (here applied to the server's own ingress).
 
-use fgqos::runner::{scenario_report, serve_executor, RunOptions};
+use fgqos::runner::{
+    batch_reports, scenario_report, serve_batch_executor, serve_executor, RunOptions,
+};
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
-use fgqos::serve::protocol::JobSpec;
-use fgqos::serve::server::{start, ServeConfig, ServerHandle};
+use fgqos::serve::protocol::{BatchPoint, BatchSpec, JobSpec};
+use fgqos::serve::server::{start, start_with, ServeConfig, ServerHandle};
 use fgqos::serve::Executor;
 use fgqos::sim::json::Value;
 use proptest::prelude::*;
@@ -42,7 +44,7 @@ txn 512
 const CYCLES: u64 = 50_000;
 
 fn real_server(cfg: ServeConfig) -> ServerHandle {
-    start(cfg, serve_executor()).expect("bind loopback")
+    start_with(cfg, serve_executor(), serve_batch_executor()).expect("bind loopback")
 }
 
 fn two_threads() -> ServeConfig {
@@ -231,6 +233,109 @@ fn deadline_expiry_and_graceful_drain_end_to_end() {
         ));
     }
     server.join();
+}
+
+#[test]
+fn batched_sweep_round_trip_is_byte_identical_and_cached_per_point() {
+    let points: Vec<BatchPoint> = [256u64, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768]
+        .iter()
+        .map(|&budget| BatchPoint {
+            period: 1_000,
+            budget,
+        })
+        .collect();
+    let spec = BatchSpec {
+        scenario: SCENARIO.to_string(),
+        cycles: 20_000,
+        until_done: None,
+        warmup: 30_000,
+        points: points.clone(),
+    };
+    let direct: Vec<String> = batch_reports(&spec)
+        .expect("direct batch")
+        .iter()
+        .map(|r| r.to_json().to_compact())
+        .collect();
+
+    let server = real_server(two_threads());
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let ack = client
+        .submit_batch(&spec, &SubmitOptions::default())
+        .expect("submit batch");
+    assert_eq!(ack.jobs.len(), 8, "one job per point");
+    assert!(ack.cached.iter().all(|&c| !c), "first batch misses");
+    assert!(ack.lane.is_some(), "uncached batch is pinned to a lane");
+    let served: Vec<String> = ack
+        .jobs
+        .iter()
+        .map(|&job| {
+            client
+                .wait_report(job, Duration::from_secs(60))
+                .expect("batched point report")
+                .to_compact()
+        })
+        .collect();
+    assert_eq!(
+        served, direct,
+        "served batch points must match direct batch_reports byte-for-byte"
+    );
+
+    // Resubmitting the same slice is a pure cache hit: fresh ids, no
+    // lane, identical bytes per point.
+    let again = client
+        .submit_batch(&spec, &SubmitOptions::default())
+        .expect("resubmit batch");
+    assert!(again.cached.iter().all(|&c| c), "resubmit fully cached");
+    assert_eq!(again.lane, None, "fully-cached batch never queues");
+    for (i, &job) in again.jobs.iter().enumerate() {
+        let report = client
+            .wait_report(job, Duration::from_secs(10))
+            .expect("cached point report");
+        assert_eq!(report.to_compact(), served[i]);
+    }
+
+    // A half-overlapping slice only misses on the new points.
+    let mut shifted = spec.clone();
+    shifted.points = points[4..]
+        .iter()
+        .copied()
+        .chain([65_536u64, 131_072].iter().map(|&budget| BatchPoint {
+            period: 1_000,
+            budget,
+        }))
+        .collect();
+    let partial = client
+        .submit_batch(&shifted, &SubmitOptions::default())
+        .expect("overlapping batch");
+    assert_eq!(
+        partial.cached,
+        vec![true, true, true, true, false, false],
+        "only the new points miss"
+    );
+    for &job in &partial.jobs {
+        client
+            .wait_report(job, Duration::from_secs(60))
+            .expect("overlapping point report");
+    }
+
+    let metrics = client
+        .metrics(fgqos::serve::protocol::MetricsFormat::Json)
+        .expect("metrics");
+    let body = metrics.get("metrics").and_then(|m| m.get("metrics"));
+    let batches = body
+        .and_then(|m| m.get("serve.jobs.batches"))
+        .and_then(Value::as_u64);
+    assert_eq!(batches, Some(3), "every submit_batch call is counted");
+    let lane = ack.lane.expect("pinned lane");
+    let lane_executed = body
+        .and_then(|m| m.get(&format!("serve.lane.{lane}.executed")))
+        .and_then(Value::as_u64)
+        .expect("per-lane executed counter exported");
+    assert!(
+        lane_executed >= 1,
+        "the pinned lane executed the batch, got {lane_executed}"
+    );
+    finish(server);
 }
 
 #[test]
