@@ -197,6 +197,42 @@ impl PortGate for MemGuardGate {
         h.write_u64(self.stall_cycles);
         h.write_u64(self.max_tick_bytes);
     }
+
+    fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        use fgqos_sim::SnapDecodeError;
+        r.section("memguard")?;
+        // Configuration travels in the stream for verification only: the
+        // skeleton this state loads into must have been built with the
+        // same parameters.
+        for (what, built) in [
+            ("memguard tick_cycles", self.cfg.tick_cycles),
+            ("memguard budget_bytes", self.cfg.budget_bytes),
+            ("memguard irq_latency_cycles", self.cfg.irq_latency_cycles),
+        ] {
+            let at = r.position();
+            let streamed = r.read_u64(what)?;
+            if streamed != built {
+                return Err(SnapDecodeError::BadValue {
+                    what: format!("{what} {streamed} in stream, skeleton has {built}"),
+                    at,
+                });
+            }
+        }
+        self.tick_start = Cycle::new(r.read_u64("memguard tick_start")?);
+        self.bytes_in_tick = r.read_u64("memguard bytes_in_tick")?;
+        self.overflow_at = if r.read_bool("memguard overflow flag")? {
+            Some(Cycle::new(r.read_u64("memguard overflow_at")?))
+        } else {
+            None
+        };
+        self.total_bytes = r.read_u64("memguard total_bytes")?;
+        self.stall_cycles = r.read_u64("memguard stall_cycles")?;
+        self.max_tick_bytes = r.read_u64("memguard max_tick_bytes")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -180,6 +180,53 @@ impl PortGate for OtRegulatorGate {
         h.write_u64(self.stall_cycles);
         h.write_u64(self.accepted);
     }
+
+    fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        use fgqos_sim::SnapDecodeError;
+        r.section("qos400-ot")?;
+        let at = r.position();
+        let cap = r.read_usize("qos400 max_outstanding")?;
+        if cap != self.cfg.max_outstanding {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "qos400 outstanding cap {cap} in stream, skeleton has {}",
+                    self.cfg.max_outstanding
+                ),
+                at,
+            });
+        }
+        let at = r.position();
+        let rate = r.read_u32("qos400 txns_per_period")?;
+        if rate != self.cfg.txns_per_period {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "qos400 rate {rate} txns/period in stream, skeleton has {}",
+                    self.cfg.txns_per_period
+                ),
+                at,
+            });
+        }
+        let at = r.position();
+        let period = r.read_u64("qos400 period_cycles")?;
+        if period != self.cfg.period_cycles {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "qos400 period {period} in stream, skeleton has {}",
+                    self.cfg.period_cycles
+                ),
+                at,
+            });
+        }
+        self.in_flight = r.read_usize("qos400 in_flight")?;
+        self.window_start = Cycle::new(r.read_u64("qos400 window_start")?);
+        self.window_txns = r.read_u32("qos400 window_txns")?;
+        self.stall_cycles = r.read_u64("qos400 stall_cycles")?;
+        self.accepted = r.read_u64("qos400 accepted")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

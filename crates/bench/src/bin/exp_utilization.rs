@@ -24,18 +24,28 @@
 //! Printed columns: scheme, critical slowdown achieved, best-effort
 //! aggregate GiB/s, fraction of the unregulated best-effort throughput
 //! retained, bound verdict.
+//!
+//! With `--warm-start` the grid runs on
+//! [`fgqos_bench::sweep::run_warm_groups`]: each point's fresh build is
+//! captured as a cycle-0 [`SocSnapshot`] and measured on a fork (see
+//! [`Boundary`] for why the groups are singletons). The output must be
+//! byte-identical to the cold path; CI diffs the committed artifact.
 
 use fgqos_bench::report::Report;
 use fgqos_bench::scenario::{Built, Scenario, Scheme};
 use fgqos_bench::{sweep, table};
 use fgqos_core::policy::ReclaimConfig;
+use fgqos_sim::axi::MasterId;
+use fgqos_sim::snapshot::SocSnapshot;
+use fgqos_sim::system::Soc;
+use fgqos_sim::ForkCtx;
 use fgqos_workloads::spec::BurstShape;
 
 const BOUND: f64 = 1.10;
 const MAX_CYCLES: u64 = u64::MAX / 2;
 
 /// One grid point of the scheme sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Point {
     Unregulated,
     PremPhase { phase: u64 },
@@ -44,17 +54,110 @@ enum Point {
 }
 
 /// Aggregate best-effort bytes per cycle achieved in a run.
-fn best_effort_rate(built: &Built, cycles: u64, n: usize) -> f64 {
+fn best_effort_rate(soc: &Soc, cycles: u64, n: usize) -> f64 {
     let mut bytes = 0u64;
     for i in 0..n {
-        let id = built.soc.master_id(&format!("dma{i}")).expect("interferer");
-        bytes += built.soc.master_stats(id).bytes_completed;
+        let id = soc.master_id(&format!("dma{i}")).expect("interferer");
+        bytes += soc.master_stats(id).bytes_completed;
     }
     bytes as f64 / cycles as f64
 }
 
 fn gib_per_s(rate_bytes_per_cycle: f64) -> f64 {
     rate_bytes_per_cycle * 1e9 / (1024.0 * 1024.0 * 1024.0)
+}
+
+/// Builds the co-run system for one grid point.
+fn build_point(scenario: &Scenario, point: Point) -> Built {
+    match point {
+        Point::Unregulated => scenario.build(Scheme::Unregulated),
+        Point::PremPhase { phase } => {
+            // PREM-style mutual exclusion aligned to the critical phases.
+            scenario.build(Scheme::PremPhase {
+                phase,
+                guard: 2_500,
+            })
+        }
+        Point::MemGuard { bpk } => {
+            let tick = 1_000_000u64;
+            scenario.build(Scheme::MemGuard {
+                tick,
+                budget: bpk * tick / 1_000,
+                irq: 2_000,
+            })
+        }
+        Point::Tc {
+            budget,
+            reclaim: false,
+        } => scenario.build(Scheme::Tc {
+            period: 1_000,
+            budget,
+        }),
+        Point::Tc {
+            budget,
+            reclaim: true,
+        } => {
+            // Lend the critical actor's protection headroom to the
+            // best-effort ports while its phase is idle. The reserve
+            // matches the active-phase demand (~0.25 B/cycle); the
+            // gain expresses that protecting the critical actor
+            // costs far more bandwidth than it consumes. Any sign of
+            // critical activity clamps straight back to base.
+            scenario.build_with_reclaim(
+                1_000,
+                budget,
+                ReclaimConfig {
+                    critical_reserved: 2_500,
+                    control_period: 10_000,
+                    gain: 25,
+                    busy_threshold: Some(256),
+                    ..ReclaimConfig::default()
+                },
+            )
+        }
+    }
+}
+
+/// Runs one built (or forked) point to critical completion and reduces
+/// to (slowdown, best-effort rate). Shared by the cold and warm paths.
+fn run_point(mut soc: Soc, critical: MasterId, iso: u64, n: usize) -> (f64, f64) {
+    let cycles = soc
+        .run_until_done(critical, MAX_CYCLES)
+        .expect("critical finishes")
+        .get();
+    (
+        cycles as f64 / iso as f64,
+        best_effort_rate(&soc, cycles, n),
+    )
+}
+
+/// One grid point's cycle-0 boundary: the freshly built scheme captured
+/// as a forkable snapshot. Budgets, TDMA phases and the reclaim policy
+/// all act from cycle 0, so points share no simulated prefix (groups
+/// are singletons); the warm path instead proves fork-vs-build
+/// equivalence on every scheme family the experiment touches.
+struct Boundary {
+    snap: SocSnapshot,
+    critical: MasterId,
+}
+
+impl Boundary {
+    fn capture(scenario: &Scenario, point: Point) -> Boundary {
+        let built = build_point(scenario, point);
+        let critical = built.critical;
+        Boundary {
+            snap: built
+                .soc
+                .snapshot()
+                .expect("fresh utilization soc is forkable"),
+            critical,
+        }
+    }
+
+    fn eval(&self, iso: u64, n: usize) -> (f64, f64) {
+        let mut ctx = ForkCtx::new();
+        run_point(self.snap.fork_with(&mut ctx), self.critical, iso, n)
+    }
 }
 
 fn push_scheme(r: &mut Report, name: &str, slowdown: f64, rate: f64, unreg_rate: f64) {
@@ -68,6 +171,8 @@ fn push_scheme(r: &mut Report, name: &str, slowdown: f64, rate: f64, unreg_rate:
 }
 
 fn main() {
+    let warm_start = std::env::args().any(|a| a == "--warm-start");
+
     let mut r = Report::new("exp_utilization");
     r.banner(
         "EXP-F4",
@@ -108,64 +213,22 @@ fn main() {
         points.extend(tc_grid.iter().map(|&budget| Point::Tc { budget, reclaim }));
     }
 
-    let results = sweep::run_parallel(points, |point| {
-        let mut built = match point {
-            Point::Unregulated => scenario.build(Scheme::Unregulated),
-            Point::PremPhase { phase } => {
-                // PREM-style mutual exclusion aligned to the critical phases.
-                scenario.build(Scheme::PremPhase {
-                    phase,
-                    guard: 2_500,
-                })
-            }
-            Point::MemGuard { bpk } => {
-                let tick = 1_000_000u64;
-                scenario.build(Scheme::MemGuard {
-                    tick,
-                    budget: bpk * tick / 1_000,
-                    irq: 2_000,
-                })
-            }
-            Point::Tc {
-                budget,
-                reclaim: false,
-            } => scenario.build(Scheme::Tc {
-                period: 1_000,
-                budget,
-            }),
-            Point::Tc {
-                budget,
-                reclaim: true,
-            } => {
-                // Lend the critical actor's protection headroom to the
-                // best-effort ports while its phase is idle. The reserve
-                // matches the active-phase demand (~0.25 B/cycle); the
-                // gain expresses that protecting the critical actor
-                // costs far more bandwidth than it consumes. Any sign of
-                // critical activity clamps straight back to base.
-                scenario.build_with_reclaim(
-                    1_000,
-                    budget,
-                    ReclaimConfig {
-                        critical_reserved: 2_500,
-                        control_period: 10_000,
-                        gain: 25,
-                        busy_threshold: Some(256),
-                        ..ReclaimConfig::default()
-                    },
-                )
-            }
-        };
-        let cycles = built
-            .soc
-            .run_until_done(built.critical, MAX_CYCLES)
-            .expect("critical finishes")
-            .get();
-        (
-            cycles as f64 / iso as f64,
-            best_effort_rate(&built, cycles, n),
+    let results = if warm_start {
+        // Singleton groups (see [`Boundary`]): snapshot every fresh
+        // build at cycle 0, run the measurement on a fork. Output must
+        // match the cold path byte for byte (CI diffs the artifact).
+        sweep::run_warm_groups(
+            points,
+            |&point| point,
+            |&point| Boundary::capture(&scenario, point),
+            |boundary, _point| boundary.eval(iso, n),
         )
-    });
+    } else {
+        sweep::run_parallel(points, |point| {
+            let built = build_point(&scenario, point);
+            run_point(built.soc, built.critical, iso, n)
+        })
+    };
 
     let (unreg_slowdown, unreg_rate) = results[0];
     let (prem_slowdown, prem_rate) = results[1];

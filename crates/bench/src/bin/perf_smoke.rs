@@ -6,7 +6,9 @@
 //! Criterion — plus the `warm_start` case: fork the shared boundary
 //! snapshot and run the divergent tail, the inner loop of every
 //! `--warm-start` sweep (the snapshot is captured once, outside the
-//! timed region). Fails if any case falls below
+//! timed region), and the snapshot-blob serialize/deserialize MB/s
+//! cases gating the persistent warm-boundary store's encode and
+//! fingerprint-verified load paths. Fails if any case falls below
 //! `threshold × recorded floor`. The threshold defaults to 0.7 (a drop
 //! of more than 30 % fails) and is tunable via `FGQOS_PERF_THRESHOLD`
 //! so noisy runners can widen the gate without editing the workflow.
@@ -25,7 +27,9 @@ use fgqos_bench::scenarios::{
     WARM_START_TAIL_CYCLES,
 };
 use fgqos_sim::json::Value;
+use fgqos_sim::snapshot::SocSnapshot;
 use fgqos_sim::system::Soc;
+use fgqos_sim::SnapshotBlob;
 use std::path::Path;
 use std::time::Instant;
 
@@ -41,9 +45,37 @@ fn measure(build: impl Fn() -> Soc, cycles: u64, reps: usize) -> f64 {
     cycles as f64 / best / 1e6
 }
 
+/// Best-of-`reps` snapshot blob serialize / deserialize throughput in
+/// MB/s over the encoded blob size. Serialize is the full
+/// capture-to-bytes path (`to_blob` + `encode`); deserialize is
+/// `decode` + `load_into` a pre-built skeleton (the skeleton build
+/// stays outside the timed region, as it would when a worker loads a
+/// warm boundary some peer stored).
+fn measure_blob(reps: usize) -> (f64, f64) {
+    let snap = warm_start_snapshot();
+    let mut bytes = Vec::new();
+    let mut ser_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let blob = snap.to_blob("perf-smoke");
+        bytes = blob.encode();
+        ser_best = ser_best.min(t0.elapsed().as_secs_f64());
+    }
+    let mut de_best = f64::INFINITY;
+    for _ in 0..reps {
+        let skeleton = regulated_soc(4);
+        let t0 = Instant::now();
+        let blob = SnapshotBlob::decode(&bytes).expect("perf-smoke blob decodes");
+        let _ = SocSnapshot::load_into(skeleton, &blob).expect("perf-smoke blob loads");
+        de_best = de_best.min(t0.elapsed().as_secs_f64());
+    }
+    let mb = bytes.len() as f64 / 1e6;
+    (mb / ser_best, mb / de_best)
+}
+
 /// The latest recorded floors: `BENCH_sim.json` is append-only, so the
 /// newest entry holding each micro number wins.
-fn floors(doc: &Value) -> Option<(f64, f64, f64)> {
+fn floors(doc: &Value) -> Option<(f64, f64, f64, f64, f64)> {
     let entry = doc.get("calendar_arena")?;
     let m8 = entry
         .get("soc_cycles_melem_per_s")?
@@ -57,7 +89,10 @@ fn floors(doc: &Value) -> Option<(f64, f64, f64)> {
         .get("snapshot_warm_start")?
         .get("fork_tail_melem_per_s")?
         .as_f64()?;
-    Some((m8, reg, warm))
+    let blob = doc.get("snapshot_blob")?;
+    let ser = blob.get("serialize_mb_per_s")?.as_f64()?;
+    let de = blob.get("deserialize_mb_per_s")?.as_f64()?;
+    Some((m8, reg, warm, ser, de))
 }
 
 fn main() {
@@ -70,8 +105,9 @@ fn main() {
     let text = std::fs::read_to_string(root.join("BENCH_sim.json"))
         .expect("BENCH_sim.json not found at workspace root");
     let doc = Value::parse(&text).expect("BENCH_sim.json is not valid JSON");
-    let (floor_m8, floor_reg, floor_warm) =
-        floors(&doc).expect("BENCH_sim.json missing calendar_arena / snapshot_warm_start floors");
+    let (floor_m8, floor_reg, floor_warm, floor_ser, floor_de) = floors(&doc).expect(
+        "BENCH_sim.json missing calendar_arena / snapshot_warm_start / snapshot_blob floors",
+    );
 
     let m8 = measure(|| greedy_soc(8), SOC_CYCLES, 5);
     let reg = measure(|| regulated_soc(4), REGULATED_CYCLES, 5);
@@ -79,18 +115,21 @@ fn main() {
     // the case gates the fork + divergent-tail cost only.
     let snap = warm_start_snapshot();
     let warm = measure(|| snap.fork(), WARM_START_TAIL_CYCLES, 5);
+    let (ser, de) = measure_blob(5);
 
     let mut failed = false;
-    for (name, got, floor) in [
-        ("soc_cycles/8", m8, floor_m8),
-        ("regulated_cycles/fast", reg, floor_reg),
-        ("warm_start", warm, floor_warm),
+    for (name, got, floor, unit) in [
+        ("soc_cycles/8", m8, floor_m8, "Melem/s"),
+        ("regulated_cycles/fast", reg, floor_reg, "Melem/s"),
+        ("warm_start", warm, floor_warm, "Melem/s"),
+        ("snapshot_serialize", ser, floor_ser, "MB/s"),
+        ("snapshot_deserialize", de, floor_de, "MB/s"),
     ] {
         let min = floor * threshold;
         let ok = got >= min;
         failed |= !ok;
         println!(
-            "perf_smoke: {name:<22} {got:9.1} Melem/s  floor {floor:8.1}  min {min:8.1}  {}",
+            "perf_smoke: {name:<22} {got:9.1} {unit:<7}  floor {floor:8.1}  min {min:8.1}  {}",
             if ok { "ok" } else { "FAIL" }
         );
     }

@@ -370,6 +370,58 @@ impl WindowMonitor {
         }
     }
 
+    /// Restores the monitor state from a serialized snapshot stream (the
+    /// decode mirror of [`WindowMonitor::snap`]). The register block is
+    /// restored separately by the owning gate.
+    ///
+    /// The stream records only the window log's *occupancy*, not its
+    /// records, so a log is restorable only while still empty (the
+    /// warm-boundary case: logging enabled, no window closed yet); a
+    /// populated log is a diagnostic error rather than silent data loss.
+    ///
+    /// # Errors
+    ///
+    /// Any [`fgqos_sim::SnapDecodeError`] aborts the whole load.
+    pub(crate) fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        use fgqos_sim::SnapDecodeError;
+        r.section("window-monitor")?;
+        self.window_start = Cycle::new(r.read_u64("window-monitor window_start")?);
+        self.period = r.read_u64("window-monitor period")?;
+        self.win_bytes = r.read_u64("window-monitor win_bytes")?;
+        self.win_rd_bytes = r.read_u64("window-monitor win_rd_bytes")?;
+        self.win_wr_bytes = r.read_u64("window-monitor win_wr_bytes")?;
+        self.win_txns = r.read_u64("window-monitor win_txns")?;
+        self.total_bytes = r.read_u64("window-monitor total_bytes")?;
+        self.total_txns = r.read_u64("window-monitor total_txns")?;
+        self.windows = r.read_u64("window-monitor windows")?;
+        self.max_overshoot = r.read_u64("window-monitor max_overshoot")?;
+        if r.read_bool("window-monitor log flag")? {
+            let at = r.position();
+            let records = r.read_usize("window-monitor log records")?;
+            let dropped = r.read_u64("window-monitor log dropped")?;
+            if records != 0 || dropped != 0 {
+                return Err(SnapDecodeError::BadValue {
+                    what: format!(
+                        "window log holds {records} record(s) ({dropped} dropped); \
+                         only empty logs are restorable"
+                    ),
+                    at,
+                });
+            }
+            let capacity = self
+                .log
+                .as_ref()
+                .map_or(DEFAULT_LOG_WINDOWS, |log| log.capacity);
+            self.log = Some(WindowLog::new(capacity));
+        } else {
+            self.log = None;
+        }
+        Ok(())
+    }
+
     /// Clears all telemetry (including any window log's records) and
     /// restarts the open window at `now`.
     pub fn reset(&mut self, now: Cycle) {

@@ -98,6 +98,42 @@ impl Controller for StaticPartition {
         }
         h.write_bool(self.programmed);
     }
+
+    fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        use fgqos_sim::SnapDecodeError;
+        r.section("static-partition")?;
+        let at = r.position();
+        let n = r.read_usize("static-partition port count")?;
+        if n != self.ports.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "static-partition has {n} port(s) in stream, skeleton has {}",
+                    self.ports.len()
+                ),
+                at,
+            });
+        }
+        for (i, p) in self.ports.iter_mut().enumerate() {
+            let at = r.position();
+            let period = r.read_u32("static-partition period")?;
+            let budget = r.read_u32("static-partition budget")?;
+            if period != p.period_cycles || budget != p.budget_bytes {
+                return Err(SnapDecodeError::BadValue {
+                    what: format!(
+                        "static-partition port {i} plan ({period}, {budget}) in stream, \
+                         skeleton has ({}, {})",
+                        p.period_cycles, p.budget_bytes
+                    ),
+                    at,
+                });
+            }
+        }
+        self.programmed = r.read_bool("static-partition programmed")?;
+        Ok(())
+    }
 }
 
 /// Configuration of a [`ReclaimPolicy`].
@@ -243,6 +279,37 @@ impl Controller for ReclaimPolicy {
         }
         h.write_u64(self.next_at);
         h.write_u64(self.last_crit_total);
+    }
+
+    fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        use fgqos_sim::SnapDecodeError;
+        r.section("reclaim")?;
+        let at = r.position();
+        let n = r.read_usize("reclaim best-effort count")?;
+        if n != self.best_effort.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "reclaim has {n} best-effort port(s) in stream, skeleton has {}",
+                    self.best_effort.len()
+                ),
+                at,
+            });
+        }
+        self.cfg.critical_reserved = r.read_u64("reclaim critical_reserved")?;
+        self.cfg.be_base = r.read_u64("reclaim be_base")?;
+        self.cfg.control_period = r.read_u64("reclaim control_period")?;
+        self.cfg.gain = r.read_u64("reclaim gain")?;
+        self.cfg.busy_threshold = if r.read_bool("reclaim busy_threshold flag")? {
+            Some(r.read_u64("reclaim busy_threshold")?)
+        } else {
+            None
+        };
+        self.next_at = r.read_u64("reclaim next_at")?;
+        self.last_crit_total = r.read_u64("reclaim last_crit_total")?;
+        Ok(())
     }
 }
 
@@ -402,6 +469,35 @@ impl Controller for FeedbackController {
         h.write_u64(self.next_at);
         h.write_u64(self.last_crit_total);
         h.write_u64(self.adjustments);
+    }
+
+    fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        use fgqos_sim::SnapDecodeError;
+        r.section("feedback-aimd")?;
+        self.target_bytes_per_period = r.read_u64("feedback-aimd target")?;
+        let at = r.position();
+        let n = r.read_usize("feedback-aimd best-effort count")?;
+        if n != self.best_effort.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "feedback-aimd has {n} best-effort port(s) in stream, skeleton has {}",
+                    self.best_effort.len()
+                ),
+                at,
+            });
+        }
+        self.be_budget = r.read_u32("feedback-aimd be_budget")?;
+        self.min_budget = r.read_u32("feedback-aimd min_budget")?;
+        self.max_budget = r.read_u32("feedback-aimd max_budget")?;
+        self.step = r.read_u32("feedback-aimd step")?;
+        self.control_period = r.read_u64("feedback-aimd control_period")?;
+        self.next_at = r.read_u64("feedback-aimd next_at")?;
+        self.last_crit_total = r.read_u64("feedback-aimd last_crit_total")?;
+        self.adjustments = r.read_u64("feedback-aimd adjustments")?;
+        Ok(())
     }
 }
 

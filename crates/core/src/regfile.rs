@@ -179,6 +179,25 @@ impl RegFile {
             h.write_u32(reg.load(Ordering::Relaxed));
         }
     }
+
+    /// Restores every register word from a serialized snapshot stream
+    /// (the decode mirror of [`RegFile::snap`]). Interior mutability
+    /// means this works through the shared handle both the gate and its
+    /// driver hold — restoring once restores both views.
+    ///
+    /// # Errors
+    ///
+    /// Any [`fgqos_sim::SnapDecodeError`] aborts the whole load.
+    pub fn snap_load(
+        &self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        r.section("regfile")?;
+        for reg in &self.regs {
+            reg.store(r.read_u32("regfile word")?, Ordering::Relaxed);
+        }
+        Ok(())
+    }
 }
 
 impl SharedFork for RegFile {

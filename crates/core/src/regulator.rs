@@ -311,6 +311,32 @@ impl PortGate for TcRegulator {
         h.write_u64(self.stall_cycles);
     }
 
+    fn snap_load(
+        &mut self,
+        r: &mut fgqos_sim::SnapReader<'_>,
+    ) -> Result<(), fgqos_sim::SnapDecodeError> {
+        r.section("tc-regulator")?;
+        // Restoring through the shared handle also restores the driver's
+        // view — gate and driver stay MMIO-coupled, exactly as in a fork.
+        self.regs.snap_load(r)?;
+        self.monitor.snap_load(r)?;
+        self.budget = r.read_u64("tc-regulator budget")?;
+        self.budget_rd = r.read_u64("tc-regulator budget_rd")?;
+        self.budget_wr = r.read_u64("tc-regulator budget_wr")?;
+        self.charge = if r.read_bool("tc-regulator charge policy")? {
+            ChargePolicy::Completion
+        } else {
+            ChargePolicy::Acceptance
+        };
+        self.overshoot = if r.read_bool("tc-regulator overshoot policy")? {
+            OvershootPolicy::FinalBurst
+        } else {
+            OvershootPolicy::Conservative
+        };
+        self.stall_cycles = r.read_u64("tc-regulator stall_cycles")?;
+        Ok(())
+    }
+
     fn collect_metrics(&self, prefix: &str, registry: &mut fgqos_sim::metrics::MetricsRegistry) {
         registry.gauge(format!("{prefix}.budget_bytes"), self.budget as f64);
         registry.gauge(

@@ -1,4 +1,4 @@
-//! Content-addressed in-memory result cache.
+//! Content-addressed result cache, optionally persisted to disk.
 //!
 //! Jobs are addressed by a hash of their [`JobSpec`] — the scenario
 //! text, cycle budget and options — so resubmitting the same job
@@ -8,6 +8,16 @@
 //! serialize byte-identically to the fresh run (pinned by the
 //! integration tests).
 //!
+//! A cache opened with [`ResultCache::persistent`] additionally
+//! write-throughs every insert to one file per entry
+//! (`<hash:016x>.entry`, atomically via temp + rename) and falls back
+//! to a lazy disk lookup on a memory miss — so a restarted server
+//! answers repeat submissions from the previous process's results,
+//! byte-identically. The on-disk record stores the full canonical key
+//! (length-prefixed, since keys embed scenario text) next to the
+//! compact report JSON; a key mismatch or unreadable file degrades to
+//! an ordinary miss, never a wrong result.
+//!
 //! The cache never evicts; a long-running deployment is expected to
 //! bound it operationally (restart, or a future LRU satellite). Entries
 //! store the full canonical key alongside the hash, so a 64-bit
@@ -16,6 +26,8 @@
 use crate::protocol::{BatchPoint, BatchSpec, JobSpec};
 use fgqos_sim::json::Value;
 use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -68,34 +80,116 @@ struct Entry {
 #[derive(Default)]
 pub struct ResultCache {
     entries: Mutex<HashMap<u64, Entry>>,
+    disk: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty in-memory cache.
     pub fn new() -> Self {
         ResultCache::default()
     }
 
-    /// Looks up a finished report, counting the hit or miss.
+    /// Creates a cache backed by one file per entry under `dir`
+    /// (created if missing). Inserts write through; memory misses fall
+    /// back to disk, so entries survive a process restart.
+    pub fn persistent(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            disk: Some(dir),
+            ..ResultCache::default()
+        })
+    }
+
+    /// `true` when inserts are persisted to disk.
+    pub fn is_persistent(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    fn entry_path(dir: &Path, hash: u64) -> PathBuf {
+        dir.join(format!("{hash:016x}.entry"))
+    }
+
+    /// Reads a disk entry: `<key-len>\n<key bytes><compact report JSON>`.
+    /// Any unreadable or mismatched file is a miss.
+    fn disk_get(dir: &Path, hash: u64, key: &str) -> Option<Arc<Value>> {
+        let bytes = std::fs::read(Self::entry_path(dir, hash)).ok()?;
+        let newline = bytes.iter().position(|&b| b == b'\n')?;
+        let len: usize = std::str::from_utf8(&bytes[..newline]).ok()?.parse().ok()?;
+        let key_end = (newline + 1).checked_add(len)?;
+        if key_end > bytes.len() || &bytes[newline + 1..key_end] != key.as_bytes() {
+            return None;
+        }
+        let report = std::str::from_utf8(&bytes[key_end..]).ok()?;
+        Some(Arc::new(Value::parse(report.trim_end()).ok()?))
+    }
+
+    fn disk_put(dir: &Path, hash: u64, key: &str, report: &Value) {
+        let path = Self::entry_path(dir, hash);
+        if path.exists() {
+            return;
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(key.len().to_string().as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(key.as_bytes());
+        bytes.extend_from_slice(report.to_compact().as_bytes());
+        bytes.push(b'\n');
+        // Atomic publish: a concurrent reader sees the old file or the
+        // complete new one, never a torn write. Failure to persist is
+        // tolerated — the in-memory entry still serves this process.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Looks up a finished report, counting the hit or miss. Persistent
+    /// caches consult disk on a memory miss (and promote the entry).
     pub fn get(&self, hash: u64, key: &str) -> Option<Arc<Value>> {
-        let entries = self.entries.lock().expect("cache poisoned");
+        let mut entries = self.entries.lock().expect("cache poisoned");
         match entries.get(&hash) {
             Some(e) if e.key == key => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.report))
             }
-            _ => {
+            Some(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+            None => match self
+                .disk
+                .as_deref()
+                .and_then(|dir| Self::disk_get(dir, hash, key))
+            {
+                Some(report) => {
+                    entries.insert(
+                        hash,
+                        Entry {
+                            key: key.to_string(),
+                            report: Arc::clone(&report),
+                        },
+                    );
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(report)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
         }
     }
 
-    /// Stores a finished report under its content address.
+    /// Stores a finished report under its content address
+    /// (write-through to disk for persistent caches).
     pub fn insert(&self, hash: u64, key: String, report: Arc<Value>) {
         let mut entries = self.entries.lock().expect("cache poisoned");
+        if let Some(dir) = self.disk.as_deref() {
+            Self::disk_put(dir, hash, &key, &report);
+        }
         entries.entry(hash).or_insert(Entry { key, report });
     }
 
@@ -204,6 +298,39 @@ mod tests {
             cache.get(42, "key-b").is_none(),
             "same hash, different key must miss"
         );
+    }
+
+    #[test]
+    fn persistent_cache_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!("fgqos-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (hash, key) = job_key(&spec("multi\nline scenario", 42));
+        let mut report = Value::obj();
+        report.set("rows", Value::from(3u64));
+        let compact = report.to_compact();
+        {
+            let cache = ResultCache::persistent(&dir).expect("opens");
+            assert!(cache.is_persistent());
+            cache.insert(hash, key.clone(), Arc::new(report));
+        }
+        // A fresh cache over the same directory — a restarted process.
+        let cache = ResultCache::persistent(&dir).expect("reopens");
+        let hit = cache.get(hash, &key).expect("disk entry restores");
+        assert_eq!(
+            hit.to_compact(),
+            compact,
+            "restored report serializes byte-identically"
+        );
+        assert_eq!(cache.hits(), 1);
+        // The wrong key for the same hash must miss, not mis-serve.
+        let cache2 = ResultCache::persistent(&dir).expect("reopens");
+        assert!(cache2.get(hash, "some other key").is_none());
+        // A corrupted entry degrades to a miss.
+        let path = dir.join(format!("{hash:016x}.entry"));
+        std::fs::write(&path, b"7\ngarbage{not json").expect("corrupt");
+        let cache3 = ResultCache::persistent(&dir).expect("reopens");
+        assert!(cache3.get(hash, &key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

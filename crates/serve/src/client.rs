@@ -219,6 +219,33 @@ impl Client {
         Ok(BatchAck { jobs, cached, lane })
     }
 
+    /// Bounds how long a single response read may block (used by the
+    /// coordinator's forwarding paths so a hung worker is detected
+    /// instead of wedging the forward thread forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends a v3 liveness probe; any transport or schema failure means
+    /// the peer is not a healthy serve endpoint.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("ping"));
+        Self::expect_ok(self.request(&req)?).map(|_| ())
+    }
+
+    /// Announces a worker's serve address to a coordinator (v3);
+    /// returns the coordinator's live worker count.
+    pub fn register_worker(&mut self, addr: &str) -> Result<u64, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("register_worker"));
+        req.set("addr", Value::str(addr));
+        let doc = Self::expect_ok(self.request(&req)?)?;
+        doc.get("workers")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("register ack missing 'workers'".into()))
+    }
+
     /// Fetches a job's result response once (no waiting).
     pub fn result(&mut self, job: u64) -> Result<Value, ClientError> {
         let mut req = Value::obj();

@@ -37,6 +37,7 @@
 pub mod admission;
 pub mod cache;
 pub mod client;
+pub mod coordinator;
 pub mod pool;
 pub mod protocol;
 pub mod server;
@@ -70,4 +71,17 @@ pub type BatchExecutor =
 /// [`server::start`] installs; [`server::start_with`] takes a real one.
 pub fn unsupported_batch_executor() -> BatchExecutor {
     Arc::new(|_spec| Err("this server has no batch executor installed".into()))
+}
+
+/// Serves the v3 `snapshot` op: warms `(scenario, warmup)` to a
+/// quiesced boundary and returns it as an encoded snapshot blob
+/// (`Ok(None)` when the scenario never quiesces). The umbrella's
+/// `fgqos::runner::warm_boundary_blob` is the real implementation;
+/// must be a pure function of its inputs like the other executors.
+pub type SnapshotExecutor = Arc<dyn Fn(&str, u64) -> Result<Option<Vec<u8>>, String> + Send + Sync>;
+
+/// A [`SnapshotExecutor`] for deployments without snapshot support:
+/// every `snapshot` request fails with a stable error message.
+pub fn unsupported_snapshot_executor() -> SnapshotExecutor {
+    Arc::new(|_scenario, _warmup| Err("this server has no snapshot executor installed".into()))
 }

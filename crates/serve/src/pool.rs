@@ -173,15 +173,22 @@ pub struct ServeCore {
 }
 
 impl ServeCore {
-    /// Creates the shared state for a pool of `workers` threads.
+    /// Creates the shared state for a pool of `workers` threads with an
+    /// in-memory result cache.
     pub fn new(workers: usize, admission: AdmissionConfig) -> Self {
+        Self::with_cache(workers, admission, ResultCache::new())
+    }
+
+    /// [`ServeCore::new`] with a caller-supplied cache — how a server
+    /// gets a [`ResultCache::persistent`] one that survives restarts.
+    pub fn with_cache(workers: usize, admission: AdmissionConfig, cache: ResultCache) -> Self {
         ServeCore {
             state: Mutex::new(PoolState {
                 lane_executed: vec![0; workers],
                 ..PoolState::default()
             }),
             wakeup: Condvar::new(),
-            cache: ResultCache::new(),
+            cache,
             admission: AdmissionControl::new(admission),
             workers,
             started: Instant::now(),

@@ -1,4 +1,4 @@
-//! The `fgqos.serve v2` wire protocol.
+//! The `fgqos.serve v3` wire protocol.
 //!
 //! Frames are newline-delimited JSON: one request object per line, one
 //! response object per line, in order. Both sides reuse
@@ -17,6 +17,9 @@
 //! {"op":"status","job":1}
 //! {"op":"result","job":1}
 //! {"op":"metrics","format":"json"}
+//! {"op":"ping"}
+//! {"op":"register_worker","addr":"127.0.0.1:34567"}
+//! {"op":"snapshot","scenario":"<text>","warmup":1000000}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -25,6 +28,13 @@
 //! admission-control principal (defaulting to the peer address),
 //! `deadline_ms` bounds how long the job may sit in the queue before it
 //! expires unexecuted.
+//!
+//! Protocol v3 adds the fleet ops: `ping` is a liveness probe (used as
+//! the coordinator's heartbeat), `register_worker` announces a worker's
+//! serve address to a coordinator, and `snapshot` warms a scenario to a
+//! quiesced boundary and returns it as a hex-encoded, fingerprint-checked
+//! snapshot blob (the same container a `BlobStore` files on disk). All
+//! v2 requests are unchanged.
 //!
 //! `submit_batch` (v2) is a warm-start sweep slice: one scenario warmed
 //! for `warmup` cycles to a quiesced boundary, then one divergent run
@@ -52,9 +62,10 @@ use std::io::BufRead;
 /// Schema identifier carried by every response.
 pub const SERVE_SCHEMA: &str = "fgqos.serve";
 /// Protocol version carried by every response. Version 2 added
-/// `submit_batch` and the per-lane metrics; all v1 requests are
-/// unchanged.
-pub const SERVE_VERSION: u64 = 2;
+/// `submit_batch` and the per-lane metrics; version 3 added the fleet
+/// ops (`ping`, `register_worker`, `snapshot`). All earlier requests
+/// are unchanged.
+pub const SERVE_VERSION: u64 = 3;
 /// Default cap on a single request frame, in bytes (newline included).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 * 1024;
 
@@ -146,8 +157,49 @@ pub enum Request {
         /// Export format.
         format: MetricsFormat,
     },
+    /// Liveness probe (protocol v3); answered immediately, used as the
+    /// coordinator's worker heartbeat.
+    Ping,
+    /// Announce a worker's serve address to a coordinator (protocol
+    /// v3). Plain servers refuse it.
+    RegisterWorker {
+        /// The worker's own listen address, reachable by the receiver.
+        addr: String,
+    },
+    /// Warm a scenario to a quiesced boundary and return it as a
+    /// hex-encoded snapshot blob (protocol v3).
+    Snapshot {
+        /// Scenario file text.
+        scenario: String,
+        /// Warm-up cycles before the boundary search.
+        warmup: u64,
+    },
     /// Stop accepting work, drain the queue, reply, then exit.
     Shutdown,
+}
+
+/// Lower-case hex encoding of arbitrary bytes (the wire form of
+/// snapshot blobs, which are binary but must ride a JSON protocol).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes [`to_hex`] output; the error string is protocol-ready.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(s.get(i..i + 2).ok_or("hex payload is not ascii")?, 16)
+                .map_err(|_| format!("invalid hex byte at offset {i}"))
+        })
+        .collect()
 }
 
 /// Error from [`read_frame`].
@@ -323,6 +375,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             };
             Ok(Request::Metrics { format })
         }
+        "ping" => Ok(Request::Ping),
+        "register_worker" => Ok(Request::RegisterWorker {
+            addr: doc
+                .get("addr")
+                .and_then(Value::as_str)
+                .ok_or("register_worker needs a string 'addr'")?
+                .to_string(),
+        }),
+        "snapshot" => Ok(Request::Snapshot {
+            scenario: doc
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("snapshot needs a string 'scenario'")?
+                .to_string(),
+            warmup: opt_u64(&doc, "warmup")?.unwrap_or(0),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -458,6 +526,40 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn parses_fleet_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"op":"register_worker","addr":"127.0.0.1:9"}"#).unwrap(),
+            Request::RegisterWorker {
+                addr: "127.0.0.1:9".into()
+            }
+        );
+        assert!(parse_request(r#"{"op":"register_worker"}"#)
+            .unwrap_err()
+            .contains("addr"));
+        assert_eq!(
+            parse_request(r#"{"op":"snapshot","scenario":"s","warmup":500}"#).unwrap(),
+            Request::Snapshot {
+                scenario: "s".into(),
+                warmup: 500
+            }
+        );
+        assert!(parse_request(r#"{"op":"snapshot"}"#)
+            .unwrap_err()
+            .contains("scenario"));
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rejection() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert!(from_hex("abc").unwrap_err().contains("odd"));
+        assert!(from_hex("zz").unwrap_err().contains("invalid hex"));
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //! quiescent.
 
 use crate::admission::AdmissionConfig;
+use crate::cache::ResultCache;
 use crate::pool::{worker_count, JobState, ServeCore};
 use crate::protocol::{
-    error_response, parse_request, read_frame, response_head, FrameError, MetricsFormat, Request,
-    DEFAULT_MAX_FRAME_BYTES,
+    error_response, parse_request, read_frame, response_head, to_hex, FrameError, MetricsFormat,
+    Request, DEFAULT_MAX_FRAME_BYTES,
 };
-use crate::{unsupported_batch_executor, BatchExecutor, Executor};
+use crate::{
+    unsupported_batch_executor, unsupported_snapshot_executor, BatchExecutor, Executor,
+    SnapshotExecutor,
+};
 use fgqos_sim::json::Value;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,6 +41,9 @@ pub struct ServeConfig {
     pub admission: AdmissionConfig,
     /// Queue deadline applied to jobs that don't set their own.
     pub default_deadline_ms: Option<u64>,
+    /// Directory for a persistent result cache; `None` keeps the cache
+    /// in memory only (lost on restart).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +54,7 @@ impl Default for ServeConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             admission: AdmissionConfig::default(),
             default_deadline_ms: None,
+            cache_dir: None,
         }
     }
 }
@@ -98,6 +106,22 @@ pub fn start_with(
     executor: Executor,
     batch_executor: BatchExecutor,
 ) -> io::Result<ServerHandle> {
+    start_full(
+        cfg,
+        executor,
+        batch_executor,
+        unsupported_snapshot_executor(),
+    )
+}
+
+/// [`start_with`], plus a [`SnapshotExecutor`] serving the v3
+/// `snapshot` op (warm-boundary blobs over the wire).
+pub fn start_full(
+    cfg: ServeConfig,
+    executor: Executor,
+    batch_executor: BatchExecutor,
+    snapshot_executor: SnapshotExecutor,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let threads = if cfg.threads > 0 {
@@ -105,7 +129,11 @@ pub fn start_with(
     } else {
         worker_count()
     };
-    let core = Arc::new(ServeCore::new(threads, cfg.admission));
+    let cache = match &cfg.cache_dir {
+        Some(dir) => ResultCache::persistent(dir)?,
+        None => ResultCache::new(),
+    };
+    let core = Arc::new(ServeCore::with_cache(threads, cfg.admission, cache));
     let workers = (0..threads)
         .map(|lane| {
             let core = Arc::clone(&core);
@@ -128,8 +156,17 @@ pub fn start_with(
                 let Ok(stream) = incoming else { continue };
                 let core = Arc::clone(&core);
                 let stop = Arc::clone(&stop);
+                let snapshot_executor = Arc::clone(&snapshot_executor);
                 std::thread::spawn(move || {
-                    handle_connection(core, stream, max_frame, default_deadline_ms, stop, addr);
+                    handle_connection(
+                        core,
+                        snapshot_executor,
+                        stream,
+                        max_frame,
+                        default_deadline_ms,
+                        stop,
+                        addr,
+                    );
                 });
             }
         })
@@ -150,6 +187,7 @@ fn send(writer: &mut TcpStream, response: &Value) -> io::Result<()> {
 
 fn handle_connection(
     core: Arc<ServeCore>,
+    snapshot_executor: SnapshotExecutor,
     stream: TcpStream,
     max_frame: usize,
     default_deadline_ms: Option<u64>,
@@ -192,7 +230,14 @@ fn handle_connection(
             }
         };
         let shutting_down = matches!(request, Request::Shutdown);
-        let response = dispatch(&core, request, &line, &peer, default_deadline_ms);
+        let response = dispatch(
+            &core,
+            &snapshot_executor,
+            request,
+            &line,
+            &peer,
+            default_deadline_ms,
+        );
         if send(&mut writer, &response).is_err() && !shutting_down {
             return;
         }
@@ -208,12 +253,35 @@ fn handle_connection(
 
 fn dispatch(
     core: &ServeCore,
+    snapshot_executor: &SnapshotExecutor,
     request: Request,
     line: &str,
     peer: &str,
     default_deadline_ms: Option<u64>,
 ) -> Value {
     match request {
+        Request::Ping => response_head("ping", true),
+        Request::RegisterWorker { .. } => {
+            error_response("register_worker", "this server is not a coordinator")
+        }
+        Request::Snapshot { scenario, warmup } => {
+            // Warming runs inline on the connection thread: the op is
+            // synchronous by design (its caller is usually another
+            // server's warm-boundary store, not an interactive client).
+            match snapshot_executor(&scenario, warmup) {
+                Err(message) => error_response("snapshot", message),
+                Ok(None) => error_response(
+                    "snapshot",
+                    "scenario has no quiesced boundary within the slack window",
+                ),
+                Ok(Some(encoded)) => {
+                    let mut resp = response_head("snapshot", true);
+                    resp.set("bytes", Value::from(encoded.len() as u64));
+                    resp.set("blob_hex", Value::str(to_hex(&encoded)));
+                    resp
+                }
+            }
+        }
         Request::Submit {
             spec,
             client,

@@ -176,6 +176,63 @@ impl TxnArena {
         }
     }
 
+    /// Restores the arena from a serialized snapshot stream (the decode
+    /// mirror of [`TxnArena::snap`]).
+    ///
+    /// Only quiesced arenas can be loaded: live slots would need their
+    /// SoA payload columns reconstructed, which the stream (rightly)
+    /// does not carry. With zero live slots the free list spans every
+    /// slot, and the payload columns hold only dead values that the next
+    /// `alloc` overwrites — placeholders suffice.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`](fgqos_snap::SnapDecodeError) aborts the whole load; a non-zero live
+    /// count is a diagnostic [`BadValue`](fgqos_snap::SnapDecodeError::BadValue).
+    pub fn snap_load(
+        &mut self,
+        r: &mut fgqos_snap::SnapReader<'_>,
+    ) -> Result<(), fgqos_snap::SnapDecodeError> {
+        use fgqos_snap::SnapDecodeError;
+        r.section("arena")?;
+        let at = r.position();
+        let live = r.read_usize("arena live")?;
+        if live != 0 {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("arena has {live} live transaction(s); only quiesced snapshots load"),
+                at,
+            });
+        }
+        let slots = r.read_usize("arena slot count")?;
+        let mut gen = Vec::new();
+        for _ in 0..slots {
+            gen.push(r.read_u32("arena generation")?);
+        }
+        let mut free = Vec::new();
+        for _ in 0..slots {
+            let at = r.position();
+            let f = r.read_u32("arena free slot")?;
+            if f as usize >= slots {
+                return Err(SnapDecodeError::BadValue {
+                    what: format!("arena free-list entry {f} out of range for {slots} slot(s)"),
+                    at,
+                });
+            }
+            free.push(f);
+        }
+        self.live = 0;
+        self.gen = gen;
+        self.free = free;
+        self.master = vec![MasterId::new(0); slots];
+        self.serial = vec![0; slots];
+        self.addr = vec![0; slots];
+        self.beats = vec![0; slots];
+        self.dir = vec![Dir::Read; slots];
+        self.issued_at = vec![Cycle::ZERO; slots];
+        self.accepted_at = vec![Cycle::ZERO; slots];
+        Ok(())
+    }
+
     /// Reconstructs the [`Request`] and releases the slot for reuse.
     pub fn take(&mut self, id: TxnId) -> Request {
         let req = self.request(id);

@@ -507,6 +507,73 @@ impl DramController {
         h.write_u64(self.stats.refreshes);
         self.stats.queue_wait.snap(h);
     }
+
+    /// Restores the controller from a serialized snapshot stream (the
+    /// decode mirror of [`DramController::snap`]). Only quiesced streams
+    /// — empty request queue, nothing in service — can be loaded, since
+    /// queue entries are handles into the transaction arena, which
+    /// serializes no live slots. The bank count comes from the rebuilt
+    /// configuration (the stream's bank records are unprefixed).
+    ///
+    /// # Errors
+    ///
+    /// Any [`fgqos_snap::SnapDecodeError`] aborts the whole load.
+    pub fn snap_load(
+        &mut self,
+        r: &mut fgqos_snap::SnapReader<'_>,
+    ) -> Result<(), fgqos_snap::SnapDecodeError> {
+        use fgqos_snap::SnapDecodeError;
+        r.section("dram")?;
+        let at = r.position();
+        let qlen = r.read_usize("dram queue length")?;
+        if qlen != 0 {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("dram queue holds {qlen} request(s); only quiesced snapshots load"),
+                at,
+            });
+        }
+        self.queue.clear();
+        for b in &mut self.banks {
+            b.open_row = if r.read_bool("dram bank open flag")? {
+                Some(r.read_u64("dram bank open row")?)
+            } else {
+                None
+            };
+            b.ready_at = Cycle::new(r.read_u64("dram bank ready_at")?);
+        }
+        self.bus_free_at = Cycle::new(r.read_u64("dram bus_free_at")?);
+        self.last_dir = if r.read_bool("dram last_dir flag")? {
+            Some(if r.read_bool("dram last_dir")? {
+                Dir::Write
+            } else {
+                Dir::Read
+            })
+        } else {
+            None
+        };
+        let at = r.position();
+        let in_service = r.read_usize("dram in-service length")?;
+        if in_service != 0 {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "dram has {in_service} access(es) in service; only quiesced snapshots load"
+                ),
+                at,
+            });
+        }
+        self.in_service.clear();
+        self.next_refresh = Cycle::new(r.read_u64("dram next_refresh")?);
+        self.hit_streak = r.read_u32("dram hit_streak")?;
+        self.draining_writes = r.read_bool("dram draining_writes")?;
+        self.stats.bytes_completed = r.read_u64("dram bytes_completed")?;
+        self.stats.reads = r.read_u64("dram reads")?;
+        self.stats.writes = r.read_u64("dram writes")?;
+        self.stats.row_hits = r.read_u64("dram row_hits")?;
+        self.stats.row_misses = r.read_u64("dram row_misses")?;
+        self.stats.bus_busy_cycles = r.read_u64("dram bus_busy_cycles")?;
+        self.stats.refreshes = r.read_u64("dram refreshes")?;
+        self.stats.queue_wait.snap_load(r)
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 use crate::axi::{Request, Response};
 use crate::metrics::MetricsRegistry;
 use crate::time::Cycle;
-use fgqos_snap::{ForkCtx, StateHasher};
+use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
 
 /// Outcome of presenting a request to a gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,21 @@ pub trait PortGate {
     fn snap_state(&self, h: &mut StateHasher) {
         h.section(self.label());
     }
+
+    /// Restores this gate's architectural state from a serialized
+    /// snapshot stream, reading exactly the fields
+    /// [`PortGate::snap_state`] wrote, in the same order.
+    ///
+    /// The default refuses: gate kinds that never opted into persistence
+    /// surface a diagnostic [`SnapDecodeError::Unsupported`] instead of
+    /// silently desynchronizing the stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    fn snap_load(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        Err(SnapDecodeError::unsupported(self.label()))
+    }
 }
 
 impl PortGate for Box<dyn PortGate> {
@@ -157,6 +172,10 @@ impl PortGate for Box<dyn PortGate> {
     fn snap_state(&self, h: &mut StateHasher) {
         self.as_ref().snap_state(h);
     }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        self.as_mut().snap_load(r)
+    }
 }
 
 /// A gate that admits everything: the unregulated baseline.
@@ -188,6 +207,11 @@ impl PortGate for OpenGate {
 
     fn fork_gate(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn PortGate>> {
         Some(Box::new(*self))
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        // Stateless: the stream carries only the section tag.
+        r.section("open")
     }
 }
 

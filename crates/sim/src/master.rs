@@ -12,7 +12,7 @@ use crate::gate::{GateDecision, PortGate};
 use crate::interconnect::Crossbar;
 use crate::stats::{BandwidthMeter, LatencyStats, WindowRecorder};
 use crate::time::Cycle;
-use fgqos_snap::{ForkCtx, SnapshotError, StateHasher};
+use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, SnapshotError, StateHasher};
 use std::fmt;
 
 /// Broad class of a master, fixing sensible defaults.
@@ -93,6 +93,17 @@ pub trait TrafficSource {
     fn snap_state(&self, h: &mut StateHasher) {
         h.section("source");
     }
+
+    /// Restores this source's state from a serialized snapshot stream
+    /// (the decode mirror of [`TrafficSource::snap_state`]). The default
+    /// refuses with a diagnostic [`SnapDecodeError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    fn snap_load(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        Err(SnapDecodeError::unsupported("traffic source"))
+    }
 }
 
 impl TrafficSource for Box<dyn TrafficSource> {
@@ -118,6 +129,10 @@ impl TrafficSource for Box<dyn TrafficSource> {
 
     fn snap_state(&self, h: &mut StateHasher) {
         self.as_ref().snap_state(h);
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        self.as_mut().snap_load(r)
     }
 }
 
@@ -301,6 +316,25 @@ impl TrafficSource for SequentialSource {
         h.write_u64(self.footprint);
         h.write_u64(self.next_ready.get());
     }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("seq-source")?;
+        self.base = r.read_u64("seq-source base")?;
+        self.next_addr = r.read_u64("seq-source next_addr")?;
+        self.beats = r.read_u16("seq-source beats")?;
+        self.dir = if r.read_bool("seq-source dir")? {
+            Dir::Write
+        } else {
+            Dir::Read
+        };
+        self.total_txns = r.read_u64("seq-source total_txns")?;
+        self.issued = r.read_u64("seq-source issued")?;
+        self.gap = r.read_u64("seq-source gap")?;
+        self.think_time = r.read_u64("seq-source think_time")?;
+        self.footprint = r.read_u64("seq-source footprint")?;
+        self.next_ready = Cycle::new(r.read_u64("seq-source next_ready")?);
+        Ok(())
+    }
 }
 
 /// Per-master measurement record.
@@ -345,6 +379,30 @@ impl MasterStats {
             }
             None => h.write_bool(false),
         }
+    }
+
+    /// Restores the record from a serialized snapshot stream (the decode
+    /// mirror of [`MasterStats::snap`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("stats")?;
+        self.issued_txns = r.read_u64("stats issued_txns")?;
+        self.completed_txns = r.read_u64("stats completed_txns")?;
+        self.bytes_completed = r.read_u64("stats bytes_completed")?;
+        self.latency.snap_load(r)?;
+        self.service_latency.snap_load(r)?;
+        self.gate_stall_cycles = r.read_u64("stats gate_stall_cycles")?;
+        self.fifo_stall_cycles = r.read_u64("stats fifo_stall_cycles")?;
+        self.meter.snap_load(r)?;
+        self.window = if r.read_bool("stats window flag")? {
+            Some(WindowRecorder::snap_load(r)?)
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 
@@ -734,6 +792,103 @@ impl Master {
         self.source.snap_state(h);
         self.gate.snap_state(h);
         self.stats.snap(h);
+    }
+
+    /// Restores the master's full state from a serialized snapshot
+    /// stream (the decode mirror of [`Master::snap`]). Identity fields —
+    /// id, name, kind, outstanding limit — come from the rebuilt
+    /// skeleton and are *verified* against the stream rather than
+    /// overwritten, so a stream loaded into the wrong scenario fails
+    /// loudly at the first divergent master.
+    pub(crate) fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("master")?;
+        let at = r.position();
+        let id = r.read_usize("master id")?;
+        if id != self.id.index() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "master id {} in stream, skeleton has {}",
+                    id,
+                    self.id.index()
+                ),
+                at,
+            });
+        }
+        let at = r.position();
+        let name = r.read_str("master name")?;
+        if name != self.name {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "master name {name:?} in stream, skeleton has {:?}",
+                    self.name
+                ),
+                at,
+            });
+        }
+        let at = r.position();
+        let kind = r.read_u8("master kind")?;
+        let own_kind = match self.kind {
+            MasterKind::Cpu => 0,
+            MasterKind::Accelerator => 1,
+        };
+        if kind != own_kind {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("master {name:?} kind {kind} in stream, skeleton has {own_kind}"),
+                at,
+            });
+        }
+        let at = r.position();
+        let outstanding = r.read_usize("master max_outstanding")?;
+        if outstanding != self.max_outstanding {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "master {name:?} max_outstanding {outstanding} in stream, skeleton has {}",
+                    self.max_outstanding
+                ),
+                at,
+            });
+        }
+        self.staged = if r.read_bool("master staged flag")? {
+            let addr = r.read_u64("staged addr")?;
+            let beats = r.read_u16("staged beats")?;
+            let dir = if r.read_bool("staged dir")? {
+                Dir::Write
+            } else {
+                Dir::Read
+            };
+            let not_before = Cycle::new(r.read_u64("staged not_before")?);
+            let first = if r.read_bool("staged first flag")? {
+                Some(Cycle::new(r.read_u64("staged first cycle")?))
+            } else {
+                None
+            };
+            Some((
+                PendingRequest {
+                    addr,
+                    beats,
+                    dir,
+                    not_before,
+                },
+                first,
+            ))
+        } else {
+            None
+        };
+        self.in_flight = r.read_usize("master in_flight")?;
+        self.serial = r.read_u64("master serial")?;
+        self.last_denied = r.read_bool("master last_denied")?;
+        self.gate_dirty = r.read_bool("master gate_dirty")?;
+        self.retry_at = if r.read_bool("master retry_at flag")? {
+            Some(Cycle::new(r.read_u64("master retry_at")?))
+        } else {
+            None
+        };
+        self.fifo_blocked = r.read_bool("master fifo_blocked")?;
+        self.pull_pending = r.read_bool("master pull_pending")?;
+        self.last_tick = Cycle::new(r.read_u64("master last_tick")?);
+        self.source.snap_load(r)?;
+        self.gate.snap_load(r)?;
+        self.stats.snap_load(r)
     }
 
     /// Shared access to the port gate (metrics snapshots).

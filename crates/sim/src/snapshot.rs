@@ -33,7 +33,7 @@
 
 use crate::system::Soc;
 use crate::time::Cycle;
-use fgqos_snap::{ForkCtx, SnapshotError, StateHasher};
+use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, SnapshotBlob, SnapshotError, StateHasher};
 
 /// Version of the snapshot fingerprint stream. Bumped whenever the
 /// encoding or the component traversal order changes; folded into every
@@ -149,6 +149,79 @@ impl Soc {
     pub fn restore(snapshot: &SocSnapshot) -> Soc {
         snapshot.fork()
     }
+
+    /// Loads a serialized state stream (see [`SocSnapshot::state_bytes`])
+    /// into this Soc, which must be a freshly built skeleton of the same
+    /// scenario: structural, configuration-derived facts (clock, master
+    /// identities, crossbar configuration, controller count) are
+    /// *verified* against the stream, while mutable architectural state
+    /// is overwritten. Callers should re-fingerprint afterwards and
+    /// compare against the capture-time fingerprint — that is what makes
+    /// a wrong or partial load impossible to miss
+    /// (see [`SocSnapshot::load_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`]: version mismatch, truncation, a stream
+    /// that disagrees with this skeleton, a component that does not
+    /// support loading, or trailing bytes. The Soc is left in an
+    /// unspecified partially-loaded state on error and must be discarded.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), SnapDecodeError> {
+        let mut r = SnapReader::new(bytes);
+        r.section("fgqos.soc-snapshot")?;
+        let version = r.read_u32("snapshot version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapDecodeError::Version {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let at = r.position();
+        let hz = r.read_u64("soc clock hz")?;
+        if hz != self.freq.hz() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "soc clock {hz} Hz in stream, skeleton has {}",
+                    self.freq.hz()
+                ),
+                at,
+            });
+        }
+        self.cycle = Cycle::new(r.read_u64("soc cycle")?);
+        self.naive = r.read_bool("soc naive flag")?;
+        let at = r.position();
+        let n = r.read_usize("master count")?;
+        if n != self.masters.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "{n} master(s) in stream, skeleton has {}",
+                    self.masters.len()
+                ),
+                at,
+            });
+        }
+        for m in &mut self.masters {
+            m.snap_load(&mut r)?;
+        }
+        self.xbar.snap_load(&mut r)?;
+        self.dram.snap_load(&mut r)?;
+        let at = r.position();
+        let nc = r.read_usize("controller count")?;
+        if nc != self.controllers.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "{nc} controller(s) in stream, skeleton has {}",
+                    self.controllers.len()
+                ),
+                at,
+            });
+        }
+        for c in &mut self.controllers {
+            c.snap_load(&mut r)?;
+        }
+        self.arena.snap_load(&mut r)?;
+        r.expect_end()
+    }
 }
 
 /// A [`Soc`] captured at a quiesced boundary, ready to fork N divergent
@@ -227,6 +300,77 @@ impl SocSnapshot {
     /// hashing bug).
     pub fn verify(&self) -> bool {
         self.soc.fingerprint() == self.fingerprint
+    }
+
+    /// Serializes the captured state to its canonical byte stream: the
+    /// exact bytes the fingerprint hashes, captured by running the
+    /// [`StateHasher`] in recording mode. By construction,
+    /// `fnv64(state_bytes()) == fingerprint()`.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut h = StateHasher::recording();
+        self.soc.snap(&mut h);
+        debug_assert_eq!(h.finish(), self.fingerprint);
+        h.take_bytes()
+    }
+
+    /// Packages the snapshot as a durable [`SnapshotBlob`], embedding
+    /// `scenario` — the recipe text that rebuilds the structural
+    /// skeleton the state loads into (see [`SocSnapshot::load_into`]).
+    pub fn to_blob(&self, scenario: impl Into<String>) -> SnapshotBlob {
+        SnapshotBlob {
+            snapshot_version: SNAPSHOT_VERSION,
+            fingerprint: self.fingerprint,
+            cycle: self.soc.now().get(),
+            scenario: scenario.into(),
+            state: self.state_bytes(),
+        }
+    }
+
+    /// Restores a serialized snapshot: loads `blob`'s state stream into
+    /// `soc` (a freshly built skeleton of the blob's embedded scenario)
+    /// and re-verifies the fingerprint end to end, so the returned
+    /// snapshot forks runs bit-identical to forks of the original.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`]; in particular
+    /// [`SnapDecodeError::Version`] for an incompatible stream version
+    /// and [`SnapDecodeError::FingerprintMismatch`] when the loaded
+    /// state does not hash back to the fingerprint recorded at capture.
+    pub fn load_into(mut soc: Soc, blob: &SnapshotBlob) -> Result<SocSnapshot, SnapDecodeError> {
+        if blob.snapshot_version != SNAPSHOT_VERSION {
+            return Err(SnapDecodeError::Version {
+                found: blob.snapshot_version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        soc.load_state(&blob.state)?;
+        if soc.now().get() != blob.cycle {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "blob header cycle {} disagrees with state-stream cycle {}",
+                    blob.cycle,
+                    soc.now().get()
+                ),
+                at: 0,
+            });
+        }
+        let fingerprint = soc.fingerprint();
+        if fingerprint != blob.fingerprint {
+            return Err(SnapDecodeError::FingerprintMismatch {
+                expected: blob.fingerprint,
+                found: fingerprint,
+            });
+        }
+        soc.snapshot().map_err(|e| match e {
+            SnapshotError::Unforkable { label } => {
+                SnapDecodeError::Unsupported { component: label }
+            }
+            SnapshotError::NotQuiesced { live_txns } => SnapDecodeError::BadValue {
+                what: format!("{live_txns} live transaction(s) after load"),
+                at: 0,
+            },
+        })
     }
 }
 
@@ -329,6 +473,74 @@ mod tests {
             b_before,
             "running a fork must not touch another"
         );
+    }
+
+    #[test]
+    fn serialized_state_restores_bit_identical() {
+        let mut soc = two_master_soc();
+        soc.run(20_000);
+        soc.quiesce_point(10_000_000).expect("drains");
+        let snap = soc.snapshot().expect("quiesced");
+        let blob = snap.to_blob("two_master_soc");
+        assert_eq!(fgqos_snap::fnv64(&blob.state), snap.fingerprint());
+
+        let enc = blob.encode();
+        let dec = SnapshotBlob::decode(&enc).expect("container round-trips");
+        let restored = SocSnapshot::load_into(two_master_soc(), &dec).expect("state loads");
+        assert_eq!(restored.fingerprint(), snap.fingerprint());
+        assert_eq!(restored.cycle(), snap.cycle());
+
+        let mut a = snap.fork();
+        let mut b = restored.fork();
+        a.run(50_000);
+        b.run(50_000);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "restored fork diverged from in-memory fork"
+        );
+    }
+
+    #[test]
+    fn load_rejects_wrong_version_flips_and_wrong_skeleton() {
+        let mut soc = two_master_soc();
+        soc.run(20_000);
+        soc.quiesce_point(10_000_000).expect("drains");
+        let snap = soc.snapshot().expect("quiesced");
+        let blob = snap.to_blob("two_master_soc");
+
+        // Wrong snapshot version fails before any state is interpreted.
+        let mut wrong = blob.clone();
+        wrong.snapshot_version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            SocSnapshot::load_into(two_master_soc(), &wrong),
+            Err(SnapDecodeError::Version { .. })
+        ));
+
+        // A flipped state byte that slips past the container checksum is
+        // still caught — by a decode error or the final fingerprint check,
+        // never a panic or silent acceptance.
+        for pos in [10, blob.state.len() / 2, blob.state.len() - 9] {
+            let mut bad = blob.clone();
+            bad.state[pos] ^= 0x01;
+            assert!(
+                SocSnapshot::load_into(two_master_soc(), &bad).is_err(),
+                "flipped state byte {pos} loaded cleanly"
+            );
+        }
+
+        // Loading into a structurally different skeleton is diagnostic.
+        let other = SocBuilder::new(cfg())
+            .master(
+                "other",
+                SequentialSource::reads(0, 1024, 10),
+                MasterKind::Accelerator,
+            )
+            .build();
+        assert!(matches!(
+            SocSnapshot::load_into(other, &blob),
+            Err(SnapDecodeError::BadValue { .. })
+        ));
     }
 
     #[test]

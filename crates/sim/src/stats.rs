@@ -6,7 +6,7 @@
 //! attached to every master for arbitrarily long runs.
 
 use crate::time::{Bandwidth, Cycle, Freq};
-use fgqos_snap::{CowVec, StateHasher};
+use fgqos_snap::{CowVec, SnapDecodeError, SnapReader, StateHasher};
 
 /// Accumulates transferred bytes over an interval and converts the count
 /// into a [`Bandwidth`].
@@ -74,6 +74,20 @@ impl BandwidthMeter {
         h.write_u64(self.bytes);
         h.write_u64(self.txns);
         h.write_u64(self.start.get());
+    }
+
+    /// Restores the meter from a serialized snapshot stream (the decode
+    /// mirror of [`BandwidthMeter::snap`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("meter")?;
+        self.bytes = r.read_u64("meter bytes")?;
+        self.txns = r.read_u64("meter txns")?;
+        self.start = Cycle::new(r.read_u64("meter start")?);
+        Ok(())
     }
 }
 
@@ -268,6 +282,46 @@ impl LatencyStats {
             h.write_u64(c);
         }
     }
+
+    /// Restores the distribution from a serialized snapshot stream (the
+    /// decode mirror of [`LatencyStats::snap`]). The bucket pairs carry
+    /// no length prefix; they are read until their counts sum to the
+    /// recorded total, with strictly increasing indices — any deviation
+    /// is a diagnostic error.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("latency")?;
+        let count = r.read_u64("latency count")?;
+        let sum = r.read_u128("latency sum")?;
+        let min = r.read_u64("latency min")?;
+        let max = r.read_u64("latency max")?;
+        self.clear();
+        self.count = count;
+        self.sum = sum;
+        self.min = min;
+        self.max = max;
+        let buckets = self.buckets.make_mut();
+        let mut acc: u64 = 0;
+        let mut last: Option<usize> = None;
+        while acc < count {
+            let at = r.position();
+            let i = r.read_usize("latency bucket index")?;
+            let c = r.read_u64("latency bucket count")?;
+            if i >= buckets.len() || c == 0 || last.is_some_and(|l| i <= l) || c > count - acc {
+                return Err(SnapDecodeError::BadValue {
+                    what: format!("latency bucket ({i}, {c}) inconsistent with count {count}"),
+                    at,
+                });
+            }
+            buckets[i] = c;
+            acc += c;
+            last = Some(i);
+        }
+        Ok(())
+    }
 }
 
 /// Records a per-window time series of a counter (e.g. bytes completed per
@@ -426,6 +480,49 @@ impl WindowRecorder {
             h.write_u64(lw.p50);
             h.write_u64(lw.p99);
         }
+    }
+
+    /// Reconstructs a recorder from a serialized snapshot stream (the
+    /// decode mirror of [`WindowRecorder::snap`]); the stream carries
+    /// everything, so no pre-built skeleton recorder is needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    pub fn snap_load(r: &mut SnapReader<'_>) -> Result<WindowRecorder, SnapDecodeError> {
+        r.section("window-recorder")?;
+        let at = r.position();
+        let window_cycles = r.read_u64("window-recorder window_cycles")?;
+        if window_cycles == 0 {
+            return Err(SnapDecodeError::BadValue {
+                what: "window-recorder window_cycles must be non-zero".to_string(),
+                at,
+            });
+        }
+        let mut rec = WindowRecorder::new(window_cycles);
+        rec.current_window = r.read_u64("window-recorder current_window")?;
+        rec.current_value = r.read_u64("window-recorder current_value")?;
+        let n = r.read_usize("window-recorder windows len")?;
+        for _ in 0..n {
+            rec.windows
+                .push(r.read_u64("window-recorder window value")?);
+        }
+        rec.lat_scratch = if r.read_bool("window-recorder scratch flag")? {
+            let mut s = LatencyStats::new();
+            s.snap_load(r)?;
+            Some(s)
+        } else {
+            None
+        };
+        let m = r.read_usize("window-recorder latency windows len")?;
+        for _ in 0..m {
+            rec.lat_windows.push(WindowLatency {
+                count: r.read_u64("window-latency count")?,
+                p50: r.read_u64("window-latency p50")?,
+                p99: r.read_u64("window-latency p99")?,
+            });
+        }
+        Ok(rec)
     }
 }
 

@@ -26,7 +26,7 @@ use crate::master::{Master, MasterKind, MasterStats, TrafficSource};
 use crate::metrics::MetricsRegistry;
 use crate::time::{Bandwidth, Cycle, Freq};
 use crate::trace::{ChromeTraceBuilder, Trace};
-use fgqos_snap::{ForkCtx, StateHasher};
+use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
 
 /// Top-level SoC parameters.
 #[derive(Debug, Clone, Default)]
@@ -79,6 +79,18 @@ pub trait Controller {
     /// fingerprint; the default writes only the label.
     fn snap_state(&self, h: &mut StateHasher) {
         h.section(self.label());
+    }
+
+    /// Restores this controller's state from a serialized snapshot
+    /// stream (the decode mirror of [`Controller::snap_state`]). The
+    /// default refuses with a diagnostic
+    /// [`SnapDecodeError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapDecodeError`] aborts the whole load.
+    fn snap_load(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        Err(SnapDecodeError::unsupported(self.label()))
     }
 }
 
@@ -324,6 +336,13 @@ impl Soc {
     /// and speedup measurement.
     pub fn set_naive(&mut self, naive: bool) {
         self.naive = naive;
+    }
+
+    /// Whether the naive reference core is selected (see
+    /// [`Soc::set_naive`]). The flag is part of the snapshot stream, so
+    /// warm-boundary caches must key on it.
+    pub fn is_naive(&self) -> bool {
+        self.naive
     }
 
     /// Advances the simulation by one cycle (the naive reference core:

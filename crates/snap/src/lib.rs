@@ -24,6 +24,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod wire;
+
+pub use wire::{BlobStore, SnapDecodeError, SnapReader, SnapshotBlob};
+
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
@@ -64,6 +68,7 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 pub struct StateHasher {
     hash: u64,
     bytes: u64,
+    record: Option<Vec<u8>>,
 }
 
 impl Default for StateHasher {
@@ -78,7 +83,26 @@ impl StateHasher {
         StateHasher {
             hash: FNV_OFFSET,
             bytes: 0,
+            record: None,
         }
+    }
+
+    /// A hasher that additionally captures every folded byte, so the
+    /// hash stream doubles as a serialization wire format: the recorded
+    /// bytes replayed through a [`SnapReader`] reconstruct exactly the
+    /// state that produced this fingerprint.
+    pub fn recording() -> Self {
+        StateHasher {
+            hash: FNV_OFFSET,
+            bytes: 0,
+            record: Some(Vec::new()),
+        }
+    }
+
+    /// The bytes captured so far (empty unless built with
+    /// [`StateHasher::recording`]).
+    pub fn take_bytes(self) -> Vec<u8> {
+        self.record.unwrap_or_default()
     }
 
     /// Folds raw bytes without a length prefix (building block for the
@@ -89,6 +113,9 @@ impl StateHasher {
             self.hash = self.hash.wrapping_mul(FNV_PRIME);
         }
         self.bytes += bytes.len() as u64;
+        if let Some(buf) = &mut self.record {
+            buf.extend_from_slice(bytes);
+        }
     }
 
     /// Opens a named section; fold the tag so component order matters.

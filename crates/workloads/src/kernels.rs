@@ -13,7 +13,7 @@ use crate::spec::{AddressPattern, SpecSource, TrafficSpec};
 use fgqos_sim::axi::{Dir, Response};
 use fgqos_sim::master::{PendingRequest, TrafficSource};
 use fgqos_sim::time::Cycle;
-use fgqos_sim::{ForkCtx, StateHasher};
+use fgqos_sim::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
 use std::fmt;
 
 /// A benchmark kernel with a fixed memory-phase model.
@@ -276,6 +276,41 @@ impl TrafficSource for KernelSource {
             }
             None => h.write_bool(false),
         }
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("kernel-source")?;
+        let at = r.position();
+        let phases = r.read_usize("kernel phase count")?;
+        if phases != self.phases.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "kernel phase count {phases} differs from built kernel ({})",
+                    self.phases.len()
+                ),
+                at,
+            });
+        }
+        self.iterations = r.read_u64("kernel iterations")?;
+        self.seed = r.read_u64("kernel seed")?;
+        self.iter = r.read_u64("kernel iter")?;
+        let at = r.position();
+        let phase = r.read_usize("kernel phase index")?;
+        if phase >= self.phases.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("kernel phase index {phase} out of range"),
+                at,
+            });
+        }
+        self.phase = phase;
+        // The in-flight phase carries its own spec (a re-seeded copy of
+        // `phases[self.phase]`), so it is rebuilt wholly from the stream.
+        self.current = if r.read_bool("kernel current flag")? {
+            Some(SpecSource::snap_load_new(r)?)
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

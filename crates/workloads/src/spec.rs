@@ -10,7 +10,7 @@ use fgqos_sim::axi::Response;
 use fgqos_sim::axi::{Dir, BEAT_BYTES, MAX_BURST_BEATS};
 use fgqos_sim::master::{PendingRequest, TrafficSource};
 use fgqos_sim::time::Cycle;
-use fgqos_sim::{ForkCtx, StateHasher};
+use fgqos_sim::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -234,6 +234,79 @@ impl SpecSource {
         }
     }
 
+    /// Rebuilds a source wholly from a serialized snapshot stream (the
+    /// decode mirror of its `snap_state`). The spec itself travels in the
+    /// stream, so this also reconstructs the in-flight phase of a
+    /// [`KernelSource`](crate::kernels::KernelSource), whose phase spec
+    /// is not part of the rebuilt skeleton.
+    pub(crate) fn snap_load_new(r: &mut SnapReader<'_>) -> Result<SpecSource, SnapDecodeError> {
+        r.section("spec-source")?;
+        let spec_at = r.position();
+        let base = r.read_u64("spec base")?;
+        let footprint = r.read_u64("spec footprint")?;
+        let txn_bytes = r.read_u64("spec txn_bytes")?;
+        let dir = if r.read_bool("spec dir")? {
+            Dir::Write
+        } else {
+            Dir::Read
+        };
+        let write_ratio = r.read_f64("spec write_ratio")?;
+        let tag_at = r.position();
+        let pattern = match r.read_u8("spec pattern tag")? {
+            0 => AddressPattern::Sequential,
+            1 => AddressPattern::Strided {
+                stride: r.read_u64("spec stride")?,
+            },
+            2 => AddressPattern::Random,
+            t => {
+                return Err(SnapDecodeError::BadValue {
+                    what: format!("unknown address-pattern tag {t}"),
+                    at: tag_at,
+                })
+            }
+        };
+        let gap = r.read_u64("spec gap")?;
+        let think = r.read_u64("spec think")?;
+        let total = r.read_u64("spec total")?;
+        let burst = if r.read_bool("spec burst flag")? {
+            Some(BurstShape {
+                on_cycles: r.read_u64("spec burst on_cycles")?,
+                off_cycles: r.read_u64("spec burst off_cycles")?,
+            })
+        } else {
+            None
+        };
+        let spec = TrafficSpec {
+            base,
+            footprint,
+            txn_bytes,
+            dir,
+            write_ratio,
+            pattern,
+            gap,
+            think,
+            total,
+            burst,
+        };
+        if let Err(e) = spec.validate() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("serialized TrafficSpec invalid: {e}"),
+                at: spec_at,
+            });
+        }
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = r.read_u64("spec rng word")?;
+        }
+        Ok(SpecSource {
+            spec,
+            rng: SmallRng::from_state(words),
+            cursor: r.read_u64("spec cursor")?,
+            issued: r.read_u64("spec issued")?,
+            next_ready: Cycle::new(r.read_u64("spec next_ready")?),
+        })
+    }
+
     /// Shifts `t` into the next on-phase if burst shaping is active.
     fn align_to_burst(&self, t: Cycle) -> Cycle {
         let Some(b) = self.spec.burst else { return t };
@@ -322,6 +395,11 @@ impl TrafficSource for SpecSource {
         h.write_u64(self.cursor);
         h.write_u64(self.issued);
         h.write_u64(self.next_ready.get());
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        *self = SpecSource::snap_load_new(r)?;
+        Ok(())
     }
 }
 

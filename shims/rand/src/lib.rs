@@ -102,6 +102,12 @@ pub mod rngs {
         pub fn state(&self) -> [u64; 4] {
             self.s
         }
+
+        /// Rebuilds a generator from state words previously captured
+        /// with [`SmallRng::state`] — the restore half of snapshotting.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
     }
 
     impl RngCore for SmallRng {

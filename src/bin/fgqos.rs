@@ -5,6 +5,7 @@
 //!   fgqos <scenario-file> [run options]      simulate a scenario locally
 //!   fgqos check <scenario-file>              parse + validate, run nothing
 //!   fgqos serve [serve options]              start the execution service
+//!   fgqos worker --connect HOST:PORT [...]   start a worker, join a fleet
 //!   fgqos submit <scenario-file> [options]   run a scenario via a server
 //!   fgqos shutdown [--addr HOST:PORT]        drain and stop a server
 //!
@@ -23,6 +24,16 @@
 //!   --admit-period-ms N  ingress budget period (default 1000)
 //!   --admit-depth N   per-client burst allowance, bytes (default 2 MiB)
 //!   --deadline-ms N   default queue deadline for submitted jobs
+//!   --cache-dir DIR   persist the result cache in DIR (survives restarts)
+//!   --blob-dir DIR    shared warm-boundary snapshot store for batches
+//!   --workers N       fleet mode: run a coordinator and spawn N worker
+//!                     processes (N=0: bare coordinator for manual fleets
+//!                     built with `fgqos worker --connect`)
+//!
+//! Worker options:
+//!   --connect HOST:PORT  coordinator to register with (required)
+//!   --addr HOST:PORT  worker listen address (default 127.0.0.1:0)
+//!   --threads / --max-frame / --admit-* / --blob-dir   as for serve
 //!
 //! Submit options:
 //!   --addr HOST:PORT  server address (default 127.0.0.1:7171)
@@ -35,13 +46,19 @@
 //! (unreadable or invalid scenarios, server failures), 2 on usage errors.
 //! ```
 
-use fgqos::runner::{scenario_report, serve_batch_executor, serve_executor, RunError, RunOptions};
+use fgqos::runner::{
+    scenario_report, serve_batch_executor, serve_batch_executor_with_store, serve_executor,
+    serve_snapshot_executor, RunError, RunOptions,
+};
 use fgqos::scenario::ScenarioSpec;
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
+use fgqos::serve::coordinator::{start_coordinator, CoordinatorConfig};
 use fgqos::serve::protocol::DEFAULT_MAX_FRAME_BYTES;
-use fgqos::serve::server::{start_with, ServeConfig};
+use fgqos::serve::server::{start_full, ServeConfig};
+use fgqos::serve::BatchExecutor;
 use fgqos::sim::axi::MasterId;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -61,7 +78,20 @@ struct ServeArgs {
     threads: usize,
     max_frame_bytes: usize,
     admission: AdmissionConfig,
+    admit_overridden: bool,
     default_deadline_ms: Option<u64>,
+    cache_dir: Option<PathBuf>,
+    blob_dir: Option<PathBuf>,
+    workers: Option<usize>,
+}
+
+struct WorkerArgs {
+    addr: String,
+    connect: String,
+    threads: usize,
+    max_frame_bytes: usize,
+    admission: AdmissionConfig,
+    blob_dir: Option<PathBuf>,
 }
 
 struct SubmitArgs {
@@ -79,6 +109,7 @@ enum Cmd {
     Run(RunArgs),
     Check { scenario_path: String },
     Serve(ServeArgs),
+    Worker(WorkerArgs),
     Submit(SubmitArgs),
     Shutdown { addr: String },
 }
@@ -88,6 +119,9 @@ fn usage() -> &'static str {
        fgqos check <scenario-file>
        fgqos serve [--addr HOST:PORT] [--threads N] [--max-frame N]
                    [--admit-budget N] [--admit-period-ms N] [--admit-depth N] [--deadline-ms N]
+                   [--cache-dir DIR] [--blob-dir DIR] [--workers N]
+       fgqos worker --connect HOST:PORT [--addr HOST:PORT] [--threads N] [--max-frame N]
+                    [--admit-budget N] [--admit-period-ms N] [--admit-depth N] [--blob-dir DIR]
        fgqos submit <scenario-file> [--addr HOST:PORT] [--cycles N] [--until-done NAME]
                     [--client NAME] [--deadline-ms N] [--timeout-ms N]
        fgqos shutdown [--addr HOST:PORT]"
@@ -170,26 +204,71 @@ fn parse_serve(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
         threads: 0,
         max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
         admission: AdmissionConfig::default(),
+        admit_overridden: false,
         default_deadline_ms: None,
+        cache_dir: None,
+        blob_dir: None,
+        workers: None,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--addr" => args.addr = value_of(&mut argv, "--addr")?,
             "--threads" => args.threads = num_of(&mut argv, "--threads")?,
             "--max-frame" => args.max_frame_bytes = num_of(&mut argv, "--max-frame")?,
-            "--admit-budget" => args.admission.budget_bytes = num_of(&mut argv, "--admit-budget")?,
+            "--admit-budget" => {
+                args.admission.budget_bytes = num_of(&mut argv, "--admit-budget")?;
+                args.admit_overridden = true;
+            }
             "--admit-period-ms" => {
                 // The ingress regulator runs at 1 cycle = 1 µs.
                 let ms: u32 = num_of(&mut argv, "--admit-period-ms")?;
                 args.admission.period_cycles = ms.saturating_mul(1_000).max(1);
+                args.admit_overridden = true;
             }
-            "--admit-depth" => args.admission.depth_bytes = num_of(&mut argv, "--admit-depth")?,
+            "--admit-depth" => {
+                args.admission.depth_bytes = num_of(&mut argv, "--admit-depth")?;
+                args.admit_overridden = true;
+            }
             "--deadline-ms" => args.default_deadline_ms = Some(num_of(&mut argv, "--deadline-ms")?),
+            "--cache-dir" => args.cache_dir = Some(value_of(&mut argv, "--cache-dir")?.into()),
+            "--blob-dir" => args.blob_dir = Some(value_of(&mut argv, "--blob-dir")?.into()),
+            "--workers" => args.workers = Some(num_of(&mut argv, "--workers")?),
             "--help" | "-h" => return Ok(Cmd::Help),
             other => return Err(format!("unknown serve option {other:?}\n{}", usage())),
         }
     }
     Ok(Cmd::Serve(args))
+}
+
+fn parse_worker(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut connect = None;
+    let mut args = WorkerArgs {
+        addr: "127.0.0.1:0".to_string(),
+        connect: String::new(),
+        threads: 0,
+        max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        admission: AdmissionConfig::default(),
+        blob_dir: None,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(value_of(&mut argv, "--connect")?),
+            "--addr" => args.addr = value_of(&mut argv, "--addr")?,
+            "--threads" => args.threads = num_of(&mut argv, "--threads")?,
+            "--max-frame" => args.max_frame_bytes = num_of(&mut argv, "--max-frame")?,
+            "--admit-budget" => args.admission.budget_bytes = num_of(&mut argv, "--admit-budget")?,
+            "--admit-period-ms" => {
+                let ms: u32 = num_of(&mut argv, "--admit-period-ms")?;
+                args.admission.period_cycles = ms.saturating_mul(1_000).max(1);
+            }
+            "--admit-depth" => args.admission.depth_bytes = num_of(&mut argv, "--admit-depth")?,
+            "--blob-dir" => args.blob_dir = Some(value_of(&mut argv, "--blob-dir")?.into()),
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other => return Err(format!("unknown worker option {other:?}\n{}", usage())),
+        }
+    }
+    args.connect = connect.ok_or("worker needs --connect HOST:PORT".to_string())?;
+    Ok(Cmd::Worker(args))
 }
 
 fn parse_submit(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
@@ -245,6 +324,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
             "--help" | "-h" => Ok(Cmd::Help),
             "check" => parse_check(argv),
             "serve" => parse_serve(argv),
+            "worker" => parse_worker(argv),
             "submit" => parse_submit(argv),
             "shutdown" => parse_shutdown(argv),
             _ => parse_run(std::iter::once(first).chain(argv)),
@@ -368,23 +448,144 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn batch_executor_for(blob_dir: &Option<PathBuf>) -> BatchExecutor {
+    match blob_dir {
+        Some(dir) => serve_batch_executor_with_store(dir.clone()),
+        None => serve_batch_executor(),
+    }
+}
+
 fn serve(args: ServeArgs) -> Result<(), String> {
-    let handle = start_with(
+    if args.workers.is_some() {
+        return serve_fleet(args);
+    }
+    let handle = start_full(
         ServeConfig {
             addr: args.addr,
             threads: args.threads,
             max_frame_bytes: args.max_frame_bytes,
             admission: args.admission,
             default_deadline_ms: args.default_deadline_ms,
+            cache_dir: args.cache_dir,
         },
         serve_executor(),
-        serve_batch_executor(),
+        batch_executor_for(&args.blob_dir),
+        serve_snapshot_executor(),
     )
     .map_err(|e| format!("cannot start server: {e}"))?;
     // Scripts (and CI) parse this line for the bound port.
     println!("listening on {}", handle.addr());
     handle.join();
     println!("server drained and stopped");
+    Ok(())
+}
+
+/// Fleet mode: a coordinator plus `--workers N` spawned worker
+/// processes (re-invocations of this binary as `fgqos worker`).
+fn serve_fleet(args: ServeArgs) -> Result<(), String> {
+    let n = args.workers.unwrap_or(0);
+    let handle = start_coordinator(CoordinatorConfig {
+        addr: args.addr,
+        max_frame_bytes: args.max_frame_bytes,
+        cache_dir: args.cache_dir,
+        ..CoordinatorConfig::default()
+    })
+    .map_err(|e| format!("cannot start coordinator: {e}"))?;
+    println!("listening on {}", handle.addr());
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--connect")
+            .arg(handle.addr().to_string())
+            // Workers print their own "listening on" line; keep the
+            // coordinator's the only one on stdout for port-scraping
+            // scripts.
+            .stdout(std::process::Stdio::null());
+        if args.threads != 0 {
+            cmd.arg("--threads").arg(args.threads.to_string());
+        }
+        if let Some(dir) = &args.blob_dir {
+            cmd.arg("--blob-dir").arg(dir);
+        }
+        if args.admit_overridden {
+            cmd.arg("--admit-budget")
+                .arg(args.admission.budget_bytes.to_string());
+            cmd.arg("--admit-depth")
+                .arg(args.admission.depth_bytes.to_string());
+        } else {
+            // All fleet ingress funnels through one coordinator
+            // principal, so per-client throttling defaults sized for
+            // external clients would strangle it; effectively disable
+            // admission on spawned workers unless the operator asked.
+            cmd.arg("--admit-budget").arg((1u32 << 30).to_string());
+            cmd.arg("--admit-depth").arg((1u32 << 30).to_string());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker: {e}"))?;
+        eprintln!("spawned worker pid {}", child.id());
+        children.push(child);
+    }
+    // Wait for the spawned fleet to register before declaring ready.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while handle.core().live_worker_count() < n {
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "only {} of {n} workers registered within 30s",
+                handle.core().live_worker_count()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if n > 0 {
+        println!("fleet ready: {n} workers");
+    }
+    handle.join();
+    for mut child in children {
+        let _ = child.wait();
+    }
+    println!("coordinator drained and stopped");
+    Ok(())
+}
+
+fn worker(args: WorkerArgs) -> Result<(), String> {
+    let handle = start_full(
+        ServeConfig {
+            addr: args.addr,
+            threads: args.threads,
+            max_frame_bytes: args.max_frame_bytes,
+            admission: args.admission,
+            default_deadline_ms: None,
+            cache_dir: None,
+        },
+        serve_executor(),
+        batch_executor_for(&args.blob_dir),
+        serve_snapshot_executor(),
+    )
+    .map_err(|e| format!("cannot start worker: {e}"))?;
+    println!("listening on {}", handle.addr());
+    // The coordinator may still be binding when we come up; retry the
+    // registration briefly before giving up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let outcome = Client::connect(&args.connect)
+            .and_then(|mut c| c.register_worker(&handle.addr().to_string()));
+        match outcome {
+            Ok(live) => {
+                eprintln!("registered with {} ({live} live workers)", args.connect);
+                break;
+            }
+            Err(e) if std::time::Instant::now() >= deadline => {
+                return Err(format!("cannot register with {}: {e}", args.connect));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    handle.join();
+    println!("worker drained and stopped");
     Ok(())
 }
 
@@ -455,6 +656,7 @@ fn main() -> ExitCode {
                 Cmd::Run(args) => run(args),
                 Cmd::Check { scenario_path } => check(&scenario_path),
                 Cmd::Serve(args) => serve(args),
+                Cmd::Worker(args) => worker(args),
                 Cmd::Submit(args) => submit(args),
                 Cmd::Shutdown { addr } => shutdown(&addr),
             };
@@ -556,6 +758,43 @@ mod tests {
         assert_eq!(su.cycles, 42);
         assert_eq!(su.client.as_deref(), Some("ci"));
         assert!(matches!(args(&["shutdown"]), Ok(Cmd::Shutdown { .. })));
+    }
+
+    #[test]
+    fn parses_fleet_options() {
+        let Ok(Cmd::Serve(s)) = args(&[
+            "serve",
+            "--workers",
+            "4",
+            "--cache-dir",
+            "/tmp/cache",
+            "--blob-dir",
+            "/tmp/blobs",
+        ]) else {
+            panic!("expected serve");
+        };
+        assert_eq!(s.workers, Some(4));
+        assert_eq!(
+            s.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/cache"))
+        );
+        assert_eq!(
+            s.blob_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/blobs"))
+        );
+        assert!(!s.admit_overridden);
+        let Ok(Cmd::Worker(w)) = args(&[
+            "worker",
+            "--connect",
+            "127.0.0.1:7171",
+            "--blob-dir",
+            "/tmp/blobs",
+        ]) else {
+            panic!("expected worker");
+        };
+        assert_eq!(w.connect, "127.0.0.1:7171");
+        assert_eq!(w.addr, "127.0.0.1:0");
+        assert!(args(&["worker"]).is_err(), "worker requires --connect");
     }
 
     #[test]

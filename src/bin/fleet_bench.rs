@@ -1,0 +1,269 @@
+//! Fleet benchmark harness: the three headline numbers of the
+//! persistent-snapshot + sharded-serve work, printed as JSON for
+//! `BENCH_serve.json`.
+//!
+//! * `worker_curve` — aggregate fleet throughput on a saturating batch
+//!   mix (two 8-point `submit_batch` slices plus eight distinct single
+//!   submits) against coordinators spawning 1, 2 and 4 worker
+//!   processes. On a multi-core host the curve is expected to scale
+//!   near-linearly to the physical core count; the harness records
+//!   whatever the container exposes.
+//! * `blob_vs_fork` — the cost of rebuilding a warm boundary from a
+//!   serialized blob (decode + fingerprint-verified load into a fresh
+//!   skeleton + fork + tail) against forking the same boundary already
+//!   held in memory, the cold-start price a worker pays the first time
+//!   it pulls a peer's boundary from the shared store.
+//! * `restart_hit` — submit → result round-trip of a cache hit answered
+//!   by a coordinator that was stopped and restarted over the same
+//!   `--cache-dir` (the persistent result cache), vs the same hit
+//!   before the restart.
+//!
+//! ```text
+//! cargo run --release --bin fleet_bench            # all sections
+//! cargo run --release --bin fleet_bench -- curve   # one section
+//! ```
+
+use fgqos::bench::scenarios::{regulated_soc, warm_start_snapshot, WARM_START_TAIL_CYCLES};
+use fgqos::serve::client::{Client, SubmitOptions};
+use fgqos::serve::protocol::{BatchPoint, BatchSpec};
+use fgqos::sim::snapshot::SocSnapshot;
+use fgqos::sim::SnapshotBlob;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SINGLE_CYCLES: u64 = 20_000_000;
+const BATCH_CYCLES: u64 = 5_000_000;
+const BATCH_WARMUP: u64 = 10_000_000;
+
+fn scenario(tag: u64) -> String {
+    format!(
+        "# fleet-bench {tag}\nclock_mhz 1000\n\n[master cpu]\nkind cpu\nrole critical\n\
+         pattern seq\nfootprint 1M\ntxn 256\ntotal 2000\n\n[master dma]\nkind accel\n\
+         role best-effort\nperiod 1000\nbudget 2K\npattern seq\nbase 0x40000000\n\
+         footprint 4M\ntxn 512\n"
+    )
+}
+
+fn fgqos_bin() -> PathBuf {
+    let me = std::env::current_exe().expect("own path");
+    me.parent().expect("bin dir").join("fgqos")
+}
+
+struct Fleet {
+    child: Child,
+    addr: String,
+    out: Arc<Mutex<Vec<String>>>,
+}
+
+fn drain_lines(stream: impl std::io::Read + Send + 'static) -> Arc<Mutex<Vec<String>>> {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&lines);
+    std::thread::spawn(move || {
+        for line in BufReader::new(stream).lines() {
+            match line {
+                Ok(l) => sink.lock().unwrap().push(l),
+                Err(_) => break,
+            }
+        }
+    });
+    lines
+}
+
+fn wait_for(lines: &Arc<Mutex<Vec<String>>>, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(l) = lines.lock().unwrap().iter().find(|l| pred(l)) {
+            return l.clone();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; saw {:?}",
+            lines.lock().unwrap()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Starts `fgqos serve --workers <n>` and waits for the fleet to form.
+fn start_fleet(workers: usize, cache_dir: Option<&Path>, blob_dir: &Path) -> Fleet {
+    let mut cmd = Command::new(fgqos_bin());
+    cmd.args(["serve", "--addr", "127.0.0.1:0"])
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--blob-dir")
+        .arg(blob_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(dir) = cache_dir {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    let mut child = cmd.spawn().expect("spawn fgqos serve");
+    let out = drain_lines(child.stdout.take().expect("stdout piped"));
+    let addr = wait_for(&out, "listening line", |l| l.starts_with("listening on "))
+        .trim_start_matches("listening on ")
+        .to_string();
+    wait_for(&out, "fleet ready", |l| l.contains("fleet ready:"));
+    Fleet { child, addr, out }
+}
+
+fn stop_fleet(mut fleet: Fleet) {
+    let mut client = Client::connect(&fleet.addr).expect("connect for shutdown");
+    client.shutdown().expect("drain");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while fleet.child.try_wait().expect("poll").is_none() {
+        assert!(Instant::now() < deadline, "fleet did not drain");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    wait_for(&fleet.out, "drain message", |l| {
+        l.contains("coordinator drained and stopped")
+    });
+}
+
+/// The saturating mix: two 8-point batches plus eight heavy singles,
+/// all distinct (every job misses the cache). Returns jobs/s.
+fn mix_throughput(addr: &str, round: u64) -> (f64, usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    let opts = SubmitOptions::default();
+    let t0 = Instant::now();
+    let mut jobs = Vec::new();
+    for b in 0..2u64 {
+        let points: Vec<BatchPoint> = (0..8)
+            .map(|i| BatchPoint {
+                period: 1_000,
+                budget: 1 << (9 + i),
+            })
+            .collect();
+        let spec = BatchSpec {
+            scenario: scenario(round * 100 + b),
+            cycles: BATCH_CYCLES,
+            until_done: None,
+            warmup: BATCH_WARMUP,
+            points,
+        };
+        jobs.extend(client.submit_batch(&spec, &opts).expect("batch ack").jobs);
+    }
+    for s in 0..8u64 {
+        let ack = client
+            .submit(&scenario(round * 100 + 10 + s), SINGLE_CYCLES, &opts)
+            .expect("single ack");
+        jobs.push(ack.job);
+    }
+    let n = jobs.len();
+    for job in jobs {
+        client
+            .wait_report(job, Duration::from_secs(600))
+            .expect("job report");
+    }
+    (n as f64 / t0.elapsed().as_secs_f64(), n)
+}
+
+fn bench_curve(scratch: &Path) {
+    println!("  \"worker_curve\": {{");
+    for (i, workers) in [1usize, 2, 4].into_iter().enumerate() {
+        let blob_dir = scratch.join(format!("curve-blobs-{workers}"));
+        let fleet = start_fleet(workers, None, &blob_dir);
+        let (jps, n) = mix_throughput(&fleet.addr, workers as u64);
+        stop_fleet(fleet);
+        let sep = if i == 2 { "" } else { "," };
+        println!("    \"workers_{workers}\": {{ \"jobs_per_s\": {jps:.2}, \"jobs\": {n} }}{sep}");
+    }
+    println!("  }},");
+}
+
+fn bench_blob_vs_fork() {
+    let snap = warm_start_snapshot();
+    let bytes = snap.to_blob("fleet-bench").encode();
+    let reps = 5;
+    let mut fork_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut soc = snap.fork();
+        soc.run(WARM_START_TAIL_CYCLES);
+        fork_best = fork_best.min(t0.elapsed().as_secs_f64());
+    }
+    let mut blob_best = f64::INFINITY;
+    for _ in 0..reps {
+        let skeleton = regulated_soc(4);
+        let t0 = Instant::now();
+        let blob = SnapshotBlob::decode(&bytes).expect("decode");
+        let restored = SocSnapshot::load_into(skeleton, &blob).expect("load");
+        let mut soc = restored.fork();
+        soc.run(WARM_START_TAIL_CYCLES);
+        blob_best = blob_best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("  \"blob_vs_fork\": {{");
+    println!("    \"blob_bytes\": {},", bytes.len());
+    println!("    \"in_memory_fork_tail_ns\": {:.0},", fork_best * 1e9);
+    println!("    \"cold_load_fork_tail_ns\": {:.0},", blob_best * 1e9);
+    println!(
+        "    \"cold_load_overhead_ns\": {:.0}",
+        (blob_best - fork_best) * 1e9
+    );
+    println!("  }},");
+}
+
+fn bench_restart_hit(scratch: &Path) {
+    let cache_dir = scratch.join("restart-cache");
+    let blob_dir = scratch.join("restart-blobs");
+    let text = scenario(999_999);
+    let opts = SubmitOptions::default();
+    let timeout = Duration::from_secs(120);
+
+    let fleet = start_fleet(1, Some(&cache_dir), &blob_dir);
+    let mut client = Client::connect(&fleet.addr).expect("connect");
+    let (_, first) = client
+        .submit_and_wait(&text, SINGLE_CYCLES, &opts, timeout)
+        .expect("uncached run");
+    let t0 = Instant::now();
+    let (_, warm_hit) = client
+        .submit_and_wait(&text, SINGLE_CYCLES, &opts, timeout)
+        .expect("warm cache hit");
+    let warm_ns = t0.elapsed().as_secs_f64() * 1e9;
+    assert_eq!(
+        first.to_compact(),
+        warm_hit.to_compact(),
+        "cache hit must be byte-identical"
+    );
+    drop(client);
+    stop_fleet(fleet);
+
+    let fleet = start_fleet(1, Some(&cache_dir), &blob_dir);
+    let mut client = Client::connect(&fleet.addr).expect("reconnect");
+    let t0 = Instant::now();
+    let (_, cold_hit) = client
+        .submit_and_wait(&text, SINGLE_CYCLES, &opts, timeout)
+        .expect("restart cache hit");
+    let restart_ns = t0.elapsed().as_secs_f64() * 1e9;
+    assert_eq!(
+        first.to_compact(),
+        cold_hit.to_compact(),
+        "restart hit must be byte-identical to the pre-restart run"
+    );
+    drop(client);
+    stop_fleet(fleet);
+
+    println!("  \"restart_hit\": {{");
+    println!("    \"same_process_hit_ns\": {warm_ns:.0},");
+    println!("    \"post_restart_hit_ns\": {restart_ns:.0}");
+    println!("  }}");
+}
+
+fn main() {
+    let section = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let scratch = std::env::temp_dir().join(format!("fgqos-fleet-bench-{}", std::process::id()));
+    println!("{{");
+    if section == "all" || section == "curve" {
+        bench_curve(&scratch);
+    }
+    if section == "all" || section == "blob" {
+        bench_blob_vs_fork();
+    }
+    if section == "all" || section == "restart" {
+        bench_restart_hit(&scratch);
+    }
+    println!("}}");
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -11,10 +11,11 @@ use fgqos_bench::report::Report;
 use fgqos_core::fabric::QosFabric;
 use fgqos_serve::cache::fnv64;
 use fgqos_serve::protocol::{BatchPoint, BatchSpec, JobSpec};
-use fgqos_serve::{BatchExecutor, Executor};
+use fgqos_serve::{BatchExecutor, Executor, SnapshotExecutor};
 use fgqos_sim::axi::MasterId;
+use fgqos_sim::snapshot::SocSnapshot;
 use fgqos_sim::system::Soc;
-use fgqos_sim::ForkCtx;
+use fgqos_sim::{BlobStore, ForkCtx, SnapshotBlob, StateHasher};
 use std::sync::Arc;
 
 /// How to run a scenario.
@@ -137,7 +138,7 @@ const BATCH_QUIESCE_SLACK: u64 = 100_000;
 /// The scenario is built once and warmed for `spec.warmup` cycles, then
 /// advanced to the first quiesced boundary within a fixed slack
 /// (`BATCH_QUIESCE_SLACK`). From there every point forks the boundary
-/// [`SocSnapshot`](fgqos_sim::snapshot::SocSnapshot), programs its
+/// [`SocSnapshot`], programs its
 /// `period`/`budget` into every best-effort regulator and runs the
 /// divergent tail (`spec.cycles`, or `until_done` capped by it). When no
 /// quiesced boundary opens — a scenario that keeps the pipeline
@@ -145,15 +146,48 @@ const BATCH_QUIESCE_SLACK: u64 = 100_000;
 /// identical schedule cold, so the result is the same pure function of
 /// `(spec, point)` either way; only the wall-clock differs.
 pub fn batch_reports(spec: &BatchSpec) -> Result<Vec<Report>, RunError> {
+    batch_reports_with_store(spec, None)
+}
+
+/// [`batch_reports`] with an optional shared warm-boundary store.
+///
+/// When a [`BlobStore`] is supplied, the quiesced boundary is looked up
+/// by [`warm_boundary_key`] before any simulation: a hit restores the
+/// serialized snapshot (fingerprint-verified against a freshly built
+/// skeleton) and skips the warmup run entirely; a miss warms as usual
+/// and files the boundary blob for every later run — including runs in
+/// *other processes*, which is what lets a sharded serve fleet warm each
+/// distinct `(scenario, warmup)` once instead of once per worker.
+/// Results are byte-identical either way: the blob's fingerprint check
+/// proves the restored state equals the in-memory boundary bit for bit.
+pub fn batch_reports_with_store(
+    spec: &BatchSpec,
+    store: Option<&BlobStore>,
+) -> Result<Vec<Report>, RunError> {
     let parsed = ScenarioSpec::parse(&spec.scenario).map_err(RunError::Parse)?;
     // Resolve `until_done` before simulating anything: an unknown
-    // master fails the batch up front, not per point.
+    // master fails the batch up front, not per point. The probe build
+    // also tells us which simulation core is in effect — part of the
+    // warm-boundary key because the core flag is in the snapshot stream.
+    let (probe, _) = parsed.build();
     if let Some(name) = &spec.until_done {
-        let (probe, _) = parsed.build();
         if probe.master_id(name).is_none() {
             return Err(RunError::Run(format!(
                 "--until-done: no master named {name:?}"
             )));
+        }
+    }
+    let key = warm_boundary_key(&spec.scenario, spec.warmup, probe.is_naive());
+    if let Some(store) = store {
+        if let Ok(Some(encoded)) = store.get_named(&key) {
+            if let Ok(blob) = SnapshotBlob::decode(&encoded) {
+                let (soc, fabric) = parsed.build();
+                if let Ok(snap) = SocSnapshot::load_into(soc, &blob) {
+                    return point_forks(&parsed, &snap, &fabric, spec);
+                }
+                // A blob that fails to load (stale format, wrong
+                // recipe) is a miss: fall through and re-warm.
+            }
         }
     }
     let (mut soc, fabric) = parsed.build();
@@ -162,15 +196,12 @@ pub fn batch_reports(spec: &BatchSpec) -> Result<Vec<Report>, RunError> {
         let snap = soc
             .snapshot()
             .map_err(|e| RunError::Run(format!("boundary snapshot failed: {e}")))?;
-        spec.points
-            .iter()
-            .map(|point| {
-                let mut ctx = ForkCtx::new();
-                let mut fork = snap.fork_with(&mut ctx);
-                let fabric = fabric.fork_rebound(&mut ctx);
-                point_report(&parsed, &mut fork, &fabric, spec, point)
-            })
-            .collect()
+        if let Some(store) = store {
+            // Best-effort write-through; a full disk must not fail the
+            // batch itself.
+            let _ = store.put_named(&key, &snap.to_blob(&spec.scenario).encode());
+        }
+        point_forks(&parsed, &snap, &fabric, spec)
     } else {
         // Cold fallback: the failed quiesce search above advanced the
         // warm SoC to warmup + slack; each cold replay runs the same
@@ -185,6 +216,71 @@ pub fn batch_reports(spec: &BatchSpec) -> Result<Vec<Report>, RunError> {
             })
             .collect()
     }
+}
+
+/// Runs every batch point as a fork of the warm boundary, in point order.
+fn point_forks(
+    parsed: &ScenarioSpec,
+    snap: &SocSnapshot,
+    fabric: &QosFabric,
+    spec: &BatchSpec,
+) -> Result<Vec<Report>, RunError> {
+    spec.points
+        .iter()
+        .map(|point| {
+            let mut ctx = ForkCtx::new();
+            let mut fork = snap.fork_with(&mut ctx);
+            let fabric = fabric.fork_rebound(&mut ctx);
+            point_report(parsed, &mut fork, &fabric, spec, point)
+        })
+        .collect()
+}
+
+/// Key under which a batch's warm boundary is filed in a [`BlobStore`]:
+/// a hash of every input that shapes the boundary state — scenario text,
+/// warmup budget, and the simulation core in use (the core flag is part
+/// of the snapshot stream, so the two cores produce distinct blobs).
+pub fn warm_boundary_key(scenario: &str, warmup: u64, naive: bool) -> String {
+    let mut h = StateHasher::new();
+    h.section("fgqos.warm-boundary-key");
+    h.write_str(scenario);
+    h.write_u64(warmup);
+    h.write_bool(naive);
+    format!("{:016x}", h.finish())
+}
+
+/// Warms `text` for `warmup` cycles, advances to the first quiesced
+/// boundary within the usual slack and returns the boundary as an
+/// encoded [`SnapshotBlob`]. `Ok(None)` means the scenario kept the
+/// pipeline saturated through the whole slack window and has no
+/// serializable boundary.
+pub fn warm_boundary_blob(text: &str, warmup: u64) -> Result<Option<Vec<u8>>, RunError> {
+    let parsed = ScenarioSpec::parse(text).map_err(RunError::Parse)?;
+    let (mut soc, _fabric) = parsed.build();
+    soc.run(warmup);
+    if soc.quiesce_point(BATCH_QUIESCE_SLACK).is_none() {
+        return Ok(None);
+    }
+    let snap = soc
+        .snapshot()
+        .map_err(|e| RunError::Run(format!("boundary snapshot failed: {e}")))?;
+    Ok(Some(snap.to_blob(text).encode()))
+}
+
+/// Restores a serialized snapshot end to end: rebuilds the SoC skeleton
+/// from the scenario text the blob carries, loads the state stream into
+/// it (re-verifying the fingerprint) and returns the live snapshot with
+/// its parsed recipe and QoS fabric. The fabric's drivers share register
+/// files with the loaded SoC through the usual `Arc`s, so one restore
+/// fixes both the hardware and software views.
+pub fn restore_snapshot(
+    blob: &SnapshotBlob,
+) -> Result<(ScenarioSpec, SocSnapshot, QosFabric), RunError> {
+    let parsed = ScenarioSpec::parse(&blob.scenario).map_err(RunError::Parse)?;
+    let (soc, fabric) = parsed.build();
+    let snap = SocSnapshot::load_into(soc, blob)
+        .map_err(|e| RunError::Run(format!("snapshot load failed: {e}")))?;
+    Ok((parsed, snap, fabric))
 }
 
 /// Programs one point's knobs at the boundary and renders its divergent
@@ -262,6 +358,29 @@ pub fn serve_executor() -> Executor {
 /// [`serve_executor`].
 pub fn serve_batch_executor() -> BatchExecutor {
     Arc::new(|spec: &BatchSpec| batch_reports(spec).map_err(|e| e.to_string()))
+}
+
+/// A [`BatchExecutor`] backed by a shared warm-boundary [`BlobStore`] at
+/// `dir`: the first batch for a `(scenario, warmup)` pair warms and
+/// persists the quiesced boundary; later batches — including ones in
+/// *other worker processes* sharing the directory — restore it from the
+/// blob instead of re-warming. Reports are byte-identical either way
+/// (that equivalence is test- and proptest-enforced), so the cache
+/// purity contract of [`BatchExecutor`] still holds.
+pub fn serve_batch_executor_with_store(dir: impl Into<std::path::PathBuf>) -> BatchExecutor {
+    let dir = dir.into();
+    Arc::new(move |spec: &BatchSpec| {
+        let store = BlobStore::open(&dir).map_err(|e| format!("warm-boundary store: {e}"))?;
+        batch_reports_with_store(spec, Some(&store)).map_err(|e| e.to_string())
+    })
+}
+
+/// The simulator-backed [`SnapshotExecutor`] serving the v3 `snapshot`
+/// op: [`warm_boundary_blob`] behind the serve crate's injection seam.
+pub fn serve_snapshot_executor() -> SnapshotExecutor {
+    Arc::new(|scenario: &str, warmup: u64| {
+        warm_boundary_blob(scenario, warmup).map_err(|e| e.to_string())
+    })
 }
 
 #[cfg(test)]
@@ -388,6 +507,60 @@ txn 512
             Err(RunError::Run(m)) => assert!(m.contains("ghost")),
             other => panic!("expected Run error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_store_hit_matches_in_memory_batch() {
+        let dir = std::env::temp_dir().join(format!("fgqos-warmstore-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = BlobStore::open(&dir).expect("store opens");
+        let spec = batch(vec![
+            BatchPoint {
+                period: 1_000,
+                budget: 512,
+            },
+            BatchPoint {
+                period: 1_000,
+                budget: 8_192,
+            },
+        ]);
+        let cold = batch_reports(&spec).expect("runs");
+        // First store run warms and files the boundary blob…
+        let miss = batch_reports_with_store(&spec, Some(&store)).expect("runs");
+        let key = warm_boundary_key(&spec.scenario, spec.warmup, false);
+        assert!(
+            store.get_named(&key).expect("store readable").is_some(),
+            "miss run must file the warm boundary"
+        );
+        // …second run restores it from disk instead of re-warming.
+        let hit = batch_reports_with_store(&spec, Some(&store)).expect("runs");
+        assert_eq!(miss.len(), cold.len());
+        assert_eq!(hit.len(), cold.len());
+        for (x, y) in cold.iter().zip(miss.iter()) {
+            assert_eq!(x.to_json().to_compact(), y.to_json().to_compact());
+        }
+        for (x, y) in cold.iter().zip(hit.iter()) {
+            assert_eq!(
+                x.to_json().to_compact(),
+                y.to_json().to_compact(),
+                "blob-restored batch must be byte-identical to in-memory"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_boundary_blob_roundtrips_through_restore() {
+        let encoded = warm_boundary_blob(SCENARIO, 30_000)
+            .expect("runs")
+            .expect("scenario quiesces");
+        let blob = SnapshotBlob::decode(&encoded).expect("container decodes");
+        let (_spec, snap, _fabric) = restore_snapshot(&blob).expect("restores");
+        assert_eq!(
+            snap.fingerprint(),
+            blob.fingerprint,
+            "restored snapshot carries the recorded fingerprint"
+        );
     }
 
     #[test]

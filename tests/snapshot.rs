@@ -18,9 +18,10 @@ use fgqos::core::prelude::*;
 use fgqos::prelude::*;
 use fgqos::sim::axi::{Dir, MasterId};
 use fgqos::sim::master::TrafficSource;
+use fgqos::sim::snapshot::SocSnapshot;
 use fgqos::sim::stats::LatencyStats;
 use fgqos::sim::system::Soc;
-use fgqos::sim::ForkCtx;
+use fgqos::sim::{ForkCtx, SnapDecodeError, SnapshotBlob};
 use fgqos::workloads::prelude::*;
 use proptest::prelude::*;
 
@@ -44,7 +45,7 @@ struct MasterSpec {
 
 fn master_specs() -> impl Strategy<Value = Vec<MasterSpec>> {
     prop::collection::vec(
-        (0u8..5, 0u8..5, 0u64..1_000, 0u64..10_000, 0u64..10_000).prop_map(
+        (0u8..6, 0u8..5, 0u64..1_000, 0u64..10_000, 0u64..10_000).prop_map(
             |(gate_sel, src_sel, seed, p1, p2)| MasterSpec {
                 gate_sel,
                 src_sel,
@@ -140,7 +141,7 @@ fn add_master(b: SocBuilder, i: usize, m: MasterSpec) -> SocBuilder {
                 TdmaGate::new(TdmaSchedule::new(slot, slots), vec![mine], guard),
             )
         }
-        _ => b.gated_master(
+        4 => b.gated_master(
             name,
             src,
             kind,
@@ -152,6 +153,17 @@ fn add_master(b: SocBuilder, i: usize, m: MasterSpec) -> SocBuilder {
                     0
                 },
                 period_cycles: 500 + m.p1 % 2_000,
+            }),
+        ),
+        _ => b.gated_master(
+            name,
+            src,
+            kind,
+            LeakyBucketRegulator::new(BucketConfig {
+                budget_bytes: 512 + (m.p2 % 4_000) as u32,
+                period_cycles: 128 + (m.p1 % 2_000) as u32,
+                depth_bytes: 512 + (m.p1 % 4_000) as u32,
+                ..BucketConfig::default()
             }),
         ),
     }
@@ -298,6 +310,47 @@ proptest! {
                 report_bytes(&fork), report_bytes(&cold),
                 "report bytes diverged (naive={}) for {:?}", naive, specs
             );
+        }
+    }
+
+    /// Persistence round-trip: snapshot → serialize → deserialize →
+    /// fork runs fingerprint-, statistics- and report-byte-identical to
+    /// an in-memory fork, under both execution cores. This is the
+    /// property the on-disk warm-boundary store and the serve protocol's
+    /// `snapshot` op stand on.
+    #[test]
+    fn serialized_blob_fork_matches_in_memory_fork(
+        specs in master_specs(),
+        refresh in prop::bool::ANY,
+        prefix in 2_000u64..30_000,
+        extra in 5_000u64..100_000,
+    ) {
+        for naive in [false, true] {
+            let mut warm = build_soc(&specs, refresh, naive);
+            warm.run(prefix);
+            let tq = warm.quiesce_point(QUIESCE_BOUND);
+            prop_assert!(tq.is_some(), "bounded workload failed to quiesce: {specs:?}");
+            let snap = warm.snapshot().expect("quiesced soc snapshots");
+
+            // Through the wire format and back.
+            let encoded = snap.to_blob("generated-soc").encode();
+            let blob = SnapshotBlob::decode(&encoded).expect("fresh blob decodes");
+            prop_assert_eq!(blob.fingerprint, snap.fingerprint());
+            prop_assert_eq!(blob.cycle, snap.cycle().get());
+            let restored = SocSnapshot::load_into(build_soc(&specs, refresh, naive), &blob)
+                .expect("state stream loads into an identically built skeleton");
+            prop_assert_eq!(restored.fingerprint(), snap.fingerprint());
+
+            let mut mem_fork = snap.fork();
+            let mut blob_fork = restored.fork();
+            mem_fork.run(extra);
+            blob_fork.run(extra);
+            prop_assert_eq!(
+                blob_fork.fingerprint(), mem_fork.fingerprint(),
+                "deserialized fork diverged (naive={}) for {:?}", naive, specs
+            );
+            prop_assert_eq!(stats_fingerprint(&blob_fork), stats_fingerprint(&mem_fork));
+            prop_assert_eq!(report_bytes(&blob_fork), report_bytes(&mem_fork));
         }
     }
 
@@ -585,4 +638,105 @@ fn rebound_driver_programs_fork_without_touching_snapshot() {
         slow < fast,
         "throttled fork ({slow} bytes) should trail the stock fork ({fast} bytes)"
     );
+}
+
+/// A quiesced snapshot of a small mixed scenario, encoded to blob bytes
+/// (shared by the negative-path tests below).
+fn encoded_test_blob() -> (SocSnapshot, Vec<u8>, Vec<MasterSpec>) {
+    let specs = vec![
+        MasterSpec {
+            gate_sel: 1,
+            src_sel: 0,
+            seed: 7,
+            p1: 123,
+            p2: 456,
+        },
+        MasterSpec {
+            gate_sel: 2,
+            src_sel: 1,
+            seed: 11,
+            p1: 789,
+            p2: 321,
+        },
+    ];
+    let mut warm = build_soc(&specs, false, false);
+    warm.run(10_000);
+    warm.quiesce_point(QUIESCE_BOUND).expect("drains");
+    let snap = warm.snapshot().expect("quiesced");
+    let encoded = snap.to_blob("negative-path-soc").encode();
+    (snap, encoded, specs)
+}
+
+/// Truncating a blob at any point must produce a diagnostic decode
+/// error — never a panic, never a silent partial load.
+#[test]
+fn truncated_blobs_fail_with_diagnostics() {
+    let (_snap, encoded, _specs) = encoded_test_blob();
+    for cut in [0, 1, 7, 8, 16, encoded.len() / 2, encoded.len() - 1] {
+        let err =
+            SnapshotBlob::decode(&encoded[..cut]).expect_err("truncated blob must not decode");
+        assert!(
+            !err.to_string().is_empty(),
+            "decode error must carry a diagnostic message"
+        );
+    }
+}
+
+/// A single flipped payload byte is caught by the container checksum
+/// before any state is interpreted.
+#[test]
+fn flipped_byte_fails_the_checksum() {
+    let (_snap, encoded, _specs) = encoded_test_blob();
+    // Flip one byte in the middle of the state stream (well past the
+    // header, well before the trailing checksum).
+    let mut bad = encoded.clone();
+    let mid = encoded.len() / 2;
+    bad[mid] ^= 0x40;
+    match SnapshotBlob::decode(&bad) {
+        Err(SnapDecodeError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected a checksum mismatch, got {other:?}"),
+    }
+}
+
+/// An unknown `SNAPSHOT_VERSION` is rejected at load with a version
+/// diagnostic (the container still decodes — version negotiation
+/// happens at the state layer, so future formats can carry old blobs).
+#[test]
+fn wrong_snapshot_version_is_rejected_at_load() {
+    let (_snap, encoded, specs) = encoded_test_blob();
+    let mut blob = SnapshotBlob::decode(&encoded).expect("fresh blob decodes");
+    blob.snapshot_version = 999;
+    let reencoded = SnapshotBlob::decode(&blob.encode()).expect("container re-encodes");
+    match SocSnapshot::load_into(build_soc(&specs, false, false), &reencoded) {
+        Err(SnapDecodeError::Version { found: 999, .. }) => {}
+        other => panic!("expected a version error, got {other:?}"),
+    }
+}
+
+/// A blob whose state does not hash back to its recorded fingerprint is
+/// rejected end-to-end, even when the container checksum is intact.
+#[test]
+fn fingerprint_mismatch_is_rejected_at_load() {
+    let (_snap, encoded, specs) = encoded_test_blob();
+    let mut blob = SnapshotBlob::decode(&encoded).expect("fresh blob decodes");
+    blob.fingerprint ^= 1;
+    // encode() recomputes the container checksum, so only the
+    // fingerprint cross-check can catch this.
+    let reencoded = SnapshotBlob::decode(&blob.encode()).expect("container re-encodes");
+    match SocSnapshot::load_into(build_soc(&specs, false, false), &reencoded) {
+        Err(SnapDecodeError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
+}
+
+/// Loading a valid blob into a *differently built* skeleton fails with
+/// a diagnostic instead of silently producing a frankenstate.
+#[test]
+fn blob_refuses_a_mismatched_skeleton() {
+    let (_snap, encoded, mut specs) = encoded_test_blob();
+    let blob = SnapshotBlob::decode(&encoded).expect("decodes");
+    specs[0].gate_sel = 3; // different gate family than the capture
+    let err = SocSnapshot::load_into(build_soc(&specs, false, false), &blob)
+        .expect_err("mismatched skeleton must be rejected");
+    assert!(!err.to_string().is_empty());
 }
