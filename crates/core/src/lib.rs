@@ -67,6 +67,7 @@ pub mod fabric;
 pub mod irq;
 pub mod monitor;
 pub mod policy;
+pub mod program;
 pub mod regfile;
 pub mod regulator;
 pub mod shared;
@@ -79,6 +80,7 @@ pub use fabric::{PortRole, QosFabric, QosFabricBuilder};
 pub use irq::{IrqDispatcher, IrqHandler};
 pub use monitor::{WindowLog, WindowMonitor, WindowRecord};
 pub use policy::{FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition};
+pub use program::{FusedController, ProgramOp, ScenarioProgram, TimedOp};
 pub use regfile::{Reg, RegFile};
 pub use regulator::{ChargePolicy, OvershootPolicy, RegulatorConfig, SplitBudgets, TcRegulator};
 pub use shared::{SharedBudgetGate, SharedRegulator};
@@ -94,6 +96,7 @@ pub mod prelude {
     pub use crate::policy::{
         FeedbackController, PortBudget, ReclaimConfig, ReclaimPolicy, StaticPartition,
     };
+    pub use crate::program::{FusedController, ProgramOp, ScenarioProgram, TimedOp};
     pub use crate::regfile::{Reg, RegFile};
     pub use crate::regulator::{
         ChargePolicy, OvershootPolicy, RegulatorConfig, SplitBudgets, TcRegulator,

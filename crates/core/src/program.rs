@@ -1,0 +1,329 @@
+//! Timed regulator re-programming and controller dropout.
+//!
+//! The runtime half of Scenario DSL v2 (`[phase]` and `[fault]` sections,
+//! see `docs/scenario-format.md`):
+//!
+//! * [`ScenarioProgram`] replays a pre-compiled schedule of register
+//!   writes — budget ramps, window-period changes, regulator
+//!   enable/disable — against [`RegulatorDriver`]s at declared cycle
+//!   boundaries;
+//! * [`FusedController`] wraps any [`Controller`] and silences it from a
+//!   declared cycle on, modeling a host policy loop crashing mid-run.
+//!
+//! Both are ordinary [`Controller`]s, so the simulation cores apply them
+//! at calendar wake points: when a controller acts in a cycle the SoC
+//! forces every master to reach that cycle first, which is what keeps a
+//! phased scenario bit-identical between naive stepping and event-calendar
+//! fast-forward.
+
+use crate::driver::RegulatorDriver;
+use fgqos_sim::system::Controller;
+use fgqos_sim::time::Cycle;
+use fgqos_sim::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
+
+/// One register write a [`ScenarioProgram`] can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramOp {
+    /// Program the regulator's per-window byte budget.
+    Budget(u32),
+    /// Program the regulator's window length in cycles (must be > 0).
+    Period(u32),
+    /// Enable or disable the regulator entirely.
+    Enabled(bool),
+}
+
+/// A [`ProgramOp`] bound to a driver and a fire cycle.
+#[derive(Debug, Clone)]
+pub struct TimedOp {
+    /// Cycle at which the write is applied (the op fires at the first
+    /// controller activation at or after this cycle).
+    pub at: u64,
+    /// Driver of the regulator to reprogram.
+    pub driver: RegulatorDriver,
+    /// The register write.
+    pub op: ProgramOp,
+}
+
+/// A [`Controller`] that replays a schedule of timed register writes.
+///
+/// Ops are applied in `at` order; ops sharing a fire cycle are applied in
+/// declaration order (the sort is stable). Once every op has fired the
+/// program reports no further activity, so it costs the event calendar
+/// nothing for the rest of the run.
+#[derive(Debug)]
+pub struct ScenarioProgram {
+    ops: Vec<TimedOp>,
+    applied: usize,
+}
+
+impl ScenarioProgram {
+    /// Builds a program from a schedule; ops are stable-sorted by `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`ProgramOp::Period`] op carries 0 (the regulator
+    /// rejects zero-length windows).
+    pub fn new(mut ops: Vec<TimedOp>) -> Self {
+        assert!(
+            !ops.iter().any(|o| o.op == ProgramOp::Period(0)),
+            "scenario program cannot set a zero window period"
+        );
+        ops.sort_by_key(|o| o.at);
+        ScenarioProgram { ops, applied: 0 }
+    }
+
+    /// Number of ops applied so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Total ops in the schedule.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Controller for ScenarioProgram {
+    fn on_cycle(&mut self, now: Cycle) {
+        while let Some(t) = self.ops.get(self.applied) {
+            if t.at > now.get() {
+                break;
+            }
+            match t.op {
+                ProgramOp::Budget(b) => t.driver.set_budget_bytes(b),
+                ProgramOp::Period(p) => t.driver.set_period_cycles(p),
+                ProgramOp::Enabled(e) => t.driver.set_enabled(e),
+            }
+            self.applied += 1;
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.ops
+            .get(self.applied)
+            .map(|t| Cycle::new(t.at).max(now))
+    }
+
+    fn label(&self) -> &'static str {
+        "scenario-program"
+    }
+
+    fn fork_ctrl(&self, ctx: &mut ForkCtx) -> Option<Box<dyn Controller>> {
+        Some(Box::new(ScenarioProgram {
+            ops: self
+                .ops
+                .iter()
+                .map(|t| TimedOp {
+                    at: t.at,
+                    driver: t.driver.forked(ctx),
+                    op: t.op,
+                })
+                .collect(),
+            applied: self.applied,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("scenario-program");
+        h.write_usize(self.ops.len());
+        h.write_usize(self.applied);
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("scenario-program")?;
+        let at = r.position();
+        let n = r.read_usize("program op count")?;
+        if n != self.ops.len() {
+            return Err(SnapDecodeError::BadValue {
+                what: format!(
+                    "{n} program op(s) in stream, skeleton has {}",
+                    self.ops.len()
+                ),
+                at,
+            });
+        }
+        let at = r.position();
+        let applied = r.read_usize("program applied count")?;
+        if applied > n {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("program applied count {applied} exceeds op count {n}"),
+                at,
+            });
+        }
+        self.applied = applied;
+        Ok(())
+    }
+}
+
+/// A [`Controller`] wrapper that stops calling its inner controller from
+/// a declared cycle on — a host policy loop crashing mid-run (the
+/// `controller off` fault of the scenario DSL).
+///
+/// Budgets programmed before the fuse blows stay in force: nothing
+/// un-programs the regulators, exactly as on real hardware.
+pub struct FusedController {
+    inner: Box<dyn Controller>,
+    until: u64,
+}
+
+impl FusedController {
+    /// Wraps `inner`, silencing it at cycle `until` and after.
+    pub fn new(inner: impl Controller + 'static, until: u64) -> Self {
+        FusedController {
+            inner: Box::new(inner),
+            until,
+        }
+    }
+}
+
+impl Controller for FusedController {
+    fn on_cycle(&mut self, now: Cycle) {
+        if now.get() < self.until {
+            self.inner.on_cycle(now);
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if now.get() >= self.until {
+            return None;
+        }
+        self.inner
+            .next_activity(now)
+            .filter(|c| c.get() < self.until)
+    }
+
+    fn label(&self) -> &'static str {
+        "fused"
+    }
+
+    fn fork_ctrl(&self, ctx: &mut ForkCtx) -> Option<Box<dyn Controller>> {
+        let inner = self.inner.fork_ctrl(ctx)?;
+        Some(Box::new(FusedController {
+            inner,
+            until: self.until,
+        }))
+    }
+
+    fn snap_state(&self, h: &mut StateHasher) {
+        h.section("fused");
+        h.write_u64(self.until);
+        self.inner.snap_state(h);
+    }
+
+    fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
+        r.section("fused")?;
+        let at = r.position();
+        let until = r.read_u64("fuse cycle")?;
+        if until != self.until {
+            return Err(SnapDecodeError::BadValue {
+                what: format!("fuse cycle {until} in stream, skeleton has {}", self.until),
+                at,
+            });
+        }
+        self.inner.snap_load(r)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::QosFabricBuilder;
+    use crate::QosFabric;
+
+    fn fabric() -> QosFabric {
+        let mut b = QosFabricBuilder::new();
+        let _ = b.best_effort_port("dma", 1_000, 4_096);
+        b.finish()
+    }
+
+    #[test]
+    fn applies_ops_in_order_and_goes_quiet() {
+        let f = fabric();
+        let d = f.driver("dma").unwrap().clone();
+        let mut p = ScenarioProgram::new(vec![
+            TimedOp {
+                at: 500,
+                driver: d.clone(),
+                op: ProgramOp::Budget(8_192),
+            },
+            TimedOp {
+                at: 100,
+                driver: d.clone(),
+                op: ProgramOp::Budget(2_048),
+            },
+        ]);
+        assert_eq!(p.next_activity(Cycle::ZERO), Some(Cycle::new(100)));
+        p.on_cycle(Cycle::new(100));
+        assert_eq!(d.budget_bytes(), 2_048);
+        assert_eq!(p.next_activity(Cycle::new(100)), Some(Cycle::new(500)));
+        p.on_cycle(Cycle::new(700));
+        assert_eq!(d.budget_bytes(), 8_192);
+        assert_eq!(p.applied(), 2);
+        assert_eq!(p.next_activity(Cycle::new(700)), None);
+    }
+
+    #[test]
+    fn same_cycle_ops_apply_in_declaration_order() {
+        let f = fabric();
+        let d = f.driver("dma").unwrap().clone();
+        let mut p = ScenarioProgram::new(vec![
+            TimedOp {
+                at: 100,
+                driver: d.clone(),
+                op: ProgramOp::Budget(1),
+            },
+            TimedOp {
+                at: 100,
+                driver: d.clone(),
+                op: ProgramOp::Budget(2),
+            },
+        ]);
+        p.on_cycle(Cycle::new(100));
+        assert_eq!(d.budget_bytes(), 2, "later declaration wins a tie");
+    }
+
+    #[test]
+    fn program_snapshot_roundtrips() {
+        let f = fabric();
+        let d = f.driver("dma").unwrap().clone();
+        let mk = |drv: &RegulatorDriver| {
+            ScenarioProgram::new(vec![TimedOp {
+                at: 100,
+                driver: drv.clone(),
+                op: ProgramOp::Enabled(false),
+            }])
+        };
+        let mut a = mk(&d);
+        a.on_cycle(Cycle::new(100));
+        let mut h = StateHasher::recording();
+        a.snap_state(&mut h);
+        let bytes = h.take_bytes();
+        let mut b = mk(&d);
+        let mut r = SnapReader::new(&bytes);
+        b.snap_load(&mut r).expect("loads");
+        r.expect_end().expect("stream fully consumed");
+        assert_eq!(b.applied(), 1);
+    }
+
+    #[test]
+    fn fuse_silences_inner_at_cycle() {
+        let f = fabric();
+        let d = f.driver("dma").unwrap().clone();
+        let inner = ScenarioProgram::new(vec![TimedOp {
+            at: 2_000,
+            driver: d.clone(),
+            op: ProgramOp::Budget(1_024),
+        }]);
+        let mut fused = FusedController::new(inner, 1_000);
+        // The inner op is scheduled past the fuse: never visible.
+        assert_eq!(fused.next_activity(Cycle::ZERO), None);
+        fused.on_cycle(Cycle::new(2_000));
+        assert_eq!(d.budget_bytes(), 4_096, "write after the fuse is dropped");
+    }
+}

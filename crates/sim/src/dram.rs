@@ -23,6 +23,25 @@ use crate::stats::LatencyStats;
 use crate::time::Cycle;
 use std::collections::VecDeque;
 
+/// A window of densified refresh: between `start` (inclusive) and `end`
+/// (exclusive) refreshes recur every `interval` cycles instead of every
+/// `t_refi`.
+///
+/// Storms model worst-case refresh interference (high-temperature
+/// derating, per-bank refresh pile-ups): each refresh still blocks all
+/// banks for `t_rfc` cycles, so an `interval` close to `t_rfc` starves
+/// the device for the storm's duration. Declared in scenarios via the
+/// `refresh_storm` fault directive (see `docs/scenario-format.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshStorm {
+    /// First cycle of the storm window.
+    pub start: u64,
+    /// First cycle after the storm window.
+    pub end: u64,
+    /// Refresh-to-refresh spacing inside the window, in cycles.
+    pub interval: u64,
+}
+
 /// Timing and geometry parameters of the DRAM model.
 ///
 /// Defaults approximate a DDR4-2400 device behind a 1 GHz controller
@@ -63,6 +82,9 @@ pub struct DramConfig {
     /// down to 1/4 (standard controller behaviour). Off by default so the
     /// calibrated experiments keep their direction-neutral arbiter.
     pub read_priority: bool,
+    /// Windows of densified refresh, sorted and non-overlapping. Empty
+    /// by default; requires `t_refi != 0`.
+    pub storms: Vec<RefreshStorm>,
 }
 
 impl Default for DramConfig {
@@ -82,6 +104,7 @@ impl Default for DramConfig {
             t_wtr: 12,
             t_rtw: 6,
             read_priority: false,
+            storms: Vec::new(),
         }
     }
 }
@@ -105,7 +128,44 @@ impl DramConfig {
         if self.t_refi != 0 && self.t_rfc >= self.t_refi {
             return Err("t_rfc must be smaller than t_refi".into());
         }
+        if !self.storms.is_empty() && self.t_refi == 0 {
+            return Err("refresh storms require refresh to be enabled (t_refi != 0)".into());
+        }
+        let mut prev_end = 0u64;
+        for s in &self.storms {
+            if s.interval == 0 {
+                return Err("refresh storm interval must be non-zero".into());
+            }
+            if s.start >= s.end {
+                return Err("refresh storm must end after it starts".into());
+            }
+            if s.start < prev_end {
+                return Err("refresh storms must be sorted and non-overlapping".into());
+            }
+            prev_end = s.end;
+        }
         Ok(())
+    }
+
+    /// The cycle of the refresh following one scheduled at `fired`:
+    /// `t_refi` later normally, the storm's `interval` later inside a
+    /// storm window, and never skipping past the start of an upcoming
+    /// storm. Only meaningful when `t_refi != 0`.
+    fn next_refresh_after(&self, fired: u64) -> u64 {
+        let in_storm = self
+            .storms
+            .iter()
+            .find(|s| fired >= s.start && fired < s.end);
+        let mut next = match in_storm {
+            Some(s) if fired + s.interval < s.end => fired + s.interval,
+            _ => fired + self.t_refi,
+        };
+        for s in &self.storms {
+            if s.start > fired && s.start < next {
+                next = s.start;
+            }
+        }
+        next
     }
 
     /// Decomposes a byte address into (bank, row) coordinates.
@@ -217,7 +277,7 @@ impl DramController {
         let next_refresh = if cfg.t_refi == 0 {
             Cycle::new(u64::MAX)
         } else {
-            Cycle::new(cfg.t_refi)
+            Cycle::new(cfg.next_refresh_after(0))
         };
         DramController {
             cfg,
@@ -375,7 +435,7 @@ impl DramController {
                 b.open_row = None;
             }
             self.bus_free_at = self.bus_free_at.max(until);
-            self.next_refresh += self.cfg.t_refi;
+            self.next_refresh = Cycle::new(self.cfg.next_refresh_after(self.next_refresh.get()));
             self.stats.refreshes += 1;
         }
 
@@ -642,6 +702,101 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn storm_config_validation() {
+        let storm = |start, end, interval| RefreshStorm {
+            start,
+            end,
+            interval,
+        };
+        assert!(DramConfig {
+            storms: vec![storm(1_000, 5_000, 400)],
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_ok());
+        // Storms need refresh enabled.
+        assert!(DramConfig {
+            t_refi: 0,
+            storms: vec![storm(1_000, 5_000, 400)],
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+        // Zero interval, inverted window, overlap.
+        assert!(DramConfig {
+            storms: vec![storm(1_000, 5_000, 0)],
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DramConfig {
+            storms: vec![storm(5_000, 1_000, 400)],
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DramConfig {
+            storms: vec![storm(1_000, 5_000, 400), storm(4_000, 9_000, 400)],
+            ..DramConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn storm_densifies_refresh_cadence() {
+        let cfg = DramConfig {
+            t_refi: 1_000,
+            t_rfc: 50,
+            storms: vec![RefreshStorm {
+                start: 2_500,
+                end: 3_500,
+                interval: 200,
+            }],
+            ..DramConfig::default()
+        };
+        // Normal cadence up to the storm, pulled in to its start.
+        assert_eq!(cfg.next_refresh_after(0), 1_000);
+        assert_eq!(cfg.next_refresh_after(1_000), 2_000);
+        assert_eq!(cfg.next_refresh_after(2_000), 2_500);
+        // Inside the storm: every `interval`.
+        assert_eq!(cfg.next_refresh_after(2_500), 2_700);
+        assert_eq!(cfg.next_refresh_after(2_700), 2_900);
+        // Last in-storm refresh: normal cadence resumes.
+        assert_eq!(cfg.next_refresh_after(3_300), 4_300);
+    }
+
+    #[test]
+    fn storm_inflates_refresh_count() {
+        let mk = |storms: Vec<RefreshStorm>| {
+            DramController::new(DramConfig {
+                t_refi: 1_000,
+                t_rfc: 50,
+                storms,
+                ..DramConfig::default()
+            })
+        };
+        let mut calm = mk(vec![]);
+        let mut stormy = mk(vec![RefreshStorm {
+            start: 2_000,
+            end: 8_000,
+            interval: 100,
+        }]);
+        let mut a = TxnArena::new();
+        for t in 0..10_000u64 {
+            calm.tick(Cycle::new(t), &mut a);
+            stormy.tick(Cycle::new(t), &mut a);
+        }
+        assert_eq!(calm.stats().refreshes, 9);
+        assert!(
+            stormy.stats().refreshes > 5 * calm.stats().refreshes,
+            "storm should densify refreshes ({} vs {})",
+            stormy.stats().refreshes,
+            calm.stats().refreshes
+        );
     }
 
     #[test]

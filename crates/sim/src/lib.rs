@@ -78,7 +78,7 @@ pub use arena::{TxnArena, TxnId};
 pub use axi::{Dir, MasterId, Request, Response, BEAT_BYTES, MAX_BURST_BEATS};
 pub use calendar::EventCalendar;
 pub use cpu::{Cache, CacheConfig, CacheOutcome, CacheStats, CachedSource};
-pub use dram::{DramConfig, DramController, DramStats};
+pub use dram::{DramConfig, DramController, DramStats, RefreshStorm};
 pub use gate::{GateDecision, OpenGate, PortGate};
 pub use interconnect::{Arbitration, XbarConfig};
 pub use master::{
@@ -102,7 +102,7 @@ pub use fgqos_snap::{
 pub mod prelude {
     pub use crate::axi::{Dir, MasterId, Request, Response, BEAT_BYTES};
     pub use crate::cpu::{Cache, CacheConfig, CachedSource};
-    pub use crate::dram::DramConfig;
+    pub use crate::dram::{DramConfig, RefreshStorm};
     pub use crate::gate::{GateDecision, OpenGate, PortGate};
     pub use crate::interconnect::{Arbitration, XbarConfig};
     pub use crate::master::{

@@ -11,20 +11,26 @@
 //!   paper's accelerators and CPU tasks run (memcpy, STREAM triad, tiled
 //!   matmul, 2-D stencil, strided FFT, image pipeline), expressed as
 //!   phase sequences of [`TrafficSpec`]s.
+//! * [`phased`] — multi-segment traffic ([`PhasedSource`]) that switches
+//!   between [`TrafficSpec`]s at declared cycle boundaries; the workload
+//!   half of scenario fault injection (rogue / bursty / halted masters).
 //!
 //! All generators are deterministic given a seed.
 
 pub mod kernels;
+pub mod phased;
 pub mod spec;
 pub mod trace;
 
 pub use kernels::{Kernel, KernelSource};
+pub use phased::PhasedSource;
 pub use spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
 pub use trace::{parse_trace, write_trace, TraceRecord, TraceSource};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::kernels::{Kernel, KernelSource};
+    pub use crate::phased::PhasedSource;
     pub use crate::spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
     pub use crate::trace::{parse_trace, write_trace, TraceRecord, TraceSource};
 }

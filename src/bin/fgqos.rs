@@ -3,15 +3,19 @@
 //! ```text
 //! Usage:
 //!   fgqos <scenario-file> [run options]      simulate a scenario locally
-//!   fgqos check <scenario-file>              parse + validate, run nothing
+//!   fgqos check <scenario-file>              parse + validate (and run the
+//!                                            scenario when it carries
+//!                                            `expect` assertions)
 //!   fgqos serve [serve options]              start the execution service
 //!   fgqos worker --connect HOST:PORT [...]   start a worker, join a fleet
 //!   fgqos submit <scenario-file> [options]   run a scenario via a server
 //!   fgqos shutdown [--addr HOST:PORT]        drain and stop a server
 //!
 //! Run options:
-//!   --cycles N        run for N cycles (default 1000000)
-//!   --until-done NAME run until master NAME finishes (fallback: --cycles cap)
+//!   --cycles N        run for N cycles (default: the scenario's `cycles`
+//!                     directive, then 1000000)
+//!   --until-done NAME run until master NAME finishes (fallback: --cycles cap;
+//!                     default: the scenario's `until_done` directive)
 //!   --json            print the structured report document instead of text
 //!   --histogram       print each master's latency distribution
 //!   --quiet           suppress the per-port fabric report
@@ -43,14 +47,17 @@
 //!   --timeout-ms N    how long to wait for the result (default 60000)
 //!
 //! Exit status: 0 on success (including `--help`), 1 on runtime errors
-//! (unreadable or invalid scenarios, server failures), 2 on usage errors.
+//! (unreadable or invalid scenarios, server failures) and on failed
+//! `expect` assertions, 2 on usage errors.
 //! ```
 
+use fgqos::bench::report::Report;
 use fgqos::runner::{
-    scenario_report, serve_batch_executor, serve_batch_executor_with_store, serve_executor,
-    serve_snapshot_executor, RunError, RunOptions,
+    assertion_outcome, evaluate_expectations, scenario_report, serve_batch_executor,
+    serve_batch_executor_with_store, serve_executor, serve_snapshot_executor, AssertionResult,
+    RunError, RunOptions,
 };
-use fgqos::scenario::ScenarioSpec;
+use fgqos::scenario::{load_scenario_text, ScenarioSpec};
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
 use fgqos::serve::coordinator::{start_coordinator, CoordinatorConfig};
@@ -64,9 +71,13 @@ use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
+/// Fallback run length when neither the command line nor the scenario's
+/// `cycles` directive names one.
+const DEFAULT_CYCLES: u64 = 1_000_000;
+
 struct RunArgs {
     scenario_path: String,
-    cycles: u64,
+    cycles: Option<u64>,
     until_done: Option<String>,
     json: bool,
     quiet: bool,
@@ -97,7 +108,7 @@ struct WorkerArgs {
 struct SubmitArgs {
     scenario_path: String,
     addr: String,
-    cycles: u64,
+    cycles: Option<u64>,
     until_done: Option<String>,
     client: Option<String>,
     deadline_ms: Option<u64>,
@@ -145,14 +156,14 @@ where
 
 fn parse_run(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut scenario_path = None;
-    let mut cycles = 1_000_000u64;
+    let mut cycles = None;
     let mut until_done = None;
     let mut json = false;
     let mut quiet = false;
     let mut histogram = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--cycles" => cycles = num_of(&mut argv, "--cycles")?,
+            "--cycles" => cycles = Some(num_of(&mut argv, "--cycles")?),
             "--until-done" => until_done = Some(value_of(&mut argv, "--until-done")?),
             "--json" => json = true,
             "--quiet" => quiet = true,
@@ -276,7 +287,7 @@ fn parse_submit(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut args = SubmitArgs {
         scenario_path: String::new(),
         addr: DEFAULT_ADDR.to_string(),
-        cycles: 1_000_000,
+        cycles: None,
         until_done: None,
         client: None,
         deadline_ms: None,
@@ -285,7 +296,7 @@ fn parse_submit(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--addr" => args.addr = value_of(&mut argv, "--addr")?,
-            "--cycles" => args.cycles = num_of(&mut argv, "--cycles")?,
+            "--cycles" => args.cycles = Some(num_of(&mut argv, "--cycles")?),
             "--until-done" => args.until_done = Some(value_of(&mut argv, "--until-done")?),
             "--client" => args.client = Some(value_of(&mut argv, "--client")?),
             "--deadline-ms" => args.deadline_ms = Some(num_of(&mut argv, "--deadline-ms")?),
@@ -332,12 +343,39 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     }
 }
 
+/// Prints per-assertion verdict lines; `Err` when any assertion failed
+/// (which the caller turns into exit status 1).
+fn assertion_verdicts(results: &[AssertionResult]) -> Result<(), String> {
+    if results.is_empty() {
+        return Ok(());
+    }
+    println!("\nassertions:");
+    for r in results {
+        println!(
+            "  {} expect {}  [{}]",
+            if r.pass { "PASS" } else { "FAIL" },
+            r.text,
+            r.measured
+        );
+    }
+    let failed = results.iter().filter(|r| !r.pass).count();
+    if failed > 0 {
+        return Err(format!("{failed} of {} assertion(s) failed", results.len()));
+    }
+    Ok(())
+}
+
 fn run(args: RunArgs) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.scenario_path)
-        .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
+    let text =
+        load_scenario_text(&args.scenario_path).map_err(|e| e.diagnostic(&args.scenario_path))?;
+    // CLI flags beat the scenario's own `cycles`/`until_done` directives,
+    // which beat the historical defaults.
+    let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(&args.scenario_path))?;
+    let cycles = args.cycles.or(spec.cycles).unwrap_or(DEFAULT_CYCLES);
+    let until_done = args.until_done.clone().or_else(|| spec.until_done.clone());
     let opts = RunOptions {
-        cycles: args.cycles,
-        until_done: args.until_done.clone(),
+        cycles,
+        until_done: until_done.clone(),
     };
     if args.json {
         let report = scenario_report(&text, &opts).map_err(|e| match e {
@@ -345,35 +383,36 @@ fn run(args: RunArgs) -> Result<(), String> {
             RunError::Run(m) => m,
         })?;
         println!("{}", report.to_json().to_pretty());
+        if let Some((_, failed)) = assertion_outcome(&report) {
+            if failed > 0 {
+                return Err(format!("{failed} assertion(s) failed"));
+            }
+        }
         return Ok(());
     }
 
     // The classic text path keeps its historical layout (and the
     // --histogram / --quiet extras the report document doesn't carry).
-    let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(&args.scenario_path))?;
     let (mut soc, fabric) = spec.build();
-    let ran = match &args.until_done {
+    let ran = match &until_done {
         Some(name) => {
             let id = soc
                 .master_id(name)
                 .ok_or_else(|| format!("--until-done: no master named {name:?}"))?;
-            match soc.run_until_done(id, args.cycles) {
+            match soc.run_until_done(id, cycles) {
                 Some(t) => {
                     println!("master {name:?} finished at {t}");
                     t.get()
                 }
                 None => {
-                    println!(
-                        "master {name:?} did not finish within {} cycles",
-                        args.cycles
-                    );
+                    println!("master {name:?} did not finish within {cycles} cycles");
                     soc.now().get()
                 }
             }
         }
         None => {
-            soc.run(args.cycles);
-            args.cycles
+            soc.run(cycles);
+            cycles
         }
     };
 
@@ -429,23 +468,45 @@ fn run(args: RunArgs) -> Result<(), String> {
         println!("\nqos fabric:");
         print!("{}", fabric.report());
     }
-    Ok(())
+    assertion_verdicts(&evaluate_expectations(&spec, &soc, &fabric))
 }
 
 fn check(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = load_scenario_text(path).map_err(|e| e.diagnostic(path))?;
     let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(path))?;
+    let mut extras = String::new();
+    if spec.reclaim.is_some() {
+        extras.push_str(", reclaim policy");
+    }
+    if !spec.phases.is_empty() {
+        extras.push_str(&format!(", {} phase(s)", spec.phases.len()));
+    }
+    if !spec.faults.is_empty() {
+        extras.push_str(&format!(", {} fault(s)", spec.faults.len()));
+    }
     println!(
-        "{path}: ok ({} master{}{})",
+        "{path}: ok ({} master{}{extras})",
         spec.masters.len(),
         if spec.masters.len() == 1 { "" } else { "s" },
-        if spec.reclaim.is_some() {
-            ", reclaim policy"
-        } else {
-            ""
-        },
     );
-    Ok(())
+    if spec.expects.is_empty() {
+        return Ok(());
+    }
+    // Assertions make `check` a run: the scenario's own `cycles` /
+    // `until_done` directives (or the usual default) drive it, and a
+    // failed expectation fails the check.
+    let cycles = spec.cycles.unwrap_or(DEFAULT_CYCLES);
+    let (mut soc, fabric) = spec.build();
+    match &spec.until_done {
+        Some(name) => {
+            let id = soc
+                .master_id(name)
+                .expect("until_done master validated at parse time");
+            let _ = soc.run_until_done(id, cycles);
+        }
+        None => soc.run(cycles),
+    }
+    assertion_verdicts(&evaluate_expectations(&spec, &soc, &fabric))
 }
 
 fn batch_executor_for(blob_dir: &Option<PathBuf>) -> BatchExecutor {
@@ -590,22 +651,23 @@ fn worker(args: WorkerArgs) -> Result<(), String> {
 }
 
 fn submit(args: SubmitArgs) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.scenario_path)
-        .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
+    let text =
+        load_scenario_text(&args.scenario_path).map_err(|e| e.diagnostic(&args.scenario_path))?;
+    // Run-control directives are resolved client-side so the wire job is
+    // fully explicit; the flattened (extends-resolved) text is what the
+    // server hashes for its cache.
+    let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(&args.scenario_path))?;
+    let cycles = args.cycles.or(spec.cycles).unwrap_or(DEFAULT_CYCLES);
+    let until_done = args.until_done.clone().or(spec.until_done);
     let mut client =
         Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
     let opts = SubmitOptions {
-        until_done: args.until_done.clone(),
+        until_done,
         client: args.client.clone(),
         deadline_ms: args.deadline_ms,
     };
     let (ack, report) = client
-        .submit_and_wait(
-            &text,
-            args.cycles,
-            &opts,
-            Duration::from_millis(args.timeout_ms),
-        )
+        .submit_and_wait(&text, cycles, &opts, Duration::from_millis(args.timeout_ms))
         .map_err(|e| match e {
             ClientError::Denied(m) => format!("server denied the submission: {m}"),
             other => other.to_string(),
@@ -622,6 +684,17 @@ fn submit(args: SubmitArgs) -> Result<(), String> {
     // Exactly the document `fgqos <file> --json` prints, so the two
     // paths diff byte-identically.
     println!("{}", report.to_pretty());
+    // The document carries the assertion summary across the wire; the
+    // exit status must match a local run of the same scenario.
+    if let Some((_, failed)) = Report::from_json(&report)
+        .ok()
+        .as_ref()
+        .and_then(assertion_outcome)
+    {
+        if failed > 0 {
+            return Err(format!("{failed} assertion(s) failed"));
+        }
+    }
     Ok(())
 }
 
@@ -689,7 +762,7 @@ mod tests {
             panic!("expected run");
         };
         assert_eq!(a.scenario_path, "scen.fgq");
-        assert_eq!(a.cycles, 1_000_000);
+        assert_eq!(a.cycles, None, "resolved later against the scenario");
         assert!(a.until_done.is_none());
         assert!(!a.json && !a.quiet && !a.histogram);
     }
@@ -708,7 +781,7 @@ mod tests {
         ]) else {
             panic!("expected run");
         };
-        assert_eq!(a.cycles, 500);
+        assert_eq!(a.cycles, Some(500));
         assert_eq!(a.until_done.as_deref(), Some("cpu"));
         assert!(a.json && a.quiet && a.histogram);
     }
@@ -755,7 +828,7 @@ mod tests {
         };
         assert_eq!(su.scenario_path, "s.fgq");
         assert_eq!(su.addr, "127.0.0.1:9");
-        assert_eq!(su.cycles, 42);
+        assert_eq!(su.cycles, Some(42));
         assert_eq!(su.client.as_deref(), Some("ci"));
         assert!(matches!(args(&["shutdown"]), Ok(Cmd::Shutdown { .. })));
     }
@@ -813,7 +886,7 @@ mod tests {
     fn run_reports_missing_file() {
         let e = run(RunArgs {
             scenario_path: "/nonexistent/scenario.fgq".into(),
-            cycles: 10,
+            cycles: Some(10),
             until_done: None,
             json: false,
             quiet: true,

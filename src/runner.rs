@@ -6,13 +6,15 @@
 //! the `exp_*` binaries, `fgqos --json`, and the `fgqos-serve` result
 //! cache (which requires byte-deterministic output for equal inputs).
 
-use crate::scenario::{ParseScenarioError, ScenarioSpec};
-use fgqos_bench::report::Report;
+use crate::scenario::{
+    ExpectKind, ExpectSpec, LatencyMetric, ParseScenarioError, Role, ScenarioSpec,
+};
+use fgqos_bench::report::{Block, Report};
 use fgqos_core::fabric::QosFabric;
 use fgqos_serve::cache::fnv64;
 use fgqos_serve::protocol::{BatchPoint, BatchSpec, JobSpec};
 use fgqos_serve::{BatchExecutor, Executor, SnapshotExecutor};
-use fgqos_sim::axi::MasterId;
+use fgqos_sim::axi::{MasterId, BEAT_BYTES, MAX_BURST_BEATS};
 use fgqos_sim::snapshot::SocSnapshot;
 use fgqos_sim::system::Soc;
 use fgqos_sim::{BlobStore, ForkCtx, SnapshotBlob, StateHasher};
@@ -92,7 +94,168 @@ pub fn scenario_report(text: &str, opts: &RunOptions) -> Result<Report, RunError
     report.context("simulated_cycles", ran);
     report.context("clock", soc.freq());
     stats_tables(&mut report, &spec, &soc, &fabric, ran);
+    assertion_block(&mut report, &spec, &soc, &fabric);
     Ok(report)
+}
+
+/// Largest single AXI burst in bytes. Window accounting can overshoot by
+/// at most one in-flight burst even under correct regulation, so
+/// `expect isolation(...)` tolerates exactly this much per-window
+/// overshoot and no more.
+const ISOLATION_OVERSHOOT_SLACK: u64 = MAX_BURST_BEATS as u64 * BEAT_BYTES;
+
+/// Outcome of one `expect` directive after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionResult {
+    /// The directive as written in the scenario (without the keyword).
+    pub text: String,
+    /// Human-readable measured value backing the verdict.
+    pub measured: String,
+    /// Whether the directive holds (negation already applied).
+    pub pass: bool,
+}
+
+/// Evaluates every `expect` directive of `spec` against the finished run.
+///
+/// Targets were validated at parse time (the master exists and has the
+/// role the metric needs), so lookups here cannot fail. Results come back
+/// in declaration order.
+pub fn evaluate_expectations(
+    spec: &ScenarioSpec,
+    soc: &Soc,
+    fabric: &QosFabric,
+) -> Vec<AssertionResult> {
+    spec.expects
+        .iter()
+        .map(|e| evaluate_expect(e, spec, soc, fabric))
+        .collect()
+}
+
+fn evaluate_expect(
+    e: &ExpectSpec,
+    spec: &ScenarioSpec,
+    soc: &Soc,
+    fabric: &QosFabric,
+) -> AssertionResult {
+    let stats_of = |name: &str| {
+        let id = soc
+            .master_id(name)
+            .expect("expect target validated at parse time");
+        soc.master_stats(id)
+    };
+    let (measured, holds) = match &e.kind {
+        ExpectKind::Latency {
+            metric,
+            master,
+            op,
+            value,
+        } => {
+            let st = stats_of(master);
+            let got = match metric {
+                LatencyMetric::P50 => st.latency.percentile(0.50),
+                LatencyMetric::P99 => st.latency.percentile(0.99),
+                LatencyMetric::Max => st.latency.max(),
+            };
+            (format!("{got} cycles"), op.holds(got, *value))
+        }
+        ExpectKind::Bytes { master, op, value } => {
+            let got = stats_of(master).bytes_completed;
+            (format!("{got} bytes"), op.holds(got, *value))
+        }
+        ExpectKind::WithinBudget { master, percent } => {
+            let d = fabric
+                .driver(master)
+                .expect("expect target validated at parse time");
+            let t = d.telemetry();
+            if t.windows == 0 {
+                ("no completed windows".to_string(), false)
+            } else {
+                // Average over *completed* windows only: the open window
+                // is still filling and would bias the mean downward.
+                let avg = (t.total_bytes - t.window_bytes) as f64 / t.windows as f64;
+                let budget = f64::from(d.budget_bytes());
+                let dev = if budget == 0.0 {
+                    if avg == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (avg - budget).abs() / budget * 100.0
+                };
+                (
+                    format!("{avg:.0} bytes/window, {dev:.1}% off budget"),
+                    dev <= *percent,
+                )
+            }
+        }
+        ExpectKind::Isolation { master } => {
+            let stalls = stats_of(master).gate_stall_cycles;
+            let worst = spec
+                .masters
+                .iter()
+                .filter(|m| m.role == Role::BestEffort)
+                .filter_map(|m| {
+                    fabric
+                        .driver(&m.name)
+                        .map(|d| (m.name.as_str(), d.telemetry().max_overshoot))
+                })
+                .max_by_key(|(_, o)| *o);
+            let (worst_name, worst_over) = worst.unwrap_or(("-", 0));
+            (
+                format!("{stalls} gate stalls, worst overshoot {worst_over}B ({worst_name})"),
+                stalls == 0 && worst_over <= ISOLATION_OVERSHOOT_SLACK,
+            )
+        }
+    };
+    AssertionResult {
+        text: e.text.clone(),
+        measured,
+        pass: if e.negated { !holds } else { holds },
+    }
+}
+
+/// Appends the assertion verdict table (and summary context lines) when
+/// the scenario carries `expect` directives; a scenario without them gets
+/// no block at all, keeping v1 report bytes unchanged.
+fn assertion_block(report: &mut Report, spec: &ScenarioSpec, soc: &Soc, fabric: &QosFabric) {
+    let results = evaluate_expectations(spec, soc, fabric);
+    if results.is_empty() {
+        return;
+    }
+    let passed = results.iter().filter(|r| r.pass).count() as u64;
+    let failed = results.len() as u64 - passed;
+    report.blank();
+    report.note("assertions:");
+    report.context("assertions_passed", passed);
+    report.context("assertions_failed", failed);
+    report.header(&["assertion", "measured", "verdict"]);
+    for r in results {
+        report.row(vec![
+            r.text,
+            r.measured,
+            if r.pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+}
+
+/// Reads the assertion summary back out of a rendered [`Report`]:
+/// `Some((passed, failed))` when the scenario carried `expect`
+/// directives, `None` otherwise. This is how the CLI decides its exit
+/// status for reports that crossed the serve wire as documents.
+pub fn assertion_outcome(report: &Report) -> Option<(u64, u64)> {
+    let mut passed = None;
+    let mut failed = None;
+    for b in report.blocks() {
+        if let Block::Context { key, value } = b {
+            match key.as_str() {
+                "assertions_passed" => passed = value.parse().ok(),
+                "assertions_failed" => failed = value.parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    Some((passed?, failed?))
 }
 
 /// The shared result body: per-master table, DRAM summary and the QoS
@@ -335,6 +498,7 @@ fn point_report(
     report.context("simulated_cycles", ran);
     report.context("clock", soc.freq());
     stats_tables(&mut report, parsed, soc, fabric, ran);
+    assertion_block(&mut report, parsed, soc, fabric);
     Ok(report)
 }
 
@@ -561,6 +725,54 @@ txn 512
             blob.fingerprint,
             "restored snapshot carries the recorded fingerprint"
         );
+    }
+
+    #[test]
+    fn assertion_free_reports_carry_no_outcome() {
+        let opts = RunOptions {
+            cycles: 20_000,
+            until_done: None,
+        };
+        let r = scenario_report(SCENARIO, &opts).expect("runs");
+        assert_eq!(assertion_outcome(&r), None);
+        assert!(!r.render_text().contains("assertions:"));
+    }
+
+    #[test]
+    fn expect_directives_render_and_gate_the_outcome() {
+        let text = format!(
+            "expect bytes(cpu) > 0\n\
+             expect bytes(cpu) > 100G\n\
+             expect isolation(cpu)\n\
+             {SCENARIO}"
+        );
+        let opts = RunOptions {
+            cycles: 50_000,
+            until_done: None,
+        };
+        let r = scenario_report(&text, &opts).expect("runs");
+        let rendered = r.render_text();
+        assert!(rendered.contains("assertions:"));
+        assert!(rendered.contains("PASS"));
+        assert!(rendered.contains("FAIL"), "the 100G bound cannot hold");
+        let (passed, failed) = assertion_outcome(&r).expect("summary present");
+        assert_eq!(passed + failed, 3);
+        assert_eq!(failed, 1);
+        // Assertion evaluation is part of the pure document function.
+        let again = scenario_report(&text, &opts).expect("runs");
+        assert_eq!(r.to_json().to_compact(), again.to_json().to_compact());
+    }
+
+    #[test]
+    fn batch_points_evaluate_expectations_too() {
+        let mut spec = batch(vec![BatchPoint {
+            period: 1_000,
+            budget: 2_048,
+        }]);
+        spec.scenario = format!("expect bytes(dma) > 0\n{SCENARIO}");
+        let reports = batch_reports(&spec).expect("runs");
+        let (passed, failed) = assertion_outcome(&reports[0]).expect("summary present");
+        assert_eq!((passed, failed), (1, 0));
     }
 
     #[test]

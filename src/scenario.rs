@@ -1,4 +1,4 @@
-//! Declarative scenario files.
+//! Declarative scenario files (Scenario DSL v2).
 //!
 //! Experiments on the real board are described by a configuration (which
 //! ports exist, their roles, budgets, traffic) rather than by code. This
@@ -8,11 +8,17 @@
 //! [`QosFabric`] software handle. The
 //! `fgqos` CLI binary runs such files directly.
 //!
+//! The complete language reference lives in `docs/scenario-format.md`;
+//! worked examples live in `scenarios/`. Every v1 scenario parses
+//! unchanged.
+//!
 //! # Format
 //!
 //! ```text
 //! # comments and blank lines are ignored
 //! clock_mhz 1000
+//! cycles 200000                    # default run length (CLI can override)
+//! expect p99_latency(cpu) < 900    # checked after the run
 //!
 //! [master cpu]
 //! kind cpu                 # cpu | accel
@@ -34,13 +40,9 @@
 //! footprint 16M
 //! txn 1024
 //!
-//! [master accel]
-//! kind accel
-//! workload kernel:stream-triad:4   # replay a kernel model 4 times
-//!
 //! [xbar]
 //! arbitration weighted             # rr | priority | weighted
-//! weights 4,1,1                    # one per master, in declaration order
+//! weights 4,1                      # one per master, in declaration order
 //!
 //! [policy reclaim]
 //! reserved 2500
@@ -48,24 +50,42 @@
 //! control 10000
 //! gain 25
 //! busy 256
+//!
+//! [phase ramp]                     # timed regulator re-programming
+//! at 50000
+//! budget dma0 8192
+//!
+//! [fault storm]                    # timed fault injection
+//! at 100000
+//! rogue dma0                       # dma0 drops all rate limits
 //! ```
 //!
 //! Masters also accept `burst <on> <off>` (on/off phasing in cycles),
 //! `gap`, `write_ratio`, `dir`, `outstanding` and `seed`. Sizes accept
 //! `K`/`M`/`G` suffixes (powers of two) and `0x` hex.
+//!
+//! v2 adds top-level `cycles`, `until_done`, `expect` and `extends`
+//! directives, `[phase]` / `[fault]` sections and `[override master]`
+//! re-opening (for `extends`-based variant files). Scenario inheritance
+//! (`extends <path>`) is resolved textually by [`resolve_extends_with`] /
+//! [`load_scenario_text`] before parsing.
 
 use fgqos_core::fabric::{QosFabric, QosFabricBuilder};
 use fgqos_core::policy::ReclaimConfig;
+use fgqos_core::program::{FusedController, ProgramOp, ScenarioProgram, TimedOp};
 use fgqos_sim::axi::Dir;
+use fgqos_sim::dram::{DramConfig, RefreshStorm};
 use fgqos_sim::gate::OpenGate;
 use fgqos_sim::interconnect::{Arbitration, XbarConfig};
 use fgqos_sim::master::MasterKind;
 use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
-use fgqos_sim::time::Freq;
+use fgqos_sim::time::{Cycle, Freq};
 use fgqos_workloads::kernels::Kernel;
+use fgqos_workloads::phased::PhasedSource;
 use fgqos_workloads::spec::{AddressPattern, BurstShape, SpecSource, TrafficSpec};
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 
 /// Error from [`ScenarioSpec::parse`].
 #[derive(Debug)]
@@ -104,6 +124,77 @@ fn err(line: usize, message: impl Into<String>) -> ParseScenarioError {
     }
 }
 
+/// Edit distance between two keys, for did-you-mean hints.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let b_len = b.chars().count();
+    let mut prev: Vec<usize> = (0..=b_len).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut cur = Vec::with_capacity(b_len + 1);
+        cur.push(i + 1);
+        for (j, cb) in b.chars().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b_len]
+}
+
+/// Renders ` (did you mean "…"?)` when some candidate is close to the
+/// input, or an empty string. Ties break alphabetically so diagnostics
+/// are deterministic.
+fn suggest(input: &str, candidates: &[&str]) -> String {
+    candidates
+        .iter()
+        .map(|c| (levenshtein(input, c), *c))
+        .filter(|(d, c)| *d <= 2 && *d < c.len())
+        .min()
+        .map(|(_, c)| format!(" (did you mean {c:?}?)"))
+        .unwrap_or_default()
+}
+
+const TOP_KEYS: &[&str] = &["clock_mhz", "cycles", "until_done", "expect", "extends"];
+const MASTER_KEYS: &[&str] = &[
+    "kind",
+    "role",
+    "burst",
+    "workload",
+    "pattern",
+    "dir",
+    "base",
+    "footprint",
+    "txn",
+    "think",
+    "gap",
+    "total",
+    "write_ratio",
+    "period",
+    "budget",
+    "outstanding",
+    "seed",
+];
+const XBAR_KEYS: &[&str] = &["arbitration", "weights"];
+const RECLAIM_KEYS: &[&str] = &["reserved", "base", "control", "gain", "busy"];
+const PHASE_KEYS: &[&str] = &["at", "budget", "period", "enable"];
+const FAULT_KEYS: &[&str] = &[
+    "at",
+    "rogue",
+    "bursty",
+    "halt",
+    "regulator",
+    "controller",
+    "refresh_storm",
+];
+const SECTION_NAMES: &[&str] = &["master", "override", "phase", "fault", "xbar", "policy"];
+const EXPECT_METRICS: &[&str] = &[
+    "p50_latency",
+    "p99_latency",
+    "max_latency",
+    "bytes",
+    "bandwidth",
+    "isolation",
+];
+
 /// Parses `128`, `0x80`, `4K`, `16M`, `1G`.
 fn parse_size(token: &str, line: usize) -> Result<u64, ParseScenarioError> {
     let t = token.trim();
@@ -120,6 +211,22 @@ fn parse_size(token: &str, line: usize) -> Result<u64, ParseScenarioError> {
     }
     .map_err(|e| err(line, format!("bad number {token:?}: {e}")))?;
     Ok(v * mult)
+}
+
+fn parse_u32(token: &str, line: usize, what: &str) -> Result<u32, ParseScenarioError> {
+    let v = parse_size(token, line)?;
+    u32::try_from(v).map_err(|_| err(line, format!("{what} {v} exceeds the 32-bit register")))
+}
+
+fn parse_on_off(token: &str, line: usize, what: &str) -> Result<bool, ParseScenarioError> {
+    match token {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(err(
+            line,
+            format!("{what} must be `on` or `off`, got {other:?}"),
+        )),
+    }
 }
 
 /// QoS role of a declared master.
@@ -183,6 +290,345 @@ pub struct ReclaimSpec {
     pub config: ReclaimConfig,
 }
 
+/// One regulator write of a `[phase]` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOp {
+    /// Program the per-window byte budget.
+    Budget(u32),
+    /// Program the window length in cycles.
+    Period(u32),
+    /// Enable or disable the regulator.
+    Enable(bool),
+}
+
+/// A [`PhaseOp`] bound to a best-effort master (wildcards expanded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAction {
+    /// Target master name.
+    pub master: String,
+    /// The register write.
+    pub op: PhaseOp,
+}
+
+/// A named `[phase]` section: regulator writes applied at a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Phase name (unique, documentation only).
+    pub name: String,
+    /// Cycle at which the writes are applied.
+    pub at: u64,
+    /// Writes, in declaration order (`*` targets expanded).
+    pub actions: Vec<PhaseAction>,
+}
+
+/// One event of a `[fault]` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// The master drops every rate limit (gap, think, burst shaping and
+    /// transaction bound) and streams flat out.
+    Rogue {
+        /// Target master (synthetic workload only).
+        master: String,
+    },
+    /// The master switches to on/off burst shaping.
+    Bursty {
+        /// Target master (synthetic workload only).
+        master: String,
+        /// Active-phase length in cycles.
+        on: u64,
+        /// Silent-phase length in cycles.
+        off: u64,
+    },
+    /// The master stops issuing entirely.
+    Halt {
+        /// Target master (synthetic workload only).
+        master: String,
+    },
+    /// The master's regulator is forced on or off.
+    Regulator {
+        /// Target master (best-effort only).
+        master: String,
+        /// New enable state.
+        enabled: bool,
+    },
+    /// The host policy controller stops running from this cycle on.
+    ControllerOff,
+    /// DRAM refreshes densify to `interval` cycles for `duration` cycles.
+    RefreshStorm {
+        /// Refresh-to-refresh spacing during the storm.
+        interval: u64,
+        /// Storm length in cycles.
+        duration: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The master whose traffic this event rewrites, if any.
+    fn traffic_master(&self) -> Option<&str> {
+        match self {
+            FaultEvent::Rogue { master }
+            | FaultEvent::Bursty { master, .. }
+            | FaultEvent::Halt { master } => Some(master),
+            _ => None,
+        }
+    }
+}
+
+/// A named `[fault]` section: events injected at a cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Fault name (unique, documentation only).
+    pub name: String,
+    /// Cycle at which the events take effect.
+    pub at: u64,
+    /// Events, in declaration order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Comparison operator of an `expect` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs OP rhs`.
+    pub fn holds(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// Latency statistic referenced by an `expect` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyMetric {
+    /// Median request latency.
+    P50,
+    /// 99th-percentile request latency.
+    P99,
+    /// Maximum request latency.
+    Max,
+}
+
+/// The measurable predicate of an `expect` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpectKind {
+    /// `<metric>(<master>) <op> <cycles>` over the master's request
+    /// latency distribution.
+    Latency {
+        /// Which statistic.
+        metric: LatencyMetric,
+        /// Target master.
+        master: String,
+        /// Comparison.
+        op: CmpOp,
+        /// Threshold in cycles.
+        value: u64,
+    },
+    /// `bytes(<master>) <op> <bytes>` over completed bytes.
+    Bytes {
+        /// Target master.
+        master: String,
+        /// Comparison.
+        op: CmpOp,
+        /// Threshold in bytes.
+        value: u64,
+    },
+    /// `bandwidth(<master>) within <percent>% of budget`: the average
+    /// bytes per completed regulation window tracks the programmed
+    /// budget.
+    WithinBudget {
+        /// Target master (best-effort only).
+        master: String,
+        /// Allowed relative deviation in percent.
+        percent: f64,
+    },
+    /// `isolation(<master>)`: the critical master was never stalled by
+    /// regulation and no best-effort port overshot its window budget by
+    /// more than one maximum burst.
+    Isolation {
+        /// Target master (critical only).
+        master: String,
+    },
+}
+
+impl ExpectKind {
+    fn master(&self) -> &str {
+        match self {
+            ExpectKind::Latency { master, .. }
+            | ExpectKind::Bytes { master, .. }
+            | ExpectKind::WithinBudget { master, .. }
+            | ExpectKind::Isolation { master } => master,
+        }
+    }
+}
+
+/// One `expect` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectSpec {
+    /// Canonical source text (as written, for reports).
+    pub text: String,
+    /// `not` prefix: the predicate must be false.
+    pub negated: bool,
+    /// The predicate.
+    pub kind: ExpectKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+fn parse_expect(value: &str, line: usize) -> Result<ExpectSpec, ParseScenarioError> {
+    let src = value.trim().to_string();
+    let mut rest = src.as_str();
+    let negated = match rest.strip_prefix("not ") {
+        Some(r) => {
+            rest = r.trim_start();
+            true
+        }
+        None => false,
+    };
+    let open = rest.find('(').ok_or_else(|| {
+        err(
+            line,
+            format!("malformed expect {src:?}: expected `metric(master)`"),
+        )
+    })?;
+    let close = rest
+        .find(')')
+        .filter(|c| *c > open)
+        .ok_or_else(|| err(line, format!("malformed expect {src:?}: missing `)`")))?;
+    let metric = rest[..open].trim();
+    let master = rest[open + 1..close].trim().to_string();
+    if master.is_empty() {
+        return Err(err(
+            line,
+            format!("malformed expect {src:?}: missing master name"),
+        ));
+    }
+    let tail = rest[close + 1..].trim();
+    let kind = match metric {
+        "isolation" => {
+            if !tail.is_empty() {
+                return Err(err(
+                    line,
+                    format!("malformed expect {src:?}: isolation(...) takes no comparison"),
+                ));
+            }
+            ExpectKind::Isolation { master }
+        }
+        "bandwidth" => {
+            let spec = tail.strip_prefix("within").ok_or_else(|| {
+                err(
+                    line,
+                    format!(
+                        "malformed expect {src:?}: bandwidth(...) expects \
+                         `within <percent>% of budget`"
+                    ),
+                )
+            })?;
+            let spec = spec.trim_start();
+            let (pct, of) = spec.split_once(char::is_whitespace).ok_or_else(|| {
+                err(
+                    line,
+                    format!("malformed expect {src:?}: missing `of budget`"),
+                )
+            })?;
+            if of.split_whitespace().collect::<Vec<_>>() != ["of", "budget"] {
+                return Err(err(
+                    line,
+                    format!("malformed expect {src:?}: expected `of budget`, got {of:?}"),
+                ));
+            }
+            let body = pct.strip_suffix('%').ok_or_else(|| {
+                err(
+                    line,
+                    format!("malformed expect {src:?}: percent needs a `%` suffix"),
+                )
+            })?;
+            let percent: f64 = body
+                .parse()
+                .map_err(|e| err(line, format!("malformed expect {src:?}: bad percent: {e}")))?;
+            if !percent.is_finite() || percent < 0.0 {
+                return Err(err(
+                    line,
+                    format!("malformed expect {src:?}: percent must be non-negative"),
+                ));
+            }
+            ExpectKind::WithinBudget { master, percent }
+        }
+        "p50_latency" | "p99_latency" | "max_latency" | "bytes" => {
+            let (op_tok, val_tok) = tail.split_once(char::is_whitespace).ok_or_else(|| {
+                err(
+                    line,
+                    format!("malformed expect {src:?}: expected `<op> <value>`"),
+                )
+            })?;
+            let op = match op_tok {
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => {
+                    return Err(err(
+                        line,
+                        format!(
+                            "malformed expect {src:?}: unknown comparison {other:?} \
+                             (use <, <=, > or >=)"
+                        ),
+                    ))
+                }
+            };
+            let value = parse_size(val_tok.trim(), line)?;
+            match metric {
+                "bytes" => ExpectKind::Bytes { master, op, value },
+                "p50_latency" => ExpectKind::Latency {
+                    metric: LatencyMetric::P50,
+                    master,
+                    op,
+                    value,
+                },
+                "p99_latency" => ExpectKind::Latency {
+                    metric: LatencyMetric::P99,
+                    master,
+                    op,
+                    value,
+                },
+                _ => ExpectKind::Latency {
+                    metric: LatencyMetric::Max,
+                    master,
+                    op,
+                    value,
+                },
+            }
+        }
+        other => {
+            return Err(err(
+                line,
+                format!(
+                    "malformed expect: unknown metric {other:?}{}",
+                    suggest(other, EXPECT_METRICS)
+                ),
+            ))
+        }
+    };
+    Ok(ExpectSpec {
+        text: src,
+        negated,
+        kind,
+        line,
+    })
+}
+
 /// A parsed scenario.
 #[derive(Debug)]
 pub struct ScenarioSpec {
@@ -194,6 +640,16 @@ pub struct ScenarioSpec {
     pub masters: Vec<MasterSpec>,
     /// Optional reclaim policy.
     pub reclaim: Option<ReclaimSpec>,
+    /// Timed regulator re-programming (`[phase]` sections), in file order.
+    pub phases: Vec<PhaseSpec>,
+    /// Timed fault injection (`[fault]` sections), in file order.
+    pub faults: Vec<FaultSpec>,
+    /// Inline assertions (`expect` directives), in file order.
+    pub expects: Vec<ExpectSpec>,
+    /// Declared run length (`cycles` directive); the CLI can override.
+    pub cycles: Option<u64>,
+    /// Declared finish master (`until_done` directive).
+    pub until_done: Option<String>,
 }
 
 #[derive(Debug)]
@@ -285,15 +741,50 @@ impl MasterDraft {
     }
 }
 
+#[derive(Debug)]
+struct ActionDraft {
+    line: usize,
+    target: String,
+    op: PhaseOp,
+}
+
+#[derive(Debug)]
+struct PhaseDraft {
+    name: String,
+    at: Option<u64>,
+    actions: Vec<ActionDraft>,
+    declared_at: usize,
+}
+
+#[derive(Debug)]
+struct EventDraft {
+    line: usize,
+    event: FaultEvent,
+}
+
+#[derive(Debug)]
+struct FaultDraft {
+    name: String,
+    at: Option<u64>,
+    events: Vec<EventDraft>,
+    declared_at: usize,
+}
+
 enum Section {
     Top,
-    Master(MasterDraft),
+    Master(usize),
     Reclaim(ReclaimConfig),
     Xbar(XbarConfig),
+    Phase(usize),
+    Fault(usize),
 }
 
 impl ScenarioSpec {
     /// Parses a scenario from text.
+    ///
+    /// `extends` inheritance must already be resolved (see
+    /// [`resolve_extends_with`] / [`load_scenario_text`]); an unresolved
+    /// `extends` directive is an error here.
     ///
     /// # Errors
     ///
@@ -301,33 +792,23 @@ impl ScenarioSpec {
     pub fn parse(text: &str) -> Result<ScenarioSpec, ParseScenarioError> {
         let mut freq = Freq::default();
         let mut xbar = XbarConfig::default();
-        let mut masters: Vec<MasterSpec> = Vec::new();
         let mut reclaim: Option<ReclaimSpec> = None;
+        let mut drafts: Vec<MasterDraft> = Vec::new();
+        let mut phase_drafts: Vec<PhaseDraft> = Vec::new();
+        let mut fault_drafts: Vec<FaultDraft> = Vec::new();
+        let mut expects: Vec<ExpectSpec> = Vec::new();
+        let mut cycles: Option<u64> = None;
+        let mut until_done: Option<(String, usize)> = None;
         let mut section = Section::Top;
 
-        let close = |section: &mut Section,
-                     masters: &mut Vec<MasterSpec>,
-                     reclaim: &mut Option<ReclaimSpec>,
-                     xbar: &mut XbarConfig|
-         -> Result<(), ParseScenarioError> {
-            match std::mem::replace(section, Section::Top) {
-                Section::Top => {}
-                Section::Master(d) => {
-                    let declared_at = d.declared_at;
-                    let m = d.finish()?;
-                    if masters.iter().any(|x| x.name == m.name) {
-                        return Err(err(
-                            declared_at,
-                            format!("duplicate master name {:?}", m.name),
-                        ));
-                    }
-                    masters.push(m);
+        let close =
+            |section: &mut Section, reclaim: &mut Option<ReclaimSpec>, xbar: &mut XbarConfig| {
+                match std::mem::replace(section, Section::Top) {
+                    Section::Reclaim(cfg) => *reclaim = Some(ReclaimSpec { config: cfg }),
+                    Section::Xbar(cfg) => *xbar = cfg,
+                    _ => {}
                 }
-                Section::Reclaim(cfg) => *reclaim = Some(ReclaimSpec { config: cfg }),
-                Section::Xbar(cfg) => *xbar = cfg,
-            }
-            Ok(())
-        };
+            };
 
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -340,14 +821,70 @@ impl ScenarioSpec {
                     .strip_suffix(']')
                     .ok_or_else(|| err(line_no, "unterminated section header"))?
                     .trim();
-                close(&mut section, &mut masters, &mut reclaim, &mut xbar)?;
+                close(&mut section, &mut reclaim, &mut xbar);
                 let mut parts = header.split_whitespace();
                 match parts.next() {
                     Some("master") => {
                         let name = parts
                             .next()
                             .ok_or_else(|| err(line_no, "master section needs a name"))?;
-                        section = Section::Master(MasterDraft::new(name.to_string(), line_no));
+                        if drafts.iter().any(|d| d.name == name) {
+                            return Err(err(line_no, format!("duplicate master name {name:?}")));
+                        }
+                        drafts.push(MasterDraft::new(name.to_string(), line_no));
+                        section = Section::Master(drafts.len() - 1);
+                    }
+                    Some("override") => {
+                        if parts.next() != Some("master") {
+                            return Err(err(
+                                line_no,
+                                "override section must be `override master <name>`",
+                            ));
+                        }
+                        let name = parts
+                            .next()
+                            .ok_or_else(|| err(line_no, "override master needs a name"))?;
+                        let idx = drafts.iter().position(|d| d.name == name).ok_or_else(|| {
+                            let names: Vec<&str> = drafts.iter().map(|d| d.name.as_str()).collect();
+                            err(
+                                line_no,
+                                format!(
+                                    "override of unknown master {name:?}{}",
+                                    suggest(name, &names)
+                                ),
+                            )
+                        })?;
+                        section = Section::Master(idx);
+                    }
+                    Some("phase") => {
+                        let name = parts
+                            .next()
+                            .ok_or_else(|| err(line_no, "phase section needs a name"))?;
+                        if phase_drafts.iter().any(|p| p.name == name) {
+                            return Err(err(line_no, format!("duplicate phase name {name:?}")));
+                        }
+                        phase_drafts.push(PhaseDraft {
+                            name: name.to_string(),
+                            at: None,
+                            actions: Vec::new(),
+                            declared_at: line_no,
+                        });
+                        section = Section::Phase(phase_drafts.len() - 1);
+                    }
+                    Some("fault") => {
+                        let name = parts
+                            .next()
+                            .ok_or_else(|| err(line_no, "fault section needs a name"))?;
+                        if fault_drafts.iter().any(|f| f.name == name) {
+                            return Err(err(line_no, format!("duplicate fault name {name:?}")));
+                        }
+                        fault_drafts.push(FaultDraft {
+                            name: name.to_string(),
+                            at: None,
+                            events: Vec::new(),
+                            declared_at: line_no,
+                        });
+                        section = Section::Fault(fault_drafts.len() - 1);
                     }
                     Some("xbar") => {
                         section = Section::Xbar(XbarConfig::default());
@@ -360,7 +897,13 @@ impl ScenarioSpec {
                             return Err(err(line_no, format!("unknown policy {other:?}")));
                         }
                     },
-                    other => return Err(err(line_no, format!("unknown section {other:?}"))),
+                    Some(other) => {
+                        return Err(err(
+                            line_no,
+                            format!("unknown section {other:?}{}", suggest(other, SECTION_NAMES)),
+                        ))
+                    }
+                    None => return Err(err(line_no, "empty section header")),
                 }
                 continue;
             }
@@ -368,89 +911,140 @@ impl ScenarioSpec {
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| err(line_no, format!("expected `key value`, got {body:?}")))?;
             let value = value.trim();
+            // Run-control and assertion directives are global: they are
+            // valid anywhere a section key could appear (conventionally
+            // at the top or bottom of the file) and collide with no
+            // section key.
+            match key {
+                "cycles" => {
+                    cycles = Some(parse_size(value, line_no)?);
+                    continue;
+                }
+                "until_done" => {
+                    until_done = Some((value.to_string(), line_no));
+                    continue;
+                }
+                "expect" => {
+                    expects.push(parse_expect(value, line_no)?);
+                    continue;
+                }
+                _ => {}
+            }
             match &mut section {
                 Section::Top => match key {
                     "clock_mhz" => {
                         freq = Freq::mhz(parse_size(value, line_no)?);
                     }
-                    other => return Err(err(line_no, format!("unknown top-level key {other:?}"))),
+                    "extends" => {
+                        return Err(err(
+                            line_no,
+                            "unresolved extends: scenario inheritance is resolved when the \
+                             scenario is loaded from a file",
+                        ));
+                    }
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!(
+                                "unknown top-level key {other:?}{}",
+                                suggest(other, TOP_KEYS)
+                            ),
+                        ))
+                    }
                 },
-                Section::Master(d) => match key {
-                    "kind" => {
-                        d.kind = Some(match value {
-                            "cpu" => MasterKind::Cpu,
-                            "accel" => MasterKind::Accelerator,
-                            other => return Err(err(line_no, format!("unknown kind {other:?}"))),
-                        })
-                    }
-                    "role" => {
-                        d.role = match value {
-                            "critical" => Role::Critical,
-                            "best-effort" => Role::BestEffort,
-                            "unmanaged" => Role::Unmanaged,
-                            other => return Err(err(line_no, format!("unknown role {other:?}"))),
+                Section::Master(idx) => {
+                    let d = &mut drafts[*idx];
+                    match key {
+                        "kind" => {
+                            d.kind = Some(match value {
+                                "cpu" => MasterKind::Cpu,
+                                "accel" => MasterKind::Accelerator,
+                                other => {
+                                    return Err(err(line_no, format!("unknown kind {other:?}")))
+                                }
+                            })
                         }
-                    }
-                    "burst" => {
-                        let (on, off) = value
-                            .split_once(char::is_whitespace)
-                            .ok_or_else(|| err(line_no, "burst needs `<on> <off>`"))?;
-                        d.burst = Some(BurstShape {
-                            on_cycles: parse_size(on, line_no)?,
-                            off_cycles: parse_size(off, line_no)?,
-                        });
-                    }
-                    "workload" => {
-                        let spec = value.strip_prefix("kernel:").ok_or_else(|| {
-                            err(line_no, "workload must be kernel:<name>[:<iters>]")
-                        })?;
-                        let (name, iters) = match spec.split_once(':') {
-                            Some((n, i)) => (n, parse_size(i, line_no)?),
-                            None => (spec, 1),
-                        };
-                        let kernel = Kernel::all()
-                            .into_iter()
-                            .find(|k| k.name() == name)
-                            .ok_or_else(|| err(line_no, format!("unknown kernel {name:?}")))?;
-                        d.kernel = Some((kernel, iters));
-                    }
-                    "pattern" => {
-                        d.pattern = if value == "seq" {
-                            AddressPattern::Sequential
-                        } else if value == "random" {
-                            AddressPattern::Random
-                        } else if let Some(stride) = value.strip_prefix("strided:") {
-                            AddressPattern::Strided {
-                                stride: parse_size(stride, line_no)?,
+                        "role" => {
+                            d.role = match value {
+                                "critical" => Role::Critical,
+                                "best-effort" => Role::BestEffort,
+                                "unmanaged" => Role::Unmanaged,
+                                other => {
+                                    return Err(err(line_no, format!("unknown role {other:?}")))
+                                }
                             }
-                        } else {
-                            return Err(err(line_no, format!("unknown pattern {value:?}")));
+                        }
+                        "burst" => {
+                            let (on, off) = value
+                                .split_once(char::is_whitespace)
+                                .ok_or_else(|| err(line_no, "burst needs `<on> <off>`"))?;
+                            d.burst = Some(BurstShape {
+                                on_cycles: parse_size(on, line_no)?,
+                                off_cycles: parse_size(off, line_no)?,
+                            });
+                        }
+                        "workload" => {
+                            let spec = value.strip_prefix("kernel:").ok_or_else(|| {
+                                err(line_no, "workload must be kernel:<name>[:<iters>]")
+                            })?;
+                            let (name, iters) = match spec.split_once(':') {
+                                Some((n, i)) => (n, parse_size(i, line_no)?),
+                                None => (spec, 1),
+                            };
+                            let kernel = Kernel::all()
+                                .into_iter()
+                                .find(|k| k.name() == name)
+                                .ok_or_else(|| err(line_no, format!("unknown kernel {name:?}")))?;
+                            d.kernel = Some((kernel, iters));
+                        }
+                        "pattern" => {
+                            d.pattern = if value == "seq" {
+                                AddressPattern::Sequential
+                            } else if value == "random" {
+                                AddressPattern::Random
+                            } else if let Some(stride) = value.strip_prefix("strided:") {
+                                AddressPattern::Strided {
+                                    stride: parse_size(stride, line_no)?,
+                                }
+                            } else {
+                                return Err(err(line_no, format!("unknown pattern {value:?}")));
+                            }
+                        }
+                        "dir" => {
+                            d.dir = match value {
+                                "R" | "r" | "read" => Dir::Read,
+                                "W" | "w" | "write" => Dir::Write,
+                                other => {
+                                    return Err(err(line_no, format!("unknown dir {other:?}")))
+                                }
+                            }
+                        }
+                        "base" => d.base = parse_size(value, line_no)?,
+                        "footprint" => d.footprint = parse_size(value, line_no)?,
+                        "txn" => d.txn = parse_size(value, line_no)?,
+                        "think" => d.think = parse_size(value, line_no)?,
+                        "gap" => d.gap = parse_size(value, line_no)?,
+                        "total" => d.total = parse_size(value, line_no)?,
+                        "write_ratio" => {
+                            d.write_ratio = value
+                                .parse()
+                                .map_err(|e| err(line_no, format!("bad ratio: {e}")))?
+                        }
+                        "period" => d.period = parse_u32(value, line_no, "period")?,
+                        "budget" => d.budget = parse_u32(value, line_no, "budget")?,
+                        "outstanding" => d.outstanding = parse_size(value, line_no)? as usize,
+                        "seed" => d.seed = parse_size(value, line_no)?,
+                        other => {
+                            return Err(err(
+                                line_no,
+                                format!(
+                                    "unknown master key {other:?}{}",
+                                    suggest(other, MASTER_KEYS)
+                                ),
+                            ))
                         }
                     }
-                    "dir" => {
-                        d.dir = match value {
-                            "R" | "r" | "read" => Dir::Read,
-                            "W" | "w" | "write" => Dir::Write,
-                            other => return Err(err(line_no, format!("unknown dir {other:?}"))),
-                        }
-                    }
-                    "base" => d.base = parse_size(value, line_no)?,
-                    "footprint" => d.footprint = parse_size(value, line_no)?,
-                    "txn" => d.txn = parse_size(value, line_no)?,
-                    "think" => d.think = parse_size(value, line_no)?,
-                    "gap" => d.gap = parse_size(value, line_no)?,
-                    "total" => d.total = parse_size(value, line_no)?,
-                    "write_ratio" => {
-                        d.write_ratio = value
-                            .parse()
-                            .map_err(|e| err(line_no, format!("bad ratio: {e}")))?
-                    }
-                    "period" => d.period = parse_size(value, line_no)? as u32,
-                    "budget" => d.budget = parse_size(value, line_no)? as u32,
-                    "outstanding" => d.outstanding = parse_size(value, line_no)? as usize,
-                    "seed" => d.seed = parse_size(value, line_no)?,
-                    other => return Err(err(line_no, format!("unknown master key {other:?}"))),
-                },
+                }
                 Section::Xbar(cfg) => match key {
                     "arbitration" => {
                         cfg.arbitration = match value {
@@ -468,7 +1062,12 @@ impl ScenarioSpec {
                             .map(|w| parse_size(w, line_no).map(|v| v as u32))
                             .collect::<Result<Vec<u32>, _>>()?;
                     }
-                    other => return Err(err(line_no, format!("unknown xbar key {other:?}"))),
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("unknown xbar key {other:?}{}", suggest(other, XBAR_KEYS)),
+                        ))
+                    }
                 },
                 Section::Reclaim(cfg) => match key {
                     "reserved" => cfg.critical_reserved = parse_size(value, line_no)?,
@@ -476,11 +1075,162 @@ impl ScenarioSpec {
                     "control" => cfg.control_period = parse_size(value, line_no)?,
                     "gain" => cfg.gain = parse_size(value, line_no)?,
                     "busy" => cfg.busy_threshold = Some(parse_size(value, line_no)?),
-                    other => return Err(err(line_no, format!("unknown reclaim key {other:?}"))),
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!(
+                                "unknown reclaim key {other:?}{}",
+                                suggest(other, RECLAIM_KEYS)
+                            ),
+                        ))
+                    }
                 },
+                Section::Phase(idx) => {
+                    let p = &mut phase_drafts[*idx];
+                    match key {
+                        "at" => p.at = Some(parse_size(value, line_no)?),
+                        "budget" | "period" | "enable" => {
+                            let (target, arg) =
+                                value.split_once(char::is_whitespace).ok_or_else(|| {
+                                    err(line_no, format!("{key} needs `<master> <value>`"))
+                                })?;
+                            let arg = arg.trim();
+                            let op = match key {
+                                "budget" => PhaseOp::Budget(parse_u32(arg, line_no, "budget")?),
+                                "period" => {
+                                    let v = parse_u32(arg, line_no, "period")?;
+                                    if v == 0 {
+                                        return Err(err(line_no, "period must be non-zero"));
+                                    }
+                                    PhaseOp::Period(v)
+                                }
+                                _ => PhaseOp::Enable(parse_on_off(arg, line_no, "enable")?),
+                            };
+                            p.actions.push(ActionDraft {
+                                line: line_no,
+                                target: target.to_string(),
+                                op,
+                            });
+                        }
+                        other => {
+                            return Err(err(
+                                line_no,
+                                format!(
+                                    "unknown phase key {other:?}{}",
+                                    suggest(other, PHASE_KEYS)
+                                ),
+                            ))
+                        }
+                    }
+                }
+                Section::Fault(idx) => {
+                    let f = &mut fault_drafts[*idx];
+                    match key {
+                        "at" => f.at = Some(parse_size(value, line_no)?),
+                        "rogue" => f.events.push(EventDraft {
+                            line: line_no,
+                            event: FaultEvent::Rogue {
+                                master: value.to_string(),
+                            },
+                        }),
+                        "halt" => f.events.push(EventDraft {
+                            line: line_no,
+                            event: FaultEvent::Halt {
+                                master: value.to_string(),
+                            },
+                        }),
+                        "bursty" => {
+                            let mut parts = value.split_whitespace();
+                            let (m, on, off) =
+                                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                                    (Some(m), Some(on), Some(off), None) => (m, on, off),
+                                    _ => {
+                                        return Err(err(
+                                            line_no,
+                                            "bursty needs `<master> <on> <off>`",
+                                        ))
+                                    }
+                                };
+                            let on = parse_size(on, line_no)?;
+                            if on == 0 {
+                                return Err(err(line_no, "bursty on-phase must be non-zero"));
+                            }
+                            f.events.push(EventDraft {
+                                line: line_no,
+                                event: FaultEvent::Bursty {
+                                    master: m.to_string(),
+                                    on,
+                                    off: parse_size(off, line_no)?,
+                                },
+                            });
+                        }
+                        "regulator" => {
+                            let (m, state) = value
+                                .split_once(char::is_whitespace)
+                                .ok_or_else(|| err(line_no, "regulator needs `<master> on|off`"))?;
+                            f.events.push(EventDraft {
+                                line: line_no,
+                                event: FaultEvent::Regulator {
+                                    master: m.to_string(),
+                                    enabled: parse_on_off(state.trim(), line_no, "regulator")?,
+                                },
+                            });
+                        }
+                        "controller" => {
+                            if value != "off" {
+                                return Err(err(
+                                    line_no,
+                                    "controller fault must be `controller off`",
+                                ));
+                            }
+                            f.events.push(EventDraft {
+                                line: line_no,
+                                event: FaultEvent::ControllerOff,
+                            });
+                        }
+                        "refresh_storm" => {
+                            let (interval, duration) =
+                                value.split_once(char::is_whitespace).ok_or_else(|| {
+                                    err(line_no, "refresh_storm needs `<interval> <duration>`")
+                                })?;
+                            let interval = parse_size(interval, line_no)?;
+                            let duration = parse_size(duration.trim(), line_no)?;
+                            if interval == 0 {
+                                return Err(err(
+                                    line_no,
+                                    "refresh_storm interval must be non-zero",
+                                ));
+                            }
+                            if duration == 0 {
+                                return Err(err(
+                                    line_no,
+                                    "refresh_storm duration must be non-zero",
+                                ));
+                            }
+                            f.events.push(EventDraft {
+                                line: line_no,
+                                event: FaultEvent::RefreshStorm { interval, duration },
+                            });
+                        }
+                        other => {
+                            return Err(err(
+                                line_no,
+                                format!(
+                                    "unknown fault key {other:?}{}",
+                                    suggest(other, FAULT_KEYS)
+                                ),
+                            ))
+                        }
+                    }
+                }
             }
         }
-        close(&mut section, &mut masters, &mut reclaim, &mut xbar)?;
+        close(&mut section, &mut reclaim, &mut xbar);
+
+        let mut masters: Vec<MasterSpec> = Vec::with_capacity(drafts.len());
+        for d in drafts {
+            masters.push(d.finish()?);
+        }
         if masters.is_empty() {
             return Err(err(0, "scenario declares no masters"));
         }
@@ -497,12 +1247,228 @@ impl ScenarioSpec {
         if !xbar.weights.is_empty() && xbar.weights.len() != masters.len() {
             return Err(err(0, "xbar weights must list one weight per master"));
         }
+
+        let names: Vec<&str> = masters.iter().map(|m| m.name.as_str()).collect();
+        let find = |n: &str| masters.iter().find(|m| m.name == n);
+        let unknown =
+            |n: &str, line: usize| err(line, format!("unknown master {n:?}{}", suggest(n, &names)));
+
+        let mut phases: Vec<PhaseSpec> = Vec::with_capacity(phase_drafts.len());
+        for pd in phase_drafts {
+            let at = pd
+                .at
+                .ok_or_else(|| err(pd.declared_at, format!("phase {:?} missing `at`", pd.name)))?;
+            let mut actions = Vec::new();
+            for a in pd.actions {
+                let targets: Vec<String> = if a.target == "*" {
+                    let be: Vec<String> = masters
+                        .iter()
+                        .filter(|m| m.role == Role::BestEffort)
+                        .map(|m| m.name.clone())
+                        .collect();
+                    if be.is_empty() {
+                        return Err(err(
+                            a.line,
+                            format!("phase {:?}: `*` matches no best-effort masters", pd.name),
+                        ));
+                    }
+                    be
+                } else {
+                    let m = find(&a.target).ok_or_else(|| unknown(&a.target, a.line))?;
+                    if m.role != Role::BestEffort {
+                        return Err(err(
+                            a.line,
+                            format!(
+                                "master {:?} is not best-effort \
+                                 (only regulated ports can be re-programmed)",
+                                a.target
+                            ),
+                        ));
+                    }
+                    vec![a.target]
+                };
+                for t in targets {
+                    actions.push(PhaseAction {
+                        master: t,
+                        op: a.op,
+                    });
+                }
+            }
+            phases.push(PhaseSpec {
+                name: pd.name,
+                at,
+                actions,
+            });
+        }
+
+        let mut faults: Vec<FaultSpec> = Vec::with_capacity(fault_drafts.len());
+        for fd in fault_drafts {
+            let at = fd
+                .at
+                .ok_or_else(|| err(fd.declared_at, format!("fault {:?} missing `at`", fd.name)))?;
+            let mut events = Vec::with_capacity(fd.events.len());
+            for e in fd.events {
+                match &e.event {
+                    FaultEvent::Rogue { master }
+                    | FaultEvent::Bursty { master, .. }
+                    | FaultEvent::Halt { master } => {
+                        let m = find(master).ok_or_else(|| unknown(master, e.line))?;
+                        if !matches!(m.workload, Workload::Spec(_)) {
+                            return Err(err(
+                                e.line,
+                                format!(
+                                    "master {master:?} replays a kernel and cannot be faulted \
+                                     (traffic faults need a synthetic workload)"
+                                ),
+                            ));
+                        }
+                    }
+                    FaultEvent::Regulator { master, .. } => {
+                        let m = find(master).ok_or_else(|| unknown(master, e.line))?;
+                        if m.role != Role::BestEffort {
+                            return Err(err(
+                                e.line,
+                                format!(
+                                    "master {master:?} is not best-effort (no regulator to fault)"
+                                ),
+                            ));
+                        }
+                    }
+                    FaultEvent::ControllerOff => {
+                        if reclaim.is_none() {
+                            return Err(err(
+                                e.line,
+                                "controller off needs a [policy reclaim] section to fault",
+                            ));
+                        }
+                    }
+                    FaultEvent::RefreshStorm { duration, .. } => {
+                        if at.checked_add(*duration).is_none() {
+                            return Err(err(e.line, "refresh_storm window overflows"));
+                        }
+                    }
+                }
+                events.push(e.event);
+            }
+            faults.push(FaultSpec {
+                name: fd.name,
+                at,
+                events,
+            });
+        }
+
+        // Traffic faults become segments of one PhasedSource per master:
+        // boundaries must be distinct per master.
+        let mut traffic_at: Vec<(&str, u64)> = faults
+            .iter()
+            .flat_map(|f| {
+                f.events
+                    .iter()
+                    .filter_map(move |e| e.traffic_master().map(|m| (m, f.at)))
+            })
+            .collect();
+        traffic_at.sort();
+        for w in traffic_at.windows(2) {
+            if w[0] == w[1] {
+                return Err(err(
+                    0,
+                    format!(
+                        "master {:?} has two traffic faults at cycle {}",
+                        w[0].0, w[0].1
+                    ),
+                ));
+            }
+        }
+        let mut storm_windows: Vec<(u64, u64)> = faults
+            .iter()
+            .flat_map(|f| {
+                f.events.iter().filter_map(move |e| match e {
+                    FaultEvent::RefreshStorm { duration, .. } => Some((f.at, f.at + duration)),
+                    _ => None,
+                })
+            })
+            .collect();
+        storm_windows.sort();
+        for w in storm_windows.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(err(0, "refresh storms overlap"));
+            }
+        }
+
+        for ex in &expects {
+            let master = ex.kind.master();
+            let m = find(master).ok_or_else(|| unknown(master, ex.line))?;
+            match &ex.kind {
+                ExpectKind::WithinBudget { .. } if m.role != Role::BestEffort => {
+                    return Err(err(
+                        ex.line,
+                        format!(
+                            "bandwidth({master}) within ...% of budget needs a best-effort master"
+                        ),
+                    ));
+                }
+                ExpectKind::Isolation { .. } if m.role != Role::Critical => {
+                    return Err(err(
+                        ex.line,
+                        format!("isolation({master}) needs a critical master"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if let Some((name, line)) = &until_done {
+            if find(name).is_none() {
+                return Err(unknown(name, *line));
+            }
+        }
+
         Ok(ScenarioSpec {
             freq,
             xbar,
             masters,
             reclaim,
+            phases,
+            faults,
+            expects,
+            cycles,
+            until_done: until_done.map(|(n, _)| n),
         })
+    }
+
+    /// Traffic fault events rewriting `name`'s workload, ordered by cycle.
+    fn traffic_events_for(&self, name: &str) -> Vec<(u64, &FaultEvent)> {
+        let mut v: Vec<(u64, &FaultEvent)> = self
+            .faults
+            .iter()
+            .flat_map(|f| {
+                f.events
+                    .iter()
+                    .filter(move |e| e.traffic_master() == Some(name))
+                    .map(move |e| (f.at, e))
+            })
+            .collect();
+        v.sort_by_key(|(at, _)| *at);
+        v
+    }
+
+    /// Refresh storms declared by faults, sorted by start.
+    fn storms(&self) -> Vec<RefreshStorm> {
+        let mut storms: Vec<RefreshStorm> = self
+            .faults
+            .iter()
+            .flat_map(|f| {
+                f.events.iter().filter_map(move |e| match e {
+                    FaultEvent::RefreshStorm { interval, duration } => Some(RefreshStorm {
+                        start: f.at,
+                        end: f.at + duration,
+                        interval: *interval,
+                    }),
+                    _ => None,
+                })
+            })
+            .collect();
+        storms.sort_by_key(|s| s.start);
+        storms
     }
 
     /// Builds the SoC and its QoS fabric.
@@ -510,7 +1476,10 @@ impl ScenarioSpec {
         let cfg = SocConfig {
             freq: self.freq,
             xbar: self.xbar.clone(),
-            ..SocConfig::default()
+            dram: DramConfig {
+                storms: self.storms(),
+                ..DramConfig::default()
+            },
         };
         let mut fabric = QosFabricBuilder::new();
         let mut builder = SocBuilder::new(cfg);
@@ -520,7 +1489,34 @@ impl ScenarioSpec {
             } else {
                 m.kind.default_outstanding()
             };
+            let events = self.traffic_events_for(&m.name);
             let source: Box<dyn fgqos_sim::master::TrafficSource> = match &m.workload {
+                Workload::Spec(t) if !events.is_empty() => {
+                    let mut segments = vec![(Cycle::ZERO, *t)];
+                    for (at, ev) in events {
+                        let prev = segments.last().expect("segments start non-empty").1;
+                        let next = match ev {
+                            FaultEvent::Rogue { .. } => TrafficSpec {
+                                gap: 0,
+                                think: 0,
+                                burst: None,
+                                total: u64::MAX,
+                                ..prev
+                            },
+                            FaultEvent::Bursty { on, off, .. } => TrafficSpec {
+                                burst: Some(BurstShape {
+                                    on_cycles: *on,
+                                    off_cycles: *off,
+                                }),
+                                ..prev
+                            },
+                            FaultEvent::Halt { .. } => TrafficSpec { total: 0, ..prev },
+                            _ => unreachable!("traffic_events_for returns traffic faults"),
+                        };
+                        segments.push((Cycle::new(at), next));
+                    }
+                    Box::new(PhasedSource::new(segments, m.seed))
+                }
                 Workload::Spec(t) => Box::new(SpecSource::new(*t, m.seed)),
                 Workload::Kernel(k, iters) => Box::new(k.source(m.traffic_base(), *iters, m.seed)),
             };
@@ -539,11 +1535,147 @@ impl ScenarioSpec {
             };
         }
         let fabric = fabric.finish();
+        let mut ops: Vec<TimedOp> = Vec::new();
+        for p in &self.phases {
+            for a in &p.actions {
+                let driver = fabric
+                    .driver(&a.master)
+                    .expect("phase targets validated at parse")
+                    .clone();
+                ops.push(TimedOp {
+                    at: p.at,
+                    driver,
+                    op: match a.op {
+                        PhaseOp::Budget(b) => ProgramOp::Budget(b),
+                        PhaseOp::Period(c) => ProgramOp::Period(c),
+                        PhaseOp::Enable(e) => ProgramOp::Enabled(e),
+                    },
+                });
+            }
+        }
+        for f in &self.faults {
+            for e in &f.events {
+                if let FaultEvent::Regulator { master, enabled } = e {
+                    let driver = fabric
+                        .driver(master)
+                        .expect("regulator fault targets validated at parse")
+                        .clone();
+                    ops.push(TimedOp {
+                        at: f.at,
+                        driver,
+                        op: ProgramOp::Enabled(*enabled),
+                    });
+                }
+            }
+        }
+        if !ops.is_empty() {
+            builder = builder.controller(ScenarioProgram::new(ops));
+        }
         if let Some(r) = &self.reclaim {
-            builder = builder.controller(fabric.reclaim_policy(r.config));
+            let policy = fabric.reclaim_policy(r.config);
+            let fuse = self
+                .faults
+                .iter()
+                .filter(|f| {
+                    f.events
+                        .iter()
+                        .any(|e| matches!(e, FaultEvent::ControllerOff))
+                })
+                .map(|f| f.at)
+                .min();
+            builder = match fuse {
+                Some(at) => builder.controller(FusedController::new(policy, at)),
+                None => builder.controller(policy),
+            };
         }
         (builder.build(), fabric)
     }
+}
+
+/// Resolves `extends <path>` inheritance by textual inclusion.
+///
+/// Every `extends` directive appearing before the first section header is
+/// replaced by the (recursively resolved) text `load` returns for its
+/// path; all other lines pass through unchanged. Cycles and chains deeper
+/// than 8 files are errors. The flattened text is what the rest of the
+/// stack sees — it is the serve cache key and the snapshot recipe, so
+/// inherited scenarios stay cacheable and restorable.
+///
+/// # Errors
+///
+/// Returns the offending `extends` line (numbered within the file that
+/// contains it) when `load` fails, a cycle is found, or the chain is too
+/// deep.
+pub fn resolve_extends_with<F>(text: &str, load: &mut F) -> Result<String, ParseScenarioError>
+where
+    F: FnMut(&str) -> Result<String, String>,
+{
+    fn inner<F>(
+        text: &str,
+        load: &mut F,
+        stack: &mut Vec<String>,
+    ) -> Result<String, ParseScenarioError>
+    where
+        F: FnMut(&str) -> Result<String, String>,
+    {
+        let mut out = String::with_capacity(text.len());
+        let mut in_sections = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.starts_with('[') {
+                in_sections = true;
+            }
+            if !in_sections {
+                if let Some(("extends", path)) = body
+                    .split_once(char::is_whitespace)
+                    .map(|(k, v)| (k, v.trim()))
+                {
+                    if stack.iter().any(|p| p == path) {
+                        return Err(err(line_no, format!("extends cycle through {path:?}")));
+                    }
+                    if stack.len() >= 8 {
+                        return Err(err(line_no, "extends chain deeper than 8 files"));
+                    }
+                    let parent = load(path).map_err(|e| err(line_no, e))?;
+                    stack.push(path.to_string());
+                    let resolved = inner(&parent, load, stack)?;
+                    stack.pop();
+                    out.push_str(&resolved);
+                    if !resolved.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    continue;
+                }
+            }
+            out.push_str(raw);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+    inner(text, load, &mut Vec::new())
+}
+
+/// Reads a scenario file and resolves `extends` inheritance against the
+/// file's directory. Returns the flattened scenario text — the form all
+/// downstream machinery (parser, serve cache keys, snapshot recipes)
+/// operates on.
+///
+/// # Errors
+///
+/// Returns a [`ParseScenarioError`] if the file or any parent cannot be
+/// read, or inheritance is cyclic / too deep.
+pub fn load_scenario_text(path: &str) -> Result<String, ParseScenarioError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(0, format!("cannot read {path}: {e}")))?;
+    let dir = Path::new(path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    resolve_extends_with(&text, &mut |rel| {
+        let p = dir.join(rel);
+        std::fs::read_to_string(&p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    })
 }
 
 #[cfg(test)]
@@ -606,6 +1738,9 @@ seed 9
             AddressPattern::Strided { stride: 65_536 }
         ));
         assert_eq!(spec_of(rogue).write_ratio, 0.5);
+        assert!(s.phases.is_empty() && s.faults.is_empty() && s.expects.is_empty());
+        assert_eq!(s.cycles, None);
+        assert_eq!(s.until_done, None);
     }
 
     #[test]
@@ -758,5 +1893,376 @@ workload kernel:memcpy:2
         let text = "[master a]\nkind cpu\ntxn 100\n"; // not beat multiple
         let e = ScenarioSpec::parse(text).unwrap_err();
         assert!(e.message.contains("multiple"));
+    }
+
+    // ---- v2: phases ----
+
+    const V2_BASE: &str = "\
+clock_mhz 1000
+
+[master cpu]
+kind cpu
+role critical
+pattern random
+footprint 4M
+txn 256
+think 500
+
+[master dma0]
+kind accel
+role best-effort
+period 1000
+budget 2048
+pattern seq
+base 0x40000000
+txn 1024
+
+[master dma1]
+kind accel
+role best-effort
+period 1000
+budget 2048
+pattern seq
+base 0x50000000
+txn 1024
+";
+
+    #[test]
+    fn parses_phase_sections() {
+        let text = format!(
+            "{V2_BASE}\n[phase ramp]\nat 50000\nbudget dma0 8192\nperiod dma1 500\nenable dma1 off\n"
+        );
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(s.phases.len(), 1);
+        let p = &s.phases[0];
+        assert_eq!(p.name, "ramp");
+        assert_eq!(p.at, 50_000);
+        assert_eq!(
+            p.actions,
+            vec![
+                PhaseAction {
+                    master: "dma0".into(),
+                    op: PhaseOp::Budget(8_192)
+                },
+                PhaseAction {
+                    master: "dma1".into(),
+                    op: PhaseOp::Period(500)
+                },
+                PhaseAction {
+                    master: "dma1".into(),
+                    op: PhaseOp::Enable(false)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn phase_wildcard_expands_over_best_effort() {
+        let text = format!("{V2_BASE}\n[phase all]\nat 1000\nbudget * 4096\n");
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        let names: Vec<&str> = s.phases[0]
+            .actions
+            .iter()
+            .map(|a| a.master.as_str())
+            .collect();
+        assert_eq!(names, vec!["dma0", "dma1"]);
+    }
+
+    #[test]
+    fn phase_requires_at_and_best_effort_target() {
+        let text = format!("{V2_BASE}\n[phase p]\nbudget dma0 4096\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("missing `at`"), "{}", e.message);
+        let text = format!("{V2_BASE}\n[phase p]\nat 100\nbudget cpu 4096\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("not best-effort"), "{}", e.message);
+    }
+
+    #[test]
+    fn phase_zero_period_rejected() {
+        let text = format!("{V2_BASE}\n[phase p]\nat 100\nperiod dma0 0\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("non-zero"), "{}", e.message);
+    }
+
+    #[test]
+    fn phased_scenario_reprograms_budget() {
+        let text = format!("{V2_BASE}\n[phase ramp]\nat 10000\nbudget dma0 8192\n");
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        let (mut soc, fabric) = s.build();
+        assert_eq!(fabric.driver("dma0").unwrap().budget_bytes(), 2_048);
+        soc.run(20_000);
+        assert_eq!(fabric.driver("dma0").unwrap().budget_bytes(), 8_192);
+    }
+
+    // ---- v2: faults ----
+
+    #[test]
+    fn parses_fault_sections() {
+        let text = format!(
+            "{V2_BASE}\n[fault mayhem]\nat 80000\nrogue dma0\nbursty dma1 500 1500\n\
+             regulator dma1 off\nrefresh_storm 400 20000\n"
+        );
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(s.faults.len(), 1);
+        let f = &s.faults[0];
+        assert_eq!(f.at, 80_000);
+        assert_eq!(f.events.len(), 4);
+        assert_eq!(
+            f.events[0],
+            FaultEvent::Rogue {
+                master: "dma0".into()
+            }
+        );
+        assert_eq!(
+            f.events[3],
+            FaultEvent::RefreshStorm {
+                interval: 400,
+                duration: 20_000
+            }
+        );
+    }
+
+    #[test]
+    fn fault_validation() {
+        // Kernel masters cannot be traffic-faulted.
+        let text = "[master k]\nkind accel\nworkload kernel:memcpy\n[fault f]\nat 10\nrogue k\n";
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("kernel"), "{}", e.message);
+        // Regulator faults need a regulated master.
+        let text = format!("{V2_BASE}\n[fault f]\nat 10\nregulator cpu off\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("not best-effort"), "{}", e.message);
+        // Controller faults need a policy.
+        let text = format!("{V2_BASE}\n[fault f]\nat 10\ncontroller off\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("policy reclaim"), "{}", e.message);
+        // Two traffic faults on one master at the same cycle.
+        let text =
+            format!("{V2_BASE}\n[fault a]\nat 10\nrogue dma0\n[fault b]\nat 10\nhalt dma0\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("two traffic faults"), "{}", e.message);
+        // Overlapping storms.
+        let text = format!(
+            "{V2_BASE}\n[fault a]\nat 10\nrefresh_storm 400 1000\n\
+             [fault b]\nat 500\nrefresh_storm 400 1000\n"
+        );
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("overlap"), "{}", e.message);
+    }
+
+    #[test]
+    fn rogue_fault_builds_phased_source() {
+        let text = format!("{V2_BASE}\n[fault f]\nat 5000\nrogue dma0\n");
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        let (mut soc, _fabric) = s.build();
+        soc.run(20_000);
+        let id = soc.master_id("dma0").expect("declared");
+        assert!(soc.master_stats(id).issued_txns > 0);
+    }
+
+    #[test]
+    fn storm_fault_reaches_dram_config() {
+        let text = format!("{V2_BASE}\n[fault f]\nat 5000\nrefresh_storm 500 10000\n");
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(
+            s.storms(),
+            vec![RefreshStorm {
+                start: 5_000,
+                end: 15_000,
+                interval: 500
+            }]
+        );
+        let (mut soc, _fabric) = s.build();
+        soc.run(30_000);
+    }
+
+    // ---- v2: expects ----
+
+    #[test]
+    fn parses_expect_directives() {
+        let text = format!(
+            "{V2_BASE}\nexpect p99_latency(cpu) < 2000\nexpect bytes(dma0) >= 1M\n\
+             expect bandwidth(dma1) within 5% of budget\nexpect isolation(cpu)\n\
+             expect not isolation(cpu)\n"
+        );
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(s.expects.len(), 5);
+        assert_eq!(
+            s.expects[0].kind,
+            ExpectKind::Latency {
+                metric: LatencyMetric::P99,
+                master: "cpu".into(),
+                op: CmpOp::Lt,
+                value: 2_000
+            }
+        );
+        assert_eq!(
+            s.expects[1].kind,
+            ExpectKind::Bytes {
+                master: "dma0".into(),
+                op: CmpOp::Ge,
+                value: 1 << 20
+            }
+        );
+        assert_eq!(
+            s.expects[2].kind,
+            ExpectKind::WithinBudget {
+                master: "dma1".into(),
+                percent: 5.0
+            }
+        );
+        assert_eq!(
+            s.expects[3].kind,
+            ExpectKind::Isolation {
+                master: "cpu".into()
+            }
+        );
+        assert!(!s.expects[3].negated);
+        assert!(s.expects[4].negated);
+        assert_eq!(s.expects[0].text, "p99_latency(cpu) < 2000");
+    }
+
+    #[test]
+    fn expect_role_validation() {
+        let text = format!("{V2_BASE}\nexpect isolation(dma0)\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("critical"), "{}", e.message);
+        let text = format!("{V2_BASE}\nexpect bandwidth(cpu) within 5% of budget\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("best-effort"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_expect_diagnostics_pinned() {
+        let e = ScenarioSpec::parse("expect p99latency(cpu) < 5\n[master cpu]\nkind cpu\n")
+            .unwrap_err();
+        assert_eq!(
+            e.diagnostic("s.fgq"),
+            "s.fgq:1: malformed expect: unknown metric \"p99latency\" \
+             (did you mean \"p99_latency\"?)"
+        );
+        let e = ScenarioSpec::parse("expect isolation cpu\n[master cpu]\nkind cpu\n").unwrap_err();
+        assert_eq!(
+            e.diagnostic("s.fgq"),
+            "s.fgq:1: malformed expect \"isolation cpu\": expected `metric(master)`"
+        );
+        let e =
+            ScenarioSpec::parse("expect bytes(cpu) == 5\n[master cpu]\nkind cpu\n").unwrap_err();
+        assert_eq!(
+            e.diagnostic("s.fgq"),
+            "s.fgq:1: malformed expect \"bytes(cpu) == 5\": unknown comparison \"==\" \
+             (use <, <=, > or >=)"
+        );
+    }
+
+    #[test]
+    fn did_you_mean_diagnostics_pinned() {
+        let e = ScenarioSpec::parse("clock_mzh 1000\n[master a]\nkind cpu\n").unwrap_err();
+        assert_eq!(
+            e.diagnostic("s.fgq"),
+            "s.fgq:1: unknown top-level key \"clock_mzh\" (did you mean \"clock_mhz\"?)"
+        );
+        let e = ScenarioSpec::parse("[master a]\nkind cpu\nfootprnt 4M\n").unwrap_err();
+        assert_eq!(
+            e.diagnostic("s.fgq"),
+            "s.fgq:3: unknown master key \"footprnt\" (did you mean \"footprint\"?)"
+        );
+        let e = ScenarioSpec::parse("[phse p]\nat 100\n").unwrap_err();
+        assert_eq!(
+            e.diagnostic("s.fgq"),
+            "s.fgq:1: unknown section \"phse\" (did you mean \"phase\"?)"
+        );
+        // Unknown master names in faults get name suggestions too.
+        let text = format!("{V2_BASE}\n[fault f]\nat 10\nrogue dma2\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(
+            e.message.contains("did you mean \"dma0\"?"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn far_off_keys_get_no_suggestion() {
+        let e = ScenarioSpec::parse("[master a]\nkind cpu\nzzzzzz 1\n").unwrap_err();
+        assert!(!e.message.contains("did you mean"), "{}", e.message);
+    }
+
+    // ---- v2: cycles / until_done / override / extends ----
+
+    #[test]
+    fn cycles_and_until_done_directives() {
+        let text = format!("cycles 123456\nuntil_done cpu\n{V2_BASE}");
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(s.cycles, Some(123_456));
+        assert_eq!(s.until_done.as_deref(), Some("cpu"));
+        let text = format!("until_done nope\n{V2_BASE}");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("unknown master"), "{}", e.message);
+    }
+
+    #[test]
+    fn override_master_merges_into_declaration() {
+        let text = format!("{V2_BASE}\n[override master dma0]\nbudget 9999\nseed 7\n");
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        let dma = &s.masters[1];
+        assert_eq!(dma.budget, 9_999);
+        assert_eq!(dma.seed, 7);
+        // Untouched keys keep their original values.
+        assert_eq!(spec_of(dma).base, 0x4000_0000);
+        let e =
+            ScenarioSpec::parse("[master a]\nkind cpu\n[override master b]\nseed 2\n").unwrap_err();
+        assert!(e.message.contains("unknown master"), "{}", e.message);
+    }
+
+    #[test]
+    fn unresolved_extends_rejected_by_parse() {
+        let e = ScenarioSpec::parse("extends base.fgq\n[master a]\nkind cpu\n").unwrap_err();
+        assert!(e.message.contains("unresolved extends"), "{}", e.message);
+    }
+
+    #[test]
+    fn resolve_extends_flattens_and_detects_cycles() {
+        let fetch = |path: &str| match path {
+            "base.fgq" => Ok(V2_BASE.to_string()),
+            "mid.fgq" => Ok("extends base.fgq\n[override master dma0]\nbudget 4096\n".to_string()),
+            other => Err(format!("no such file {other:?}")),
+        };
+        let child = "extends mid.fgq\n[override master dma1]\nbudget 1024\n";
+        let flat = resolve_extends_with(child, &mut fetch.clone()).expect("resolves");
+        let s = ScenarioSpec::parse(&flat).expect("flattened text parses");
+        assert_eq!(s.masters[1].budget, 4_096);
+        assert_eq!(s.masters[2].budget, 1_024);
+        // Cycle detection.
+        let mut cyclic = |path: &str| match path {
+            "a.fgq" => Ok("extends b.fgq\n".to_string()),
+            "b.fgq" => Ok("extends a.fgq\n".to_string()),
+            other => Err(format!("no such file {other:?}")),
+        };
+        let e = resolve_extends_with("extends a.fgq\n", &mut cyclic).unwrap_err();
+        assert!(e.message.contains("cycle"), "{}", e.message);
+        // Missing parent surfaces the loader error with the extends line.
+        let e = resolve_extends_with("extends nope.fgq\n", &mut fetch.clone()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("no such file"), "{}", e.message);
+        // extends inside a section passes through and parse rejects it.
+        let kept = resolve_extends_with("[master a]\nextends b.fgq\n", &mut fetch.clone())
+            .expect("resolves");
+        assert!(kept.contains("extends b.fgq"));
+    }
+
+    #[test]
+    fn v1_scenarios_parse_unchanged() {
+        // The full v1 surface in one file: still parses, still builds.
+        let text = format!(
+            "{SAMPLE}\n[xbar]\narbitration rr\n\n[policy reclaim]\nreserved 1000\nbase 2048\n"
+        );
+        let s = ScenarioSpec::parse(&text).expect("v1 text parses");
+        assert!(s.phases.is_empty());
+        assert!(s.faults.is_empty());
+        assert!(s.expects.is_empty());
+        let (mut soc, _fabric) = s.build();
+        soc.run(10_000);
     }
 }
