@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fgqos::runner::{serve_batch_executor, serve_executor};
 use fgqos::serve::client::{Client, SubmitOptions};
-use fgqos::serve::protocol::{BatchPoint, BatchSpec};
+use fgqos::serve::protocol::{BatchKind, BatchPoint, BatchSpec};
 use fgqos::serve::server::{start_with, ServeConfig};
 use std::time::Duration;
 
@@ -78,6 +78,7 @@ fn bench_roundtrip(c: &mut Criterion) {
         until_done: None,
         warmup: WARMUP,
         points,
+        kind: BatchKind::Sweep,
     };
     let mut g = c.benchmark_group("serve_batch");
     g.sample_size(10);

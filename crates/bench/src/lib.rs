@@ -24,6 +24,7 @@
 //! row order stays deterministic.
 
 pub mod report;
+pub mod rng;
 pub mod scenario;
 pub mod scenarios;
 pub mod sweep;

@@ -218,6 +218,25 @@ impl SystemModel {
         ))
     }
 
+    /// Every analytic figure a measured worst case is compared against,
+    /// in one call: the delay bound, the throughput floor of a
+    /// closed-loop critical actor (`think_cycles` of computation per
+    /// `txn_bytes`-byte access at clock `freq`), and the aggregate
+    /// regulated utilization. `fgqos hunt` reports exactly this bundle
+    /// next to the worst measured interference it finds.
+    pub fn bound_summary(
+        &self,
+        think_cycles: u64,
+        txn_bytes: u64,
+        freq: fgqos_sim::time::Freq,
+    ) -> BoundSummary {
+        BoundSummary {
+            delay_bound: self.critical_delay_bound(),
+            throughput_floor: self.critical_throughput_bound(think_cycles, txn_bytes, freq),
+            utilization: self.regulated_utilization(),
+        }
+    }
+
     /// The long-run fraction of DRAM service capacity the regulated
     /// ports can demand (sanity metric; a value ≥ 1 means the budgets
     /// oversubscribe the device and backlogs grow without bound).
@@ -231,6 +250,19 @@ impl SystemModel {
             })
             .sum()
     }
+}
+
+/// The figures returned by [`SystemModel::bound_summary`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundSummary {
+    /// [`SystemModel::critical_delay_bound`] — `None` when the iteration
+    /// does not converge (aggressor demand saturates the device).
+    pub delay_bound: Option<u64>,
+    /// [`SystemModel::critical_throughput_bound`] — `None` exactly when
+    /// `delay_bound` is.
+    pub throughput_floor: Option<fgqos_sim::time::Bandwidth>,
+    /// [`SystemModel::regulated_utilization`].
+    pub utilization: f64,
 }
 
 #[cfg(test)]
@@ -347,6 +379,21 @@ mod tests {
         // the unregulated rate.
         assert!(bw.bytes_per_s() > 0.0);
         assert!(bw.bytes_per_s() < 256.0 / 1_000.0 * 1e9);
+    }
+
+    #[test]
+    fn bound_summary_bundles_the_three_figures() {
+        use fgqos_sim::time::Freq;
+        let m = model(4);
+        let s = m.bound_summary(1_000, 256, Freq::ghz(1));
+        assert_eq!(s.delay_bound, m.critical_delay_bound());
+        assert_eq!(
+            s.throughput_floor.map(|b| b.bytes_per_s()),
+            m.critical_throughput_bound(1_000, 256, Freq::ghz(1))
+                .map(|b| b.bytes_per_s())
+        );
+        assert_eq!(s.utilization, m.regulated_utilization());
+        assert!(s.delay_bound.is_some() == s.throughput_floor.is_some());
     }
 
     #[test]

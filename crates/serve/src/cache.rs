@@ -53,14 +53,16 @@ pub fn job_key(spec: &JobSpec) -> (u64, String) {
     (fnv64(key.as_bytes()), key)
 }
 
-/// The canonical cache key of one batch point: the shared prefix
-/// identity (scenario, cycles, options, warm-up) plus the point's
-/// overrides. Two batches sharing a prefix reuse each other's point
-/// results, and resubmitting an identical batch is answered entirely
-/// from the cache.
+/// The canonical cache key of one batch point: the operation family
+/// (`kind=` — sweep points and hunt candidates never alias each other or
+/// single submissions), the shared prefix identity (scenario, cycles,
+/// options, warm-up) plus the point's overrides. Two batches of the same
+/// kind sharing a prefix reuse each other's point results, and
+/// resubmitting an identical batch is answered entirely from the cache.
 pub fn batch_point_key(spec: &BatchSpec, point: &BatchPoint) -> (u64, String) {
     let key = format!(
-        "batch\u{0}cycles={}\u{0}until_done={}\u{0}warmup={}\u{0}period={}\u{0}budget={}\u{0}{}",
+        "batch\u{0}kind={}\u{0}cycles={}\u{0}until_done={}\u{0}warmup={}\u{0}period={}\u{0}budget={}\u{0}{}",
+        spec.kind.as_str(),
         spec.cycles,
         spec.until_done.as_deref().unwrap_or(""),
         spec.warmup,
@@ -228,6 +230,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::BatchKind;
 
     fn spec(text: &str, cycles: u64) -> JobSpec {
         JobSpec {
@@ -256,6 +259,7 @@ mod tests {
             until_done: None,
             warmup: 50,
             points: Vec::new(),
+            kind: BatchKind::Sweep,
         };
         let p = BatchPoint {
             period: 10,
@@ -271,6 +275,9 @@ mod tests {
         q = p;
         q.budget = 21;
         assert_ne!(a, batch_point_key(&base, &q).0, "budget must matter");
+        let mut hunt = base.clone();
+        hunt.kind = BatchKind::Hunt;
+        assert_ne!(a, batch_point_key(&hunt, &p).0, "kind must matter");
         // A single-job key over the same scenario never aliases a batch
         // point's key.
         assert_ne!(a, job_key(&spec("s", 100)).0);

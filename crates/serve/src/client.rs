@@ -183,6 +183,7 @@ impl Client {
             req.set("until_done", Value::str(u.clone()));
         }
         req.set("warmup", Value::from(spec.warmup));
+        req.set("kind", Value::str(spec.kind.as_str()));
         let mut points = Value::arr();
         for p in &spec.points {
             let mut point = Value::obj();

@@ -32,6 +32,8 @@
 use crate::cache::{batch_point_key, job_key, ResultCache};
 use crate::client::{Client, ClientError, SubmitOptions};
 use crate::pool::JobState;
+#[cfg(test)]
+use crate::protocol::BatchKind;
 use crate::protocol::{
     error_response, parse_request, read_frame, response_head, BatchPoint, BatchSpec, FrameError,
     JobSpec, MetricsFormat, Request, DEFAULT_MAX_FRAME_BYTES,
@@ -1001,6 +1003,7 @@ mod tests {
                     budget: i * 7,
                 })
                 .collect(),
+            kind: BatchKind::Sweep,
         };
         // Workers have no batch executor: points fail deterministically,
         // but sharding and per-point id plumbing are fully exercised.

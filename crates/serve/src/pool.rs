@@ -820,6 +820,7 @@ mod tests {
                 .iter()
                 .map(|&(period, budget)| crate::protocol::BatchPoint { period, budget })
                 .collect(),
+            kind: crate::protocol::BatchKind::Sweep,
         }
     }
 

@@ -95,6 +95,42 @@ pub struct BatchPoint {
     pub budget: u64,
 }
 
+/// The operation family a batch belongs to. Tagging the batch identity
+/// keeps cache namespaces disjoint: a hunt candidate and a sweep point
+/// with identical `(scenario, cycles, warmup, period, budget)` must
+/// never answer each other from the result cache, because the two
+/// operations carry different downstream guarantees (a sweep point is a
+/// published grid result; a hunt point is a search probe whose report
+/// feeds the refinement loop and may be re-evaluated under different
+/// engine settings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BatchKind {
+    /// A warm-start sweep slice (protocol v2 `submit_batch` default).
+    #[default]
+    Sweep,
+    /// A hunt candidate batch (`fgqos hunt` evaluation lanes).
+    Hunt,
+}
+
+impl BatchKind {
+    /// Wire and cache-key tag. Lower-case, stable — cache keys embed it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BatchKind::Sweep => "sweep",
+            BatchKind::Hunt => "hunt",
+        }
+    }
+
+    /// Parses a wire tag; `Err` names the unknown tag.
+    pub fn parse(tag: &str) -> Result<Self, String> {
+        match tag {
+            "sweep" => Ok(BatchKind::Sweep),
+            "hunt" => Ok(BatchKind::Hunt),
+            other => Err(format!("unknown batch kind '{other}'")),
+        }
+    }
+}
+
 /// A warm-start sweep slice: one shared scenario prefix, many divergent
 /// points.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -110,6 +146,8 @@ pub struct BatchSpec {
     pub warmup: u64,
     /// The grid points, in submission order.
     pub points: Vec<BatchPoint>,
+    /// Operation family, namespacing the per-point cache keys.
+    pub kind: BatchKind,
 }
 
 /// Requested metrics export format.
@@ -349,6 +387,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if points.is_empty() {
                 return Err("submit_batch needs at least one point".into());
             }
+            let kind = match doc.get("kind").and_then(Value::as_str) {
+                Some(tag) => BatchKind::parse(tag)?,
+                None => BatchKind::Sweep,
+            };
             Ok(Request::SubmitBatch {
                 spec: BatchSpec {
                     scenario,
@@ -356,6 +398,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     until_done: opt_str(&doc, "until_done")?,
                     warmup: opt_u64(&doc, "warmup")?.unwrap_or(0),
                     points,
+                    kind,
                 },
                 client: opt_str(&doc, "client")?,
                 deadline_ms: opt_u64(&doc, "deadline_ms")?,
@@ -481,6 +524,24 @@ mod tests {
                 },
             ]
         );
+        assert_eq!(spec.kind, BatchKind::Sweep, "kind defaults to sweep");
+    }
+
+    #[test]
+    fn parses_submit_batch_kind_tag() {
+        let r = parse_request(
+            r#"{"op":"submit_batch","scenario":"s","kind":"hunt","points":[{"period":1000,"budget":2048}]}"#,
+        )
+        .unwrap();
+        let Request::SubmitBatch { spec, .. } = r else {
+            panic!("expected submit_batch");
+        };
+        assert_eq!(spec.kind, BatchKind::Hunt);
+        let err = parse_request(
+            r#"{"op":"submit_batch","scenario":"s","kind":"mystery","points":[{"period":1,"budget":1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown batch kind"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! EXP-W — Hunted worst-case interference vs. the analytic bound.
+//!
+//! Runs the `fgqos hunt` adversarial search against the rogue-DMA
+//! scenario at several seeds and budgets, and reports the worst critical
+//! latency each search finds next to the conservative delay bound of
+//! the winning configuration (`fgqos_core::analysis`). Deeper searches
+//! find equal-or-worse cases; every winner is replay-verified; and the
+//! bound must dominate every measured maximum (`tests/bounds.rs` keeps
+//! this continuously enforced on random configurations).
+//!
+//! Printed columns: seed, evals, families, winning aggressors/faults,
+//! boundary period and budget, measured p99 and max, delay bound,
+//! verdict (tightness or violation), replay verdict.
+
+use fgqos::hunt::{run_hunt, HuntOptions};
+use fgqos::hunt_engine::HuntConfig;
+use fgqos_bench::report::Report;
+use fgqos_bench::{sweep, table};
+use fgqos_sim::json::Value;
+use std::path::Path;
+
+const WARMUP: u64 = 60_000;
+const TAIL: u64 = 100_000;
+
+fn main() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/rogue-dma.fgq");
+    let text = fgqos::scenario::load_scenario_text(&path.display().to_string())
+        .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
+
+    let mut r = Report::new("exp_worstcase");
+    r.banner(
+        "EXP-W",
+        "hunted worst-case interference vs. the analytic delay bound",
+    );
+    r.context("scenario", "scenarios/rogue-dma.fgq");
+    r.context("warmup", WARMUP);
+    r.context("tail_cycles", TAIL);
+    r.context("objective", "max_latency");
+    r.header(&[
+        "seed", "evals", "families", "aggr", "faults", "period", "budget", "p99", "max", "bound",
+        "verdict", "replay",
+    ]);
+
+    let configs: Vec<(u64, usize)> = vec![(1, 16), (2, 16), (3, 16), (1, 40)];
+    let rows = sweep::run_parallel(configs, |(seed, evals)| {
+        let opts = HuntOptions {
+            config: HuntConfig {
+                seed,
+                evals,
+                explore: evals / 2,
+                ..HuntConfig::default()
+            },
+            warmup: WARMUP,
+            tail_cycles: TAIL,
+            addr: None,
+        };
+        let result = run_hunt(&text, &opts).expect("hunt runs");
+        let m = &result.outcome.best.measured;
+        let cand = &result.outcome.best.candidate;
+        let bound = result
+            .report
+            .get("bound")
+            .and_then(|b| b.get("delay_bound"))
+            .and_then(Value::as_u64);
+        let verdict = match bound {
+            Some(limit) if m.max > limit => format!("VIOLATED +{}", m.max - limit),
+            Some(limit) => format!("x{:.2}", limit as f64 / m.max.max(1) as f64),
+            None => "unmodeled".to_string(),
+        };
+        vec![
+            table::int(seed),
+            table::int(evals as u64),
+            table::int(result.outcome.families as u64),
+            table::int(cand.family.aggressors.len() as u64),
+            table::int(cand.family.faults.len() as u64),
+            table::int(cand.period),
+            table::int(cand.budget),
+            table::int(m.p99),
+            table::int(m.max),
+            bound.map(table::int).unwrap_or_else(|| "-".to_string()),
+            verdict,
+            if result.replay_verified { "ok" } else { "FAIL" }.to_string(),
+        ]
+    });
+    for row in rows {
+        r.row(row);
+    }
+    r.blank();
+    r.note(
+        "bound/measured tightness is the price of analysability; a VIOLATED row \
+         means the hunt found a case outside the model's guarantee and must be \
+         triaged (the winning .fgq replays it bit-identically).",
+    );
+    r.emit();
+}

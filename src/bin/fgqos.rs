@@ -6,6 +6,9 @@
 //!   fgqos check <scenario-file>              parse + validate (and run the
 //!                                            scenario when it carries
 //!                                            `expect` assertions)
+//!   fgqos hunt <scenario-file> [options]     search for the worst-case
+//!                                            interference pattern against
+//!                                            the scenario's critical master
 //!   fgqos serve [serve options]              start the execution service
 //!   fgqos worker --connect HOST:PORT [...]   start a worker, join a fleet
 //!   fgqos submit <scenario-file> [options]   run a scenario via a server
@@ -19,6 +22,21 @@
 //!   --json            print the structured report document instead of text
 //!   --histogram       print each master's latency distribution
 //!   --quiet           suppress the per-port fabric report
+//!
+//! Hunt options:
+//!   --seed N          root seed; equal seeds give byte-identical reports
+//!   --evals N         total candidate evaluation budget (default 48)
+//!   --explore N       random candidates before refinement (default 24)
+//!   --top-k N         parents carried per refinement round (default 4)
+//!   --mutants N       mutants drawn per parent per round (default 3)
+//!   --objective M     maximized critical metric: p99 | max (default max)
+//!   --warmup N        shared warm-up cycles before the fork boundary
+//!   --cycles N        divergent tail cycles after the boundary
+//!   --addr HOST:PORT  evaluate through a running `fgqos serve` instead of
+//!                     the in-process pool
+//!   --out PATH        write the fgqos.hunt-report JSON document to PATH
+//!   --fgq PATH        write the replayable winning scenario to PATH
+//!   --quiet           suppress the human-readable summary
 //!
 //! Serve options:
 //!   --addr HOST:PORT  listen address (default 127.0.0.1:7171)
@@ -52,6 +70,8 @@
 //! ```
 
 use fgqos::bench::report::Report;
+use fgqos::hunt::{run_hunt, HuntOptions};
+use fgqos::hunt_engine::Objective;
 use fgqos::runner::{
     assertion_outcome, evaluate_expectations, scenario_report, serve_batch_executor,
     serve_batch_executor_with_store, serve_executor, serve_snapshot_executor, AssertionResult,
@@ -115,10 +135,19 @@ struct SubmitArgs {
     timeout_ms: u64,
 }
 
+struct HuntArgs {
+    scenario_path: String,
+    options: HuntOptions,
+    out: Option<PathBuf>,
+    fgq: Option<PathBuf>,
+    quiet: bool,
+}
+
 enum Cmd {
     Help,
     Run(RunArgs),
     Check { scenario_path: String },
+    Hunt(HuntArgs),
     Serve(ServeArgs),
     Worker(WorkerArgs),
     Submit(SubmitArgs),
@@ -128,6 +157,9 @@ enum Cmd {
 fn usage() -> &'static str {
     "usage: fgqos <scenario-file> [--cycles N] [--until-done NAME] [--json] [--histogram] [--quiet]
        fgqos check <scenario-file>
+       fgqos hunt <scenario-file> [--seed N] [--evals N] [--explore N] [--top-k N] [--mutants N]
+                  [--objective p99|max] [--warmup N] [--cycles N] [--addr HOST:PORT]
+                  [--out REPORT.json] [--fgq WINNER.fgq] [--quiet]
        fgqos serve [--addr HOST:PORT] [--threads N] [--max-frame N]
                    [--admit-budget N] [--admit-period-ms N] [--admit-depth N] [--deadline-ms N]
                    [--cache-dir DIR] [--blob-dir DIR] [--workers N]
@@ -207,6 +239,49 @@ fn parse_check(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     }
     let scenario_path = scenario_path.ok_or("check needs a scenario file".to_string())?;
     Ok(Cmd::Check { scenario_path })
+}
+
+fn parse_hunt(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut scenario_path = None;
+    let mut options = HuntOptions::default();
+    let mut out = None;
+    let mut fgq = None;
+    let mut quiet = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--seed" => options.config.seed = num_of(&mut argv, "--seed")?,
+            "--evals" => options.config.evals = num_of(&mut argv, "--evals")?,
+            "--explore" => options.config.explore = num_of(&mut argv, "--explore")?,
+            "--top-k" => options.config.top_k = num_of(&mut argv, "--top-k")?,
+            "--mutants" => options.config.mutants_per_parent = num_of(&mut argv, "--mutants")?,
+            "--objective" => {
+                options.config.objective = Objective::parse(&value_of(&mut argv, "--objective")?)?
+            }
+            "--warmup" => options.warmup = num_of(&mut argv, "--warmup")?,
+            "--cycles" => options.tail_cycles = num_of(&mut argv, "--cycles")?,
+            "--addr" => options.addr = Some(value_of(&mut argv, "--addr")?),
+            "--out" => out = Some(PathBuf::from(value_of(&mut argv, "--out")?)),
+            "--fgq" => fgq = Some(PathBuf::from(value_of(&mut argv, "--fgq")?)),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown hunt option {other:?}\n{}", usage()));
+            }
+            other => {
+                if scenario_path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one scenario file given\n{}", usage()));
+                }
+            }
+        }
+    }
+    let scenario_path = scenario_path.ok_or("hunt needs a scenario file".to_string())?;
+    Ok(Cmd::Hunt(HuntArgs {
+        scenario_path,
+        options,
+        out,
+        fgq,
+        quiet,
+    }))
 }
 
 fn parse_serve(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
@@ -334,6 +409,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
         Some(first) => match first.as_str() {
             "--help" | "-h" => Ok(Cmd::Help),
             "check" => parse_check(argv),
+            "hunt" => parse_hunt(argv),
             "serve" => parse_serve(argv),
             "worker" => parse_worker(argv),
             "submit" => parse_submit(argv),
@@ -507,6 +583,78 @@ fn check(path: &str) -> Result<(), String> {
         None => soc.run(cycles),
     }
     assertion_verdicts(&evaluate_expectations(&spec, &soc, &fabric))
+}
+
+fn hunt(args: HuntArgs) -> Result<(), String> {
+    let text =
+        load_scenario_text(&args.scenario_path).map_err(|e| e.diagnostic(&args.scenario_path))?;
+    let result = run_hunt(&text, &args.options)?;
+
+    if let Some(path) = &args.fgq {
+        std::fs::write(path, &result.winner_fgq)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{}\n", result.report.to_pretty()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    let m = &result.outcome.best.measured;
+    let cand = &result.outcome.best.candidate;
+    if !args.quiet {
+        println!(
+            "hunt: seed {}, {} evaluation(s) across {} family(ies), {} refinement round(s)",
+            args.options.config.seed,
+            result.outcome.evals_used,
+            result.outcome.families,
+            result.outcome.rounds,
+        );
+        println!(
+            "worst case: {} aggressor(s), {} fault(s), period {} budget {}",
+            cand.family.aggressors.len(),
+            cand.family.faults.len(),
+            cand.period,
+            cand.budget,
+        );
+        println!(
+            "  critical p50 {} p99 {} max {} cycles, {} bytes",
+            m.p50, m.p99, m.max, m.bytes
+        );
+        let bound = result.report.get("bound");
+        match bound
+            .and_then(|b| b.get("delay_bound"))
+            .and_then(|v| v.as_u64())
+        {
+            Some(limit) => println!(
+                "  analytic delay bound {limit} cycles: measured max {} ({})",
+                m.max,
+                if result.bound_violated {
+                    "VIOLATED"
+                } else {
+                    "holds"
+                }
+            ),
+            None => println!("  analytic delay bound: unmodeled for this configuration"),
+        }
+        println!(
+            "  winner replay: {}",
+            if result.replay_verified {
+                "verified bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    if result.bound_violated {
+        eprintln!(
+            "warning: measured worst case exceeds the analytic bound; \
+             pin the emitted scenario as a regression case"
+        );
+    }
+    if !result.replay_verified {
+        return Err("winner replay did not reproduce the measured worst case".to_string());
+    }
+    Ok(())
 }
 
 fn batch_executor_for(blob_dir: &Option<PathBuf>) -> BatchExecutor {
@@ -728,6 +876,7 @@ fn main() -> ExitCode {
                 Cmd::Help => unreachable!("handled above"),
                 Cmd::Run(args) => run(args),
                 Cmd::Check { scenario_path } => check(&scenario_path),
+                Cmd::Hunt(args) => hunt(args),
                 Cmd::Serve(args) => serve(args),
                 Cmd::Worker(args) => worker(args),
                 Cmd::Submit(args) => submit(args),
@@ -765,6 +914,63 @@ mod tests {
         assert_eq!(a.cycles, None, "resolved later against the scenario");
         assert!(a.until_done.is_none());
         assert!(!a.json && !a.quiet && !a.histogram);
+    }
+
+    #[test]
+    fn parses_hunt_options() {
+        let Ok(Cmd::Hunt(h)) = args(&["hunt", "s.fgq"]) else {
+            panic!("expected hunt");
+        };
+        assert_eq!(h.scenario_path, "s.fgq");
+        assert_eq!(h.options.config.seed, HuntOptions::default().config.seed);
+        assert!(h.options.addr.is_none() && h.out.is_none() && h.fgq.is_none());
+        assert!(!h.quiet);
+
+        let Ok(Cmd::Hunt(h)) = args(&[
+            "hunt",
+            "s.fgq",
+            "--seed",
+            "9",
+            "--evals",
+            "12",
+            "--explore",
+            "6",
+            "--top-k",
+            "2",
+            "--mutants",
+            "5",
+            "--objective",
+            "p99",
+            "--warmup",
+            "5000",
+            "--cycles",
+            "7000",
+            "--addr",
+            "127.0.0.1:7171",
+            "--out",
+            "r.json",
+            "--fgq",
+            "w.fgq",
+            "--quiet",
+        ]) else {
+            panic!("expected hunt");
+        };
+        assert_eq!(h.options.config.seed, 9);
+        assert_eq!(h.options.config.evals, 12);
+        assert_eq!(h.options.config.explore, 6);
+        assert_eq!(h.options.config.top_k, 2);
+        assert_eq!(h.options.config.mutants_per_parent, 5);
+        assert!(matches!(h.options.config.objective, Objective::P99));
+        assert_eq!(h.options.warmup, 5_000);
+        assert_eq!(h.options.tail_cycles, 7_000);
+        assert_eq!(h.options.addr.as_deref(), Some("127.0.0.1:7171"));
+        assert_eq!(h.out.as_deref(), Some(std::path::Path::new("r.json")));
+        assert_eq!(h.fgq.as_deref(), Some(std::path::Path::new("w.fgq")));
+        assert!(h.quiet);
+
+        assert!(args(&["hunt"]).is_err(), "scenario file is required");
+        assert!(args(&["hunt", "s.fgq", "--objective", "mean"]).is_err());
+        assert!(matches!(args(&["hunt", "--help"]), Ok(Cmd::Help)));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   by a coordinator that was stopped and restarted over the same
 //!   `--cache-dir` (the persistent result cache), vs the same hit
 //!   before the restart.
+//! * `hunt_eval` — `fgqos hunt` candidate-evaluation throughput
+//!   (candidates/s) with the local batch pool vs the same search routed
+//!   through serve lanes (`--addr`), asserting the two transports
+//!   produce byte-identical reports.
 //!
 //! ```text
 //! cargo run --release --bin fleet_bench            # all sections
@@ -24,8 +28,10 @@
 //! ```
 
 use fgqos::bench::scenarios::{regulated_soc, warm_start_snapshot, WARM_START_TAIL_CYCLES};
+use fgqos::hunt::{run_hunt, HuntOptions};
+use fgqos::hunt_engine::HuntConfig;
 use fgqos::serve::client::{Client, SubmitOptions};
-use fgqos::serve::protocol::{BatchPoint, BatchSpec};
+use fgqos::serve::protocol::{BatchKind, BatchPoint, BatchSpec};
 use fgqos::sim::snapshot::SocSnapshot;
 use fgqos::sim::SnapshotBlob;
 use std::io::{BufRead, BufReader};
@@ -142,6 +148,7 @@ fn mix_throughput(addr: &str, round: u64) -> (f64, usize) {
             until_done: None,
             warmup: BATCH_WARMUP,
             points,
+            kind: BatchKind::Sweep,
         };
         jobs.extend(client.submit_batch(&spec, &opts).expect("batch ack").jobs);
     }
@@ -248,6 +255,52 @@ fn bench_restart_hit(scratch: &Path) {
     println!("  \"restart_hit\": {{");
     println!("    \"same_process_hit_ns\": {warm_ns:.0},");
     println!("    \"post_restart_hit_ns\": {restart_ns:.0}");
+    println!("  }},");
+}
+
+fn bench_hunt(scratch: &Path) {
+    let text = scenario(777_777);
+    let opts = |addr: Option<String>| HuntOptions {
+        config: HuntConfig {
+            seed: 5,
+            evals: 12,
+            explore: 8,
+            ..HuntConfig::default()
+        },
+        warmup: 30_000,
+        tail_cycles: 40_000,
+        addr,
+    };
+
+    let t0 = Instant::now();
+    let local = run_hunt(&text, &opts(None)).expect("local hunt");
+    let local_s = t0.elapsed().as_secs_f64();
+
+    let blob_dir = scratch.join("hunt-blobs");
+    let fleet = start_fleet(2, None, &blob_dir);
+    let t0 = Instant::now();
+    let served = run_hunt(&text, &opts(Some(fleet.addr.clone()))).expect("served hunt");
+    let serve_s = t0.elapsed().as_secs_f64();
+    stop_fleet(fleet);
+
+    assert_eq!(
+        local.report.to_compact(),
+        served.report.to_compact(),
+        "local-pool and serve-lane hunts must produce byte-identical reports"
+    );
+    let evals = local.outcome.evals_used as f64;
+    println!("  \"hunt_eval\": {{");
+    println!("    \"evaluations\": {},", local.outcome.evals_used);
+    println!("    \"families\": {},", local.outcome.families);
+    println!(
+        "    \"local_pool_candidates_per_s\": {:.2},",
+        evals / local_s
+    );
+    println!(
+        "    \"serve_lanes_candidates_per_s\": {:.2},",
+        evals / serve_s
+    );
+    println!("    \"reports_identical\": true");
     println!("  }}");
 }
 
@@ -263,6 +316,9 @@ fn main() {
     }
     if section == "all" || section == "restart" {
         bench_restart_hit(&scratch);
+    }
+    if section == "all" || section == "hunt" {
+        bench_hunt(&scratch);
     }
     println!("}}");
     std::fs::remove_dir_all(&scratch).ok();

@@ -11,13 +11,17 @@
 //! * [`bench`](mod@bench) — experiment harness: sweeps, tables, structured reports
 //! * [`serve`] — long-running scenario-execution service (job pool,
 //!   result cache, self-regulated admission control)
+//! * [`hunt_engine`] — adversarial worst-case contention search engine
+//!   (wired to scenarios and evaluators by [`hunt`](mod@hunt))
 
+pub mod hunt;
 pub mod runner;
 pub mod scenario;
 
 pub use fgqos_baselines as baselines;
 pub use fgqos_bench as bench;
 pub use fgqos_core as core;
+pub use fgqos_hunt as hunt_engine;
 pub use fgqos_serve as serve;
 pub use fgqos_sim as sim;
 pub use fgqos_workloads as workloads;

@@ -12,6 +12,8 @@ use crate::scenario::{
 use fgqos_bench::report::{Block, Report};
 use fgqos_core::fabric::QosFabric;
 use fgqos_serve::cache::fnv64;
+#[cfg(test)]
+use fgqos_serve::protocol::BatchKind;
 use fgqos_serve::protocol::{BatchPoint, BatchSpec, JobSpec};
 use fgqos_serve::{BatchExecutor, Executor, SnapshotExecutor};
 use fgqos_sim::axi::{MasterId, BEAT_BYTES, MAX_BURST_BEATS};
@@ -628,6 +630,7 @@ txn 512
             until_done: None,
             warmup: 30_000,
             points,
+            kind: BatchKind::Sweep,
         }
     }
 

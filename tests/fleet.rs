@@ -19,7 +19,7 @@
 
 use fgqos::runner::batch_reports;
 use fgqos::serve::client::{Client, SubmitOptions};
-use fgqos::serve::protocol::{BatchPoint, BatchSpec, MetricsFormat};
+use fgqos::serve::protocol::{BatchKind, BatchPoint, BatchSpec, MetricsFormat};
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
@@ -154,6 +154,7 @@ fn killed_worker_slice_requeues_and_results_match_direct_run() {
         until_done: None,
         warmup: 8_000_000,
         points: points.clone(),
+        kind: BatchKind::Sweep,
     };
 
     let mut client = Client::connect(&addr).expect("connect to coordinator");

@@ -9,7 +9,7 @@ use fgqos::runner::{
 };
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
-use fgqos::serve::protocol::{BatchPoint, BatchSpec, JobSpec};
+use fgqos::serve::protocol::{BatchKind, BatchPoint, BatchSpec, JobSpec};
 use fgqos::serve::server::{start, start_with, ServeConfig, ServerHandle};
 use fgqos::serve::Executor;
 use fgqos::sim::json::Value;
@@ -250,6 +250,7 @@ fn batched_sweep_round_trip_is_byte_identical_and_cached_per_point() {
         until_done: None,
         warmup: 30_000,
         points: points.clone(),
+        kind: BatchKind::Sweep,
     };
     let direct: Vec<String> = batch_reports(&spec)
         .expect("direct batch")
@@ -334,6 +335,89 @@ fn batched_sweep_round_trip_is_byte_identical_and_cached_per_point() {
     assert!(
         lane_executed >= 1,
         "the pinned lane executed the batch, got {lane_executed}"
+    );
+    finish(server);
+}
+
+/// The op-kind cache namespace: a hunt candidate batch must never be
+/// answered from a sweep batch's cached points (or vice versa), even
+/// when scenario, cycles, warm-up and the (period, budget) point are
+/// all identical. Both kinds still compute the same pure report, so the
+/// bytes agree — only the cache identity differs.
+#[test]
+fn hunt_batches_never_alias_sweep_cache_entries() {
+    let points = vec![
+        BatchPoint {
+            period: 1_000,
+            budget: 2_048,
+        },
+        BatchPoint {
+            period: 1_000,
+            budget: 4_096,
+        },
+    ];
+    let sweep = BatchSpec {
+        scenario: SCENARIO.to_string(),
+        cycles: 20_000,
+        until_done: None,
+        warmup: 30_000,
+        points,
+        kind: BatchKind::Sweep,
+    };
+    let hunt = BatchSpec {
+        kind: BatchKind::Hunt,
+        ..sweep.clone()
+    };
+
+    let server = real_server(two_threads());
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let first = client
+        .submit_batch(&sweep, &SubmitOptions::default())
+        .expect("sweep batch");
+    let sweep_reports: Vec<String> = first
+        .jobs
+        .iter()
+        .map(|&job| {
+            client
+                .wait_report(job, Duration::from_secs(60))
+                .expect("sweep point report")
+                .to_compact()
+        })
+        .collect();
+
+    // Same scenario, same points, different kind: every point must be a
+    // cache miss and re-execute on its own lane.
+    let cross = client
+        .submit_batch(&hunt, &SubmitOptions::default())
+        .expect("hunt batch");
+    assert!(
+        cross.cached.iter().all(|&c| !c),
+        "hunt points must not hit sweep cache entries: {:?}",
+        cross.cached
+    );
+    assert!(cross.lane.is_some(), "uncached hunt batch queues on a lane");
+    let hunt_reports: Vec<String> = cross
+        .jobs
+        .iter()
+        .map(|&job| {
+            client
+                .wait_report(job, Duration::from_secs(60))
+                .expect("hunt point report")
+                .to_compact()
+        })
+        .collect();
+    assert_eq!(
+        hunt_reports, sweep_reports,
+        "the computation is kind-independent; only the cache identity differs"
+    );
+
+    // Within its own namespace the hunt batch caches normally.
+    let again = client
+        .submit_batch(&hunt, &SubmitOptions::default())
+        .expect("hunt resubmit");
+    assert!(
+        again.cached.iter().all(|&c| c),
+        "hunt resubmit fully cached"
     );
     finish(server);
 }
