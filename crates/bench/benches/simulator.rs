@@ -2,7 +2,9 @@
 //! throughput as the SoC grows, plus statistics hot paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fgqos_bench::scenarios::{greedy_soc, regulated_soc, REGULATED_CYCLES, SOC_CYCLES};
+use fgqos_bench::scenarios::{
+    greedy_soc, leap_soc, regulated_soc, LEAP_CYCLES, REGULATED_CYCLES, SOC_CYCLES,
+};
 use fgqos_sim::stats::LatencyStats;
 
 const CYCLES: u64 = SOC_CYCLES;
@@ -44,6 +46,29 @@ fn bench_fast_forward(c: &mut Criterion) {
     g.finish();
 }
 
+/// Steady-state leaping vs the plain event calendar on the long
+/// saturated regulated run (the `BENCH_sim.json` `steady_state_leap`
+/// entry). Both runs are bit-identical in results; only the wall clock
+/// differs.
+fn bench_steady_state_leap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steady_state_leap");
+    g.throughput(Throughput::Elements(LEAP_CYCLES));
+    for (mode, leap) in [("leap", true), ("calendar", false)] {
+        g.bench_with_input(BenchmarkId::new(mode, 2), &leap, |b, &leap| {
+            b.iter_batched(
+                || {
+                    let mut soc = leap_soc();
+                    soc.set_leap(leap);
+                    soc
+                },
+                |mut soc| soc.run(LEAP_CYCLES),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_latency_stats(c: &mut Criterion) {
     c.bench_function("latency_stats_record", |b| {
         let mut s = LatencyStats::new();
@@ -65,6 +90,6 @@ fn bench_latency_stats(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_soc_throughput, bench_fast_forward, bench_latency_stats
+    targets = bench_soc_throughput, bench_fast_forward, bench_steady_state_leap, bench_latency_stats
 }
 criterion_main!(benches);

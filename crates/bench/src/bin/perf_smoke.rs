@@ -23,8 +23,8 @@
 //! apples-to-apples with `BENCH_sim.json`.
 
 use fgqos_bench::scenarios::{
-    greedy_soc, regulated_soc, warm_start_snapshot, REGULATED_CYCLES, SOC_CYCLES,
-    WARM_START_TAIL_CYCLES,
+    greedy_soc, leap_soc, regulated_soc, warm_start_snapshot, LEAP_CYCLES, REGULATED_CYCLES,
+    SOC_CYCLES, WARM_START_TAIL_CYCLES,
 };
 use fgqos_sim::json::Value;
 use fgqos_sim::snapshot::SocSnapshot;
@@ -75,24 +75,27 @@ fn measure_blob(reps: usize) -> (f64, f64) {
 
 /// The latest recorded floors: `BENCH_sim.json` is append-only, so the
 /// newest entry holding each micro number wins.
-fn floors(doc: &Value) -> Option<(f64, f64, f64, f64, f64)> {
-    let entry = doc.get("calendar_arena")?;
-    let m8 = entry
-        .get("soc_cycles_melem_per_s")?
-        .get("masters_8")?
-        .as_f64()?;
-    let reg = entry
-        .get("regulated_cycles_melem_per_s")?
-        .get("fast")?
-        .as_f64()?;
-    let warm = doc
-        .get("snapshot_warm_start")?
-        .get("fork_tail_melem_per_s")?
-        .as_f64()?;
+fn floors(doc: &Value) -> Option<(f64, f64, f64, f64, f64, f64)> {
+    // The steady-state leap engine runs by default, and its aperiodic
+    // fingerprint tax (O(log horizon) snapshot walks) lands on exactly
+    // these fixed-horizon cases — so their floors come from the
+    // `aperiodic_tax_rebaseline` block, the calendar_arena /
+    // snapshot_warm_start floors scaled by the measured same-binary
+    // leap-on/leap-off ratio.
+    let rebase = doc
+        .get("steady_state_leap")?
+        .get("aperiodic_tax_rebaseline")?;
+    let m8 = rebase.get("soc_cycles_8_melem_per_s")?.as_f64()?;
+    let reg = rebase.get("regulated_cycles_fast_melem_per_s")?.as_f64()?;
+    let warm = rebase.get("warm_start_melem_per_s")?.as_f64()?;
     let blob = doc.get("snapshot_blob")?;
     let ser = blob.get("serialize_mb_per_s")?.as_f64()?;
     let de = blob.get("deserialize_mb_per_s")?.as_f64()?;
-    Some((m8, reg, warm, ser, de))
+    let leap = doc
+        .get("steady_state_leap")?
+        .get("leap_on_melem_per_s")?
+        .as_f64()?;
+    Some((m8, reg, warm, ser, de, leap))
 }
 
 fn main() {
@@ -105,8 +108,9 @@ fn main() {
     let text = std::fs::read_to_string(root.join("BENCH_sim.json"))
         .expect("BENCH_sim.json not found at workspace root");
     let doc = Value::parse(&text).expect("BENCH_sim.json is not valid JSON");
-    let (floor_m8, floor_reg, floor_warm, floor_ser, floor_de) = floors(&doc).expect(
-        "BENCH_sim.json missing calendar_arena / snapshot_warm_start / snapshot_blob floors",
+    let (floor_m8, floor_reg, floor_warm, floor_ser, floor_de, floor_leap) = floors(&doc).expect(
+        "BENCH_sim.json missing calendar_arena / snapshot_warm_start / snapshot_blob / \
+             steady_state_leap floors",
     );
 
     let m8 = measure(|| greedy_soc(8), SOC_CYCLES, 5);
@@ -116,6 +120,12 @@ fn main() {
     let snap = warm_start_snapshot();
     let warm = measure(|| snap.fork(), WARM_START_TAIL_CYCLES, 5);
     let (ser, de) = measure_blob(5);
+    // Steady-state leap throughput: the engine must keep crossing the
+    // saturated regulated horizon algebraically. A regression here means
+    // detection stopped firing (a new snap field breaking lockstep, a
+    // component dropping its leap_support opt-in), not ordinary slowdown
+    // — the gated number is orders of magnitude above cycle stepping.
+    let leap = measure(leap_soc, LEAP_CYCLES, 3);
 
     let mut failed = false;
     for (name, got, floor, unit) in [
@@ -124,6 +134,7 @@ fn main() {
         ("warm_start", warm, floor_warm, "Melem/s"),
         ("snapshot_serialize", ser, floor_ser, "MB/s"),
         ("snapshot_deserialize", de, floor_de, "MB/s"),
+        ("steady_state_leap", leap, floor_leap, "Melem/s"),
     ] {
         let min = floor * threshold;
         let ok = got >= min;

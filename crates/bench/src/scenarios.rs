@@ -9,7 +9,7 @@
 use fgqos_core::regulator::{RegulatorConfig, TcRegulator};
 use fgqos_sim::axi::Dir;
 use fgqos_sim::dram::DramConfig;
-use fgqos_sim::master::MasterKind;
+use fgqos_sim::master::{MasterKind, SequentialSource};
 use fgqos_sim::snapshot::SocSnapshot;
 use fgqos_sim::system::{Soc, SocBuilder, SocConfig};
 use fgqos_workloads::spec::{SpecSource, TrafficSpec};
@@ -65,6 +65,38 @@ pub fn regulated_soc(masters: usize) -> Soc {
         b = b.gated_master(
             format!("m{i}"),
             SpecSource::new(spec, i as u64),
+            MasterKind::Accelerator,
+            reg,
+        );
+    }
+    b.build()
+}
+
+/// Cycle horizon of the `steady_state_leap` perf case — long enough
+/// that algebraic leaping dominates the wall clock.
+pub const LEAP_CYCLES: u64 = 50_000_000;
+
+/// Long saturated regulated SoC for the steady-state leap cases: two
+/// unbounded sequential readers reusing a small buffer in place behind
+/// tight TC-regulator budgets, DRAM refresh on. The 4 KiB footprint
+/// makes the open-row pattern itself periodic, and the 1 950-cycle
+/// window times the 4-window address pattern equals the 7 800-cycle
+/// refresh interval — so the whole machine state recurs and the leap
+/// engine can cross almost the entire horizon algebraically. This is
+/// the configuration whose leap speedup is recorded in
+/// `BENCH_sim.json` (`steady_state_leap`).
+pub fn leap_soc() -> Soc {
+    let mut b = SocBuilder::new(SocConfig::default());
+    for i in 0..2u64 {
+        let (reg, _driver) = TcRegulator::create(RegulatorConfig {
+            period_cycles: 1_950,
+            budget_bytes: 1_024,
+            enabled: true,
+            ..RegulatorConfig::default()
+        });
+        b = b.gated_master(
+            format!("m{i}"),
+            SequentialSource::reads(i << 28, 256, u64::MAX).with_footprint(4_096),
             MasterKind::Accelerator,
             reg,
         );

@@ -350,15 +350,17 @@ impl WindowMonitor {
     /// stream. The register block itself is hashed by the owning gate.
     pub(crate) fn snap(&self, h: &mut StateHasher) {
         h.section("window-monitor");
-        h.write_u64(self.window_start.get());
+        h.write_cycle(self.window_start.get());
         h.write_u64(self.period);
+        // Open-window counters stay plain: a steady-state period always
+        // spans whole windows, so they recur exactly at the boundary.
         h.write_u64(self.win_bytes);
         h.write_u64(self.win_rd_bytes);
         h.write_u64(self.win_wr_bytes);
         h.write_u64(self.win_txns);
-        h.write_u64(self.total_bytes);
-        h.write_u64(self.total_txns);
-        h.write_u64(self.windows);
+        h.write_counter_u64(self.total_bytes);
+        h.write_counter_u64(self.total_txns);
+        h.write_counter_u64(self.windows);
         h.write_u64(self.max_overshoot);
         match &self.log {
             None => h.write_bool(false),

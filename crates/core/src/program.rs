@@ -109,6 +109,16 @@ impl Controller for ScenarioProgram {
             .map(|t| Cycle::new(t.at).max(now))
     }
 
+    fn leap_support(&self, _now: Cycle) -> fgqos_sim::LeapSupport {
+        // Each pending op is a one-shot absolute-time behavior change;
+        // the next unapplied op's fire cycle bounds any leap. With the
+        // schedule exhausted the program is inert.
+        match self.ops.get(self.applied) {
+            Some(t) => fgqos_sim::LeapSupport::until(Cycle::new(t.at)),
+            None => fgqos_sim::LeapSupport::clear(),
+        }
+    }
+
     fn label(&self) -> &'static str {
         "scenario-program"
     }
@@ -195,6 +205,19 @@ impl Controller for FusedController {
         self.inner
             .next_activity(now)
             .filter(|c| c.get() < self.until)
+    }
+
+    fn leap_support(&self, now: Cycle) -> fgqos_sim::LeapSupport {
+        if now.get() >= self.until {
+            // Blown fuse: the inner controller is never called again, so
+            // its state is frozen (plain snapshot fields) and nothing
+            // here depends on absolute time anymore.
+            fgqos_sim::LeapSupport::clear()
+        } else {
+            self.inner
+                .leap_support(now)
+                .merge(fgqos_sim::LeapSupport::until(Cycle::new(self.until)))
+        }
     }
 
     fn label(&self) -> &'static str {

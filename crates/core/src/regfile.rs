@@ -173,10 +173,43 @@ impl RegFile {
 
     /// Feeds every register word, in offset order, into a snapshot
     /// fingerprint stream.
+    ///
+    /// Wide-counter LO/HI pairs are written through the typed 64-bit
+    /// counter writer: the little-endian byte stream of
+    /// `write_u32(lo); write_u32(hi)` is exactly the stream of the
+    /// combined 64-bit value, so the typing costs no byte-layout change
+    /// while letting a steady-state leap advance the pair with carry
+    /// (independent 32-bit deltas would corrupt it). The `WINDOWS`
+    /// mirror saturates at `u32::MAX` (see `WindowMonitor::on_cycle`)
+    /// and is typed accordingly.
     pub fn snap(&self, h: &mut StateHasher) {
         h.section("regfile");
-        for reg in &self.regs {
-            h.write_u32(reg.load(Ordering::Relaxed));
+        let word = |reg: Reg| self.regs[reg as usize].load(Ordering::Relaxed);
+        let pair = |lo: Reg, hi: Reg| ((word(hi) as u64) << 32) | word(lo) as u64;
+        let mut i = 0;
+        while i < REG_COUNT {
+            match i {
+                x if x == Reg::TotalBytesLo as usize => {
+                    h.write_counter_u64(pair(Reg::TotalBytesLo, Reg::TotalBytesHi));
+                    i += 2;
+                }
+                x if x == Reg::TotalTxnsLo as usize => {
+                    h.write_counter_u64(pair(Reg::TotalTxnsLo, Reg::TotalTxnsHi));
+                    i += 2;
+                }
+                x if x == Reg::StallLo as usize => {
+                    h.write_counter_u64(pair(Reg::StallLo, Reg::StallHi));
+                    i += 2;
+                }
+                x if x == Reg::Windows as usize => {
+                    h.write_counter_u32_sat(word(Reg::Windows));
+                    i += 1;
+                }
+                _ => {
+                    h.write_u32(self.regs[i].load(Ordering::Relaxed));
+                    i += 1;
+                }
+            }
         }
     }
 

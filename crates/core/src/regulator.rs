@@ -279,6 +279,18 @@ impl PortGate for TcRegulator {
             .write64(Reg::StallLo, Reg::StallHi, self.stall_cycles);
     }
 
+    fn leap_support(&self, _now: Cycle) -> fgqos_sim::LeapSupport {
+        // Admission depends only on register/monitor state (all in the
+        // snapshot stream), never on absolute time — except a window log,
+        // which materializes one record per window and cannot be
+        // reproduced algebraically.
+        if self.monitor.log().is_some() {
+            fgqos_sim::LeapSupport::deny()
+        } else {
+            fgqos_sim::LeapSupport::clear()
+        }
+    }
+
     fn label(&self) -> &'static str {
         "tc-regulator"
     }
@@ -308,7 +320,7 @@ impl PortGate for TcRegulator {
         h.write_u64(self.budget_wr);
         h.write_bool(self.charge == ChargePolicy::Completion);
         h.write_bool(self.overshoot == OvershootPolicy::FinalBurst);
-        h.write_u64(self.stall_cycles);
+        h.write_counter_u64(self.stall_cycles);
     }
 
     fn snap_load(

@@ -8,7 +8,7 @@
 //! pending `(period, budget)` points, which maps 1:1 onto the warm-start
 //! batch machinery (`submit_batch` / `batch_reports`).
 
-use crate::space::{BaseInfo, Candidate, SearchSpace};
+use crate::space::{midpoint, BaseInfo, Candidate, SearchSpace};
 use fgqos_bench::rng::XorShift64Star;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -55,6 +55,10 @@ pub struct HuntConfig {
     pub top_k: usize,
     /// Mutants drawn per carried parent per round.
     pub mutants_per_parent: usize,
+    /// Extra evaluations for the post-climb bisection pass over the
+    /// winner's time knobs — burst phases and fault cycles (0 disables
+    /// the pass). Spent *in addition to* `evals`.
+    pub bisect: usize,
     /// The maximized metric.
     pub objective: Objective,
 }
@@ -67,6 +71,7 @@ impl Default for HuntConfig {
             explore: 24,
             top_k: 4,
             mutants_per_parent: 3,
+            bisect: 12,
             objective: Objective::Max,
         }
     }
@@ -139,13 +144,15 @@ pub struct HuntOutcome {
     pub best: Evaluated,
     /// Every evaluation in order.
     pub trajectory: Vec<TrajectoryPoint>,
-    /// Evaluations actually spent (≤ the configured budget; the space
-    /// can run dry of distinct candidates).
+    /// Evaluations actually spent, bisection included (≤ `evals +
+    /// bisect`; the space can run dry of distinct candidates).
     pub evals_used: usize,
     /// Distinct scenario texts evaluated (warmed prefixes paid).
     pub families: usize,
     /// Refinement rounds completed after exploration.
     pub rounds: usize,
+    /// Evaluations the post-climb bisection pass spent (≤ `bisect`).
+    pub bisect_evals: usize,
 }
 
 /// Evaluates one family: scenario text plus its `(period, budget)`
@@ -295,13 +302,104 @@ pub fn run(
         }
     }
 
+    // Post-climb bisection pass: the grid hill-climb can only land on
+    // listed burst phases and fault cycles, but the worst alignment of a
+    // burst against the regulator window (or a fault against the warm
+    // boundary) usually lies *between* grid points. Bisect each time
+    // knob of the current winner — probe the midpoints of the knob's
+    // bracket halves, follow whichever side gets worse (for the
+    // critical master), shrink, repeat — entirely deterministic: no RNG,
+    // fixed knob order, plain integer midpoints.
+    let mut bisect_evals = 0usize;
+    let rank = |a: &Evaluated, b: &Evaluated| {
+        a.score(cfg.objective)
+            .cmp(&b.score(cfg.objective))
+            .then_with(|| b.candidate.key(base).cmp(&a.candidate.key(base)))
+    };
+    if cfg.bisect > 0 {
+        if let Some(mut leader) = population.iter().max_by(|a, b| rank(a, b)).cloned() {
+            let knobs = leader.candidate.time_knobs();
+            let mut brackets: Vec<(u64, u64)> =
+                knobs.iter().map(|&k| space.knob_bracket(k)).collect();
+            let mut moving = !knobs.is_empty();
+            'pass: while moving && bisect_evals < cfg.bisect {
+                moving = false;
+                for (i, &k) in knobs.iter().enumerate() {
+                    let (lo, hi) = brackets[i];
+                    let cur = leader.candidate.knob(k).clamp(lo, hi);
+                    let probes = [midpoint(lo, cur), midpoint(cur, hi)];
+                    let mut improved_side = None;
+                    for (side, &v) in probes.iter().enumerate() {
+                        if bisect_evals >= cfg.bisect {
+                            break 'pass;
+                        }
+                        if v == cur {
+                            continue;
+                        }
+                        let Some(cand) = leader.candidate.with_knob(k, v) else {
+                            continue;
+                        };
+                        if !seen.insert(cand.key(base)) {
+                            continue;
+                        }
+                        let text = cand.family.render(base);
+                        families.insert(text.clone());
+                        let measured = evaluator(&text, &[(cand.period, cand.budget)])?;
+                        if measured.len() != 1 {
+                            return Err(format!(
+                                "evaluator returned {} results for 1 point",
+                                measured.len()
+                            ));
+                        }
+                        bisect_evals += 1;
+                        evals_used += 1;
+                        let e = Evaluated {
+                            candidate: cand,
+                            measured: measured[0],
+                        };
+                        let score = e.score(cfg.objective);
+                        best_so_far = best_so_far.max(score);
+                        trajectory.push(TrajectoryPoint {
+                            eval: evals_used,
+                            family: family_fingerprint(&text),
+                            period: e.candidate.period,
+                            budget: e.candidate.budget,
+                            objective: score,
+                            best: best_so_far,
+                        });
+                        if rank(&e, &leader).is_gt() {
+                            leader = e.clone();
+                            improved_side = Some(side);
+                        }
+                        population.push(e);
+                    }
+                    // An improving left probe makes the old current value
+                    // the new upper end (and vice versa); with no
+                    // improvement both halves shrink toward the current
+                    // value. Either way the bracket strictly narrows, so
+                    // the pass terminates even with budget to spare.
+                    let next = match improved_side {
+                        Some(0) => (lo, cur),
+                        Some(_) => (cur, hi),
+                        None => (probes[0], probes[1].max(probes[0])),
+                    };
+                    // Keep going while the bracket narrows OR the leader
+                    // moved (it can move without narrowing the bracket
+                    // when the old value sat on a bracket end). A stuck
+                    // leader shrinks the bracket every round, so the
+                    // pass always terminates.
+                    if next != (lo, hi) || improved_side.is_some() {
+                        brackets[i] = next;
+                        moving = true;
+                    }
+                }
+            }
+        }
+    }
+
     let best = population
         .iter()
-        .max_by(|a, b| {
-            a.score(cfg.objective)
-                .cmp(&b.score(cfg.objective))
-                .then_with(|| b.candidate.key(base).cmp(&a.candidate.key(base)))
-        })
+        .max_by(|a, b| rank(a, b))
         .cloned()
         .ok_or("no candidate was evaluated")?;
     Ok(HuntOutcome {
@@ -310,6 +408,7 @@ pub fn run(
         evals_used,
         families: families.len(),
         rounds,
+        bisect_evals,
     })
 }
 
@@ -438,6 +537,75 @@ mod tests {
             FamilySpec::default(),
             "the single evaluation is the baseline candidate"
         );
+    }
+
+    /// The worst fault cycle sits between the grid points, so only the
+    /// post-climb bisection pass can approach it: score peaks at
+    /// `at = 27_000` and the grid offers only 4_000 and 60_000.
+    #[test]
+    fn bisection_converges_on_an_off_grid_fault_cycle() {
+        let b = base();
+        let s = SearchSpace {
+            max_aggressors: 0,
+            max_faults: 1,
+            fault_at: vec![4_000, 60_000],
+            ..space()
+        };
+        let fault_at_of = |text: &str| -> Option<u64> {
+            text.lines()
+                .find_map(|l| l.strip_prefix("at ").and_then(|v| v.trim().parse().ok()))
+        };
+        let peaked = |text: &str, points: &[(u64, u64)]| -> Result<Vec<Measured>, String> {
+            let at = fault_at_of(text);
+            Ok(points
+                .iter()
+                .map(|_| {
+                    // A fault is worth a lot; its phase alignment is a
+                    // tent function peaking off-grid.
+                    let max = match at {
+                        Some(at) => 2_000 - at.abs_diff(27_000) / 32,
+                        None => 100,
+                    };
+                    Measured {
+                        p50: max / 4,
+                        p99: max / 2,
+                        max,
+                        bytes: 1 << 20,
+                        bandwidth: 1e6,
+                        boundary: 30_000,
+                        end: 50_000,
+                    }
+                })
+                .collect())
+        };
+        let cfg = HuntConfig {
+            seed: 3,
+            evals: 16,
+            explore: 8,
+            bisect: 24,
+            ..HuntConfig::default()
+        };
+        let mut ev: Box<Evaluator<'_>> = Box::new(|t: &str, p: &[(u64, u64)]| peaked(t, p));
+        let out = run(&cfg, &s, &b, &mut *ev).expect("hunt runs");
+        assert!(out.bisect_evals > 0, "the pass must spend probes");
+        let winner_at = out
+            .best
+            .candidate
+            .family
+            .faults
+            .first()
+            .map(|f| f.slot().1)
+            .expect("a fault is worth 1200+ points; the winner carries one");
+        let grid_best = 27_000u64.abs_diff(4_000).min(27_000u64.abs_diff(60_000));
+        assert!(
+            winner_at.abs_diff(27_000) < grid_best,
+            "bisection must beat every grid point: landed at {winner_at}"
+        );
+        // Deterministic: no RNG in the pass.
+        let mut ev2: Box<Evaluator<'_>> = Box::new(|t: &str, p: &[(u64, u64)]| peaked(t, p));
+        let out2 = run(&cfg, &s, &b, &mut *ev2).expect("hunt runs");
+        assert_eq!(out.best.candidate, out2.best.candidate);
+        assert_eq!(out.evals_used, out2.evals_used);
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub fn render_report(
     doc.set("evaluations", Value::from(outcome.evals_used as u64));
     doc.set("families", Value::from(outcome.families as u64));
     doc.set("refinement_rounds", Value::from(outcome.rounds as u64));
+    doc.set(
+        "bisection_evaluations",
+        Value::from(outcome.bisect_evals as u64),
+    );
 
     let m = &outcome.best.measured;
     let mut worst = Value::obj();
@@ -191,6 +195,7 @@ mod tests {
             evals_used: 1,
             families: 1,
             rounds: 0,
+            bisect_evals: 0,
         }
     }
 

@@ -237,6 +237,116 @@ impl Candidate {
     }
 }
 
+/// A time-dimension knob of one candidate that the post-climb bisection
+/// pass can move continuously: the burst phasing of a generated
+/// aggressor or bursty fault, and the switch cycle of any fault. Indices
+/// refer to the candidate's own `aggressors` / `faults` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeKnob {
+    /// On-phase of aggressor `i`'s burst shaping (cycles, non-zero).
+    AggressorBurstOn(usize),
+    /// Off-phase of aggressor `i`'s burst shaping (cycles).
+    AggressorBurstOff(usize),
+    /// Switch cycle of fault `i`.
+    FaultAt(usize),
+    /// On-phase of bursty fault `i` (cycles, non-zero).
+    FaultBurstOn(usize),
+    /// Off-phase of bursty fault `i` (cycles).
+    FaultBurstOff(usize),
+}
+
+impl Candidate {
+    /// Every time knob this candidate exposes, in a fixed declaration
+    /// order (aggressors first, then faults) so the bisection pass is
+    /// deterministic.
+    pub fn time_knobs(&self) -> Vec<TimeKnob> {
+        let mut knobs = Vec::new();
+        for (i, a) in self.family.aggressors.iter().enumerate() {
+            if a.burst.is_some() {
+                knobs.push(TimeKnob::AggressorBurstOn(i));
+                knobs.push(TimeKnob::AggressorBurstOff(i));
+            }
+        }
+        for (i, f) in self.family.faults.iter().enumerate() {
+            knobs.push(TimeKnob::FaultAt(i));
+            if matches!(f, Disturbance::Bursty { .. }) {
+                knobs.push(TimeKnob::FaultBurstOn(i));
+                knobs.push(TimeKnob::FaultBurstOff(i));
+            }
+        }
+        knobs
+    }
+
+    /// Current value of a knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knob does not exist on this candidate (callers pass
+    /// knobs obtained from [`Candidate::time_knobs`]).
+    pub fn knob(&self, k: TimeKnob) -> u64 {
+        match k {
+            TimeKnob::AggressorBurstOn(i) => self.family.aggressors[i].burst.expect("burst").0,
+            TimeKnob::AggressorBurstOff(i) => self.family.aggressors[i].burst.expect("burst").1,
+            TimeKnob::FaultAt(i) => self.family.faults[i].slot().1,
+            TimeKnob::FaultBurstOn(i) => match &self.family.faults[i] {
+                Disturbance::Bursty { on, .. } => *on,
+                Disturbance::Rogue { .. } => panic!("rogue fault has no burst phase"),
+            },
+            TimeKnob::FaultBurstOff(i) => match &self.family.faults[i] {
+                Disturbance::Bursty { off, .. } => *off,
+                Disturbance::Rogue { .. } => panic!("rogue fault has no burst phase"),
+            },
+        }
+    }
+
+    /// Returns a clone with the knob set to `v`, or `None` when the
+    /// value is illegal there: a zero on-phase, or a fault cycle that
+    /// would collide with another fault's `(master, cycle)` slot.
+    pub fn with_knob(&self, k: TimeKnob, v: u64) -> Option<Candidate> {
+        let mut c = self.clone();
+        match k {
+            TimeKnob::AggressorBurstOn(i) => {
+                if v == 0 {
+                    return None;
+                }
+                c.family.aggressors[i].burst.as_mut()?.0 = v;
+            }
+            TimeKnob::AggressorBurstOff(i) => {
+                c.family.aggressors[i].burst.as_mut()?.1 = v;
+            }
+            TimeKnob::FaultAt(i) => {
+                let master = self.family.faults[i].slot().0.to_string();
+                let collides = self
+                    .family
+                    .faults
+                    .iter()
+                    .enumerate()
+                    .any(|(j, f)| j != i && f.slot() == (master.as_str(), v));
+                if collides {
+                    return None;
+                }
+                match &mut c.family.faults[i] {
+                    Disturbance::Rogue { at, .. } | Disturbance::Bursty { at, .. } => *at = v,
+                }
+            }
+            TimeKnob::FaultBurstOn(i) => {
+                if v == 0 {
+                    return None;
+                }
+                match &mut c.family.faults[i] {
+                    Disturbance::Bursty { on, .. } => *on = v,
+                    Disturbance::Rogue { .. } => return None,
+                }
+            }
+            TimeKnob::FaultBurstOff(i) => match &mut c.family.faults[i] {
+                Disturbance::Bursty { off, .. } => *off = v,
+                Disturbance::Rogue { .. } => return None,
+            },
+        }
+        Some(c)
+    }
+}
+
 /// Value ranges the generator and mutator draw from. The umbrella
 /// derives these from the scenario and the DRAM geometry (strides that
 /// land on one bank, bases on/off the critical master's range); the
@@ -439,9 +549,29 @@ impl SearchSpace {
         }
         c
     }
+
+    /// The `[lo, hi]` bracket the bisection pass searches for a knob —
+    /// the extremes of the grid list the knob's kind draws from (the
+    /// grid samples the range; bisection fills the continuum between).
+    /// On-phases are floored at 1 cycle.
+    pub fn knob_bracket(&self, k: TimeKnob) -> (u64, u64) {
+        let list = match k {
+            TimeKnob::AggressorBurstOn(_) | TimeKnob::FaultBurstOn(_) => &self.burst_on,
+            TimeKnob::AggressorBurstOff(_) | TimeKnob::FaultBurstOff(_) => &self.burst_off,
+            TimeKnob::FaultAt(_) => &self.fault_at,
+        };
+        let lo = list.iter().copied().min().unwrap_or(0);
+        let hi = list.iter().copied().max().unwrap_or(0);
+        if matches!(k, TimeKnob::AggressorBurstOn(_) | TimeKnob::FaultBurstOn(_)) {
+            (lo.max(1), hi.max(1))
+        } else {
+            (lo, hi)
+        }
+    }
 }
 
-fn midpoint(a: u64, b: u64) -> u64 {
+/// Overflow-safe integer midpoint (rounds the two halves together).
+pub fn midpoint(a: u64, b: u64) -> u64 {
     a / 2 + b / 2 + (a % 2 + b % 2) / 2
 }
 

@@ -169,7 +169,9 @@ impl TxnArena {
         h.write_usize(self.live);
         h.write_usize(self.gen.len());
         for &g in &self.gen {
-            h.write_u32(g);
+            // Slot generations accumulate with wrapping arithmetic (see
+            // `take`), so a leap advances them as wrapping counters.
+            h.write_counter_u32(g);
         }
         for &f in &self.free {
             h.write_u32(f);

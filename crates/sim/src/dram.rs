@@ -540,9 +540,9 @@ impl DramController {
                 }
                 None => h.write_bool(false),
             }
-            h.write_u64(b.ready_at.get());
+            h.write_cycle(b.ready_at.get());
         }
-        h.write_u64(self.bus_free_at.get());
+        h.write_cycle(self.bus_free_at.get());
         match self.last_dir {
             Some(d) => {
                 h.write_bool(true);
@@ -555,17 +555,44 @@ impl DramController {
             h.write_usize(s.txn.index());
             h.write_u64(s.complete_at.get());
         }
-        h.write_u64(self.next_refresh.get());
+        h.write_cycle(self.next_refresh.get());
         h.write_u32(self.hit_streak);
         h.write_bool(self.draining_writes);
-        h.write_u64(self.stats.bytes_completed);
-        h.write_u64(self.stats.reads);
-        h.write_u64(self.stats.writes);
-        h.write_u64(self.stats.row_hits);
-        h.write_u64(self.stats.row_misses);
-        h.write_u64(self.stats.bus_busy_cycles);
-        h.write_u64(self.stats.refreshes);
+        h.write_counter_u64(self.stats.bytes_completed);
+        h.write_counter_u64(self.stats.reads);
+        h.write_counter_u64(self.stats.writes);
+        h.write_counter_u64(self.stats.row_hits);
+        h.write_counter_u64(self.stats.row_misses);
+        h.write_counter_u64(self.stats.bus_busy_cycles);
+        h.write_counter_u64(self.stats.refreshes);
         self.stats.queue_wait.snap(h);
+    }
+
+    /// Leap constraints of the refresh schedule (see [`crate::leap`]).
+    ///
+    /// Regular refresh needs no horizon: `next_refresh` is a cycle field
+    /// in the snapshot stream, so a verified recurrence already forces
+    /// the period to a multiple of `t_refi`. Storm windows are one-shot
+    /// absolute-time behavior changes — and their influence starts one
+    /// refresh *early*: [`DramConfig::next_refresh_after`] clamps a
+    /// successor to an upcoming storm's start, so a refresh fired after
+    /// `start − t_refi` already schedules differently than translation
+    /// predicts. The pre-storm horizon is therefore `start − t_refi`,
+    /// and inside a storm the last in-storm refresh is scheduled at
+    /// `end − interval`, after which successors revert to `t_refi`
+    /// spacing. Past the last storm the schedule is
+    /// translation-invariant again.
+    pub(crate) fn leap_support(&self, now: Cycle) -> crate::leap::LeapSupport {
+        use crate::leap::LeapSupport;
+        for s in &self.cfg.storms {
+            if now.get() < s.start {
+                return LeapSupport::until(Cycle::new(s.start.saturating_sub(self.cfg.t_refi)));
+            }
+            if now.get() < s.end {
+                return LeapSupport::until(Cycle::new(s.end.saturating_sub(s.interval)));
+            }
+        }
+        LeapSupport::clear()
     }
 
     /// Restores the controller from a serialized snapshot stream (the

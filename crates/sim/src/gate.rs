@@ -12,6 +12,7 @@
 //! schemes directly comparable.
 
 use crate::axi::{Request, Response};
+use crate::leap::LeapSupport;
 use crate::metrics::MetricsRegistry;
 use crate::time::Cycle;
 use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
@@ -85,6 +86,16 @@ pub trait PortGate {
     /// would have retried a request this gate kept denying.
     fn on_denied_skip(&mut self, _cycles: u64) {}
 
+    /// Declares whether (and under what constraints) the clock may leap
+    /// over a detected steady-state period while this gate regulates the
+    /// port. The default denies: a gate opts in only when its admission
+    /// behavior depends on nothing but its snapshotted state and the
+    /// constraints it states here (e.g. a TDMA gate reads `now % frame`
+    /// and must stay denied).
+    fn leap_support(&self, _now: Cycle) -> LeapSupport {
+        LeapSupport::deny()
+    }
+
     /// Short human-readable label for reports.
     fn label(&self) -> &'static str {
         "gate"
@@ -157,6 +168,10 @@ impl PortGate for Box<dyn PortGate> {
         self.as_mut().on_denied_skip(cycles);
     }
 
+    fn leap_support(&self, now: Cycle) -> LeapSupport {
+        self.as_ref().leap_support(now)
+    }
+
     fn label(&self) -> &'static str {
         self.as_ref().label()
     }
@@ -199,6 +214,10 @@ impl PortGate for OpenGate {
 
     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
         None
+    }
+
+    fn leap_support(&self, _now: Cycle) -> LeapSupport {
+        LeapSupport::clear()
     }
 
     fn label(&self) -> &'static str {

@@ -66,6 +66,7 @@ pub mod dram;
 pub mod gate;
 pub mod interconnect;
 pub mod json;
+pub mod leap;
 pub mod master;
 pub mod metrics;
 pub mod snapshot;
@@ -81,6 +82,7 @@ pub use cpu::{Cache, CacheConfig, CacheOutcome, CacheStats, CachedSource};
 pub use dram::{DramConfig, DramController, DramStats, RefreshStorm};
 pub use gate::{GateDecision, OpenGate, PortGate};
 pub use interconnect::{Arbitration, XbarConfig};
+pub use leap::{LeapSupport, LeapTelemetry};
 pub use master::{
     Master, MasterKind, MasterStats, PendingRequest, SequentialSource, TrafficSource,
 };
@@ -95,7 +97,7 @@ pub use trace::{ChromeTraceBuilder, Trace, TraceEvent, TracingGate};
 // fork/snap seams without depending on `fgqos-snap` directly.
 pub use fgqos_snap::{
     BlobStore, CowVec, ForkCtx, SharedFork, SnapDecodeError, SnapReader, SnapshotBlob,
-    SnapshotError, StateHasher,
+    SnapshotError, StateHasher, TypedSnapshot,
 };
 
 /// Commonly used items, intended for glob import in examples and tests.
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use crate::dram::{DramConfig, RefreshStorm};
     pub use crate::gate::{GateDecision, OpenGate, PortGate};
     pub use crate::interconnect::{Arbitration, XbarConfig};
+    pub use crate::leap::{LeapSupport, LeapTelemetry};
     pub use crate::master::{
         MasterKind, MasterStats, PendingRequest, SequentialSource, TrafficSource,
     };

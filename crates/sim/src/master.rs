@@ -10,6 +10,7 @@ use crate::arena::TxnArena;
 use crate::axi::{Dir, MasterId, Request, Response, BEAT_BYTES, MAX_BURST_BEATS};
 use crate::gate::{GateDecision, PortGate};
 use crate::interconnect::Crossbar;
+use crate::leap::LeapSupport;
 use crate::stats::{BandwidthMeter, LatencyStats, WindowRecorder};
 use crate::time::Cycle;
 use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, SnapshotError, StateHasher};
@@ -79,6 +80,14 @@ pub trait TrafficSource {
         Some(now)
     }
 
+    /// Declares whether (and under what constraints) the clock may leap
+    /// over a detected steady-state period while this source is
+    /// attached. The default denies: only sources that can state
+    /// exactly how their behavior depends on absolute time opt in.
+    fn leap_support(&self, _now: Cycle) -> LeapSupport {
+        LeapSupport::deny()
+    }
+
     /// Deep-copies this source for a forked run, remapping shared
     /// handles through `ctx`. Returning `None` — the default — declares
     /// the source unforkable and makes
@@ -121,6 +130,10 @@ impl TrafficSource for Box<dyn TrafficSource> {
 
     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         self.as_ref().next_activity(now)
+    }
+
+    fn leap_support(&self, now: Cycle) -> LeapSupport {
+        self.as_ref().leap_support(now)
     }
 
     fn fork_source(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
@@ -299,6 +312,18 @@ impl TrafficSource for SequentialSource {
         }
     }
 
+    fn leap_support(&self, _now: Cycle) -> LeapSupport {
+        // A bounded stream caps the leap so exhaustion lands on a
+        // simulated cycle. Without a footprint `next_addr` grows
+        // monotonically — a plain snapshot field that never recurs, so
+        // the recurrence check itself keeps such runs conservative.
+        if self.total_txns == u64::MAX {
+            LeapSupport::clear()
+        } else {
+            LeapSupport::budget(self.total_txns.saturating_sub(self.issued))
+        }
+    }
+
     fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
         Some(Box::new(self.clone()))
     }
@@ -310,11 +335,11 @@ impl TrafficSource for SequentialSource {
         h.write_u16(self.beats);
         h.write_bool(self.dir == Dir::Write);
         h.write_u64(self.total_txns);
-        h.write_u64(self.issued);
+        h.write_counter_u64(self.issued);
         h.write_u64(self.gap);
         h.write_u64(self.think_time);
         h.write_u64(self.footprint);
-        h.write_u64(self.next_ready.get());
+        h.write_cycle(self.next_ready.get());
     }
 
     fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
@@ -364,13 +389,13 @@ impl MasterStats {
     /// Feeds the record into a snapshot fingerprint.
     pub fn snap(&self, h: &mut StateHasher) {
         h.section("stats");
-        h.write_u64(self.issued_txns);
-        h.write_u64(self.completed_txns);
-        h.write_u64(self.bytes_completed);
+        h.write_counter_u64(self.issued_txns);
+        h.write_counter_u64(self.completed_txns);
+        h.write_counter_u64(self.bytes_completed);
         self.latency.snap(h);
         self.service_latency.snap(h);
-        h.write_u64(self.gate_stall_cycles);
-        h.write_u64(self.fifo_stall_cycles);
+        h.write_counter_u64(self.gate_stall_cycles);
+        h.write_counter_u64(self.fifo_stall_cycles);
         self.meter.snap(h);
         match &self.window {
             Some(w) => {
@@ -640,6 +665,18 @@ impl Master {
         }
     }
 
+    /// Merged leap constraints of this master's source and gate. A
+    /// window-series recorder denies outright: it materializes one entry
+    /// per window, which an algebraic leap cannot reproduce.
+    pub(crate) fn leap_support(&self, now: Cycle) -> LeapSupport {
+        if self.stats.window.is_some() {
+            return LeapSupport::deny();
+        }
+        self.source
+            .leap_support(now)
+            .merge(self.gate.leap_support(now))
+    }
+
     /// Replicates the per-cycle stall accounting of every naive cycle in
     /// `(last_tick, now)` — the cycles the event loop skipped for this
     /// master. Called immediately before a wake tick at `now`, and once
@@ -764,11 +801,11 @@ impl Master {
                 h.write_u64(p.addr);
                 h.write_u16(p.beats);
                 h.write_bool(p.dir == Dir::Write);
-                h.write_u64(p.not_before.get());
+                h.write_cycle(p.not_before.get());
                 match first {
                     Some(c) => {
                         h.write_bool(true);
-                        h.write_u64(c.get());
+                        h.write_cycle(c.get());
                     }
                     None => h.write_bool(false),
                 }
@@ -776,19 +813,19 @@ impl Master {
             None => h.write_bool(false),
         }
         h.write_usize(self.in_flight);
-        h.write_u64(self.serial);
+        h.write_counter_u64(self.serial);
         h.write_bool(self.last_denied);
         h.write_bool(self.gate_dirty);
         match self.retry_at {
             Some(c) => {
                 h.write_bool(true);
-                h.write_u64(c.get());
+                h.write_cycle(c.get());
             }
             None => h.write_bool(false),
         }
         h.write_bool(self.fifo_blocked);
         h.write_bool(self.pull_pending);
-        h.write_u64(self.last_tick.get());
+        h.write_cycle(self.last_tick.get());
         self.source.snap_state(h);
         self.gate.snap_state(h);
         self.stats.snap(h);

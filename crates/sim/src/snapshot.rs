@@ -62,7 +62,7 @@ impl Soc {
         h.section("fgqos.soc-snapshot");
         h.write_u32(SNAPSHOT_VERSION);
         h.write_u64(self.freq.hz());
-        h.write_u64(self.cycle.get());
+        h.write_cycle(self.cycle.get());
         h.write_bool(self.naive);
         h.write_usize(self.masters.len());
         for m in &self.masters {
@@ -109,6 +109,9 @@ impl Soc {
             controllers,
             arena: self.arena.clone(),
             naive: self.naive,
+            // The leap engine is an execution strategy, not architectural
+            // state: a fork starts detection fresh with zeroed telemetry.
+            leap: crate::leap::LeapState::new(self.leap.enabled),
         })
     }
 

@@ -71,9 +71,9 @@ impl BandwidthMeter {
     /// Feeds the meter's state into a snapshot fingerprint.
     pub fn snap(&self, h: &mut StateHasher) {
         h.section("meter");
-        h.write_u64(self.bytes);
-        h.write_u64(self.txns);
-        h.write_u64(self.start.get());
+        h.write_counter_u64(self.bytes);
+        h.write_counter_u64(self.txns);
+        h.write_cycle(self.start.get());
     }
 
     /// Restores the meter from a serialized snapshot stream (the decode
@@ -273,13 +273,13 @@ impl LatencyStats {
     /// (summary fields plus the non-empty buckets as index/count pairs).
     pub fn snap(&self, h: &mut StateHasher) {
         h.section("latency");
-        h.write_u64(self.count);
-        h.write_u128(self.sum);
+        h.write_counter_u64(self.count);
+        h.write_counter_u128(self.sum);
         h.write_u64(self.min);
         h.write_u64(self.max);
         for (i, &c) in self.buckets.iter().enumerate().filter(|(_, &c)| c > 0) {
             h.write_usize(i);
-            h.write_u64(c);
+            h.write_counter_u64(c);
         }
     }
 

@@ -22,6 +22,7 @@ use crate::calendar::{EventCalendar, NEVER};
 use crate::dram::{DramConfig, DramController, DramStats};
 use crate::gate::{OpenGate, PortGate};
 use crate::interconnect::{Crossbar, XbarConfig};
+use crate::leap::{LeapState, LeapSupport, LeapTelemetry};
 use crate::master::{Master, MasterKind, MasterStats, TrafficSource};
 use crate::metrics::MetricsRegistry;
 use crate::time::{Bandwidth, Cycle, Freq};
@@ -60,6 +61,15 @@ pub trait Controller {
     /// SoC — always safe, never wrong, just slow.
     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         Some(now)
+    }
+
+    /// Declares whether (and under what constraints) the clock may leap
+    /// over a detected steady-state period while this controller runs.
+    /// The default denies: a controller opts in only when its behavior
+    /// depends on nothing but its snapshotted state plus the one-shot
+    /// horizons it reports here (see [`LeapSupport`]).
+    fn leap_support(&self, _now: Cycle) -> LeapSupport {
+        LeapSupport::deny()
     }
 
     /// Short label for reports.
@@ -221,7 +231,24 @@ impl SocBuilder {
         let dram = DramController::new(self.cfg.dram.clone());
         // FGQOS_NAIVE=1 forces cycle-by-cycle stepping (A/B debugging,
         // speedup measurement); any other value keeps fast-forward on.
-        let naive = std::env::var_os("FGQOS_NAIVE").is_some_and(|v| v != "0" && !v.is_empty());
+        let env_on = |name: &str| std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty());
+        let naive = env_on("FGQOS_NAIVE");
+        // Steady-state leaping defaults on in fast mode. FGQOS_NO_LEAP=1
+        // is the escape hatch; FGQOS_LEAP=1 states intent explicitly
+        // (e.g. CI equivalence loops) but cannot override the naive core
+        // or the escape hatch — a conflict gets one clear diagnostic.
+        let no_leap = env_on("FGQOS_NO_LEAP");
+        if env_on("FGQOS_LEAP") && (naive || no_leap) {
+            static CONFLICT: std::sync::Once = std::sync::Once::new();
+            let loser = if naive {
+                "FGQOS_NAIVE=1 (the naive reference core never leaps)"
+            } else {
+                "FGQOS_NO_LEAP=1"
+            };
+            CONFLICT.call_once(|| {
+                eprintln!("fgqos: FGQOS_LEAP=1 conflicts with {loser}; steady-state leaping stays disabled");
+            });
+        }
         Soc {
             freq: self.cfg.freq,
             cycle: Cycle::ZERO,
@@ -231,6 +258,7 @@ impl SocBuilder {
             controllers: self.controllers,
             arena: TxnArena::new(),
             naive,
+            leap: LeapState::new(!naive && !no_leap),
         }
     }
 }
@@ -260,6 +288,7 @@ pub struct Soc {
     pub(crate) controllers: Vec<Box<dyn Controller>>,
     pub(crate) arena: TxnArena,
     pub(crate) naive: bool,
+    pub(crate) leap: LeapState,
 }
 
 impl std::fmt::Debug for Soc {
@@ -343,6 +372,25 @@ impl Soc {
     /// warm-boundary caches must key on it.
     pub fn is_naive(&self) -> bool {
         self.naive
+    }
+
+    /// Enables or disables steady-state leaping (see
+    /// [`crate::leap`]). Defaults to enabled under the event-calendar
+    /// core; `FGQOS_NO_LEAP=1` disables it at build time. Disabling
+    /// drops the recurrence table; re-enabling starts detection fresh.
+    /// The naive core ignores the flag — it never leaps.
+    pub fn set_leap(&mut self, enabled: bool) {
+        self.leap = LeapState::new(enabled);
+    }
+
+    /// Steady-state leap telemetry accumulated so far.
+    pub fn leap_telemetry(&self) -> LeapTelemetry {
+        LeapTelemetry {
+            enabled: self.leap.enabled,
+            periods_detected: self.leap.periods_detected,
+            cycles_skipped: self.leap.cycles_skipped,
+            leaps: self.leap.leaps,
+        }
     }
 
     /// Advances the simulation by one cycle (the naive reference core:
@@ -547,6 +595,13 @@ impl Soc {
                 self.flush_fast_stats(self.cycle);
                 return Some(self.cycle);
             }
+            // Steady-state leap: at a quiesced boundary (the only point
+            // the full state is snapshotable), probe for a recurring
+            // period and skip ahead algebraically. A landed leap moved
+            // every component's schedule, so the calendar is rebuilt.
+            if self.leap.enabled && self.arena.live() == 0 && self.maybe_leap(deadline) {
+                cal = self.build_calendar();
+            }
         }
         self.flush_fast_stats(deadline);
         self.cycle = deadline;
@@ -724,6 +779,9 @@ impl Soc {
             "soc.xbar.arbitration",
             self.xbar.config().arbitration.label(),
         );
+        reg.counter("soc.leap.periods_detected", self.leap.periods_detected);
+        reg.counter("soc.leap.cycles_skipped", self.leap.cycles_skipped);
+        reg.counter("soc.leap.leaps", self.leap.leaps);
         let d = self.dram.stats();
         reg.counter("soc.dram.bytes_completed", d.bytes_completed);
         reg.counter("soc.dram.reads", d.reads);

@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod typed;
 pub mod wire;
 
+pub use typed::{FieldKind, FieldSpan, TypedSnapshot};
 pub use wire::{BlobStore, SnapDecodeError, SnapReader, SnapshotBlob};
 
 use std::any::Any;
@@ -69,6 +71,7 @@ pub struct StateHasher {
     hash: u64,
     bytes: u64,
     record: Option<Vec<u8>>,
+    typed: Option<Vec<FieldSpan>>,
 }
 
 impl Default for StateHasher {
@@ -84,6 +87,7 @@ impl StateHasher {
             hash: FNV_OFFSET,
             bytes: 0,
             record: None,
+            typed: None,
         }
     }
 
@@ -96,6 +100,21 @@ impl StateHasher {
             hash: FNV_OFFSET,
             bytes: 0,
             record: Some(Vec::new()),
+            typed: None,
+        }
+    }
+
+    /// A recording hasher that additionally tracks which byte spans came
+    /// from the semantic writers ([`write_cycle`](Self::write_cycle),
+    /// `write_counter_*`). The captured [`TypedSnapshot`] supports the
+    /// steady-state leap algebra: time-rebased fingerprint keys,
+    /// period-delta verification and `×k` delta application.
+    pub fn typed_recording() -> Self {
+        StateHasher {
+            hash: FNV_OFFSET,
+            bytes: 0,
+            record: Some(Vec::new()),
+            typed: Some(Vec::new()),
         }
     }
 
@@ -103,6 +122,24 @@ impl StateHasher {
     /// [`StateHasher::recording`]).
     pub fn take_bytes(self) -> Vec<u8> {
         self.record.unwrap_or_default()
+    }
+
+    /// Consumes a [`StateHasher::typed_recording`] hasher into the
+    /// captured byte stream plus its semantic field map.
+    pub fn take_typed(self) -> TypedSnapshot {
+        TypedSnapshot {
+            bytes: self.record.unwrap_or_default(),
+            fields: self.typed.unwrap_or_default(),
+        }
+    }
+
+    /// Marks the next `len` bytes as one semantic field (typed mode
+    /// only; a no-op in hash/record modes).
+    fn mark(&mut self, kind: FieldKind, len: usize) {
+        if let Some(fields) = &mut self.typed {
+            let offset = self.record.as_ref().map_or(0, Vec::len);
+            fields.push(FieldSpan { kind, offset, len });
+        }
     }
 
     /// Folds raw bytes without a length prefix (building block for the
@@ -161,6 +198,45 @@ impl StateHasher {
     /// Writes an `f64` by its IEEE-754 bit pattern.
     pub fn write_f64(&mut self, v: f64) {
         self.write_u64(v.to_bits());
+    }
+
+    /// Writes an absolute cycle stamp. Encodes exactly like
+    /// [`write_u64`](Self::write_u64); in typed mode the span is marked
+    /// [`FieldKind::Cycle`] so the leap algebra can rebase it against the
+    /// snapshot boundary and advance it by whole periods.
+    pub fn write_cycle(&mut self, v: u64) {
+        self.mark(FieldKind::Cycle, 8);
+        self.write_u64(v);
+    }
+
+    /// Writes a monotonically accumulating `u64` counter (bytes, txns,
+    /// stall cycles). Encodes exactly like [`write_u64`](Self::write_u64).
+    pub fn write_counter_u64(&mut self, v: u64) {
+        self.mark(FieldKind::CounterU64, 8);
+        self.write_u64(v);
+    }
+
+    /// Writes a `u32` counter that accumulates with *wrapping* arithmetic
+    /// (arena slot generations). Encodes exactly like
+    /// [`write_u32`](Self::write_u32).
+    pub fn write_counter_u32(&mut self, v: u32) {
+        self.mark(FieldKind::CounterU32, 4);
+        self.write_u32(v);
+    }
+
+    /// Writes a `u32` counter that accumulates with *saturating*
+    /// arithmetic (register-file mirrors of wider counters). Encodes
+    /// exactly like [`write_u32`](Self::write_u32).
+    pub fn write_counter_u32_sat(&mut self, v: u32) {
+        self.mark(FieldKind::CounterU32Sat, 4);
+        self.write_u32(v);
+    }
+
+    /// Writes a monotonically accumulating `u128` counter (latency
+    /// sums). Encodes exactly like [`write_u128`](Self::write_u128).
+    pub fn write_counter_u128(&mut self, v: u128) {
+        self.mark(FieldKind::CounterU128, 16);
+        self.write_u128(v);
     }
 
     /// Writes a length-prefixed UTF-8 string.

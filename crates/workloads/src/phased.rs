@@ -121,6 +121,20 @@ impl TrafficSource for PhasedSource {
         self.segments[self.effective(now)].next_activity(now)
     }
 
+    fn leap_support(&self, now: Cycle) -> fgqos_sim::LeapSupport {
+        // The effective segment governs traffic until the next boundary;
+        // the boundary itself is a one-shot absolute-time event, so it
+        // caps any leap. Earlier (abandoned) and later (not yet started)
+        // segments are frozen: their cycle-typed fields sit still between
+        // periodic boundaries, which lockstep detection accepts as-is.
+        let idx = self.effective(now);
+        let seg = self.segments[idx].leap_support(now);
+        match self.starts.get(idx + 1) {
+            Some(boundary) => seg.merge(fgqos_sim::LeapSupport::until(*boundary)),
+            None => seg,
+        }
+    }
+
     fn is_done(&self) -> bool {
         // Done only when nothing from the active segment on can ever
         // issue again (a pre-built future segment with total 0 — a

@@ -8,6 +8,7 @@
 
 use fgqos_sim::axi::Response;
 use fgqos_sim::axi::{Dir, BEAT_BYTES, MAX_BURST_BEATS};
+use fgqos_sim::leap::LeapSupport;
 use fgqos_sim::master::{PendingRequest, TrafficSource};
 use fgqos_sim::time::Cycle;
 use fgqos_sim::{ForkCtx, SnapDecodeError, SnapReader, StateHasher};
@@ -358,6 +359,24 @@ impl TrafficSource for SpecSource {
         self.issued >= self.spec.total
     }
 
+    fn leap_support(&self, _now: Cycle) -> LeapSupport {
+        // A bounded phase caps the leap so exhaustion lands on a
+        // simulated cycle; burst shaping reads `now % period`, so the
+        // leap period must be a multiple of it. Random addressing and
+        // direction blending need no constraint: they advance the RNG
+        // words, which are plain snapshot state, so a verified
+        // recurrence already proves the stream repeats.
+        let mut s = if self.spec.total == u64::MAX {
+            LeapSupport::clear()
+        } else {
+            LeapSupport::budget(self.spec.total.saturating_sub(self.issued))
+        };
+        if let Some(b) = self.spec.burst {
+            s = s.merge(LeapSupport::modulus(b.on_cycles + b.off_cycles));
+        }
+        s
+    }
+
     fn fork_source(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TrafficSource>> {
         Some(Box::new(self.clone()))
     }
@@ -393,8 +412,8 @@ impl TrafficSource for SpecSource {
             h.write_u64(w);
         }
         h.write_u64(self.cursor);
-        h.write_u64(self.issued);
-        h.write_u64(self.next_ready.get());
+        h.write_counter_u64(self.issued);
+        h.write_cycle(self.next_ready.get());
     }
 
     fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {

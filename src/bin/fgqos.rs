@@ -29,6 +29,8 @@
 //!   --explore N       random candidates before refinement (default 24)
 //!   --top-k N         parents carried per refinement round (default 4)
 //!   --mutants N       mutants drawn per parent per round (default 3)
+//!   --bisect N        extra evaluations bisecting the winner's burst
+//!                     phases and fault cycles after the climb (default 12)
 //!   --objective M     maximized critical metric: p99 | max (default max)
 //!   --warmup N        shared warm-up cycles before the fork boundary
 //!   --cycles N        divergent tail cycles after the boundary
@@ -158,7 +160,7 @@ fn usage() -> &'static str {
     "usage: fgqos <scenario-file> [--cycles N] [--until-done NAME] [--json] [--histogram] [--quiet]
        fgqos check <scenario-file>
        fgqos hunt <scenario-file> [--seed N] [--evals N] [--explore N] [--top-k N] [--mutants N]
-                  [--objective p99|max] [--warmup N] [--cycles N] [--addr HOST:PORT]
+                  [--bisect N] [--objective p99|max] [--warmup N] [--cycles N] [--addr HOST:PORT]
                   [--out REPORT.json] [--fgq WINNER.fgq] [--quiet]
        fgqos serve [--addr HOST:PORT] [--threads N] [--max-frame N]
                    [--admit-budget N] [--admit-period-ms N] [--admit-depth N] [--deadline-ms N]
@@ -254,6 +256,7 @@ fn parse_hunt(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
             "--explore" => options.config.explore = num_of(&mut argv, "--explore")?,
             "--top-k" => options.config.top_k = num_of(&mut argv, "--top-k")?,
             "--mutants" => options.config.mutants_per_parent = num_of(&mut argv, "--mutants")?,
+            "--bisect" => options.config.bisect = num_of(&mut argv, "--bisect")?,
             "--objective" => {
                 options.config.objective = Objective::parse(&value_of(&mut argv, "--objective")?)?
             }
@@ -603,11 +606,13 @@ fn hunt(args: HuntArgs) -> Result<(), String> {
     let cand = &result.outcome.best.candidate;
     if !args.quiet {
         println!(
-            "hunt: seed {}, {} evaluation(s) across {} family(ies), {} refinement round(s)",
+            "hunt: seed {}, {} evaluation(s) across {} family(ies), \
+             {} refinement round(s), {} bisection probe(s)",
             args.options.config.seed,
             result.outcome.evals_used,
             result.outcome.families,
             result.outcome.rounds,
+            result.outcome.bisect_evals,
         );
         println!(
             "worst case: {} aggressor(s), {} fault(s), period {} budget {}",
@@ -939,6 +944,8 @@ mod tests {
             "2",
             "--mutants",
             "5",
+            "--bisect",
+            "4",
             "--objective",
             "p99",
             "--warmup",
@@ -960,6 +967,7 @@ mod tests {
         assert_eq!(h.options.config.explore, 6);
         assert_eq!(h.options.config.top_k, 2);
         assert_eq!(h.options.config.mutants_per_parent, 5);
+        assert_eq!(h.options.config.bisect, 4);
         assert!(matches!(h.options.config.objective, Objective::P99));
         assert_eq!(h.options.warmup, 5_000);
         assert_eq!(h.options.tail_cycles, 7_000);

@@ -511,6 +511,7 @@ mod tests {
                 explore: 2,
                 top_k: 1,
                 mutants_per_parent: 1,
+                bisect: 2,
                 objective: fgqos_hunt::Objective::Max,
             },
             warmup: 4_000,

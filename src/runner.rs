@@ -95,9 +95,28 @@ pub fn scenario_report(text: &str, opts: &RunOptions) -> Result<Report, RunError
     };
     report.context("simulated_cycles", ran);
     report.context("clock", soc.freq());
+    leap_block(&mut report, &soc);
     stats_tables(&mut report, &spec, &soc, &fabric, ran);
     assertion_block(&mut report, &spec, &soc, &fabric);
     Ok(report)
+}
+
+/// Appends steady-state leap telemetry to a scenario report.
+///
+/// Purely informational: leap-on and leap-off runs produce bit-identical
+/// simulation results (proptest-pinned in `tests/leap.rs`), so every
+/// *measured* number in the document is unaffected — these lines only say
+/// how much of the horizon was crossed algebraically. They stay a pure
+/// function of `(text, opts)` under a fixed environment; flipping
+/// `FGQOS_NO_LEAP`/`FGQOS_NAIVE` changes them (and nothing else), which is
+/// why point reports — compared byte-for-byte across mixed naive/fast
+/// fleet workers in CI — deliberately do *not* carry this block.
+fn leap_block(report: &mut Report, soc: &Soc) {
+    let leap = soc.leap_telemetry();
+    report.context("leap_enabled", leap.enabled);
+    report.context("leap_periods_detected", leap.periods_detected);
+    report.context("leap_cycles_skipped", leap.cycles_skipped);
+    report.context("leap_leaps", leap.leaps);
 }
 
 /// Largest single AXI burst in bytes. Window accounting can overshoot by

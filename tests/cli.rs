@@ -207,3 +207,89 @@ fn histogram_flag_prints_distributions() {
     assert!(stdout.contains("latency histogram for cpu"));
     assert!(stdout.contains('#'));
 }
+
+#[test]
+fn json_report_carries_the_leap_block() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--json"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "leap_enabled",
+        "leap_periods_detected",
+        "leap_cycles_skipped",
+        "leap_leaps",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in --json report");
+    }
+}
+
+#[test]
+fn conflicting_leap_env_prints_one_diagnostic() {
+    let out = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .env("FGQOS_LEAP", "1")
+        .env("FGQOS_NAIVE", "1")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let needle = "FGQOS_LEAP=1 conflicts with FGQOS_NAIVE=1";
+    assert_eq!(
+        stderr.matches(needle).count(),
+        1,
+        "exactly one conflict diagnostic expected, got: {stderr}"
+    );
+    // The naive core must still win: its run stays bit-identical to the
+    // default (leaping) fast core, so the rendered stats agree.
+    let plain = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(plain.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&plain.stdout),
+        "naive-with-conflict run must match the default core's stats"
+    );
+}
+
+#[test]
+fn no_leap_escape_hatch_preserves_results_and_warns_on_conflict() {
+    let with_leap = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    let without = fgqos()
+        .args(["scenarios/demo.fgq", "--cycles", "100000", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .env("FGQOS_NO_LEAP", "1")
+        .env("FGQOS_LEAP", "1")
+        .output()
+        .expect("binary runs");
+    assert!(with_leap.status.success() && without.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&with_leap.stdout),
+        String::from_utf8_lossy(&without.stdout),
+        "FGQOS_NO_LEAP must not change simulation results"
+    );
+    assert!(
+        String::from_utf8_lossy(&without.stderr)
+            .contains("FGQOS_LEAP=1 conflicts with FGQOS_NO_LEAP=1"),
+        "conflict diagnostic names the escape hatch"
+    );
+}
