@@ -32,6 +32,32 @@ pub enum ProgramOp {
     Enabled(bool),
 }
 
+impl ProgramOp {
+    /// Applies the register write to `driver`.
+    ///
+    /// This is the single code path every regulator re-programming goes
+    /// through — `[phase]` directives replayed by [`ScenarioProgram`] and
+    /// live control writes injected between run segments both land here,
+    /// which is what makes a recorded control journal replayable as
+    /// synthesized phase entries with bit-identical effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ProgramOp::Period`]\(0\) — the regulator rejects
+    /// zero-length windows ([`ScenarioProgram::new`] screens its
+    /// schedule up front; ad-hoc callers get the same check here).
+    pub fn apply(&self, driver: &RegulatorDriver) {
+        match *self {
+            ProgramOp::Budget(b) => driver.set_budget_bytes(b),
+            ProgramOp::Period(p) => {
+                assert!(p > 0, "cannot program a zero window period");
+                driver.set_period_cycles(p);
+            }
+            ProgramOp::Enabled(e) => driver.set_enabled(e),
+        }
+    }
+}
+
 /// A [`ProgramOp`] bound to a driver and a fire cycle.
 #[derive(Debug, Clone)]
 pub struct TimedOp {
@@ -94,11 +120,7 @@ impl Controller for ScenarioProgram {
             if t.at > now.get() {
                 break;
             }
-            match t.op {
-                ProgramOp::Budget(b) => t.driver.set_budget_bytes(b),
-                ProgramOp::Period(p) => t.driver.set_period_cycles(p),
-                ProgramOp::Enabled(e) => t.driver.set_enabled(e),
-            }
+            t.op.apply(&t.driver);
             self.applied += 1;
         }
     }
@@ -139,33 +161,30 @@ impl Controller for ScenarioProgram {
     }
 
     fn snap_state(&self, h: &mut StateHasher) {
+        // Hash (and serialize) the *pending* op count, not the list
+        // length: a program that replayed a control journal as extra
+        // `[phase]` ops and one whose writes arrived live both end
+        // fully drained, and from there on they behave identically —
+        // which is exactly what equal fingerprints promise. The live
+        // replay byte/bit-identity tests pin this equivalence.
         h.section("scenario-program");
-        h.write_usize(self.ops.len());
-        h.write_usize(self.applied);
+        h.write_usize(self.ops.len() - self.applied);
     }
 
     fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapDecodeError> {
         r.section("scenario-program")?;
         let at = r.position();
-        let n = r.read_usize("program op count")?;
-        if n != self.ops.len() {
+        let pending = r.read_usize("program pending op count")?;
+        if pending > self.ops.len() {
             return Err(SnapDecodeError::BadValue {
                 what: format!(
-                    "{n} program op(s) in stream, skeleton has {}",
+                    "{pending} pending program op(s) in stream, skeleton has only {}",
                     self.ops.len()
                 ),
                 at,
             });
         }
-        let at = r.position();
-        let applied = r.read_usize("program applied count")?;
-        if applied > n {
-            return Err(SnapDecodeError::BadValue {
-                what: format!("program applied count {applied} exceeds op count {n}"),
-                at,
-            });
-        }
-        self.applied = applied;
+        self.applied = self.ops.len() - pending;
         Ok(())
     }
 }

@@ -6,7 +6,8 @@
 //! one-response-per-request, so a `BufReader` over the socket is all
 //! the state a client needs.
 
-use crate::protocol::{BatchSpec, MetricsFormat, SERVE_SCHEMA};
+use crate::live::LIVE_SCHEMA;
+use crate::protocol::{BatchSpec, ControlSet, LiveSpec, MetricsFormat, SERVE_SCHEMA};
 use fgqos_sim::json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -326,6 +327,84 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<Value, ClientError> {
         let mut req = Value::obj();
         req.set("op", Value::str("shutdown"));
+        Self::expect_ok(self.request(&req)?)
+    }
+
+    /// Starts a live run (v4 `subscribe`, new-run mode) and returns its
+    /// run id. After this call the connection is **streaming**: read
+    /// frames with [`next_live_frame`](Self::next_live_frame) until it
+    /// returns the end-of-stream object; only then is the connection
+    /// usable for ordinary requests again.
+    pub fn subscribe(&mut self, spec: &LiveSpec, client: Option<&str>) -> Result<u64, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("subscribe"));
+        req.set("scenario", Value::str(spec.scenario.clone()));
+        req.set("cycles", Value::from(spec.cycles));
+        req.set("window", Value::from(spec.window));
+        if spec.pace_ms > 0 {
+            req.set("pace_ms", Value::from(spec.pace_ms));
+        }
+        if let Some(c) = client {
+            req.set("client", Value::str(c));
+        }
+        let doc = Self::expect_ok(self.request(&req)?)?;
+        doc.get("run")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("subscribe ack missing 'run'".into()))
+    }
+
+    /// Attaches to an already-running live run (v4 `subscribe`, attach
+    /// mode). Streaming semantics as in [`subscribe`](Self::subscribe).
+    pub fn subscribe_run(&mut self, run: u64) -> Result<u64, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("subscribe"));
+        req.set("run", Value::from(run));
+        let doc = Self::expect_ok(self.request(&req)?)?;
+        doc.get("run")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("subscribe ack missing 'run'".into()))
+    }
+
+    /// Reads the next streamed object after a subscribe: a telemetry
+    /// frame (`"stream":"frame"`) or the end-of-stream object
+    /// (`"stream":"end"`). The caller decides when to stop by
+    /// inspecting `"stream"`.
+    pub fn next_live_frame(&mut self) -> Result<Value, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("connection closed mid-stream".into()));
+        }
+        let doc = Value::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparsable frame: {e}")))?;
+        if doc.get("schema").and_then(Value::as_str) != Some(LIVE_SCHEMA) {
+            return Err(ClientError::Protocol("frame missing live schema".into()));
+        }
+        Ok(doc)
+    }
+
+    /// Queues a register write against a live run (v4 `control`);
+    /// returns its position in the run's pending queue. Use a separate
+    /// connection when another one is mid-stream.
+    pub fn control(&mut self, run: u64, target: &str, set: ControlSet) -> Result<u64, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("control"));
+        req.set("run", Value::from(run));
+        req.set("target", Value::str(target));
+        req.set("set", Value::str(set.key()));
+        req.set("value", set.value());
+        let doc = Self::expect_ok(self.request(&req)?)?;
+        doc.get("queued")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("control ack missing 'queued'".into()))
+    }
+
+    /// Fetches a live run's journal document (v4 `journal`): control
+    /// journal, lifecycle state, and — once the run finished — the
+    /// synthesized replay scenario plus the final report.
+    pub fn journal(&mut self, run: u64) -> Result<Value, ClientError> {
+        let mut req = Value::obj();
+        req.set("op", Value::str("journal"));
+        req.set("run", Value::from(run));
         Self::expect_ok(self.request(&req)?)
     }
 }

@@ -831,6 +831,14 @@ fn dispatch(core: &Arc<CoordinatorCore>, request: Request) -> Value {
             req.set("warmup", Value::from(warmup));
             core.forward_raw("snapshot", &req)
         }
+        // Live runs are bound to one executing process; a coordinator
+        // only routes batch work, so the streaming plane is refused here
+        // — point `subscribe`/`control` at a worker directly.
+        Request::Subscribe { .. } => {
+            error_response("subscribe", "coordinator does not host live runs")
+        }
+        Request::Control { .. } => error_response("control", "coordinator does not host live runs"),
+        Request::Journal { .. } => error_response("journal", "coordinator does not host live runs"),
         Request::Shutdown => {
             let (submitted, executed, failed, requeued) = core.drain();
             let mut resp = response_head("shutdown", true);

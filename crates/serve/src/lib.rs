@@ -38,6 +38,7 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod coordinator;
+pub mod live;
 pub mod pool;
 pub mod protocol;
 pub mod server;
@@ -84,4 +85,23 @@ pub type SnapshotExecutor = Arc<dyn Fn(&str, u64) -> Result<Option<Vec<u8>>, Str
 /// every `snapshot` request fails with a stable error message.
 pub fn unsupported_snapshot_executor() -> SnapshotExecutor {
     Arc::new(|_scenario, _warmup| Err("this server has no snapshot executor installed".into()))
+}
+
+/// Runs a v4 live job to completion against its [`live::LiveSession`]:
+/// execute the scenario in windows, publish one frame per window, apply
+/// and journal queued control writes at boundaries, and `finish` the
+/// session with the final report and replay scenario (or an error).
+///
+/// The server spawns one dedicated thread per live run around this call
+/// (live runs are long-lived streams, so they never occupy a pool
+/// worker lane). The umbrella's `fgqos::runner::serve_live_executor` is
+/// the real implementation. A returned `Err` is recorded on the session
+/// when the executor did not already `finish` it.
+pub type LiveExecutor =
+    Arc<dyn Fn(&protocol::LiveSpec, Arc<live::LiveSession>) -> Result<(), String> + Send + Sync>;
+
+/// A [`LiveExecutor`] for deployments without live-run support: every
+/// new-run `subscribe` fails with a stable error message.
+pub fn unsupported_live_executor() -> LiveExecutor {
+    Arc::new(|_spec, _session| Err("this server has no live executor installed".into()))
 }

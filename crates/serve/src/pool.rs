@@ -23,6 +23,7 @@
 
 use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::cache::{batch_point_key, job_key, ResultCache};
+use crate::live::LiveRegistry;
 use crate::protocol::{BatchSpec, JobSpec};
 use crate::{BatchExecutor, Executor};
 use fgqos_sim::json::Value;
@@ -164,6 +165,8 @@ pub struct ServeCore {
     pub cache: ResultCache,
     /// The per-client ingress regulator bank.
     pub admission: AdmissionControl,
+    /// The live-run table (v4 `subscribe`/`control`/`journal`).
+    pub live: LiveRegistry,
     workers: usize,
     started: Instant,
     busy_nanos: AtomicU64,
@@ -190,6 +193,7 @@ impl ServeCore {
             wakeup: Condvar::new(),
             cache,
             admission: AdmissionControl::new(admission),
+            live: LiveRegistry::new(),
             workers,
             started: Instant::now(),
             busy_nanos: AtomicU64::new(0),
@@ -514,6 +518,11 @@ impl ServeCore {
     /// already queued, and return once every worker is idle or exited.
     /// Idempotent; concurrent callers all block until the drain ends.
     pub fn drain(&self) -> DrainSummary {
+        // Live runs first: tell each to finish at its next window
+        // boundary and wait for the executors to let go. A live run
+        // reacts within one window (plus its pacing sleep), so the
+        // bound below is generous.
+        self.live.drain(std::time::Duration::from_secs(60));
         let mut st = self.state.lock().expect("pool poisoned");
         st.draining = true;
         self.wakeup.notify_all();
@@ -589,6 +598,12 @@ impl ServeCore {
         reg.counter("serve.jobs.batches", batches);
         reg.gauge("serve.workers", self.workers as f64);
         reg.gauge("serve.workers.busy", busy as f64);
+        let live = self.live.metrics();
+        reg.counter("serve.live.sessions", live.sessions);
+        reg.gauge("serve.live.active", live.active as f64);
+        reg.counter("serve.live.frames", live.frames);
+        reg.counter("serve.live.controls", live.controls);
+        reg.counter("serve.live.dropped", live.dropped);
         for (lane, (pinned_depth, executed)) in lanes.iter().enumerate() {
             reg.gauge(
                 format!("serve.lane.{lane}.queue_depth"),

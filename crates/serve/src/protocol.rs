@@ -1,4 +1,4 @@
-//! The `fgqos.serve v3` wire protocol.
+//! The `fgqos.serve v4` wire protocol.
 //!
 //! Frames are newline-delimited JSON: one request object per line, one
 //! response object per line, in order. Both sides reuse
@@ -20,6 +20,11 @@
 //! {"op":"ping"}
 //! {"op":"register_worker","addr":"127.0.0.1:34567"}
 //! {"op":"snapshot","scenario":"<text>","warmup":1000000}
+//! {"op":"subscribe","scenario":"<text>","cycles":200000,"window":10000,
+//!  "client":"alice"}
+//! {"op":"subscribe","run":1}
+//! {"op":"control","run":1,"target":"dma","set":"budget","value":4096}
+//! {"op":"journal","run":1}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -35,6 +40,18 @@
 //! quiesced boundary and returns it as a hex-encoded, fingerprint-checked
 //! snapshot blob (the same container a `BlobStore` files on disk). All
 //! v2 requests are unchanged.
+//!
+//! Protocol v4 adds the live ops (see [`crate::live`]): `subscribe`
+//! starts a windowed live run (or attaches to a running one by id) and
+//! — uniquely in this protocol — turns the connection into a stream:
+//! after the acknowledgement, one `fgqos.live` frame object per window
+//! is pushed per line until an `"stream":"end"` object, after which the
+//! connection reverts to request/response. `control` queues a
+//! budget/period/enable register write against a live run (applied at
+//! the next window boundary and journaled with the cycle it took
+//! effect), and `journal` fetches a run's control journal, replay
+//! scenario and — once finished — its final report. All v3 requests are
+//! unchanged.
 //!
 //! `submit_batch` (v2) is a warm-start sweep slice: one scenario warmed
 //! for `warmup` cycles to a quiesced boundary, then one divergent run
@@ -63,11 +80,15 @@ use std::io::BufRead;
 pub const SERVE_SCHEMA: &str = "fgqos.serve";
 /// Protocol version carried by every response. Version 2 added
 /// `submit_batch` and the per-lane metrics; version 3 added the fleet
-/// ops (`ping`, `register_worker`, `snapshot`). All earlier requests
+/// ops (`ping`, `register_worker`, `snapshot`); version 4 added the
+/// live ops (`subscribe`, `control`, `journal`). All earlier requests
 /// are unchanged.
-pub const SERVE_VERSION: u64 = 3;
+pub const SERVE_VERSION: u64 = 4;
 /// Default cap on a single request frame, in bytes (newline included).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 * 1024;
+/// Default telemetry window of a live run, in cycles (`subscribe`
+/// requests omitting `window`).
+pub const DEFAULT_LIVE_WINDOW: u64 = 10_000;
 
 /// What to execute: the cacheable identity of a job.
 ///
@@ -150,6 +171,90 @@ pub struct BatchSpec {
     pub kind: BatchKind,
 }
 
+/// A live run to start: the `subscribe` op's new-run identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LiveSpec {
+    /// Scenario file text (the same format `fgqos <file>` reads).
+    pub scenario: String,
+    /// Cycle budget for the run.
+    pub cycles: u64,
+    /// Telemetry window in cycles: one frame per window, and the
+    /// granularity at which queued control writes take effect.
+    pub window: u64,
+    /// Host milliseconds slept after each emitted frame, pacing the run
+    /// for interactive consumers (0 = run at full simulation speed).
+    /// Purely host-side: sim semantics, journal and replay are
+    /// unaffected.
+    pub pace_ms: u64,
+}
+
+/// One live register write: which regulator knob to program.
+///
+/// The integer variants carry `u32` because that is the regulator's
+/// register width; the wire accepts any JSON integer and rejects
+/// out-of-range values at parse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlSet {
+    /// Program the per-window byte budget.
+    Budget(u32),
+    /// Program the window length in cycles (must be > 0).
+    Period(u32),
+    /// Enable or disable the regulator.
+    Enable(bool),
+}
+
+impl ControlSet {
+    /// The wire/journal `set` tag.
+    pub fn key(self) -> &'static str {
+        match self {
+            ControlSet::Budget(_) => "budget",
+            ControlSet::Period(_) => "period",
+            ControlSet::Enable(_) => "enable",
+        }
+    }
+
+    /// The wire/journal `value` field (an integer or a boolean).
+    pub fn value(self) -> Value {
+        match self {
+            ControlSet::Budget(b) => Value::from(u64::from(b)),
+            ControlSet::Period(p) => Value::from(u64::from(p)),
+            ControlSet::Enable(e) => Value::from(e),
+        }
+    }
+
+    /// Parses the `set`/`value` field pair of a `control` request (or a
+    /// journal entry). The error string is protocol-ready.
+    pub fn parse(set: &str, value: Option<&Value>) -> Result<Self, String> {
+        let value = value.ok_or("control needs a 'value'")?;
+        match set {
+            "budget" => {
+                let b = value.as_u64().ok_or("budget value must be an integer")?;
+                u32::try_from(b)
+                    .map(ControlSet::Budget)
+                    .map_err(|_| format!("budget {b} exceeds the register width (u32)"))
+            }
+            "period" => {
+                let p = value.as_u64().ok_or("period value must be an integer")?;
+                if p == 0 {
+                    return Err("period must be at least 1 cycle".into());
+                }
+                u32::try_from(p)
+                    .map(ControlSet::Period)
+                    .map_err(|_| format!("period {p} exceeds the register width (u32)"))
+            }
+            "enable" => match value {
+                Value::Bool(e) => Ok(ControlSet::Enable(*e)),
+                Value::Str(s) if s == "on" => Ok(ControlSet::Enable(true)),
+                Value::Str(s) if s == "off" => Ok(ControlSet::Enable(false)),
+                _ => Err("enable value must be true/false or \"on\"/\"off\"".into()),
+            },
+            other => Err(format!(
+                "unknown control set {other:?} (budget, period or enable)"
+            )),
+        }
+    }
+}
+
 /// Requested metrics export format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricsFormat {
@@ -211,6 +316,33 @@ pub enum Request {
         scenario: String,
         /// Warm-up cycles before the boundary search.
         warmup: u64,
+    },
+    /// Start a live run and stream its telemetry frames, or attach to a
+    /// running one (protocol v4). Exactly one of `spec` and `run` is
+    /// set.
+    Subscribe {
+        /// New-run mode: the live run to start.
+        spec: Option<LiveSpec>,
+        /// Attach mode: id of an already-running live run.
+        run: Option<u64>,
+        /// Admission-control principal; defaults to the peer address.
+        client: Option<String>,
+    },
+    /// Queue a register write against a live run (protocol v4); it
+    /// applies at the run's next window boundary.
+    Control {
+        /// Live run id from the `subscribe` acknowledgement.
+        run: u64,
+        /// Best-effort master whose regulator is written.
+        target: String,
+        /// The register write.
+        set: ControlSet,
+    },
+    /// Fetch a live run's control journal, replay scenario and — once
+    /// the run finished — its final report (protocol v4).
+    Journal {
+        /// Live run id from the `subscribe` acknowledgement.
+        run: u64,
     },
     /// Stop accepting work, drain the queue, reply, then exit.
     Shutdown,
@@ -434,6 +566,54 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .to_string(),
             warmup: opt_u64(&doc, "warmup")?.unwrap_or(0),
         }),
+        "subscribe" => {
+            let run = opt_u64(&doc, "run")?;
+            let scenario = opt_str(&doc, "scenario")?;
+            let spec = match (&scenario, run) {
+                (Some(_), Some(_)) => {
+                    return Err("subscribe takes either 'scenario' or 'run', not both".into())
+                }
+                (None, None) => {
+                    return Err("subscribe needs a string 'scenario' or a 'run' id".into())
+                }
+                (Some(s), None) => {
+                    let window = opt_u64(&doc, "window")?.unwrap_or(DEFAULT_LIVE_WINDOW);
+                    if window == 0 {
+                        return Err("subscribe window must be at least 1 cycle".into());
+                    }
+                    Some(LiveSpec {
+                        scenario: s.clone(),
+                        cycles: opt_u64(&doc, "cycles")?.unwrap_or(1_000_000),
+                        window,
+                        pace_ms: opt_u64(&doc, "pace_ms")?.unwrap_or(0),
+                    })
+                }
+                (None, Some(_)) => None,
+            };
+            Ok(Request::Subscribe {
+                spec,
+                run,
+                client: opt_str(&doc, "client")?,
+            })
+        }
+        "control" => {
+            let set = doc
+                .get("set")
+                .and_then(Value::as_str)
+                .ok_or("control needs a string 'set' (budget, period or enable)")?;
+            Ok(Request::Control {
+                run: req_u64(&doc, "run")?,
+                target: doc
+                    .get("target")
+                    .and_then(Value::as_str)
+                    .ok_or("control needs a string 'target'")?
+                    .to_string(),
+                set: ControlSet::parse(set, doc.get("value"))?,
+            })
+        }
+        "journal" => Ok(Request::Journal {
+            run: req_u64(&doc, "run")?,
+        }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -611,6 +791,95 @@ mod tests {
         assert!(parse_request(r#"{"op":"snapshot"}"#)
             .unwrap_err()
             .contains("scenario"));
+    }
+
+    #[test]
+    fn parses_live_ops() {
+        let r = parse_request(r#"{"op":"subscribe","scenario":"s","cycles":9000,"window":500}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Subscribe {
+                spec: Some(LiveSpec {
+                    scenario: "s".into(),
+                    cycles: 9_000,
+                    window: 500,
+                    pace_ms: 0,
+                }),
+                run: None,
+                client: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"subscribe","run":3}"#).unwrap(),
+            Request::Subscribe {
+                spec: None,
+                run: Some(3),
+                client: None,
+            }
+        );
+        assert!(parse_request(r#"{"op":"subscribe"}"#)
+            .unwrap_err()
+            .contains("'scenario' or a 'run'"));
+        assert!(
+            parse_request(r#"{"op":"subscribe","scenario":"s","run":1}"#)
+                .unwrap_err()
+                .contains("not both")
+        );
+        assert!(
+            parse_request(r#"{"op":"subscribe","scenario":"s","window":0}"#)
+                .unwrap_err()
+                .contains("window")
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"control","run":1,"target":"dma","set":"budget","value":4096}"#)
+                .unwrap(),
+            Request::Control {
+                run: 1,
+                target: "dma".into(),
+                set: ControlSet::Budget(4_096),
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"control","run":1,"target":"dma","set":"enable","value":"off"}"#
+            )
+            .unwrap(),
+            Request::Control {
+                run: 1,
+                target: "dma".into(),
+                set: ControlSet::Enable(false),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"journal","run":2}"#).unwrap(),
+            Request::Journal { run: 2 }
+        );
+    }
+
+    #[test]
+    fn control_set_screens_register_writes() {
+        assert!(ControlSet::parse("period", Some(&Value::from(0u64)))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(
+            ControlSet::parse("budget", Some(&Value::from(5_000_000_000u64)))
+                .unwrap_err()
+                .contains("register width")
+        );
+        assert!(ControlSet::parse("gain", Some(&Value::from(1u64)))
+            .unwrap_err()
+            .contains("unknown control set"));
+        assert!(ControlSet::parse("budget", None)
+            .unwrap_err()
+            .contains("value"));
+        assert_eq!(
+            ControlSet::parse("enable", Some(&Value::Bool(true))).unwrap(),
+            ControlSet::Enable(true)
+        );
+        let s = ControlSet::Period(250);
+        assert_eq!(s.key(), "period");
+        assert_eq!(s.value().as_u64(), Some(250));
     }
 
     #[test]

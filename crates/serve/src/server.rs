@@ -10,14 +10,15 @@
 
 use crate::admission::AdmissionConfig;
 use crate::cache::ResultCache;
+use crate::live::{ControlWrite, LiveSession, NextFrame};
 use crate::pool::{worker_count, JobState, ServeCore};
 use crate::protocol::{
-    error_response, parse_request, read_frame, response_head, to_hex, FrameError, MetricsFormat,
-    Request, DEFAULT_MAX_FRAME_BYTES,
+    error_response, parse_request, read_frame, response_head, to_hex, FrameError, LiveSpec,
+    MetricsFormat, Request, DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::{
-    unsupported_batch_executor, unsupported_snapshot_executor, BatchExecutor, Executor,
-    SnapshotExecutor,
+    unsupported_batch_executor, unsupported_live_executor, unsupported_snapshot_executor,
+    BatchExecutor, Executor, LiveExecutor, SnapshotExecutor,
 };
 use fgqos_sim::json::Value;
 use std::io::{self, BufReader, Write};
@@ -115,12 +116,34 @@ pub fn start_with(
 }
 
 /// [`start_with`], plus a [`SnapshotExecutor`] serving the v3
-/// `snapshot` op (warm-boundary blobs over the wire).
+/// `snapshot` op (warm-boundary blobs over the wire). New-run
+/// `subscribe` requests are refused; use [`start_live`] to install a
+/// [`LiveExecutor`].
 pub fn start_full(
     cfg: ServeConfig,
     executor: Executor,
     batch_executor: BatchExecutor,
     snapshot_executor: SnapshotExecutor,
+) -> io::Result<ServerHandle> {
+    start_live(
+        cfg,
+        executor,
+        batch_executor,
+        snapshot_executor,
+        unsupported_live_executor(),
+    )
+}
+
+/// [`start_full`], plus a [`LiveExecutor`] serving the v4 live plane:
+/// `subscribe` starts a windowed run on a dedicated thread and streams
+/// its frames, `control` queues register writes against it, `journal`
+/// fetches the recorded control journal and replay scenario.
+pub fn start_live(
+    cfg: ServeConfig,
+    executor: Executor,
+    batch_executor: BatchExecutor,
+    snapshot_executor: SnapshotExecutor,
+    live_executor: LiveExecutor,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
@@ -157,10 +180,12 @@ pub fn start_full(
                 let core = Arc::clone(&core);
                 let stop = Arc::clone(&stop);
                 let snapshot_executor = Arc::clone(&snapshot_executor);
+                let live_executor = Arc::clone(&live_executor);
                 std::thread::spawn(move || {
                     handle_connection(
                         core,
                         snapshot_executor,
+                        live_executor,
                         stream,
                         max_frame,
                         default_deadline_ms,
@@ -185,9 +210,11 @@ fn send(writer: &mut TcpStream, response: &Value) -> io::Result<()> {
     writer.flush()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     core: Arc<ServeCore>,
     snapshot_executor: SnapshotExecutor,
+    live_executor: LiveExecutor,
     stream: TcpStream,
     max_frame: usize,
     default_deadline_ms: Option<u64>,
@@ -229,6 +256,25 @@ fn handle_connection(
                 continue;
             }
         };
+        // `subscribe` breaks the one-response-per-request shape: after
+        // the acknowledgement the connection streams frames until the
+        // end-of-stream object, then reverts to request/response. It is
+        // the only op handled outside `dispatch`.
+        if let Request::Subscribe { spec, run, client } = request {
+            match serve_subscription(
+                &core,
+                &live_executor,
+                &mut writer,
+                spec,
+                run,
+                client,
+                &line,
+                &peer,
+            ) {
+                Ok(()) => continue,
+                Err(_) => return,
+            }
+        }
         let shutting_down = matches!(request, Request::Shutdown);
         let response = dispatch(
             &core,
@@ -247,6 +293,97 @@ fn handle_connection(
             stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(addr);
             return;
+        }
+    }
+}
+
+/// Serves one `subscribe` request end to end: acknowledge, stream
+/// frames until the end-of-stream object, then hand the connection back
+/// to the request loop. `Ok` means the connection stays usable (even
+/// after a refused subscription); `Err` means the peer went away.
+#[allow(clippy::too_many_arguments)]
+fn serve_subscription(
+    core: &ServeCore,
+    live_executor: &LiveExecutor,
+    writer: &mut TcpStream,
+    spec: Option<LiveSpec>,
+    run: Option<u64>,
+    client: Option<String>,
+    line: &str,
+    peer: &str,
+) -> io::Result<()> {
+    let (session, presub): (Arc<LiveSession>, Option<u64>) = match (spec, run) {
+        (Some(spec), None) => {
+            // Starting a run is charged like a submit: the whole frame
+            // (scenario text included) against the client's bucket.
+            let principal = client.unwrap_or_else(|| format!("peer:{peer}"));
+            if !core.admission.admit(&principal, line.len() as u64 + 1) {
+                let mut resp = error_response(
+                    "subscribe",
+                    format!("admission denied: client {principal:?} is over its ingress budget"),
+                );
+                resp.set("denied", Value::Bool(true));
+                return send(writer, &resp);
+            }
+            let session = match core.live.create() {
+                Ok(session) => session,
+                Err(message) => return send(writer, &error_response("subscribe", message)),
+            };
+            // Register the creating subscriber *before* the executor
+            // thread exists: with zero pacing the run can publish its
+            // first frames immediately, and the creator must see every
+            // one of them (an attaching subscriber, by contrast, only
+            // sees frames from its attach point on).
+            let sub = session.subscribe();
+            let executor = Arc::clone(live_executor);
+            let run_session = Arc::clone(&session);
+            std::thread::spawn(move || {
+                // Scenario errors surface through the session (a failed
+                // end-of-stream object), not the subscribe ack: by the
+                // time the executor parses anything the ack is long
+                // gone.
+                if let Err(message) = executor(&spec, Arc::clone(&run_session)) {
+                    if !run_session.finished() {
+                        run_session.finish(None, None, Some(message));
+                    }
+                }
+            });
+            (session, Some(sub))
+        }
+        (None, Some(run)) => match core.live.get(run) {
+            Some(session) => (session, None),
+            None => {
+                return send(
+                    writer,
+                    &error_response("subscribe", format!("unknown live run {run}")),
+                )
+            }
+        },
+        // parse_request guarantees exactly one of spec/run.
+        _ => return send(writer, &error_response("subscribe", "malformed subscribe")),
+    };
+    // Register (if attaching) before acknowledging so no frame can slip
+    // between the ack and the stream.
+    let sub = presub.unwrap_or_else(|| session.subscribe());
+    let mut ack = response_head("subscribe", true);
+    ack.set("run", Value::from(session.id()));
+    if send(writer, &ack).is_err() {
+        session.unsubscribe(sub);
+        return Err(io::Error::other("peer gone"));
+    }
+    loop {
+        match session.next_frame(sub, Duration::from_millis(500)) {
+            NextFrame::TimedOut => continue,
+            NextFrame::Frame(frame) => {
+                if send(writer, &frame).is_err() {
+                    session.unsubscribe(sub);
+                    return Err(io::Error::other("peer gone"));
+                }
+            }
+            NextFrame::End(end) => {
+                session.unsubscribe(sub);
+                return send(writer, &end);
+            }
         }
     }
 }
@@ -411,6 +548,33 @@ fn dispatch(
             };
             resp
         }
+        // `subscribe` is intercepted in `handle_connection` (it turns
+        // the connection into a stream); reaching here is impossible.
+        Request::Subscribe { .. } => error_response("subscribe", "internal: unrouted subscribe"),
+        Request::Control { run, target, set } => match core.live.get(run) {
+            None => error_response("control", format!("unknown live run {run}")),
+            Some(session) => match session.control(ControlWrite { target, set }) {
+                Err(message) => error_response("control", message),
+                Ok(position) => {
+                    let mut resp = response_head("control", true);
+                    resp.set("run", Value::from(run));
+                    resp.set("queued", Value::from(position));
+                    resp
+                }
+            },
+        },
+        Request::Journal { run } => match core.live.get(run) {
+            None => error_response("journal", format!("unknown live run {run}")),
+            Some(session) => {
+                let mut resp = response_head("journal", true);
+                if let Some(pairs) = session.journal_doc().as_obj() {
+                    for (key, value) in pairs {
+                        resp.set(key.clone(), value.clone());
+                    }
+                }
+                resp
+            }
+        },
         Request::Shutdown => {
             let summary = core.drain();
             let mut resp = response_head("shutdown", true);

@@ -89,7 +89,7 @@ pub use master::{
 pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry};
 pub use snapshot::{SocSnapshot, SNAPSHOT_VERSION};
 pub use stats::{BandwidthMeter, LatencyStats, WindowLatency, WindowRecorder};
-pub use system::{Controller, Soc, SocBuilder, SocConfig};
+pub use system::{Controller, Soc, SocBuilder, SocConfig, WindowBoundary};
 pub use time::{Bandwidth, Cycle, Freq};
 pub use trace::{ChromeTraceBuilder, Trace, TraceEvent, TracingGate};
 

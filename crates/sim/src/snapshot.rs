@@ -39,7 +39,7 @@ use fgqos_snap::{ForkCtx, SnapDecodeError, SnapReader, SnapshotBlob, SnapshotErr
 /// encoding or the component traversal order changes; folded into every
 /// fingerprint, so fingerprints from different versions never compare
 /// equal.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 impl Soc {
     /// FNV-1a 64 fingerprint over the full architectural state: current

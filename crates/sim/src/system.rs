@@ -276,6 +276,22 @@ enum StopWhen {
     Quiesced,
 }
 
+/// One window boundary of a [`Soc::run_windowed`] run, handed to the
+/// boundary callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowBoundary {
+    /// Zero-based index of the window that just finished.
+    pub index: u64,
+    /// First cycle of the window.
+    pub start: Cycle,
+    /// Boundary cycle (exclusive end of the window; the SoC's current
+    /// cycle when the callback runs).
+    pub end: Cycle,
+    /// Whether this is the run's final boundary. The callback must not
+    /// mutate regulator state here (see [`Soc::run_windowed`]).
+    pub last: bool,
+}
+
 /// The simulated SoC: masters, crossbar, DRAM and software controllers.
 // Fields are crate-visible for the snapshot/fork module (snapshot.rs),
 // which reassembles a Soc field by field.
@@ -618,6 +634,92 @@ impl Soc {
             return;
         }
         self.run_fast(deadline, StopWhen::Never, false);
+    }
+
+    /// Runs for `cycles` cycles in `window`-sized segments, yielding to
+    /// `at_boundary` at every window boundary. This is the live
+    /// subsystem's entry point: boundaries are where telemetry frames
+    /// are read out and queued control writes take effect.
+    ///
+    /// At an **interior** boundary `B` (every boundary except the last)
+    /// the SoC is *settled* first: every controller's `on_cycle(B)` runs
+    /// in index order, with masters already flushed through `B - 1` by
+    /// the segment run — exactly the phase-1 state the naive core
+    /// reaches at cycle `B`. Any scheduled op with `at <= B` has
+    /// therefore fired before the callback observes the machine, so an
+    /// external register write applied inside the callback lands *after*
+    /// same-cycle `[phase]` ops, matching the declaration order a replay
+    /// that appends synthesized phases produces. Controllers must
+    /// tolerate a repeated `on_cycle` at the same cycle (the naive core
+    /// calls `on_cycle` every cycle, so every controller is
+    /// self-scheduled and the re-poll is a state no-op).
+    ///
+    /// At the **final** boundary (`boundary.last`) the SoC is *not*
+    /// settled and the callback must not mutate regulator state: a
+    /// monolithic run of the same schedule never executes the deadline
+    /// cycle, so an op firing there would diverge from replay.
+    ///
+    /// Segment deadlines bound the steady-state leap engine: `run`
+    /// never leaps past its own deadline, so an armed subscription (or a
+    /// pending control write, which applies at the next boundary)
+    /// structurally constrains leaping — a leap can never skip a frame
+    /// or a control application point.
+    ///
+    /// With no writes applied at any boundary, a windowed run is
+    /// bit-identical to `run(cycles)`: settling only re-polls
+    /// controllers at cycles the naive core polls anyway, and skipped
+    /// ticks of non-due components are state no-ops by contract.
+    ///
+    /// The callback's return value asks for continuation: returning
+    /// `false` stops the run at that boundary (an aborted live run);
+    /// the return value of the final boundary is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0.
+    pub fn run_windowed(
+        &mut self,
+        cycles: u64,
+        window: u64,
+        mut at_boundary: impl FnMut(&mut Soc, WindowBoundary) -> bool,
+    ) {
+        assert!(window > 0, "window must be at least one cycle");
+        let mut remaining = cycles;
+        let mut index = 0u64;
+        loop {
+            let seg = remaining.min(window);
+            let start = self.cycle;
+            self.run(seg);
+            remaining -= seg;
+            let last = remaining == 0;
+            if !last {
+                self.settle_controllers();
+            }
+            let keep_going = at_boundary(
+                self,
+                WindowBoundary {
+                    index,
+                    start,
+                    end: self.cycle,
+                    last,
+                },
+            );
+            if last || !keep_going {
+                return;
+            }
+            index += 1;
+        }
+    }
+
+    /// Runs every controller's `on_cycle` at the current cycle, in index
+    /// order — the naive core's phase-1 at this cycle. Masters must
+    /// already be flushed through the previous cycle (both cores
+    /// guarantee this at every `run` exit).
+    fn settle_controllers(&mut self) {
+        let now = self.cycle;
+        for c in &mut self.controllers {
+            c.on_cycle(now);
+        }
     }
 
     /// Runs until master `id` finishes its workload, up to `max_cycles`.

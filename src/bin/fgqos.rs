@@ -12,7 +12,13 @@
 //!   fgqos serve [serve options]              start the execution service
 //!   fgqos worker --connect HOST:PORT [...]   start a worker, join a fleet
 //!   fgqos submit <scenario-file> [options]   run a scenario via a server
+//!   fgqos watch <scenario-file> | --run ID   stream live per-window
+//!                                            telemetry from a server
+//!   fgqos ctl --run ID --master NAME ...     inject a regulator register
+//!                                            write into a live run
 //!   fgqos shutdown [--addr HOST:PORT]        drain and stop a server
+//!   fgqos --version | -V                     print crate + wire/format
+//!                                            versions
 //!
 //! Run options:
 //!   --cycles N        run for N cycles (default: the scenario's `cycles`
@@ -66,6 +72,25 @@
 //!   --deadline-ms N   queue deadline for this job
 //!   --timeout-ms N    how long to wait for the result (default 60000)
 //!
+//! Watch options (see docs/live.md):
+//!   --addr HOST:PORT  server address (default 127.0.0.1:7171)
+//!   --cycles N        run length (default: the scenario's `cycles`
+//!                     directive, then 1000000)
+//!   --window N        telemetry window in cycles (default 10000); also
+//!                     the granularity at which control writes apply
+//!   --pace MS         host sleep after each frame (sim-invisible pacing)
+//!   --json            print raw frame objects instead of summary lines
+//!   --verify-replay   after the run, fetch the control journal and
+//!                     verify the synthesized replay scenario reproduces
+//!                     the live report byte-identically
+//!
+//! Ctl options:
+//!   --run ID          live run to control (required)
+//!   --master NAME     best-effort master whose regulator is written
+//!   --budget N / --period N / --enable on|off   exactly one register
+//!                     write; it applies at the next window boundary
+//!   --addr HOST:PORT  server address (default 127.0.0.1:7171)
+//!
 //! Exit status: 0 on success (including `--help`), 1 on runtime errors
 //! (unreadable or invalid scenarios, server failures) and on failed
 //! `expect` assertions, 2 on usage errors.
@@ -75,18 +100,22 @@ use fgqos::bench::report::Report;
 use fgqos::hunt::{run_hunt, HuntOptions};
 use fgqos::hunt_engine::Objective;
 use fgqos::runner::{
-    assertion_outcome, evaluate_expectations, scenario_report, serve_batch_executor,
-    serve_batch_executor_with_store, serve_executor, serve_snapshot_executor, AssertionResult,
-    RunError, RunOptions,
+    assertion_outcome, evaluate_expectations, live_replay_report, scenario_report,
+    serve_batch_executor, serve_batch_executor_with_store, serve_executor, serve_live_executor,
+    serve_snapshot_executor, AssertionResult, LiveOptions, RunError, RunOptions,
 };
 use fgqos::scenario::{load_scenario_text, ScenarioSpec};
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
 use fgqos::serve::coordinator::{start_coordinator, CoordinatorConfig};
-use fgqos::serve::protocol::DEFAULT_MAX_FRAME_BYTES;
-use fgqos::serve::server::{start_full, ServeConfig};
+use fgqos::serve::live::{JOURNAL_SCHEMA, JOURNAL_VERSION, LIVE_SCHEMA, LIVE_VERSION};
+use fgqos::serve::protocol::{
+    ControlSet, LiveSpec, DEFAULT_LIVE_WINDOW, DEFAULT_MAX_FRAME_BYTES, SERVE_VERSION,
+};
+use fgqos::serve::server::{start_live, ServeConfig};
 use fgqos::serve::BatchExecutor;
 use fgqos::sim::axi::MasterId;
+use fgqos::sim::json::Value;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -145,14 +174,35 @@ struct HuntArgs {
     quiet: bool,
 }
 
+struct WatchArgs {
+    scenario_path: Option<String>,
+    run: Option<u64>,
+    addr: String,
+    cycles: Option<u64>,
+    window: u64,
+    pace_ms: u64,
+    json: bool,
+    verify_replay: bool,
+}
+
+struct CtlArgs {
+    run: u64,
+    master: String,
+    set: ControlSet,
+    addr: String,
+}
+
 enum Cmd {
     Help,
+    Version,
     Run(RunArgs),
     Check { scenario_path: String },
     Hunt(HuntArgs),
     Serve(ServeArgs),
     Worker(WorkerArgs),
     Submit(SubmitArgs),
+    Watch(WatchArgs),
+    Ctl(CtlArgs),
     Shutdown { addr: String },
 }
 
@@ -169,7 +219,12 @@ fn usage() -> &'static str {
                     [--admit-budget N] [--admit-period-ms N] [--admit-depth N] [--blob-dir DIR]
        fgqos submit <scenario-file> [--addr HOST:PORT] [--cycles N] [--until-done NAME]
                     [--client NAME] [--deadline-ms N] [--timeout-ms N]
-       fgqos shutdown [--addr HOST:PORT]"
+       fgqos watch (<scenario-file> | --run ID) [--addr HOST:PORT] [--cycles N] [--window N]
+                   [--pace MS] [--json] [--verify-replay]
+       fgqos ctl --run ID --master NAME (--budget N | --period N | --enable on|off)
+                 [--addr HOST:PORT]
+       fgqos shutdown [--addr HOST:PORT]
+       fgqos --version"
 }
 
 fn value_of(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -394,6 +449,97 @@ fn parse_submit(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     Ok(Cmd::Submit(args))
 }
 
+fn parse_watch(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut args = WatchArgs {
+        scenario_path: None,
+        run: None,
+        addr: DEFAULT_ADDR.to_string(),
+        cycles: None,
+        window: DEFAULT_LIVE_WINDOW,
+        pace_ms: 0,
+        json: false,
+        verify_replay: false,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--run" => args.run = Some(num_of(&mut argv, "--run")?),
+            "--addr" => args.addr = value_of(&mut argv, "--addr")?,
+            "--cycles" => args.cycles = Some(num_of(&mut argv, "--cycles")?),
+            "--window" => args.window = num_of(&mut argv, "--window")?,
+            "--pace" => args.pace_ms = num_of(&mut argv, "--pace")?,
+            "--json" => args.json = true,
+            "--verify-replay" => args.verify_replay = true,
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown watch option {other:?}\n{}", usage()));
+            }
+            other => {
+                if args.scenario_path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one scenario file given\n{}", usage()));
+                }
+            }
+        }
+    }
+    match (&args.scenario_path, args.run) {
+        (None, None) => Err("watch needs a scenario file or --run ID".to_string()),
+        (Some(_), Some(_)) => Err("watch takes a scenario file or --run ID, not both".to_string()),
+        _ => {
+            if args.window == 0 {
+                return Err("--window must be at least 1".to_string());
+            }
+            Ok(Cmd::Watch(args))
+        }
+    }
+}
+
+fn parse_ctl(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut run = None;
+    let mut master = None;
+    let mut set: Option<ControlSet> = None;
+    let put = |s: ControlSet, set: &mut Option<ControlSet>| {
+        if set.replace(s).is_some() {
+            return Err("ctl takes exactly one of --budget/--period/--enable".to_string());
+        }
+        Ok(())
+    };
+    let mut addr = DEFAULT_ADDR.to_string();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--run" => run = Some(num_of(&mut argv, "--run")?),
+            "--master" => master = Some(value_of(&mut argv, "--master")?),
+            "--budget" => put(ControlSet::Budget(num_of(&mut argv, "--budget")?), &mut set)?,
+            "--period" => {
+                let p: u32 = num_of(&mut argv, "--period")?;
+                if p == 0 {
+                    return Err("--period must be at least 1".to_string());
+                }
+                put(ControlSet::Period(p), &mut set)?;
+            }
+            "--enable" => {
+                let v = value_of(&mut argv, "--enable")?;
+                let on = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--enable takes on|off, got {other:?}")),
+                };
+                put(ControlSet::Enable(on), &mut set)?;
+            }
+            "--addr" => addr = value_of(&mut argv, "--addr")?,
+            "--help" | "-h" => return Ok(Cmd::Help),
+            other => return Err(format!("unknown ctl option {other:?}\n{}", usage())),
+        }
+    }
+    let run = run.ok_or("ctl needs --run ID".to_string())?;
+    let master = master.ok_or("ctl needs --master NAME".to_string())?;
+    let set = set.ok_or("ctl needs one of --budget/--period/--enable".to_string())?;
+    Ok(Cmd::Ctl(CtlArgs {
+        run,
+        master,
+        set,
+        addr,
+    }))
+}
+
 fn parse_shutdown(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut addr = DEFAULT_ADDR.to_string();
     while let Some(arg) = argv.next() {
@@ -411,11 +557,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
         None => Err(usage().to_string()),
         Some(first) => match first.as_str() {
             "--help" | "-h" => Ok(Cmd::Help),
+            "--version" | "-V" => Ok(Cmd::Version),
             "check" => parse_check(argv),
             "hunt" => parse_hunt(argv),
             "serve" => parse_serve(argv),
             "worker" => parse_worker(argv),
             "submit" => parse_submit(argv),
+            "watch" => parse_watch(argv),
+            "ctl" => parse_ctl(argv),
             "shutdown" => parse_shutdown(argv),
             _ => parse_run(std::iter::once(first).chain(argv)),
         },
@@ -673,7 +822,7 @@ fn serve(args: ServeArgs) -> Result<(), String> {
     if args.workers.is_some() {
         return serve_fleet(args);
     }
-    let handle = start_full(
+    let handle = start_live(
         ServeConfig {
             addr: args.addr,
             threads: args.threads,
@@ -685,6 +834,7 @@ fn serve(args: ServeArgs) -> Result<(), String> {
         serve_executor(),
         batch_executor_for(&args.blob_dir),
         serve_snapshot_executor(),
+        serve_live_executor(),
     )
     .map_err(|e| format!("cannot start server: {e}"))?;
     // Scripts (and CI) parse this line for the bound port.
@@ -766,7 +916,7 @@ fn serve_fleet(args: ServeArgs) -> Result<(), String> {
 }
 
 fn worker(args: WorkerArgs) -> Result<(), String> {
-    let handle = start_full(
+    let handle = start_live(
         ServeConfig {
             addr: args.addr,
             threads: args.threads,
@@ -778,6 +928,7 @@ fn worker(args: WorkerArgs) -> Result<(), String> {
         serve_executor(),
         batch_executor_for(&args.blob_dir),
         serve_snapshot_executor(),
+        serve_live_executor(),
     )
     .map_err(|e| format!("cannot start worker: {e}"))?;
     println!("listening on {}", handle.addr());
@@ -851,6 +1002,173 @@ fn submit(args: SubmitArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// One human-readable line per streamed frame: window span, per-master
+/// window bytes, and any control writes the boundary absorbed.
+fn frame_line(doc: &Value) -> String {
+    let field = |k: &str| doc.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let mut line = format!(
+        "window {:>4} [{}..{}]",
+        field("window"),
+        field("start"),
+        field("end")
+    );
+    if let Some(masters) = doc.get("masters").and_then(Value::as_arr) {
+        for m in masters {
+            let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
+            let bytes = m.get("bytes").and_then(Value::as_u64).unwrap_or(0);
+            line.push_str(&format!("  {name} {bytes}B"));
+        }
+    }
+    if let Some(controls) = doc.get("controls").and_then(Value::as_arr) {
+        for c in controls {
+            line.push_str(&format!(
+                "  [ctl {} {}={}]",
+                c.get("target").and_then(Value::as_str).unwrap_or("?"),
+                c.get("set").and_then(Value::as_str).unwrap_or("?"),
+                c.get("value").map(Value::to_compact).unwrap_or_default()
+            ));
+        }
+    }
+    line
+}
+
+/// Reads a `u64` context line (e.g. `cycles`) back out of a report.
+fn report_context_u64(report: &Report, key: &str) -> Option<u64> {
+    use fgqos::bench::report::Block;
+    report.blocks().iter().find_map(|b| match b {
+        Block::Context { key: k, value } if k == key => value.parse().ok(),
+        _ => None,
+    })
+}
+
+/// Verifies a finished run's determinism contract client-side: replays
+/// the journal doc's synthesized scenario as one monolithic local run
+/// and byte-compares the rendered report against the server's.
+fn verify_replay(doc: &Value) -> Result<(), String> {
+    let replay = doc
+        .get("replay_scenario")
+        .and_then(Value::as_str)
+        .ok_or("journal carries no replay scenario (run not finished?)")?;
+    let report = doc.get("report").ok_or("journal carries no final report")?;
+    let parsed =
+        Report::from_json(report).map_err(|e| format!("bad report in journal doc: {e}"))?;
+    let cycles = report_context_u64(&parsed, "cycles")
+        .ok_or("report in journal doc has no cycles context")?;
+    let opts = LiveOptions {
+        cycles,
+        // The replay is monolithic; the window only shapes the live side.
+        window: 1,
+        naive: None,
+        leap: None,
+    };
+    let (local, _fingerprint) = live_replay_report(replay, &opts).map_err(|e| e.to_string())?;
+    if local.to_json().to_compact() == report.to_compact() {
+        println!("replay verified: byte-identical");
+        Ok(())
+    } else {
+        Err("replay mismatch: local monolithic replay differs from the live report".to_string())
+    }
+}
+
+fn watch(args: WatchArgs) -> Result<(), String> {
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    let run = match &args.scenario_path {
+        Some(path) => {
+            let text = load_scenario_text(path).map_err(|e| e.diagnostic(path))?;
+            // Parse client-side: a bad scenario fails here with line
+            // numbers instead of as a server error string.
+            let spec = ScenarioSpec::parse(&text).map_err(|e| e.diagnostic(path))?;
+            let cycles = args.cycles.or(spec.cycles).unwrap_or(DEFAULT_CYCLES);
+            let live = LiveSpec {
+                scenario: text,
+                cycles,
+                window: args.window,
+                pace_ms: args.pace_ms,
+            };
+            client
+                .subscribe(&live, None)
+                .map_err(|e| format!("subscribe failed: {e}"))?
+        }
+        None => {
+            let run = args.run.expect("parser guarantees one of scenario/--run");
+            client
+                .subscribe_run(run)
+                .map_err(|e| format!("subscribe failed: {e}"))?
+        }
+    };
+    // Scripts (and CI) parse this line for the run id to `fgqos ctl`.
+    println!("run {run}");
+    let end = loop {
+        let doc = client.next_live_frame().map_err(|e| e.to_string())?;
+        if doc.get("stream").and_then(Value::as_str) == Some("end") {
+            break doc;
+        }
+        if args.json {
+            println!("{}", doc.to_compact());
+        } else {
+            println!("{}", frame_line(&doc));
+        }
+    };
+    let text_of = |k: &str| {
+        end.get(k)
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let count_of = |k: &str| end.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let state = text_of("state");
+    eprintln!(
+        "stream ended: {state}, {} frames, {} controls, {} dropped",
+        count_of("frames"),
+        count_of("controls"),
+        count_of("dropped"),
+    );
+    if state != "done" {
+        return Err(format!("live run failed: {}", text_of("error")));
+    }
+    if args.verify_replay {
+        // The connection reverted to request/response at end-of-stream.
+        let doc = client
+            .journal(run)
+            .map_err(|e| format!("journal fetch failed: {e}"))?;
+        verify_replay(&doc)?;
+    }
+    Ok(())
+}
+
+fn ctl(args: CtlArgs) -> Result<(), String> {
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    let queued = client
+        .control(args.run, &args.master, args.set)
+        .map_err(|e| format!("control failed: {e}"))?;
+    println!(
+        "queued {} {} for run {} at position {queued}",
+        args.set.key(),
+        args.master,
+        args.run
+    );
+    Ok(())
+}
+
+/// `--version`: the crate version plus every versioned wire/disk format
+/// this binary speaks, so a bug report names them all in one line each.
+fn version_text() -> String {
+    format!(
+        "fgqos {}\nserve protocol: {}\nsnapshot stream: {}\nhunt report: {} v{}\nlive stream: {} v{}\ncontrol journal: {} v{}",
+        env!("CARGO_PKG_VERSION"),
+        SERVE_VERSION,
+        fgqos::sim::SNAPSHOT_VERSION,
+        fgqos::hunt_engine::HUNT_SCHEMA,
+        fgqos::hunt_engine::HUNT_VERSION,
+        LIVE_SCHEMA,
+        LIVE_VERSION,
+        JOURNAL_SCHEMA,
+        JOURNAL_VERSION,
+    )
+}
+
 fn shutdown(addr: &str) -> Result<(), String> {
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let summary = client.shutdown().map_err(|e| e.to_string())?;
@@ -876,15 +1194,21 @@ fn main() -> ExitCode {
             println!("{}", usage());
             ExitCode::SUCCESS
         }
+        Ok(Cmd::Version) => {
+            println!("{}", version_text());
+            ExitCode::SUCCESS
+        }
         Ok(cmd) => {
             let outcome = match cmd {
-                Cmd::Help => unreachable!("handled above"),
+                Cmd::Help | Cmd::Version => unreachable!("handled above"),
                 Cmd::Run(args) => run(args),
                 Cmd::Check { scenario_path } => check(&scenario_path),
                 Cmd::Hunt(args) => hunt(args),
                 Cmd::Serve(args) => serve(args),
                 Cmd::Worker(args) => worker(args),
                 Cmd::Submit(args) => submit(args),
+                Cmd::Watch(args) => watch(args),
+                Cmd::Ctl(args) => ctl(args),
                 Cmd::Shutdown { addr } => shutdown(&addr),
             };
             match outcome {
@@ -1094,6 +1418,88 @@ mod tests {
         assert!(args(&["check"]).is_err());
         assert!(args(&["serve", "--bogus"]).is_err());
         assert!(args(&["submit"]).is_err());
+    }
+
+    #[test]
+    fn parses_version() {
+        assert!(matches!(args(&["--version"]), Ok(Cmd::Version)));
+        assert!(matches!(args(&["-V"]), Ok(Cmd::Version)));
+        let text = version_text();
+        assert!(text.starts_with(concat!("fgqos ", env!("CARGO_PKG_VERSION"))));
+        assert!(text.contains(&format!("serve protocol: {SERVE_VERSION}")));
+    }
+
+    #[test]
+    fn parses_watch_options() {
+        let Ok(Cmd::Watch(w)) = args(&["watch", "s.fgq"]) else {
+            panic!("expected watch");
+        };
+        assert_eq!(w.scenario_path.as_deref(), Some("s.fgq"));
+        assert_eq!(w.run, None);
+        assert_eq!(w.window, DEFAULT_LIVE_WINDOW);
+        assert_eq!(w.pace_ms, 0);
+        assert!(!w.json && !w.verify_replay);
+
+        let Ok(Cmd::Watch(w)) = args(&[
+            "watch",
+            "--run",
+            "7",
+            "--addr",
+            "127.0.0.1:9",
+            "--window",
+            "5000",
+            "--json",
+            "--verify-replay",
+        ]) else {
+            panic!("expected watch");
+        };
+        assert_eq!(w.run, Some(7));
+        assert_eq!(w.addr, "127.0.0.1:9");
+        assert_eq!(w.window, 5_000);
+        assert!(w.json && w.verify_replay);
+
+        assert!(args(&["watch"]).is_err(), "needs a scenario or --run");
+        assert!(
+            args(&["watch", "s.fgq", "--run", "1"]).is_err(),
+            "scenario and --run are exclusive"
+        );
+        assert!(args(&["watch", "s.fgq", "--window", "0"]).is_err());
+        assert!(matches!(args(&["watch", "--help"]), Ok(Cmd::Help)));
+    }
+
+    #[test]
+    fn parses_ctl_options() {
+        let Ok(Cmd::Ctl(c)) = args(&["ctl", "--run", "3", "--master", "dma", "--budget", "512"])
+        else {
+            panic!("expected ctl");
+        };
+        assert_eq!(c.run, 3);
+        assert_eq!(c.master, "dma");
+        assert_eq!(c.set, ControlSet::Budget(512));
+        assert_eq!(c.addr, DEFAULT_ADDR);
+
+        let Ok(Cmd::Ctl(c)) = args(&["ctl", "--run", "3", "--master", "dma", "--period", "250"])
+        else {
+            panic!("expected ctl");
+        };
+        assert_eq!(c.set, ControlSet::Period(250));
+
+        let Ok(Cmd::Ctl(c)) = args(&["ctl", "--run", "3", "--master", "dma", "--enable", "off"])
+        else {
+            panic!("expected ctl");
+        };
+        assert_eq!(c.set, ControlSet::Enable(false));
+
+        assert!(args(&["ctl", "--master", "dma", "--budget", "1"]).is_err());
+        assert!(args(&["ctl", "--run", "3", "--budget", "1"]).is_err());
+        assert!(args(&["ctl", "--run", "3", "--master", "dma"]).is_err());
+        assert!(
+            args(&["ctl", "--run", "3", "--master", "dma", "--budget", "1", "--period", "2"])
+                .is_err(),
+            "exactly one register write per ctl"
+        );
+        assert!(args(&["ctl", "--run", "3", "--master", "dma", "--period", "0"]).is_err());
+        assert!(args(&["ctl", "--run", "3", "--master", "dma", "--enable", "maybe"]).is_err());
     }
 
     #[test]

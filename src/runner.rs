@@ -11,14 +11,17 @@ use crate::scenario::{
 };
 use fgqos_bench::report::{Block, Report};
 use fgqos_core::fabric::QosFabric;
+use fgqos_core::program::ProgramOp;
 use fgqos_serve::cache::fnv64;
+use fgqos_serve::live::{BoundaryCmd, JournalEntry, LiveSession, LIVE_SCHEMA, LIVE_VERSION};
 #[cfg(test)]
 use fgqos_serve::protocol::BatchKind;
-use fgqos_serve::protocol::{BatchPoint, BatchSpec, JobSpec};
-use fgqos_serve::{BatchExecutor, Executor, SnapshotExecutor};
+use fgqos_serve::protocol::{BatchPoint, BatchSpec, ControlSet, JobSpec, LiveSpec};
+use fgqos_serve::{BatchExecutor, Executor, LiveExecutor, SnapshotExecutor};
 use fgqos_sim::axi::{MasterId, BEAT_BYTES, MAX_BURST_BEATS};
+use fgqos_sim::json::Value;
 use fgqos_sim::snapshot::SocSnapshot;
-use fgqos_sim::system::Soc;
+use fgqos_sim::system::{Soc, WindowBoundary};
 use fgqos_sim::{BlobStore, ForkCtx, SnapshotBlob, StateHasher};
 use std::sync::Arc;
 
@@ -568,6 +571,404 @@ pub fn serve_snapshot_executor() -> SnapshotExecutor {
     })
 }
 
+/// Phase-name prefix reserved for journal replay. Scenarios may not
+/// declare phases with this prefix, so [`replay_scenario_text`] can
+/// always append its synthesized sections without a name collision.
+pub const LIVE_PHASE_PREFIX: &str = "live_ctl_";
+
+/// How to run a scenario live (windowed, with runtime control writes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveOptions {
+    /// Cycle budget for the run.
+    pub cycles: u64,
+    /// Telemetry window in cycles: one frame per window, and the
+    /// granularity at which queued control writes take effect.
+    pub window: u64,
+    /// Force the simulation core (`Some(true)` = naive), instead of the
+    /// `FGQOS_NAIVE` environment default. Tests pin this so replay
+    /// byte-identity is checked under a *known* core.
+    pub naive: Option<bool>,
+    /// Force the steady-state leap engine on/off, instead of the
+    /// `FGQOS_LEAP`/`FGQOS_NO_LEAP` environment default.
+    pub leap: Option<bool>,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            cycles: 1_000_000,
+            window: fgqos_serve::protocol::DEFAULT_LIVE_WINDOW,
+            naive: None,
+            leap: None,
+        }
+    }
+}
+
+/// One event of a live run, handed to the caller's sink as it happens.
+#[derive(Debug)]
+pub enum LiveEvent<'a> {
+    /// A control write was accepted and applied at a window boundary.
+    Control(&'a JournalEntry),
+    /// A telemetry frame was read out at a window boundary.
+    Frame(&'a Value),
+}
+
+/// Everything a finished live run produced.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// One telemetry frame per window boundary, in order (also handed
+    /// to the sink as [`LiveEvent::Frame`] while running).
+    pub frames: Vec<Value>,
+    /// Accepted control writes, in application order.
+    pub journal: Vec<JournalEntry>,
+    /// The final report. Its banner hashes [`LiveOutcome::replay_scenario`],
+    /// and it deliberately omits the leap-telemetry block, so a
+    /// monolithic [`live_replay_report`] of the replay scenario renders
+    /// byte-identically.
+    pub report: Report,
+    /// The original scenario text with the journal appended as
+    /// synthesized `[phase live_ctl_<i>]` sections.
+    pub replay_scenario: String,
+    /// [`Soc::fingerprint`] of the final architectural state.
+    pub fingerprint: u64,
+    /// The run stopped early at a window boundary (the control source
+    /// asked for an abort); replay identity is not claimed for the
+    /// partial run.
+    pub aborted: bool,
+}
+
+fn control_op(set: ControlSet) -> ProgramOp {
+    match set {
+        ControlSet::Budget(b) => ProgramOp::Budget(b),
+        ControlSet::Period(p) => ProgramOp::Period(p),
+        ControlSet::Enable(e) => ProgramOp::Enabled(e),
+    }
+}
+
+/// Cumulative per-master counters, remembered across boundaries so each
+/// frame can carry window deltas.
+#[derive(Clone, Copy, Default)]
+struct MasterCum {
+    bytes: u64,
+    txns: u64,
+    gate: u64,
+    fifo: u64,
+}
+
+fn cum_snapshot(soc: &Soc) -> Vec<MasterCum> {
+    (0..soc.master_count())
+        .map(|i| {
+            let st = soc.master_stats(MasterId::new(i));
+            MasterCum {
+                bytes: st.bytes_completed,
+                txns: st.completed_txns,
+                gate: st.gate_stall_cycles,
+                fifo: st.fifo_stall_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders one `fgqos.live` telemetry frame at a window boundary:
+/// per-master window deltas (bytes, txns, stalls) next to cumulative
+/// totals and latency percentiles, leap telemetry, and the control
+/// writes this boundary absorbed.
+fn live_frame(
+    run_id: u64,
+    soc: &Soc,
+    spec: &ScenarioSpec,
+    b: &WindowBoundary,
+    prev: &mut [MasterCum],
+    applied: &[JournalEntry],
+) -> Value {
+    let mut f = Value::obj();
+    f.set("schema", Value::str(LIVE_SCHEMA));
+    f.set("version", Value::from(LIVE_VERSION));
+    f.set("stream", Value::str("frame"));
+    f.set("run", Value::from(run_id));
+    f.set("window", Value::from(b.index));
+    f.set("start", Value::from(b.start.get()));
+    f.set("end", Value::from(b.end.get()));
+    f.set("last", Value::from(b.last));
+    let mut masters = Value::arr();
+    for (i, prev_cum) in prev.iter_mut().enumerate().take(soc.master_count()) {
+        let st = soc.master_stats(MasterId::new(i));
+        let cum = MasterCum {
+            bytes: st.bytes_completed,
+            txns: st.completed_txns,
+            gate: st.gate_stall_cycles,
+            fifo: st.fifo_stall_cycles,
+        };
+        let mut m = Value::obj();
+        m.set("name", Value::str(spec.masters[i].name.clone()));
+        m.set("bytes", Value::from(cum.bytes - prev_cum.bytes));
+        m.set("txns", Value::from(cum.txns - prev_cum.txns));
+        m.set("gate_stalls", Value::from(cum.gate - prev_cum.gate));
+        m.set("fifo_stalls", Value::from(cum.fifo - prev_cum.fifo));
+        m.set("total_bytes", Value::from(cum.bytes));
+        m.set("p50", Value::from(st.latency.percentile(0.50)));
+        m.set("p99", Value::from(st.latency.percentile(0.99)));
+        m.set("max", Value::from(st.latency.max()));
+        masters.push(m);
+        *prev_cum = cum;
+    }
+    f.set("masters", masters);
+    let leap = soc.leap_telemetry();
+    let mut lv = Value::obj();
+    lv.set("enabled", Value::from(leap.enabled));
+    lv.set("periods_detected", Value::from(leap.periods_detected));
+    lv.set("cycles_skipped", Value::from(leap.cycles_skipped));
+    lv.set("leaps", Value::from(leap.leaps));
+    f.set("leap", lv);
+    let mut controls = Value::arr();
+    for e in applied {
+        controls.push(e.to_json());
+    }
+    f.set("controls", controls);
+    f
+}
+
+/// Synthesizes the replay scenario for a live run: the original text
+/// with one `[phase live_ctl_<i>]` section appended per journal entry,
+/// in journal order.
+///
+/// Each section programs exactly what the live write programmed, `at`
+/// the boundary cycle the write took effect. Appending (rather than
+/// merging into existing phases) preserves ordering under the scenario
+/// engine's *stable* sort by `at`: an original `[phase]` op scheduled at
+/// the same cycle still fires first, matching the live run, where the
+/// boundary settles scheduled controllers before external writes land.
+pub fn replay_scenario_text(text: &str, journal: &[JournalEntry]) -> String {
+    let mut out = String::from(text);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    for (i, e) in journal.iter().enumerate() {
+        let value = match e.set {
+            ControlSet::Budget(b) => b.to_string(),
+            ControlSet::Period(p) => p.to_string(),
+            ControlSet::Enable(true) => "on".to_string(),
+            ControlSet::Enable(false) => "off".to_string(),
+        };
+        out.push_str(&format!(
+            "\n[phase {LIVE_PHASE_PREFIX}{i}]\nat {}\n{} {} {}\n",
+            e.at,
+            e.set.key(),
+            e.target,
+            value
+        ));
+    }
+    out
+}
+
+/// The shared live-report shape: like [`scenario_report`]'s document but
+/// bannered with the *replay* scenario's content hash and without the
+/// leap-telemetry block (leap counters depend on run segmentation, and
+/// the whole point of this document is byte-comparison between a
+/// windowed live run and its monolithic replay).
+fn live_style_report(
+    replay_text: &str,
+    spec: &ScenarioSpec,
+    soc: &Soc,
+    fabric: &QosFabric,
+    cycles: u64,
+    ran: u64,
+) -> Report {
+    let mut report = Report::new("scenario-live");
+    report.banner(
+        "SCENARIO-LIVE",
+        &format!("content {:016x}", fnv64(replay_text.as_bytes())),
+    );
+    report.context("cycles", cycles);
+    report.context("simulated_cycles", ran);
+    report.context("clock", soc.freq());
+    stats_tables(&mut report, spec, soc, fabric, ran);
+    assertion_block(&mut report, spec, soc, fabric);
+    report
+}
+
+fn build_live_soc(
+    text: &str,
+    opts: &LiveOptions,
+) -> Result<(ScenarioSpec, Soc, QosFabric), RunError> {
+    if opts.window == 0 {
+        return Err(RunError::Run("window must be at least one cycle".into()));
+    }
+    if opts.cycles == 0 {
+        return Err(RunError::Run("cycles must be at least one cycle".into()));
+    }
+    let spec = ScenarioSpec::parse(text).map_err(RunError::Parse)?;
+    let (mut soc, fabric) = spec.build();
+    if let Some(naive) = opts.naive {
+        soc.set_naive(naive);
+    }
+    if let Some(leap) = opts.leap {
+        soc.set_leap(leap);
+    }
+    Ok((spec, soc, fabric))
+}
+
+/// Masters a live run accepts control writes for: the scenario's
+/// best-effort masters, in declaration order (the same set `[phase]`
+/// sections may target).
+pub fn live_targets(spec: &ScenarioSpec) -> Vec<String> {
+    spec.masters
+        .iter()
+        .filter(|m| m.role == Role::BestEffort)
+        .map(|m| m.name.clone())
+        .collect()
+}
+
+/// Runs `text` live: in `opts.window`-sized segments with explicit
+/// yield points at every window boundary, where `poll` supplies queued
+/// control writes and `sink` observes accepted writes and telemetry
+/// frames as they happen.
+///
+/// At each **interior** boundary the drained writes are applied through
+/// [`ProgramOp::apply`] — the single code path `[phase]` directives use —
+/// and journaled, stamped with the boundary's sim cycle. The **final**
+/// boundary accepts no writes (a monolithic run never executes the
+/// deadline cycle, so a write there could not be replayed; see
+/// [`Soc::run_windowed`]). A write whose target is not one of
+/// [`live_targets`] is silently dropped — the serve session screens
+/// targets at `control` time, so the engine only double-checks.
+///
+/// The determinism contract: replaying
+/// [`LiveOutcome::replay_scenario`] monolithically via
+/// [`live_replay_report`] (same `opts`) reproduces
+/// [`LiveOutcome::report`] and [`LiveOutcome::fingerprint`] byte for
+/// byte. With an empty journal this degenerates to the windowed ≡
+/// monolithic equivalence of [`Soc::run_windowed`].
+pub fn live_run(
+    text: &str,
+    opts: &LiveOptions,
+    run_id: u64,
+    mut poll: impl FnMut(&WindowBoundary) -> BoundaryCmd,
+    mut sink: impl FnMut(LiveEvent<'_>),
+) -> Result<LiveOutcome, RunError> {
+    let (spec, mut soc, fabric) = build_live_soc(text, opts)?;
+    if let Some(p) = spec
+        .phases
+        .iter()
+        .find(|p| p.name.starts_with(LIVE_PHASE_PREFIX))
+    {
+        return Err(RunError::Run(format!(
+            "phase name {:?} uses the prefix {LIVE_PHASE_PREFIX:?}, which is reserved for \
+             control-journal replay",
+            p.name
+        )));
+    }
+    let mut journal: Vec<JournalEntry> = Vec::new();
+    let mut frames: Vec<Value> = Vec::new();
+    let mut aborted = false;
+    let mut prev = cum_snapshot(&soc);
+    soc.run_windowed(opts.cycles, opts.window, |soc, b| {
+        let mut applied: Vec<JournalEntry> = Vec::new();
+        if !b.last {
+            let cmd = poll(&b);
+            if cmd.abort {
+                aborted = true;
+            } else {
+                for w in cmd.writes {
+                    let Some(driver) = fabric.driver(&w.target) else {
+                        continue;
+                    };
+                    control_op(w.set).apply(driver);
+                    let entry = JournalEntry {
+                        at: b.end.get(),
+                        window: b.index,
+                        target: w.target,
+                        set: w.set,
+                    };
+                    sink(LiveEvent::Control(&entry));
+                    applied.push(entry);
+                }
+            }
+        }
+        let frame = live_frame(run_id, soc, &spec, &b, &mut prev, &applied);
+        sink(LiveEvent::Frame(&frame));
+        frames.push(frame);
+        journal.extend(applied);
+        !aborted
+    });
+    let replay_scenario = replay_scenario_text(text, &journal);
+    let fingerprint = soc.fingerprint();
+    let ran = soc.now().get();
+    let report = live_style_report(&replay_scenario, &spec, &soc, &fabric, opts.cycles, ran);
+    Ok(LiveOutcome {
+        frames,
+        journal,
+        report,
+        replay_scenario,
+        fingerprint,
+        aborted,
+    })
+}
+
+/// Replays a synthesized scenario (see [`replay_scenario_text`]) as one
+/// monolithic run and renders it in the live-report shape. Returns the
+/// report and the final [`Soc::fingerprint`]; for a completed live run
+/// both must equal the live side's byte for byte / bit for bit.
+pub fn live_replay_report(
+    replay_text: &str,
+    opts: &LiveOptions,
+) -> Result<(Report, u64), RunError> {
+    let (spec, mut soc, fabric) = build_live_soc(replay_text, opts)?;
+    soc.run(opts.cycles);
+    let report = live_style_report(replay_text, &spec, &soc, &fabric, opts.cycles, opts.cycles);
+    Ok((report, soc.fingerprint()))
+}
+
+/// The simulator-backed [`LiveExecutor`] behind the v4 `subscribe` op:
+/// runs the scenario via [`live_run`] against its [`LiveSession`] —
+/// `begin` with the scenario's controllable targets, drain queued
+/// control writes at every boundary, record accepted writes, publish
+/// frames (pacing by `spec.pace_ms` between them), and `finish` with the
+/// final report and replay scenario.
+pub fn serve_live_executor() -> LiveExecutor {
+    Arc::new(|spec: &LiveSpec, session: Arc<LiveSession>| {
+        let opts = LiveOptions {
+            cycles: spec.cycles,
+            window: spec.window,
+            naive: None,
+            leap: None,
+        };
+        let parsed = ScenarioSpec::parse(&spec.scenario).map_err(|e| e.to_string())?;
+        session.begin(live_targets(&parsed));
+        let pace = std::time::Duration::from_millis(spec.pace_ms);
+        let outcome = live_run(
+            &spec.scenario,
+            &opts,
+            session.id(),
+            |_b| session.drain_controls(),
+            |event| match event {
+                LiveEvent::Control(entry) => session.record(entry.clone()),
+                LiveEvent::Frame(frame) => {
+                    session.publish(frame.clone());
+                    if !pace.is_zero() {
+                        session.pause(pace);
+                    }
+                }
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        if outcome.aborted {
+            session.finish(
+                None,
+                None,
+                Some("run aborted at a window boundary (server draining)".into()),
+            );
+        } else {
+            session.finish(
+                Some(outcome.report.to_json()),
+                Some(outcome.replay_scenario),
+                None,
+            );
+        }
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,6 +1209,79 @@ txn 512
         assert_eq!(via_exec.len(), direct.len());
         for (x, y) in via_exec.iter().zip(&direct) {
             assert_eq!(x.to_json().to_compact(), y.to_json().to_compact());
+        }
+    }
+
+    #[test]
+    fn live_replay_reproduces_report_and_fingerprint() {
+        use fgqos_serve::live::ControlWrite;
+        for naive in [false, true] {
+            let opts = LiveOptions {
+                cycles: 40_000,
+                window: 5_000,
+                naive: Some(naive),
+                leap: Some(!naive),
+            };
+            let scripted = [
+                (
+                    2u64,
+                    ControlWrite {
+                        target: "dma".into(),
+                        set: ControlSet::Budget(512),
+                    },
+                ),
+                (
+                    5u64,
+                    ControlWrite {
+                        target: "dma".into(),
+                        set: ControlSet::Period(500),
+                    },
+                ),
+            ];
+            let mut events = 0usize;
+            let outcome = live_run(
+                SCENARIO,
+                &opts,
+                7,
+                |b| {
+                    let mut cmd = BoundaryCmd::default();
+                    for (window, write) in &scripted {
+                        if *window == b.index {
+                            cmd.writes.push(write.clone());
+                        }
+                    }
+                    cmd
+                },
+                |_| events += 1,
+            )
+            .expect("runs");
+            assert!(!outcome.aborted);
+            assert_eq!(outcome.journal.len(), 2, "both writes journaled");
+            assert_eq!(outcome.frames.len(), 8, "one frame per boundary");
+            assert_eq!(events, outcome.frames.len() + outcome.journal.len());
+            let (replay, fp) =
+                live_replay_report(&outcome.replay_scenario, &opts).expect("replays");
+            assert_eq!(
+                outcome.report.to_json().to_compact(),
+                replay.to_json().to_compact(),
+                "live report must equal its monolithic replay byte for byte (naive={naive})"
+            );
+            assert_eq!(outcome.fingerprint, fp, "final state bit-identical");
+        }
+    }
+
+    #[test]
+    fn live_run_rejects_reserved_phase_names() {
+        let text = format!("{SCENARIO}\n[phase live_ctl_0]\nat 100\nbudget dma 64\n");
+        match live_run(
+            &text,
+            &LiveOptions::default(),
+            0,
+            |_| BoundaryCmd::default(),
+            |_| {},
+        ) {
+            Err(RunError::Run(m)) => assert!(m.contains("reserved")),
+            other => panic!("expected Run error, got {other:?}"),
         }
     }
 

@@ -1568,9 +1568,6 @@ impl ScenarioSpec {
                 }
             }
         }
-        if !ops.is_empty() {
-            builder = builder.controller(ScenarioProgram::new(ops));
-        }
         if let Some(r) = &self.reclaim {
             let policy = fabric.reclaim_policy(r.config);
             let fuse = self
@@ -1588,6 +1585,19 @@ impl ScenarioSpec {
                 None => builder.controller(policy),
             };
         }
+        // The program goes in *after* the reclaim policy so that at a
+        // coincident cycle an explicit `[phase]` write beats the
+        // background policy's write — the same tie-break a live control
+        // write gets (controllers settle, then the write applies), which
+        // is what keeps a replayed control journal bit-identical to the
+        // live run it recorded.
+        //
+        // Installed even with no ops: the controller *count* is part of
+        // the Soc fingerprint, and live-run replay identity compares a
+        // phase-free live run against a replay text that gained
+        // synthesized `[phase]` sections. An empty program schedules
+        // nothing and hashes identically to a fully drained one.
+        builder = builder.controller(ScenarioProgram::new(ops));
         (builder.build(), fabric)
     }
 }

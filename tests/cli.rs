@@ -293,3 +293,24 @@ fn no_leap_escape_hatch_preserves_results_and_warns_on_conflict() {
         "conflict diagnostic names the escape hatch"
     );
 }
+
+#[test]
+fn version_pins_every_format_version() {
+    for flag in ["--version", "-V"] {
+        let out = fgqos().arg(flag).output().expect("binary runs");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // The full surface a client may need to match against, pinned
+        // line by line: bumping any format constant must show up here.
+        let expected = format!(
+            "fgqos {}\n\
+             serve protocol: 4\n\
+             snapshot stream: 2\n\
+             hunt report: fgqos.hunt-report v1\n\
+             live stream: fgqos.live v1\n\
+             control journal: fgqos.control-journal v1\n",
+            env!("CARGO_PKG_VERSION"),
+        );
+        assert_eq!(stdout, expected, "{flag} output drifted");
+    }
+}

@@ -1,0 +1,321 @@
+//! Live-run determinism properties.
+//!
+//! The control plane's contract, pinned at the integration boundary:
+//!
+//! * a windowed live run whose control writes were recorded in a
+//!   journal is reproduced **byte-identically** (report) and
+//!   **bit-identically** (`Soc::fingerprint`) by replaying the
+//!   synthesized scenario — original text plus one `[phase live_ctl_N]`
+//!   section per journal entry — as a single monolithic run, under both
+//!   the naive and the event-calendar cores (proptest over random
+//!   scenarios and random control scripts);
+//! * a live run with *no* control traffic is itself nothing but a
+//!   segmented monolithic run: same report, same fingerprint;
+//! * the steady-state leap engine is invisible to subscribers — frames
+//!   and reports from a leap-enabled run match a leap-disabled run
+//!   except for the frames' own leap-telemetry block.
+
+use fgqos::runner::{live_replay_report, live_run, LiveEvent, LiveOptions};
+use fgqos::serve::live::{BoundaryCmd, ControlWrite};
+use fgqos::serve::protocol::ControlSet;
+use fgqos::sim::json::Value;
+use proptest::prelude::*;
+
+/// A two-master contended scenario with a regulated DMA engine and a
+/// background reclaim policy controller (so live writes race a second
+/// controller at coincident cycles — the tie-break the journal replay
+/// must reproduce).
+fn scenario(seed: u64, budget_kb: u64, with_policy: bool) -> String {
+    let policy = if with_policy {
+        "\n[policy reclaim]\nreserved 2500\nbase 20K\ncontrol 10000\ngain 20\nbusy 256\n"
+    } else {
+        ""
+    };
+    format!(
+        "\
+clock_mhz 1000
+
+[master cpu]
+kind cpu
+role critical
+pattern random
+footprint 4M
+txn 256
+think 700
+seed {seed}
+
+[master dma]
+kind accel
+role best-effort
+period 1000
+budget {budget_kb}K
+pattern seq
+base 0x40000000
+footprint 16M
+txn 512
+gap 150
+{policy}"
+    )
+}
+
+/// One scripted control arrival: fire `set` at window boundary `window`.
+#[derive(Debug, Clone, Copy)]
+struct Scripted {
+    window: u64,
+    set: ControlSet,
+}
+
+fn control_script() -> impl Strategy<Value = Vec<Scripted>> {
+    prop::collection::vec(
+        (1u64..7, 0u8..3, 1u32..4_096).prop_map(|(window, sel, v)| Scripted {
+            window,
+            set: match sel {
+                0 => ControlSet::Budget(v),
+                1 => ControlSet::Period(100 + v),
+                _ => ControlSet::Enable(v % 2 == 0),
+            },
+        }),
+        0..4,
+    )
+}
+
+/// Runs `text` live with `script` injected at its declared boundaries,
+/// then replays the synthesized scenario monolithically and requires a
+/// byte-identical report and a bit-identical fingerprint.
+fn assert_replay_identity(text: &str, script: &[Scripted], opts: &LiveOptions) {
+    let mut events = 0usize;
+    let outcome = live_run(
+        text,
+        opts,
+        1,
+        |b| BoundaryCmd {
+            writes: script
+                .iter()
+                .filter(|s| s.window == b.index)
+                .map(|s| ControlWrite {
+                    target: "dma".to_string(),
+                    set: s.set,
+                })
+                .collect(),
+            abort: false,
+        },
+        |_e| events += 1,
+    )
+    .expect("live run succeeds");
+    assert!(!outcome.aborted);
+    assert_eq!(
+        events,
+        outcome.frames.len() + outcome.journal.len(),
+        "every frame and accepted write reaches the sink"
+    );
+    let (replay_report, replay_fp) =
+        live_replay_report(&outcome.replay_scenario, opts).expect("replay succeeds");
+    assert_eq!(
+        outcome.report.to_json().to_compact(),
+        replay_report.to_json().to_compact(),
+        "live report and journal replay must be byte-identical"
+    );
+    assert_eq!(
+        outcome.fingerprint, replay_fp,
+        "live fingerprint and journal replay must be bit-identical"
+    );
+}
+
+proptest! {
+    // Naive-core cases step every cycle, so a handful of cases with a
+    // modest horizon keeps the suite's wall clock in check while still
+    // walking all three register-write families and both controller
+    // topologies (with and without the background policy).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random scenario + random control script: live == replay, both cores.
+    #[test]
+    fn journal_replay_is_identical_under_both_cores(
+        seed in 0u64..1_000,
+        budget_kb in 1u64..8,
+        policy_sel in 0u8..2,
+        script in control_script(),
+    ) {
+        let text = scenario(seed, budget_kb, policy_sel == 1);
+        for naive in [false, true] {
+            let opts = LiveOptions {
+                cycles: 40_000,
+                window: 5_000,
+                naive: Some(naive),
+                leap: Some(!naive),
+            };
+            assert_replay_identity(&text, &script, &opts);
+        }
+    }
+}
+
+/// With no control traffic the live run is just a segmented monolithic
+/// run: the synthesized replay scenario is the original text and both
+/// sides agree exactly.
+#[test]
+fn control_free_live_run_matches_monolithic() {
+    let text = scenario(7, 4, true);
+    let opts = LiveOptions {
+        cycles: 120_000,
+        window: 10_000,
+        naive: Some(false),
+        leap: Some(true),
+    };
+    let outcome =
+        live_run(&text, &opts, 1, |_b| BoundaryCmd::default(), |_e| {}).expect("live run succeeds");
+    assert!(outcome.journal.is_empty());
+    assert_eq!(
+        outcome.replay_scenario, text,
+        "an empty journal synthesizes no phases"
+    );
+    let (replay_report, replay_fp) = live_replay_report(&text, &opts).expect("replay succeeds");
+    assert_eq!(
+        outcome.report.to_json().to_compact(),
+        replay_report.to_json().to_compact()
+    );
+    assert_eq!(outcome.fingerprint, replay_fp);
+}
+
+/// A frame with its `leap` telemetry block removed — everything a
+/// subscriber observes about the *simulated machine*.
+fn frame_without_leap(frame: &Value) -> Value {
+    let mut obj = Value::obj();
+    if let Some(entries) = frame.as_obj() {
+        for (k, v) in entries {
+            if k != "leap" {
+                obj.set(k, v.clone());
+            }
+        }
+    }
+    obj
+}
+
+/// An armed subscription constrains the leap engine to frame and
+/// control boundaries, never across them: runs with the engine on and
+/// off must stream identical frames (minus the engine's own counters)
+/// and produce identical reports and fingerprints.
+#[test]
+fn leap_engine_is_invisible_to_subscribers() {
+    let text = scenario(11, 2, false);
+    let script = [
+        Scripted {
+            window: 2,
+            set: ControlSet::Budget(512),
+        },
+        Scripted {
+            window: 5,
+            set: ControlSet::Period(400),
+        },
+    ];
+    let run = |leap: bool| {
+        live_run(
+            &text,
+            &LiveOptions {
+                cycles: 80_000,
+                window: 8_000,
+                naive: Some(false),
+                leap: Some(leap),
+            },
+            1,
+            |b| BoundaryCmd {
+                writes: script
+                    .iter()
+                    .filter(|s| s.window == b.index)
+                    .map(|s| ControlWrite {
+                        target: "dma".to_string(),
+                        set: s.set,
+                    })
+                    .collect(),
+                abort: false,
+            },
+            |_e| {},
+        )
+        .expect("live run succeeds")
+    };
+    let with_leap = run(true);
+    let without_leap = run(false);
+    assert_eq!(with_leap.journal, without_leap.journal);
+    assert_eq!(with_leap.frames.len(), without_leap.frames.len());
+    for (a, b) in with_leap.frames.iter().zip(&without_leap.frames) {
+        assert_eq!(
+            frame_without_leap(a).to_compact(),
+            frame_without_leap(b).to_compact(),
+            "leap engine must not change what subscribers observe"
+        );
+    }
+    assert_eq!(
+        with_leap.report.to_json().to_compact(),
+        without_leap.report.to_json().to_compact()
+    );
+    assert_eq!(with_leap.fingerprint, without_leap.fingerprint);
+}
+
+/// Aborting at a boundary (the server draining) stops the run there:
+/// fewer frames than windows, and the outcome says so.
+#[test]
+fn abort_stops_at_the_boundary() {
+    let text = scenario(3, 4, false);
+    let outcome = live_run(
+        &text,
+        &LiveOptions {
+            cycles: 50_000,
+            window: 5_000,
+            naive: Some(false),
+            leap: Some(true),
+        },
+        1,
+        |b| BoundaryCmd {
+            writes: Vec::new(),
+            abort: b.index >= 3,
+        },
+        |_e| {},
+    )
+    .expect("live run succeeds");
+    assert!(outcome.aborted);
+    assert_eq!(
+        outcome.frames.len(),
+        4,
+        "windows 0..=3 frame, then the run stops"
+    );
+}
+
+/// Events arrive in boundary order: each window's accepted controls are
+/// sunk before that window's frame.
+#[test]
+fn sink_sees_controls_before_their_frame() {
+    let text = scenario(5, 4, false);
+    let mut order: Vec<(u64, bool)> = Vec::new(); // (window, is_frame)
+    let _ = live_run(
+        &text,
+        &LiveOptions {
+            cycles: 30_000,
+            window: 10_000,
+            naive: Some(false),
+            leap: Some(true),
+        },
+        1,
+        |b| BoundaryCmd {
+            writes: if b.index == 1 {
+                vec![ControlWrite {
+                    target: "dma".to_string(),
+                    set: ControlSet::Budget(256),
+                }]
+            } else {
+                Vec::new()
+            },
+            abort: false,
+        },
+        |e| match e {
+            LiveEvent::Control(entry) => order.push((entry.window, false)),
+            LiveEvent::Frame(frame) => {
+                order.push((frame.get("window").and_then(Value::as_u64).unwrap(), true))
+            }
+        },
+    )
+    .expect("live run succeeds");
+    assert_eq!(
+        order,
+        vec![(0, true), (1, false), (1, true), (2, true)],
+        "control lands between the frames of its window and the previous one"
+    );
+}

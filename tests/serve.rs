@@ -5,12 +5,14 @@
 //! window/budget regulation (here applied to the server's own ingress).
 
 use fgqos::runner::{
-    batch_reports, scenario_report, serve_batch_executor, serve_executor, RunOptions,
+    batch_reports, live_run, scenario_report, serve_batch_executor, serve_executor,
+    serve_live_executor, serve_snapshot_executor, LiveOptions, RunOptions,
 };
 use fgqos::serve::admission::AdmissionConfig;
 use fgqos::serve::client::{Client, ClientError, SubmitOptions};
-use fgqos::serve::protocol::{BatchKind, BatchPoint, BatchSpec, JobSpec};
-use fgqos::serve::server::{start, start_with, ServeConfig, ServerHandle};
+use fgqos::serve::live::{ControlWrite, LiveRegistry};
+use fgqos::serve::protocol::{BatchKind, BatchPoint, BatchSpec, ControlSet, JobSpec};
+use fgqos::serve::server::{start, start_live, start_with, ServeConfig, ServerHandle};
 use fgqos::serve::Executor;
 use fgqos::sim::json::Value;
 use proptest::prelude::*;
@@ -531,4 +533,257 @@ proptest! {
         }
         finish(server);
     }
+}
+
+/// A server with the full v4 surface: run/batch/snapshot/live executors.
+fn live_server(cfg: ServeConfig) -> ServerHandle {
+    start_live(
+        cfg,
+        serve_executor(),
+        serve_batch_executor(),
+        serve_snapshot_executor(),
+        serve_live_executor(),
+    )
+    .expect("bind loopback")
+}
+
+/// The v4 streaming ops go through the same framed transport: malformed
+/// and oversized `subscribe`/`control`/`journal` frames are rejected
+/// with `ok:false` and the connection stays usable — including for a
+/// real subscription, whose end-of-stream hands the connection back to
+/// request/response mode.
+#[test]
+fn malformed_v4_frames_keep_the_connection_usable() {
+    let server = live_server(ServeConfig {
+        threads: 1,
+        max_frame_bytes: 4_096,
+        ..ServeConfig::default()
+    });
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    fn rt(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, frame: &str) -> Value {
+        writer
+            .write_all(format!("{frame}\n").as_bytes())
+            .expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        Value::parse(line.trim_end()).expect("response parses")
+    }
+    let mut roundtrip = |frame: &str| rt(&mut writer, &mut reader, frame);
+    let expect_err = |resp: Value, needle: &str| {
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)), "{resp:?}");
+        let msg = resp.get("error").and_then(Value::as_str).unwrap();
+        assert!(msg.contains(needle), "error {msg:?} lacks {needle:?}");
+    };
+
+    expect_err(
+        roundtrip(r#"{"op":"subscribe"}"#),
+        "a string 'scenario' or a 'run' id",
+    );
+    expect_err(
+        roundtrip(r#"{"op":"subscribe","scenario":"x","window":0}"#),
+        "window",
+    );
+    expect_err(
+        roundtrip(r#"{"op":"subscribe","run":99}"#),
+        "unknown live run",
+    );
+    expect_err(roundtrip(r#"{"op":"control","run":1}"#), "'set'");
+    expect_err(
+        roundtrip(r#"{"op":"control","run":1,"target":"dma","set":"warp","value":9}"#),
+        "warp",
+    );
+    expect_err(
+        roundtrip(r#"{"op":"control","run":99,"target":"dma","set":"budget","value":512}"#),
+        "unknown live run",
+    );
+    expect_err(
+        roundtrip(r#"{"op":"journal","run":99}"#),
+        "unknown live run",
+    );
+    let oversized = roundtrip(&format!(
+        r#"{{"op":"subscribe","scenario":"{}"}}"#,
+        "x".repeat(8_192)
+    ));
+    expect_err(oversized, "exceeds");
+
+    // The same connection still carries a real subscription end to end.
+    let ack = roundtrip(&format!(
+        r#"{{"op":"subscribe","scenario":"{}","cycles":30000,"window":10000}}"#,
+        SCENARIO.replace('\n', "\\n")
+    ));
+    assert_eq!(ack.get("ok"), Some(&Value::Bool(true)), "{ack:?}");
+    let run = ack.get("run").and_then(Value::as_u64).expect("run id");
+    let mut frames = 0u64;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("stream read");
+        let doc = Value::parse(line.trim_end()).expect("frame parses");
+        match doc.get("stream").and_then(Value::as_str) {
+            Some("frame") => frames += 1,
+            Some("end") => {
+                assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"));
+                assert_eq!(doc.get("frames").and_then(Value::as_u64), Some(frames));
+                break;
+            }
+            other => panic!("unexpected stream tag {other:?} in {doc:?}"),
+        }
+    }
+    assert_eq!(frames, 3, "30000 cycles / 10000-cycle windows");
+
+    // End of stream reverts to request/response: the journal is served
+    // on the very same connection.
+    let journal = rt(
+        &mut writer,
+        &mut reader,
+        &format!(r#"{{"op":"journal","run":{run}}}"#),
+    );
+    assert_eq!(journal.get("ok"), Some(&Value::Bool(true)), "{journal:?}");
+    finish(server);
+}
+
+/// Mid-run control writes through the wire land at a window boundary,
+/// show up in the streamed frames' `controls` block and in the journal,
+/// and the journal's replay scenario reproduces the live report
+/// byte-for-byte (the `fgqos watch --verify-replay` loop, server-side).
+#[test]
+fn wire_control_writes_are_journaled_and_replayable() {
+    let server = live_server(two_threads());
+    let mut watcher = Client::connect(server.addr()).expect("connect watcher");
+    // Pace the run so the control write beats the horizon comfortably.
+    let run = watcher
+        .subscribe(
+            &fgqos::serve::protocol::LiveSpec {
+                scenario: SCENARIO.to_string(),
+                cycles: 50_000,
+                window: 5_000,
+                pace_ms: 100,
+            },
+            None,
+        )
+        .expect("subscribe");
+
+    let mut first = watcher.next_live_frame().expect("first frame");
+    assert_eq!(first.get("stream").and_then(Value::as_str), Some("frame"));
+    let mut ctl = Client::connect(server.addr()).expect("connect ctl");
+    let queued = ctl
+        .control(run, "dma", ControlSet::Budget(256))
+        .expect("control accepted");
+    assert_eq!(queued, 0, "first write in the queue");
+
+    let mut journaled = 0u64;
+    loop {
+        if let Some(ctls) = first.get("controls").and_then(Value::as_arr) {
+            journaled += ctls.len() as u64;
+        }
+        if first.get("stream").and_then(Value::as_str) == Some("end") {
+            break;
+        }
+        first = watcher.next_live_frame().expect("stream frame");
+    }
+    assert_eq!(journaled, 1, "the write landed in exactly one frame");
+
+    let journal = watcher.journal(run).expect("journal");
+    let entries = journal
+        .get("journal")
+        .and_then(|j| j.get("entries"))
+        .and_then(Value::as_arr)
+        .expect("journal entries");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(
+        entries[0].get("target").and_then(Value::as_str),
+        Some("dma")
+    );
+    assert_eq!(
+        entries[0].get("set").and_then(Value::as_str),
+        Some("budget")
+    );
+
+    // Replay the synthesized scenario locally: byte-identical report.
+    let replay_text = journal
+        .get("replay_scenario")
+        .and_then(Value::as_str)
+        .expect("replay scenario");
+    let live_report = journal.get("report").expect("live report");
+    let (local, _fp) = fgqos::runner::live_replay_report(
+        replay_text,
+        &LiveOptions {
+            cycles: 50_000,
+            window: 5_000,
+            naive: None,
+            leap: None,
+        },
+    )
+    .expect("replay");
+    assert_eq!(local.to_json().to_compact(), live_report.to_compact());
+    finish(server);
+}
+
+/// Golden pin of the live wire schema: the telemetry frames a
+/// subscriber reads and the journal document the server serves are
+/// exactly these bytes. Regenerate with
+/// `FGQOS_BLESS=1 cargo test --test serve golden`.
+#[test]
+fn live_frame_and_journal_schema_match_golden() {
+    let opts = LiveOptions {
+        cycles: 30_000,
+        window: 10_000,
+        naive: Some(false),
+        leap: Some(true),
+    };
+    let outcome = live_run(
+        SCENARIO,
+        &opts,
+        1,
+        |b| fgqos::serve::live::BoundaryCmd {
+            writes: if b.index == 1 {
+                vec![ControlWrite {
+                    target: "dma".to_string(),
+                    set: ControlSet::Budget(512),
+                }]
+            } else {
+                Vec::new()
+            },
+            abort: false,
+        },
+        |_e| {},
+    )
+    .expect("live run");
+
+    // Feed the outcome through a real session so the pinned journal
+    // document is the exact object `{"op":"journal"}` serves.
+    let registry = LiveRegistry::new();
+    let session = registry.create().expect("session");
+    session.begin(vec!["dma".to_string()]);
+    for e in &outcome.journal {
+        session.record(e.clone());
+    }
+    session.finish(
+        Some(outcome.report.to_json()),
+        Some(outcome.replay_scenario.clone()),
+        None,
+    );
+
+    let mut doc = Value::obj();
+    doc.set("frames", Value::Arr(outcome.frames.to_vec()));
+    doc.set("journal", session.journal_doc());
+    let golden = format!("{}\n", doc.to_pretty());
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/live_stream.json");
+    if std::env::var_os("FGQOS_BLESS").is_some() {
+        std::fs::write(&path, &golden).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with FGQOS_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, expected,
+        "live wire schema drifted; rerun with FGQOS_BLESS=1 and review the diff"
+    );
 }
